@@ -1,0 +1,127 @@
+// Command benchfig regenerates the tables and figures of the paper's
+// evaluation (Section 5). Each figure prints the same series the paper
+// plots; EXPERIMENTS.md records a reference run.
+//
+// Usage:
+//
+//	benchfig -fig 4            # Figure 4 (Contrarian variants vs Cure)
+//	benchfig -fig 5            # Figure 5 (Contrarian vs CC-LO, 1 & 2 DC)
+//	benchfig -fig 6            # Figure 6 (readers-check overhead vs clients)
+//	benchfig -fig 7a|7b        # Figure 7 (write-ratio sweep, 1 or 2 DC)
+//	benchfig -fig 8            # Figure 8 (skew sweep)
+//	benchfig -fig 9            # Figure 9 (ROT size sweep)
+//	benchfig -fig values       # §5.8 (value size sweep)
+//	benchfig -fig table2       # Table 2 (systems characterization)
+//	benchfig -fig all          # everything
+//
+// Scale knobs: -partitions, -keys, -clients, -duration, -warmup, -paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		fig        = flag.String("fig", "all", "figure to reproduce: 4,5,6,7a,7b,8,9,values,compare,ablation,table2,all")
+		partitions = flag.Int("partitions", 8, "partitions per DC")
+		keys       = flag.Int("keys", 20000, "keys per partition")
+		clientsCSV = flag.String("clients", "4,16,64,192", "comma-separated clients/DC sweep")
+		duration   = flag.Duration("duration", 4*time.Second, "measurement window per point")
+		warmup     = flag.Duration("warmup", time.Second, "warmup per point")
+		skew       = flag.Duration("skew", time.Millisecond, "max physical clock skew")
+		paper      = flag.Bool("paper", false, "use paper-scale parameters (hours of runtime)")
+	)
+	flag.Parse()
+
+	o := bench.DefaultOpts(os.Stdout)
+	if *paper {
+		o = bench.PaperOpts(os.Stdout)
+	} else {
+		o.Partitions = *partitions
+		o.KeysPerPartition = *keys
+		o.Duration = *duration
+		o.Warmup = *warmup
+		o.MaxSkew = *skew
+		var cs []int
+		for _, f := range strings.Split(*clientsCSV, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				fatal("bad -clients: %v", err)
+			}
+			cs = append(cs, n)
+		}
+		o.Clients = cs
+	}
+
+	run := func(name string, fn func() error) {
+		if err := fn(); err != nil {
+			fatal("%s: %v", name, err)
+		}
+	}
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+
+	if want("table2") {
+		bench.PrintTable2(os.Stdout)
+	}
+	if want("4") {
+		run("figure 4", func() error {
+			series, err := bench.Figure4(o)
+			if err == nil {
+				bench.PlotSeries(os.Stdout, "Figure 4 (plot)", series)
+			}
+			return err
+		})
+	}
+	if want("5") {
+		run("figure 5", func() error {
+			series, err := bench.Figure5(o)
+			if err == nil {
+				bench.PlotSeries(os.Stdout, "Figure 5 (plot)", series)
+			}
+			return err
+		})
+	}
+	if want("6") {
+		run("figure 6", func() error { _, err := bench.Figure6(o); return err })
+	}
+	if want("7a") {
+		run("figure 7a", func() error { _, err := bench.Figure7(o, 1); return err })
+	}
+	if want("7b") {
+		run("figure 7b", func() error { _, err := bench.Figure7(o, 2); return err })
+	}
+	if want("8") {
+		run("figure 8", func() error { _, err := bench.Figure8(o); return err })
+	}
+	if want("9") {
+		run("figure 9", func() error { _, err := bench.Figure9(o); return err })
+	}
+	if want("values") {
+		run("value sizes", func() error { _, err := bench.ValueSizes(o); return err })
+	}
+	if want("compare") {
+		run("compare all", func() error {
+			series, err := bench.CompareAll(o)
+			if err == nil {
+				bench.PlotSeries(os.Stdout, "All protocols (plot)", series)
+			}
+			return err
+		})
+	}
+	if want("ablation") {
+		run("clock ablation", func() error { _, err := bench.AblationClockFreshness(o, 30); return err })
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,178 @@
+// Command kvctl is a client CLI for a kvserver deployment.
+//
+//	kvctl -topology topo.txt put mykey myvalue
+//	kvctl -topology topo.txt get mykey
+//	kvctl -topology topo.txt rot key1 key2 key3
+//	kvctl -topology topo.txt bench -n 1000
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/cclo"
+	"repro/internal/cluster"
+	"repro/internal/cops"
+	"repro/internal/core"
+	"repro/internal/ring"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		topoPath = flag.String("topology", "", "topology file (required)")
+		protocol = flag.String("protocol", "contrarian", "contrarian|cure|cclo|cops")
+		dc       = flag.Int("dc", 0, "home data center")
+		timeout  = flag.Duration("timeout", 5*time.Second, "operation timeout")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if *topoPath == "" || len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: kvctl -topology FILE [-protocol P] [-dc N] put|get|rot|bench ...")
+		os.Exit(2)
+	}
+	f, err := os.Open(*topoPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	topo, err := cluster.ParseTopology(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	net := transport.NewTCP(topo.Directory)
+	defer net.Close()
+	cli, err := newClient(*protocol, *dc, topo, net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cli.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	// Pre-connect to every partition so servers can answer this client
+	// directly (the partition-to-client leg of 1 1/2-round ROTs).
+	if err := warm(ctx, cli, topo.Partitions); err != nil {
+		log.Fatal(err)
+	}
+
+	switch args[0] {
+	case "put":
+		if len(args) != 3 {
+			log.Fatal("usage: put KEY VALUE")
+		}
+		ts, err := cli.Put(ctx, args[1], []byte(args[2]))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("OK ts=%d\n", ts)
+	case "get":
+		if len(args) != 2 {
+			log.Fatal("usage: get KEY")
+		}
+		v, err := cli.Get(ctx, args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if v == nil {
+			fmt.Println("(nil)")
+		} else {
+			fmt.Printf("%s\n", v)
+		}
+	case "rot":
+		if len(args) < 2 {
+			log.Fatal("usage: rot KEY...")
+		}
+		kvs, err := cli.ROT(ctx, args[1:])
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, kv := range kvs {
+			if kv.Value == nil {
+				fmt.Printf("%s = (nil)\n", kv.Key)
+			} else {
+				fmt.Printf("%s = %s (ts %d)\n", kv.Key, kv.Value, kv.TS)
+			}
+		}
+	case "bench":
+		n := 1000
+		if len(args) == 2 {
+			fmt.Sscanf(args[1], "%d", &n)
+		}
+		benchLoop(cli, n)
+	default:
+		log.Fatalf("unknown command %q", args[0])
+	}
+}
+
+// warmer is implemented by both protocol clients.
+type warmer interface {
+	Warm(ctx context.Context) error
+}
+
+func warm(ctx context.Context, cli cluster.Client, parts int) error {
+	if w, ok := cli.(warmer); ok {
+		return w.Warm(ctx)
+	}
+	return nil
+}
+
+func newClient(protocol string, dc int, topo *cluster.Topology, net transport.Network) (cluster.Client, error) {
+	id := int(rand.Int31n(30000)) + 1000
+	r := ring.New(topo.Partitions)
+	if protocol == "cclo" {
+		return cclo.NewClient(cclo.ClientConfig{DC: dc, ID: id, Ring: r}, net)
+	}
+	if protocol == "cops" {
+		return cops.NewClient(cops.ClientConfig{DC: dc, ID: id, Ring: r}, net)
+	}
+	mode := core.OneAndHalfRounds
+	if protocol == "cure" {
+		mode = core.TwoRounds
+	}
+	return core.NewClient(core.ClientConfig{
+		DC: dc, ID: id, NumDCs: topo.DCs, Ring: r, Mode: mode,
+	}, net)
+}
+
+func benchLoop(cli cluster.Client, n int) {
+	ctx := context.Background()
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("bench-%02d", i)
+		if _, err := cli.Put(ctx, keys[i], []byte("seed")); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var rotTot, putTot time.Duration
+	var rots, puts int
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		if i%5 == 0 {
+			if _, err := cli.Put(ctx, keys[rand.Intn(len(keys))], []byte("v")); err != nil {
+				log.Fatal(err)
+			}
+			putTot += time.Since(t0)
+			puts++
+		} else {
+			ks := []string{keys[rand.Intn(len(keys))], keys[rand.Intn(len(keys))]}
+			if _, err := cli.ROT(ctx, ks); err != nil {
+				log.Fatal(err)
+			}
+			rotTot += time.Since(t0)
+			rots++
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%d ops in %v (%.0f op/s); avg rot %v, avg put %v\n",
+		n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds(),
+		rotTot/time.Duration(max(rots, 1)), putTot/time.Duration(max(puts, 1)))
+}

@@ -1,0 +1,115 @@
+// Command kvserver runs one partition server (or one DC stabilizer) of the
+// causally consistent store over real TCP, making the same protocol code
+// the benchmarks measure deployable across processes and machines.
+//
+// A deployment is described by a topology file, one line per process:
+//
+//	# dc  partition|stab  host:port
+//	0 0    127.0.0.1:7000
+//	0 1    127.0.0.1:7001
+//	0 stab 127.0.0.1:7099
+//
+// Start one kvserver per line:
+//
+//	kvserver -topology topo.txt -protocol contrarian -dc 0 -partition 0
+//	kvserver -topology topo.txt -protocol contrarian -dc 0 -partition 1
+//	kvserver -topology topo.txt -protocol contrarian -dc 0 -stabilizer
+//
+// then interact with cmd/kvctl.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/cclo"
+	"repro/internal/cluster"
+	"repro/internal/cops"
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		topoPath   = flag.String("topology", "", "topology file (required)")
+		protocol   = flag.String("protocol", "contrarian", "contrarian|cure|cclo|cops")
+		dc         = flag.Int("dc", 0, "this server's data center")
+		partition  = flag.Int("partition", 0, "this server's partition index")
+		stabilizer = flag.Bool("stabilizer", false, "run the DC's stabilization service instead of a partition")
+	)
+	flag.Parse()
+	if *topoPath == "" {
+		log.Fatal("kvserver: -topology is required")
+	}
+	f, err := os.Open(*topoPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	topo, err := cluster.ParseTopology(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	net := transport.NewTCP(topo.Directory)
+	defer net.Close()
+
+	var closer interface{ Close() error }
+	switch {
+	case *stabilizer:
+		st, err := core.NewStabilizer(*dc, topo.Partitions, topo.DCs, 0, net)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st.Start()
+		closer = st
+		log.Printf("stabilizer for dc%d up (%d partitions, %d DCs)", *dc, topo.Partitions, topo.DCs)
+	case *protocol == "cops":
+		s, err := cops.NewServer(cops.Config{
+			DC: *dc, Part: *partition, NumDCs: topo.DCs, NumParts: topo.Partitions,
+		}, net)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s.Start()
+		closer = s
+		log.Printf("cops partition dc%d/p%d up", *dc, *partition)
+	case *protocol == "cclo":
+		s, err := cclo.NewServer(cclo.Config{
+			DC: *dc, Part: *partition, NumDCs: topo.DCs, NumParts: topo.Partitions,
+		}, net)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s.Start()
+		closer = s
+		log.Printf("cclo partition dc%d/p%d up", *dc, *partition)
+	case *protocol == "contrarian" || *protocol == "cure":
+		clock := core.ClockHLC
+		if *protocol == "cure" {
+			clock = core.ClockPhysical
+		}
+		s, err := core.NewServer(core.Config{
+			DC: *dc, Part: *partition, NumDCs: topo.DCs, NumParts: topo.Partitions,
+			Clock: clock,
+		}, net)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s.Start()
+		closer = s
+		log.Printf("%s partition dc%d/p%d up", *protocol, *dc, *partition)
+	default:
+		log.Fatalf("kvserver: unknown protocol %q", *protocol)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "shutting down")
+	closer.Close()
+}

@@ -1,0 +1,147 @@
+// Loadtest runs the paper's headline comparison end to end on the public
+// API: the same read-heavy YCSB-like workload against Contrarian and the
+// "latency-optimal" CC-LO, printing throughput and ROT/PUT latencies.
+//
+// Expect the counterintuitive result of the paper: despite CC-LO's
+// one-round reads, Contrarian delivers higher throughput AND lower ROT
+// latency at any non-trivial load, because CC-LO's writes pay the readers
+// check (run with -clients 2 to see CC-LO's low-load advantage).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	causalkv "repro"
+)
+
+func main() {
+	var (
+		clients  = flag.Int("clients", 48, "closed-loop client sessions")
+		duration = flag.Duration("duration", 5*time.Second, "measurement window")
+		writes   = flag.Float64("w", 0.05, "write/read ratio")
+		rotSize  = flag.Int("p", 4, "keys per ROT")
+	)
+	flag.Parse()
+
+	fmt.Printf("%-22s %8s %12s %12s %12s %12s\n",
+		"protocol", "clients", "ops/s", "rot-avg", "rot-p99", "put-avg")
+	for _, proto := range []causalkv.Protocol{causalkv.Contrarian, causalkv.CCLO} {
+		if err := run(proto, *clients, *duration, *writes, *rotSize); err != nil {
+			log.Fatalf("%v: %v", proto, err)
+		}
+	}
+}
+
+func run(proto causalkv.Protocol, clients int, duration time.Duration, w float64, p int) error {
+	cluster, err := causalkv.StartCluster(causalkv.Options{Protocol: proto, Partitions: 8})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	ctx := context.Background()
+
+	// Key population: 200 keys per partition via a seeding session.
+	seeder, err := cluster.NewSession(0)
+	if err != nil {
+		return err
+	}
+	keys := make([]string, 1600)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("item-%04d", i)
+		if _, err := seeder.Put(ctx, keys[i], []byte("seed-value")); err != nil {
+			return err
+		}
+	}
+	seeder.Close()
+
+	putProb := w * float64(p) / (1 - w + w*float64(p))
+	var (
+		stop     atomic.Bool
+		ops      atomic.Uint64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		rotLat   []time.Duration
+		putLat   []time.Duration
+		firstErr atomic.Value
+	)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			s, err := cluster.NewSession(0)
+			if err != nil {
+				firstErr.Store(err)
+				return
+			}
+			defer s.Close()
+			rng := rand.New(rand.NewSource(int64(c)))
+			localRot := make([]time.Duration, 0, 4096)
+			localPut := make([]time.Duration, 0, 512)
+			for !stop.Load() {
+				start := time.Now()
+				if rng.Float64() < putProb {
+					_, err = s.Put(ctx, keys[rng.Intn(len(keys))], []byte("new-value"))
+					localPut = append(localPut, time.Since(start))
+				} else {
+					kset := make([]string, p)
+					for i := range kset {
+						kset[i] = keys[rng.Intn(len(keys))]
+					}
+					_, err = s.ReadTx(ctx, kset...)
+					localRot = append(localRot, time.Since(start))
+				}
+				if err != nil {
+					firstErr.Store(err)
+					return
+				}
+				ops.Add(1)
+			}
+			mu.Lock()
+			rotLat = append(rotLat, localRot...)
+			putLat = append(putLat, localPut...)
+			mu.Unlock()
+		}(c)
+	}
+
+	time.Sleep(duration)
+	stop.Store(true)
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok {
+		return err
+	}
+
+	tput := float64(ops.Load()) / duration.Seconds()
+	fmt.Printf("%-22v %8d %12.0f %12v %12v %12v\n",
+		proto, clients, tput,
+		mean(rotLat).Round(10*time.Microsecond),
+		percentile(rotLat, 0.99).Round(10*time.Microsecond),
+		mean(putLat).Round(10*time.Microsecond))
+	return nil
+}
+
+func mean(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / time.Duration(len(ds))
+}
+
+func percentile(ds []time.Duration, q float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[int(q*float64(len(ds)-1))]
+}

@@ -1,0 +1,125 @@
+// Photoalbum demonstrates the anomaly that motivates causally consistent
+// read-only transactions (Section 1 of the paper, after Lloyd et al.):
+//
+//	Alice removes Bob from the access list of a photo album and then adds
+//	a private photo to it. Without causal consistency (or reading the two
+//	keys with separate GETs at unlucky moments), Bob can observe the OLD
+//	permissions together with the NEW album content.
+//
+// The example hammers the two keys from Alice's session while Bob's
+// session reads them with ROTs, and verifies the invariant "if Bob sees
+// the new photo, he must also see the new ACL" — for every protocol in
+// this repository, each of which guarantees it by a different mechanism.
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	causalkv "repro"
+)
+
+const (
+	aclKey   = "album:acl"   // version i of the ACL
+	photoKey = "album:photo" // version i of the content, uploaded AFTER acl i
+)
+
+func seq(i uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], i)
+	return b[:]
+}
+
+func main() {
+	for _, proto := range []causalkv.Protocol{
+		causalkv.Contrarian, causalkv.ContrarianTwoRound, causalkv.Cure, causalkv.CCLO, causalkv.COPS,
+	} {
+		if err := run(proto); err != nil {
+			log.Fatalf("%v: %v", proto, err)
+		}
+	}
+}
+
+func run(proto causalkv.Protocol) error {
+	cluster, err := causalkv.StartCluster(causalkv.Options{Protocol: proto, Partitions: 4})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	ctx := context.Background()
+
+	alice, err := cluster.NewSession(0)
+	if err != nil {
+		return err
+	}
+	defer alice.Close()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4)
+
+	// Alice: tighten the ACL, then upload the photo that relies on it. The
+	// photo causally depends on the ACL through Alice's session.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(1); !stop.Load(); i++ {
+			if _, err := alice.Put(ctx, aclKey, seq(i)); err != nil {
+				errCh <- err
+				return
+			}
+			if _, err := alice.Put(ctx, photoKey, seq(i)); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+
+	// Bob: read both keys in one ROT and check the invariant.
+	var reads atomic.Uint64
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			bob, err := cluster.NewSession(0)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer bob.Close()
+			for !stop.Load() {
+				items, err := bob.ReadTx(ctx, aclKey, photoKey)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				acl, photo := binary.BigEndian.AppendUint64(nil, 0), items[1].Value
+				if items[0].Value != nil {
+					acl = items[0].Value
+				}
+				if photo != nil && binary.BigEndian.Uint64(photo) > binary.BigEndian.Uint64(acl) {
+					errCh <- fmt.Errorf("ANOMALY: Bob saw photo v%d with acl v%d",
+						binary.BigEndian.Uint64(photo), binary.BigEndian.Uint64(acl))
+					return
+				}
+				reads.Add(1)
+			}
+		}()
+	}
+
+	time.Sleep(1500 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+	fmt.Printf("%-28v %6d consistent ROTs, zero ACL anomalies\n", proto, reads.Load())
+	return nil
+}

@@ -1,0 +1,216 @@
+// Package bench is the measurement harness behind every table and figure
+// of the paper's evaluation (Section 5). It stands up a cluster, preloads
+// the key population, drives closed-loop clients (the paper's methodology:
+// "clients issue operations in closed loop", load varied by the number of
+// client threads), and reports throughput (PUTs + ROTs per second), average
+// and 99th-percentile latencies, and CC-LO's readers-check overhead.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cclo"
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// System names a cluster configuration under test.
+type System struct {
+	Protocol   cluster.Protocol
+	DCs        int
+	Partitions int
+	// Latency overrides the default network latency model.
+	Latency *transport.LatencyModel
+	// MaxSkew bounds physical clock skew (Cure's blocking source).
+	MaxSkew time.Duration
+}
+
+// Label names the system as the paper's figure legends do.
+func (s System) Label() string {
+	return fmt.Sprintf("%s %dDC", s.Protocol, s.DCs)
+}
+
+// RunSpec fixes the workload and load point for one measurement.
+type RunSpec struct {
+	Workload     workload.Config
+	ClientsPerDC int
+	Duration     time.Duration // measurement window
+	Warmup       time.Duration // discarded leading window
+}
+
+// LoCheckStats summarizes readers-check overhead per check (Figure 6 and
+// the overhead analyses of §5.4–5.6).
+type LoCheckStats struct {
+	Checks        uint64  // readers checks in the window
+	AvgKeys       float64 // dependencies examined per check
+	AvgPartitions float64 // remote partitions interrogated per check
+	AvgDistinct   float64 // distinct ROT ids collected per check
+	AvgCumulative float64 // ROT ids scanned per check (before dedup)
+}
+
+// Point is one measured load point.
+type Point struct {
+	System       string
+	ClientsPerDC int
+	Throughput   float64 // PUTs + ROTs per second
+	ROT          metrics.Summary
+	PUT          metrics.Summary
+	Errors       uint64
+	Lo           LoCheckStats
+	MsgsPerSec   float64
+	BytesPerSec  float64
+}
+
+// Run measures one load point.
+func Run(sys System, spec RunSpec) (Point, error) {
+	cfg := cluster.Config{
+		Protocol:   sys.Protocol,
+		DCs:        sys.DCs,
+		Partitions: sys.Partitions,
+		Latency:    sys.Latency,
+		MaxSkew:    sys.MaxSkew,
+		Seed:       1,
+	}
+	c, err := cluster.Start(cfg)
+	if err != nil {
+		return Point{}, err
+	}
+	defer c.Close()
+
+	wl := spec.Workload
+	wl.Partitions = sys.Partitions
+	ks := workload.BuildKeySpace(wl, c.Ring())
+	if err := c.Preload(ks.Keys, wl.ValueSize); err != nil {
+		return Point{}, err
+	}
+	// Let stabilization produce a first GSS before clients arrive.
+	time.Sleep(30 * time.Millisecond)
+
+	var (
+		rotHist   = metrics.NewHistogram()
+		putHist   = metrics.NewHistogram()
+		errs      atomic.Uint64
+		measuring atomic.Bool
+		stop      atomic.Bool
+		wg        sync.WaitGroup
+	)
+
+	total := sys.DCs * spec.ClientsPerDC
+	clients := make([]cluster.Client, 0, total)
+	for dc := 0; dc < sys.DCs; dc++ {
+		for i := 0; i < spec.ClientsPerDC; i++ {
+			cli, err := c.NewClient(dc)
+			if err != nil {
+				return Point{}, err
+			}
+			clients = append(clients, cli)
+		}
+	}
+	defer func() {
+		for _, cli := range clients {
+			cli.Close()
+		}
+	}()
+
+	ctx := context.Background()
+	for i, cli := range clients {
+		wg.Add(1)
+		go func(i int, cli cluster.Client) {
+			defer wg.Done()
+			gen := workload.NewGen(wl, ks, int64(i)*7919+1)
+			for !stop.Load() {
+				op := gen.Next()
+				start := time.Now()
+				var err error
+				if op.Kind == workload.OpPut {
+					_, err = cli.Put(ctx, op.Keys[0], op.Value)
+				} else {
+					_, err = cli.ROT(ctx, op.Keys)
+				}
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				if measuring.Load() {
+					if op.Kind == workload.OpPut {
+						putHist.Record(time.Since(start))
+					} else {
+						rotHist.Record(time.Since(start))
+					}
+				}
+			}
+		}(i, cli)
+	}
+
+	time.Sleep(spec.Warmup)
+	loStart := c.CCLOStats()
+	msgs0, bytes0, _ := c.Net().Stats().Snapshot()
+	rotHist.Reset()
+	putHist.Reset()
+	measuring.Store(true)
+	winStart := time.Now()
+	time.Sleep(spec.Duration)
+	measuring.Store(false)
+	window := time.Since(winStart)
+	loEnd := c.CCLOStats()
+	msgs1, bytes1, _ := c.Net().Stats().Snapshot()
+	stop.Store(true)
+	wg.Wait()
+
+	rot := rotHist.Snapshot()
+	put := putHist.Snapshot()
+	p := Point{
+		System:       sys.Label(),
+		ClientsPerDC: spec.ClientsPerDC,
+		Throughput:   float64(rot.Count+put.Count) / window.Seconds(),
+		ROT:          rot,
+		PUT:          put,
+		Errors:       errs.Load(),
+		MsgsPerSec:   float64(msgs1-msgs0) / window.Seconds(),
+		BytesPerSec:  float64(bytes1-bytes0) / window.Seconds(),
+		Lo:           loDelta(loStart, loEnd),
+	}
+	if p.Errors > (rot.Count+put.Count)/100+10 {
+		return p, fmt.Errorf("bench: %d operation errors in window (tput %.0f)", p.Errors, p.Throughput)
+	}
+	return p, nil
+}
+
+func loDelta(a, b cclo.StatsSnapshot) LoCheckStats {
+	checks := b.Checks - a.Checks
+	if checks == 0 {
+		return LoCheckStats{}
+	}
+	return LoCheckStats{
+		Checks:        checks,
+		AvgKeys:       float64(b.KeysChecked-a.KeysChecked) / float64(checks),
+		AvgPartitions: float64(b.PartitionsAsked-a.PartitionsAsked) / float64(checks),
+		AvgDistinct:   float64(b.IDsDistinct-a.IDsDistinct) / float64(checks),
+		AvgCumulative: float64(b.IDsCumulative-a.IDsCumulative) / float64(checks),
+	}
+}
+
+// Series is a labelled sweep over client counts.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Sweep measures sys under wl at each client count.
+func Sweep(sys System, wl workload.Config, clients []int, dur, warm time.Duration) (Series, error) {
+	s := Series{Label: sys.Label()}
+	for _, n := range clients {
+		p, err := Run(sys, RunSpec{Workload: wl, ClientsPerDC: n, Duration: dur, Warmup: warm})
+		if err != nil {
+			return s, fmt.Errorf("%s @%d clients: %w", sys.Label(), n, err)
+		}
+		s.Points = append(s.Points, p)
+	}
+	return s, nil
+}

@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/workload"
+)
+
+func tinyOpts() Opts {
+	return Opts{
+		Partitions:       4,
+		KeysPerPartition: 500,
+		Clients:          []int{4},
+		Duration:         300 * time.Millisecond,
+		Warmup:           100 * time.Millisecond,
+		MaxSkew:          time.Millisecond,
+		Out:              io.Discard,
+	}
+}
+
+func TestRunProducesSanePoint(t *testing.T) {
+	o := tinyOpts()
+	wl := workload.Default(o.Partitions, o.KeysPerPartition)
+	p, err := Run(System{
+		Protocol: cluster.Contrarian, DCs: 1, Partitions: o.Partitions,
+	}, RunSpec{Workload: wl, ClientsPerDC: 4, Duration: o.Duration, Warmup: o.Warmup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Throughput <= 0 {
+		t.Fatalf("throughput = %v", p.Throughput)
+	}
+	if p.ROT.Count == 0 || p.PUT.Count == 0 {
+		t.Fatalf("no ops measured: %+v", p)
+	}
+	if p.ROT.Mean <= 0 || p.ROT.P99 < p.ROT.Mean/2 {
+		t.Fatalf("suspicious ROT latencies: %+v", p.ROT)
+	}
+	if p.MsgsPerSec <= 0 || p.BytesPerSec <= 0 {
+		t.Fatalf("network counters missing: %+v", p)
+	}
+}
+
+func TestRunCCLOCollectsCheckStats(t *testing.T) {
+	o := tinyOpts()
+	wl := workload.Default(o.Partitions, o.KeysPerPartition)
+	p, err := Run(System{
+		Protocol: cluster.CCLO, DCs: 1, Partitions: o.Partitions,
+	}, RunSpec{Workload: wl, ClientsPerDC: 8, Duration: o.Duration, Warmup: o.Warmup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Lo.Checks == 0 {
+		t.Fatal("CC-LO run recorded no readers checks")
+	}
+	if p.Lo.AvgDistinct <= 0 {
+		t.Fatalf("no ROT ids collected: %+v", p.Lo)
+	}
+}
+
+func TestFigure6DistinctGrowsWithClients(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-point sweep")
+	}
+	o := tinyOpts()
+	o.Clients = []int{4, 24}
+	o.Duration = 500 * time.Millisecond
+	s, err := Figure6(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := s.Points[0].Lo, s.Points[1].Lo
+	if hi.AvgDistinct <= lo.AvgDistinct {
+		t.Fatalf("distinct ids per check did not grow with clients: %v -> %v",
+			lo.AvgDistinct, hi.AvgDistinct)
+	}
+}
+
+func TestSweepLabels(t *testing.T) {
+	o := tinyOpts()
+	wl := workload.Default(o.Partitions, o.KeysPerPartition)
+	s, err := Sweep(System{Protocol: cluster.Contrarian, DCs: 1, Partitions: o.Partitions},
+		wl, []int{2}, o.Duration, o.Warmup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 1 || !strings.Contains(s.Label, "Contrarian") {
+		t.Fatalf("bad series: %+v", s)
+	}
+}
+
+func TestPrintTable2(t *testing.T) {
+	var sb strings.Builder
+	PrintTable2(&sb)
+	out := sb.String()
+	for _, want := range []string{"Contrarian", "COPS-SNOW", "COPS", "Cure", "O(N) readers check", "Hybrid"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table 2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTable2MatchesImplementations cross-checks the qualitative claims
+// against the code: Contrarian and CC-LO must be nonblocking, Cure not.
+func TestTable2MatchesImplementations(t *testing.T) {
+	rows := map[string]SystemRow{}
+	for _, r := range Table2() {
+		rows[r.Name] = r
+	}
+	if !rows["Contrarian"].Nonblocking || rows["Contrarian"].Clock != "Hybrid" {
+		t.Fatal("Contrarian row inconsistent")
+	}
+	if rows["Cure"].Nonblocking {
+		t.Fatal("Cure must be blocking (physical clocks)")
+	}
+	if rows["COPS-SNOW (CC-LO)"].Rounds != "1" {
+		t.Fatal("CC-LO must be one round (that is its latency optimality)")
+	}
+}
+
+// TestCompareAllSmoke exercises the five-way extension harness end to end
+// at a tiny scale.
+func TestCompareAllSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cluster sweep")
+	}
+	o := tinyOpts()
+	o.Clients = []int{2}
+	series, err := CompareAll(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 5 {
+		t.Fatalf("expected 5 protocol series, got %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != 1 || s.Points[0].Throughput <= 0 {
+			t.Fatalf("series %q has no sane point: %+v", s.Label, s.Points)
+		}
+	}
+}
+
+// TestAblationSmoke runs the clock-freshness ablation with two samples.
+func TestAblationSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cluster measurement")
+	}
+	o := tinyOpts()
+	rows, err := AblationClockFreshness(o, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Visibility.Count != 2 {
+		t.Fatalf("ablation rows: %+v", rows)
+	}
+}
+
+func TestPlotSeries(t *testing.T) {
+	mk := func(tput float64, lat time.Duration) Point {
+		p := Point{Throughput: tput}
+		p.ROT.Count = 1
+		p.ROT.Mean = lat
+		return p
+	}
+	series := []Series{
+		{Label: "fast", Points: []Point{mk(1000, 400*time.Microsecond), mk(50000, 2*time.Millisecond)}},
+		{Label: "slow", Points: []Point{mk(800, 300*time.Microsecond), mk(9000, 20*time.Millisecond)}},
+	}
+	var sb strings.Builder
+	PlotSeries(&sb, "test plot", series)
+	out := sb.String()
+	for _, want := range []string{"test plot", "fast", "slow", "*", "o", "throughput"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlotSeriesEmpty(t *testing.T) {
+	var sb strings.Builder
+	PlotSeries(&sb, "empty", []Series{{Label: "none"}})
+	if !strings.Contains(sb.String(), "no data") {
+		t.Fatalf("empty plot output: %q", sb.String())
+	}
+}

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+)
+
+// PlotSeries renders throughput-vs-average-ROT-latency curves as an ASCII
+// chart in the style of the paper's figures: throughput on the x axis,
+// latency on a log-scale y axis, one symbol per series.
+func PlotSeries(out io.Writer, title string, series []Series) {
+	const (
+		width  = 68
+		height = 16
+	)
+	symbols := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+	var maxT float64
+	minL, maxL := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p.ROT.Count == 0 {
+				continue
+			}
+			maxT = math.Max(maxT, p.Throughput)
+			l := float64(p.ROT.Mean)
+			minL = math.Min(minL, l)
+			maxL = math.Max(maxL, l)
+		}
+	}
+	if maxT == 0 || math.IsInf(minL, 1) {
+		fmt.Fprintf(out, "%s: no data to plot\n", title)
+		return
+	}
+	if minL == maxL {
+		maxL = minL * 2
+	}
+	logMin, logMax := math.Log(minL), math.Log(maxL)
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		sym := symbols[si%len(symbols)]
+		for _, p := range s.Points {
+			if p.ROT.Count == 0 {
+				continue
+			}
+			x := int(p.Throughput / maxT * float64(width-1))
+			y := int((math.Log(float64(p.ROT.Mean)) - logMin) / (logMax - logMin) * float64(height-1))
+			row := height - 1 - y // y axis grows upward
+			if x >= 0 && x < width && row >= 0 && row < height {
+				grid[row][x] = sym
+			}
+		}
+	}
+
+	fmt.Fprintf(out, "\n%s\n", title)
+	fmt.Fprintf(out, "avg ROT latency (log) vs throughput\n")
+	for i, row := range grid {
+		frac := float64(height-1-i) / float64(height-1)
+		lat := time.Duration(math.Exp(logMin + frac*(logMax-logMin)))
+		label := ""
+		if i == 0 || i == height/2 || i == height-1 {
+			label = lat.Round(10 * time.Microsecond).String()
+		}
+		fmt.Fprintf(out, "%10s |%s|\n", label, row)
+	}
+	fmt.Fprintf(out, "%10s +%s+\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(out, "%10s 0%sthroughput: %.0f op/s\n", "", strings.Repeat(" ", width-30), maxT)
+	for si, s := range series {
+		fmt.Fprintf(out, "%12c %s\n", symbols[si%len(symbols)], s.Label)
+	}
+}

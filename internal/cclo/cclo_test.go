@@ -1,0 +1,438 @@
+package cclo
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/ring"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+type testDeployment struct {
+	net     *transport.Local
+	servers []*Server
+	ring    ring.Ring
+}
+
+func deploy(t *testing.T, dcs, parts int, gc time.Duration) *testDeployment {
+	t.Helper()
+	d := &testDeployment{
+		net:  transport.NewLocal(transport.LatencyModel{}),
+		ring: ring.New(parts),
+	}
+	for dc := 0; dc < dcs; dc++ {
+		for p := 0; p < parts; p++ {
+			s, err := NewServer(Config{
+				DC: dc, Part: p, NumDCs: dcs, NumParts: parts, GCWindow: gc,
+			}, d.net)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d.servers = append(d.servers, s)
+		}
+	}
+	for _, s := range d.servers {
+		s.Start()
+	}
+	t.Cleanup(func() {
+		for _, s := range d.servers {
+			s.Close()
+		}
+		d.net.Close()
+	})
+	return d
+}
+
+func (d *testDeployment) client(t *testing.T, dc, id int) *Client {
+	t.Helper()
+	c, err := NewClient(ClientConfig{DC: dc, ID: id, Ring: d.ring}, d.net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// rawReader issues ROT reads with a fixed ROT id, one partition at a time,
+// emulating the asynchrony of Figure 2 where a ROT's read of y arrives
+// after causally newer versions were installed.
+type rawReader struct {
+	node transport.Node
+}
+
+func newRawReader(t *testing.T, d *testDeployment, id int) *rawReader {
+	t.Helper()
+	n, err := d.net.Attach(wire.ClientAddr(0, id), transport.HandlerFunc(
+		func(transport.Node, wire.Addr, uint64, wire.Message) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return &rawReader{node: n}
+}
+
+func (r *rawReader) read(t *testing.T, d *testDeployment, rotID uint64, key string) (string, uint64) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	dst := wire.ServerAddr(0, d.ring.Owner(key))
+	resp, err := r.node.Call(ctx, dst, &wire.LoRotReq{RotID: rotID, Keys: []string{key}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv := resp.(*wire.LoRotResp).Vals[0]
+	return string(kv.Value), kv.TS
+}
+
+// distinctKeys returns keys on two different partitions of a 2-partition
+// ring.
+func distinctKeys(r ring.Ring) (x, y string) {
+	x = "x"
+	for i := 0; ; i++ {
+		y = fmt.Sprintf("y%d", i)
+		if r.Owner(y) != r.Owner(x) {
+			return x, y
+		}
+	}
+}
+
+// TestFigure2Scenario reproduces the paper's Figure 2 deterministically.
+// ROT T1 reads x and obtains X0. C2 then overwrites x with X1 and writes
+// Y1 with a dependency on X1; the readers check must record T1 in y's
+// old-reader record, so T1's late read of y returns Y0, not Y1 — the
+// snapshot {X0, Y0} stays causally consistent.
+func TestFigure2Scenario(t *testing.T) {
+	d := deploy(t, 1, 2, 0)
+	ctx := context.Background()
+	x, y := distinctKeys(d.ring)
+
+	c2 := d.client(t, 0, 1)
+	if _, err := c2.Put(ctx, x, []byte("X0")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Put(ctx, y, []byte("Y0")); err != nil {
+		t.Fatal(err)
+	}
+
+	t1 := newRawReader(t, d, 9)
+	const rotID = 9<<32 | 1
+	if v, _ := t1.read(t, d, rotID, x); v != "X0" {
+		t.Fatalf("T1 read x = %q, want X0", v)
+	}
+
+	// C2 reads x (to depend on it), writes X1 then Y1.
+	if _, err := c2.Get(ctx, x); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Put(ctx, x, []byte("X1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Put(ctx, y, []byte("Y1")); err != nil {
+		t.Fatal(err)
+	}
+
+	// T1's read of y arrives only now. A naive latest-version read would
+	// return Y1 and break the snapshot; the old-reader record prevents it.
+	if v, _ := t1.read(t, d, rotID, y); v != "Y0" {
+		t.Fatalf("T1 read y = %q, want Y0 (old-reader record must redirect)", v)
+	}
+
+	// A fresh ROT is not an old reader and sees the latest values.
+	t2 := newRawReader(t, d, 10)
+	const rotID2 = 10<<32 | 1
+	if v, _ := t2.read(t, d, rotID2, y); v != "Y1" {
+		t.Fatalf("fresh ROT read y = %q, want Y1", v)
+	}
+	if v, _ := t2.read(t, d, rotID2, x); v != "X1" {
+		t.Fatalf("fresh ROT read x = %q, want X1", v)
+	}
+}
+
+// TestOldReaderChainThroughServedRead extends Figure 2: after T1 is served
+// the old version of y, a further write z depending on y must also treat
+// T1 as an old reader (the old-reader record itself feeds readers checks).
+func TestOldReaderChainThroughServedRead(t *testing.T) {
+	d := deploy(t, 1, 2, 0)
+	ctx := context.Background()
+	x, y := distinctKeys(d.ring)
+	z := x + "z" // any key; may share a partition with x or y
+
+	c2 := d.client(t, 0, 1)
+	c2.Put(ctx, x, []byte("X0"))
+	c2.Put(ctx, y, []byte("Y0"))
+	c2.Put(ctx, z, []byte("Z0"))
+
+	t1 := newRawReader(t, d, 9)
+	const rotID = 9<<32 | 7
+	if v, _ := t1.read(t, d, rotID, x); v != "X0" {
+		t.Fatal("setup: T1 must read X0")
+	}
+
+	c2.Get(ctx, x)
+	c2.Put(ctx, x, []byte("X1"))
+	c2.Put(ctx, y, []byte("Y1")) // T1 lands in y's old-reader record
+
+	// T1 reads y late and is served Y0.
+	if v, _ := t1.read(t, d, rotID, y); v != "Y0" {
+		t.Fatalf("T1 read y = %q, want Y0", v)
+	}
+
+	// Now a write to z depends on Y1; T1 must not see it either.
+	c2.Get(ctx, y)
+	c2.Put(ctx, z, []byte("Z1"))
+	if v, _ := t1.read(t, d, rotID, z); v != "Z0" {
+		t.Fatalf("T1 read z = %q, want Z0 (old-reader status must chain)", v)
+	}
+}
+
+// TestGCWindowExpiresOldReaders verifies the paper's §5.2 optimization: a
+// reader entry older than the GC window is dropped, so a very late read is
+// served the (fresher) latest version.
+func TestGCWindowExpiresOldReaders(t *testing.T) {
+	d := deploy(t, 1, 2, 30*time.Millisecond)
+	ctx := context.Background()
+	x, y := distinctKeys(d.ring)
+
+	c2 := d.client(t, 0, 1)
+	c2.Put(ctx, x, []byte("X0"))
+	c2.Put(ctx, y, []byte("Y0"))
+
+	t1 := newRawReader(t, d, 9)
+	const rotID = 9<<32 | 1
+	t1.read(t, d, rotID, x)
+
+	c2.Get(ctx, x)
+	c2.Put(ctx, x, []byte("X1"))
+	c2.Put(ctx, y, []byte("Y1"))
+
+	time.Sleep(100 * time.Millisecond) // expire T1's entries
+	if v, _ := t1.read(t, d, rotID, y); v != "Y1" {
+		t.Fatalf("expired old reader read y = %q, want latest Y1", v)
+	}
+}
+
+func TestClientDependencyTracking(t *testing.T) {
+	d := deploy(t, 1, 2, 0)
+	ctx := context.Background()
+	c := d.client(t, 0, 1)
+
+	// Writes by another client to read from.
+	w := d.client(t, 0, 2)
+	for i := 0; i < 4; i++ {
+		if _, err := w.Put(ctx, fmt.Sprintf("dep-%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if c.DepCount() != 0 {
+		t.Fatalf("fresh client has %d deps", c.DepCount())
+	}
+	if _, err := c.ROT(ctx, []string{"dep-0", "dep-1", "dep-2"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.DepCount() != 3 {
+		t.Fatalf("deps after 3-key ROT = %d, want 3", c.DepCount())
+	}
+	if _, err := c.ROT(ctx, []string{"dep-3"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.DepCount() != 4 {
+		t.Fatalf("deps accumulate: got %d, want 4", c.DepCount())
+	}
+	// A PUT collapses the context to the write itself.
+	if _, err := c.Put(ctx, "mine", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if c.DepCount() != 1 {
+		t.Fatalf("deps after PUT = %d, want 1", c.DepCount())
+	}
+}
+
+func TestReadersCheckStats(t *testing.T) {
+	d := deploy(t, 1, 2, 0)
+	ctx := context.Background()
+	x, y := distinctKeys(d.ring)
+
+	c := d.client(t, 0, 1)
+	c.Put(ctx, x, []byte("X0"))
+
+	// A few distinct clients read x, becoming readers.
+	for i := 0; i < 5; i++ {
+		r := d.client(t, 0, 10+i)
+		if _, err := r.ROT(ctx, []string{x}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overwrite x: the 5 readers become old readers. Then write y with a
+	// dependency on the new x; its readers check must collect them.
+	c.Get(ctx, x)
+	c.Put(ctx, x, []byte("X1")) // readers -> old readers
+	c.Get(ctx, x)               // depend on X1
+	c.Put(ctx, y, []byte("Y1"))
+
+	var total StatsSnapshot
+	for _, s := range d.servers {
+		snap := s.Stats().Snapshot()
+		total.Checks += snap.Checks
+		total.IDsDistinct += snap.IDsDistinct
+		total.PartitionsAsked += snap.PartitionsAsked
+	}
+	if total.Checks == 0 {
+		t.Fatal("no readers checks recorded")
+	}
+	if total.IDsDistinct < 5 {
+		t.Fatalf("collected %d distinct ids, want ≥ 5 old readers", total.IDsDistinct)
+	}
+	if total.PartitionsAsked == 0 {
+		t.Fatal("no remote partitions interrogated")
+	}
+}
+
+func TestFilterOnePerClient(t *testing.T) {
+	in := map[uint64]orEntry{
+		5<<32 | 1: {rotID: 5<<32 | 1, t: 10},
+		5<<32 | 3: {rotID: 5<<32 | 3, t: 30},
+		6<<32 | 2: {rotID: 6<<32 | 2, t: 20},
+	}
+	out := filterOnePerClient(in)
+	if len(out) != 2 {
+		t.Fatalf("filtered to %d entries, want 2 (one per client)", len(out))
+	}
+	if _, ok := out[5<<32|3]; !ok {
+		t.Fatal("must keep the most recent ROT of client 5")
+	}
+	if _, ok := out[6<<32|2]; !ok {
+		t.Fatal("must keep client 6's only ROT")
+	}
+}
+
+func TestDepCheckBlocksUntilInstalled(t *testing.T) {
+	d := deploy(t, 1, 2, 0)
+	x, _ := distinctKeys(d.ring)
+	owner := wire.ServerAddr(0, d.ring.Owner(x))
+
+	probe, _ := d.net.Attach(wire.ClientAddr(0, 60), transport.HandlerFunc(
+		func(transport.Node, wire.Addr, uint64, wire.Message) {}))
+	defer probe.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_, err := probe.Call(ctx, owner, &wire.DepCheckReq{Key: x, TS: 1})
+		done <- err
+	}()
+
+	select {
+	case err := <-done:
+		t.Fatalf("dep check returned before install: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	c := d.client(t, 0, 1)
+	if _, err := c.Put(context.Background(), x, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("dep check never unblocked after install")
+	}
+}
+
+func TestLWWConvergenceOrder(t *testing.T) {
+	s := newLoStore(0, time.Second)
+	now := time.Now()
+	s.install("k", loVersion{value: []byte("a"), ts: 5, srcDC: 0}, nil, now)
+	s.install("k", loVersion{value: []byte("b"), ts: 5, srcDC: 1}, nil, now)
+	s.install("k", loVersion{value: []byte("c"), ts: 3, srcDC: 1}, nil, now)
+	v, ok := s.latest("k")
+	if !ok || string(v.value) != "b" {
+		t.Fatalf("latest = %+v, want ts 5 dc 1", v)
+	}
+	// Same set, different order, same winner.
+	s2 := newLoStore(0, time.Second)
+	s2.install("k", loVersion{value: []byte("c"), ts: 3, srcDC: 1}, nil, now)
+	s2.install("k", loVersion{value: []byte("b"), ts: 5, srcDC: 1}, nil, now)
+	s2.install("k", loVersion{value: []byte("a"), ts: 5, srcDC: 0}, nil, now)
+	v2, _ := s2.latest("k")
+	if string(v2.value) != "b" {
+		t.Fatalf("order dependence: latest = %+v", v2)
+	}
+}
+
+func TestHasVersion(t *testing.T) {
+	s := newLoStore(0, time.Second)
+	if s.hasVersion("k", 1) {
+		t.Fatal("empty store claims version")
+	}
+	s.install("k", loVersion{ts: 10}, nil, time.Now())
+	if !s.hasVersion("k", 10) || !s.hasVersion("k", 5) {
+		t.Fatal("hasVersion(≤ latest) must hold")
+	}
+	if s.hasVersion("k", 11) {
+		t.Fatal("hasVersion above latest must fail")
+	}
+}
+
+// TestReadersMoveOnFullChain is the regression test for a subtle bug: once
+// a hot key's version chain reached its cap, installs were misclassified as
+// "not newest" (the check ran after trimming) and readers were never moved
+// to old readers, so readers checks missed them and ROTs could observe
+// causally inconsistent snapshots.
+func TestReadersMoveOnFullChain(t *testing.T) {
+	s := newLoStore(4, time.Minute) // tiny cap
+	now := time.Now()
+	for ts := uint64(1); ts <= 10; ts++ {
+		s.install("k", loVersion{ts: ts}, nil, now)
+	}
+	// Chain is full (cap 4). A reader reads the latest version...
+	if _, ts, ok := s.read("k", 42, 100, now); !ok || ts != 10 {
+		t.Fatalf("read latest = %d ok=%v", ts, ok)
+	}
+	// ...and a further install must still move it to old readers.
+	s.install("k", loVersion{ts: 11}, nil, now)
+	out := make(map[uint64]orEntry)
+	s.collectOldReaders("k", 11, now, out)
+	if _, ok := out[42]; !ok {
+		t.Fatal("reader on a full chain was not moved to old readers on install")
+	}
+}
+
+func BenchmarkStoreRead(b *testing.B) {
+	s := newLoStore(0, time.Minute)
+	now := time.Now()
+	s.install("k", loVersion{value: make([]byte, 8), ts: 1}, nil, now)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.read("k", uint64(i), uint64(i+2), now)
+	}
+}
+
+// BenchmarkCollectOldReaders measures the readers-check scan with a
+// realistic number of old readers (≈ the per-client linear growth of
+// Figure 6 at 256 clients).
+func BenchmarkCollectOldReaders(b *testing.B) {
+	s := newLoStore(0, time.Minute)
+	now := time.Now()
+	s.install("k", loVersion{ts: 1}, nil, now)
+	for c := uint64(0); c < 256; c++ {
+		s.read("k", c<<32|1, c+2, now)
+	}
+	s.install("k", loVersion{ts: 1000}, nil, now) // readers -> old readers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := make(map[uint64]orEntry, 256)
+		s.collectOldReaders("k", 1000, now, out)
+		if len(out) != 256 {
+			b.Fatalf("collected %d", len(out))
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package cclo
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ring"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Client is a CC-LO session. It tracks COPS-style nearest dependencies:
+// after a PUT the context collapses to that PUT (the new version subsumes
+// everything before it); every read adds the read version. The dependency
+// list is what PUTs carry and what the readers check walks — its growth
+// with reads between writes is the "C2 reads other keys from partitions
+// pi" effect of Section 3.
+type Client struct {
+	dc     int
+	id     int
+	ring   ring.Ring
+	node   transport.Node
+	rotSeq atomic.Uint64
+
+	mu   sync.Mutex
+	deps map[string]uint64 // nearest dependencies: key → version ts
+}
+
+// ClientConfig parameterizes a CC-LO client session.
+type ClientConfig struct {
+	DC   int
+	ID   int
+	Ring ring.Ring
+}
+
+// NewClient attaches a CC-LO client to net.
+func NewClient(cfg ClientConfig, net transport.Network) (*Client, error) {
+	c := &Client{
+		dc:   cfg.DC,
+		id:   cfg.ID,
+		ring: cfg.Ring,
+		deps: make(map[string]uint64),
+	}
+	node, err := net.Attach(wire.ClientAddr(cfg.DC, cfg.ID), transport.HandlerFunc(
+		func(transport.Node, wire.Addr, uint64, wire.Message) {}))
+	if err != nil {
+		return nil, err
+	}
+	c.node = node
+	return c, nil
+}
+
+// Close detaches the client.
+func (c *Client) Close() error { return c.node.Close() }
+
+// Addr returns the client's wire address.
+func (c *Client) Addr() wire.Addr { return c.node.Addr() }
+
+// Ping checks liveness of one partition and warms connection-oriented
+// transports.
+func (c *Client) Ping(ctx context.Context, part int) error {
+	resp, err := c.node.Call(ctx, wire.ServerAddr(c.dc, part), &wire.Ping{Nonce: uint64(part)})
+	if err != nil {
+		return err
+	}
+	if _, ok := resp.(*wire.Pong); !ok {
+		return fmt.Errorf("cclo: ping: unexpected response %T", resp)
+	}
+	return nil
+}
+
+// Warm pings every partition in the client's DC.
+func (c *Client) Warm(ctx context.Context) error {
+	for p := 0; p < c.ring.Parts(); p++ {
+		if err := c.Ping(ctx, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DepCount returns the current number of nearest dependencies (tests).
+func (c *Client) DepCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.deps)
+}
+
+func (c *Client) depList() []wire.LoDep {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]wire.LoDep, 0, len(c.deps))
+	for k, ts := range c.deps {
+		out = append(out, wire.LoDep{Key: k, TS: ts})
+	}
+	return out
+}
+
+// Put installs a new version of key and returns its timestamp. The write
+// carries the session's nearest dependencies; afterwards the context is
+// just this write.
+func (c *Client) Put(ctx context.Context, key string, value []byte) (uint64, error) {
+	deps := c.depList()
+	owner := wire.ServerAddr(c.dc, c.ring.Owner(key))
+	resp, err := c.node.Call(ctx, owner, &wire.LoPutReq{Key: key, Value: value, Deps: deps})
+	if err != nil {
+		return 0, fmt.Errorf("cclo: put %q: %w", key, err)
+	}
+	pr, ok := resp.(*wire.LoPutResp)
+	if !ok {
+		return 0, fmt.Errorf("cclo: put %q: unexpected response %T", key, resp)
+	}
+	c.mu.Lock()
+	clear(c.deps)
+	c.deps[key] = pr.TS
+	c.mu.Unlock()
+	return pr.TS, nil
+}
+
+// Get reads one key causally (a one-key ROT).
+func (c *Client) Get(ctx context.Context, key string) ([]byte, error) {
+	kvs, err := c.ROT(ctx, []string{key})
+	if err != nil {
+		return nil, err
+	}
+	return kvs[0].Value, nil
+}
+
+// ROT executes CC-LO's one-round read-only transaction: one request to
+// each involved partition, no coordinator, no second round, no blocking.
+func (c *Client) ROT(ctx context.Context, keys []string) ([]wire.KV, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	rotID := uint64(c.Addr())<<32 | (c.rotSeq.Add(1) & 0xFFFFFFFF)
+	groups := c.ring.Group(keys)
+
+	type result struct {
+		vals []wire.KV
+		err  error
+	}
+	ch := make(chan result, len(groups))
+	for p, ks := range groups {
+		go func(p int, ks []string) {
+			resp, err := c.node.Call(ctx, wire.ServerAddr(c.dc, p), &wire.LoRotReq{RotID: rotID, Keys: ks})
+			if err != nil {
+				ch <- result{err: err}
+				return
+			}
+			rr, ok := resp.(*wire.LoRotResp)
+			if !ok {
+				ch <- result{err: fmt.Errorf("unexpected response %T", resp)}
+				return
+			}
+			ch <- result{vals: rr.Vals}
+		}(p, ks)
+	}
+	vals := make(map[string]wire.KV, len(keys))
+	for range groups {
+		r := <-ch
+		if r.err != nil {
+			return nil, fmt.Errorf("cclo: rot: %w", r.err)
+		}
+		for _, kv := range r.vals {
+			vals[kv.Key] = kv
+		}
+	}
+	// Reads extend the nearest-dependency set.
+	c.mu.Lock()
+	for _, kv := range vals {
+		if kv.TS > 0 && kv.TS > c.deps[kv.Key] {
+			c.deps[kv.Key] = kv.TS
+		}
+	}
+	c.mu.Unlock()
+
+	out := make([]wire.KV, len(keys))
+	for i, k := range keys {
+		if kv, ok := vals[k]; ok {
+			out[i] = kv
+		} else {
+			out[i] = wire.KV{Key: k}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,123 @@
+package cclo
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// loReplicator ships local PUTs — together with their dependency lists and
+// collected old readers — to sibling replicas in other DCs. Unlike the
+// timestamp-based engine, ordering is enforced by the receiver's dependency
+// checks, not by stream sequencing, so each stream keeps a window of
+// updates in flight. The per-update payload (deps + old readers) is the
+// replication cost Section 5.4 blames for CC-LO's poor multi-DC scaling.
+type loReplicator struct {
+	s       *Server
+	streams []*loStream
+}
+
+type loStream struct {
+	s      *Server
+	dst    wire.Addr
+	ch     chan *wire.LoRepUpdate
+	sem    chan struct{}   // window of in-flight updates
+	ctx    context.Context // cancelled on stop so in-flight calls abort
+	cancel context.CancelFunc
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+func newLoReplicator(s *Server) *loReplicator {
+	r := &loReplicator{s: s}
+	for dc := 0; dc < s.cfg.NumDCs; dc++ {
+		if dc == s.cfg.DC {
+			continue
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		r.streams = append(r.streams, &loStream{
+			s:      s,
+			dst:    wire.ServerAddr(dc, s.cfg.Part),
+			ch:     make(chan *wire.LoRepUpdate, 8192),
+			sem:    make(chan struct{}, s.cfg.RepWindow),
+			ctx:    ctx,
+			cancel: cancel,
+			stop:   make(chan struct{}),
+			done:   make(chan struct{}),
+		})
+	}
+	return r
+}
+
+func (r *loReplicator) start() {
+	for _, st := range r.streams {
+		go st.run()
+	}
+}
+
+func (r *loReplicator) stopAll() {
+	for _, st := range r.streams {
+		close(st.stop)
+		st.cancel()
+	}
+	for _, st := range r.streams {
+		<-st.done
+	}
+}
+
+func (r *loReplicator) enqueue(u *wire.LoRepUpdate) {
+	for _, st := range r.streams {
+		select {
+		case st.ch <- u:
+		case <-st.stop:
+		}
+	}
+}
+
+func (st *loStream) run() {
+	defer close(st.done)
+	seq := uint64(0)
+	for {
+		select {
+		case <-st.stop:
+			return
+		case u := <-st.ch:
+			seq++
+			u.Seq = seq
+			select {
+			case st.sem <- struct{}{}:
+			case <-st.stop:
+				return
+			}
+			go func(u *wire.LoRepUpdate) {
+				defer func() { <-st.sem }()
+				st.deliver(u)
+			}(u)
+		}
+	}
+}
+
+// deliver retries the update until acknowledged or the stream stops.
+// Launch order preserves the property that an update's same-partition
+// dependencies are sent no later than the update itself.
+func (st *loStream) deliver(u *wire.LoRepUpdate) {
+	for {
+		ctx, cancel := context.WithTimeout(st.ctx, st.s.cfg.RepRetryTimeout)
+		resp, err := st.s.node.Call(ctx, st.dst, u)
+		cancel()
+		if err == nil {
+			if _, ok := resp.(*wire.LoRepAck); ok {
+				return
+			}
+		}
+		if st.ctx.Err() != nil {
+			return
+		}
+		select {
+		case <-st.stop:
+			return
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,446 @@
+package cclo
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hlc"
+	"repro/internal/ring"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Config parameterizes one CC-LO partition server.
+type Config struct {
+	DC       int
+	Part     int
+	NumDCs   int
+	NumParts int
+
+	// GCWindow is how long reader entries live (paper: 500 ms).
+	GCWindow time.Duration
+	// CallTimeout bounds readers-check and dependency-check calls.
+	CallTimeout time.Duration
+	// RepWindow is the number of replication updates in flight per remote
+	// DC; receivers order installs by dependency checks, not sequencing.
+	RepWindow int
+	// RepRetryTimeout bounds one replication attempt before the
+	// (idempotent) update is retried; it masks WAN loss quickly.
+	RepRetryTimeout time.Duration
+	// MaxVersions caps per-key version chains.
+	MaxVersions int
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumDCs <= 0 {
+		c.NumDCs = 1
+	}
+	if c.NumParts <= 0 {
+		c.NumParts = 1
+	}
+	if c.GCWindow <= 0 {
+		c.GCWindow = 500 * time.Millisecond
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 10 * time.Second
+	}
+	if c.RepWindow <= 0 {
+		c.RepWindow = 64
+	}
+	if c.RepRetryTimeout <= 0 {
+		c.RepRetryTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// Stats aggregates the readers-check overhead counters behind the paper's
+// Figure 6 and the overhead analyses of Sections 5.4–5.6.
+type Stats struct {
+	Checks            atomic.Uint64 // readers checks performed
+	KeysChecked       atomic.Uint64 // dependencies examined
+	PartitionsAsked   atomic.Uint64 // remote partitions interrogated
+	IDsCumulative     atomic.Uint64 // ROT ids scanned, before dedup/filter
+	IDsDistinct       atomic.Uint64 // distinct ROT ids after merge
+	CheckBytes        atomic.Uint64 // readers-check response payload bytes
+	ReplicationChecks atomic.Uint64 // readers checks run for replicated updates
+}
+
+// StatsSnapshot is a plain copy of Stats.
+type StatsSnapshot struct {
+	Checks, KeysChecked, PartitionsAsked   uint64
+	IDsCumulative, IDsDistinct, CheckBytes uint64
+	ReplicationChecks                      uint64
+}
+
+// Snapshot copies the counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Checks:            s.Checks.Load(),
+		KeysChecked:       s.KeysChecked.Load(),
+		PartitionsAsked:   s.PartitionsAsked.Load(),
+		IDsCumulative:     s.IDsCumulative.Load(),
+		IDsDistinct:       s.IDsDistinct.Load(),
+		CheckBytes:        s.CheckBytes.Load(),
+		ReplicationChecks: s.ReplicationChecks.Load(),
+	}
+}
+
+// Server is one CC-LO partition replica.
+type Server struct {
+	cfg   Config
+	clock *hlc.Lamport
+	store *loStore
+	node  transport.Node
+	ring  ring.Ring
+	stats Stats
+
+	// installMu/installCond wake blocked dependency checks on installs.
+	installMu   sync.Mutex
+	installCond *sync.Cond
+	installGen  uint64
+
+	repl *loReplicator
+	stop chan struct{}
+}
+
+// NewServer builds the partition server and attaches it to net.
+func NewServer(cfg Config, net transport.Network) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		clock: hlc.NewLamport(0),
+		store: newLoStore(cfg.MaxVersions, cfg.GCWindow),
+		ring:  ring.New(cfg.NumParts),
+		stop:  make(chan struct{}),
+	}
+	s.installCond = sync.NewCond(&s.installMu)
+	node, err := net.Attach(wire.ServerAddr(cfg.DC, cfg.Part), s)
+	if err != nil {
+		return nil, err
+	}
+	s.node = node
+	s.repl = newLoReplicator(s)
+	return s, nil
+}
+
+// Addr returns the server's wire address.
+func (s *Server) Addr() wire.Addr { return s.node.Addr() }
+
+// Stats returns the server's readers-check counters.
+func (s *Server) Stats() *Stats { return &s.stats }
+
+// Preload installs an initial version (ts 1, DC 0) of each key directly,
+// bypassing the protocol; used by benchmarks to stand up the data set.
+func (s *Server) Preload(keys []string, val []byte) {
+	now := time.Now()
+	for _, k := range keys {
+		s.store.install(k, loVersion{value: val, ts: 1, srcDC: 0}, nil, now)
+	}
+	s.clock.Update(1)
+}
+
+// ForEachLatest visits every key's newest version (tests, convergence
+// checks).
+func (s *Server) ForEachLatest(fn func(key string, value []byte, ts uint64, srcDC uint8)) {
+	s.store.forEachLatest(func(k string, v loVersion) {
+		fn(k, v.value, v.ts, v.srcDC)
+	})
+}
+
+// Start launches replication streams.
+func (s *Server) Start() { s.repl.start() }
+
+// Close stops background work and detaches from the network.
+func (s *Server) Close() error {
+	close(s.stop)
+	s.repl.stopAll()
+	s.installMu.Lock()
+	s.installCond.Broadcast()
+	s.installMu.Unlock()
+	return s.node.Close()
+}
+
+// Handle dispatches one incoming message.
+func (s *Server) Handle(n transport.Node, src wire.Addr, reqID uint64, m wire.Message) {
+	switch msg := m.(type) {
+	case *wire.LoRotReq:
+		s.handleRot(src, reqID, msg)
+	case *wire.LoPutReq:
+		s.handlePut(src, reqID, msg)
+	case *wire.OldReadersReq:
+		s.handleOldReaders(src, reqID, msg)
+	case *wire.LoRepUpdate:
+		s.handleRepUpdate(src, reqID, msg)
+	case *wire.DepCheckReq:
+		s.handleDepCheck(src, reqID, msg)
+	case *wire.Ping:
+		_ = n.Respond(src, reqID, &wire.Pong{Nonce: msg.Nonce})
+	default:
+		if reqID != 0 {
+			transport.RespondError(n, src, reqID, 400, "cclo: unexpected message")
+		}
+	}
+}
+
+// handleRot serves CC-LO's one-round read: latest version, or — for a
+// recorded old reader — the newest version older than its recorded time.
+func (s *Server) handleRot(src wire.Addr, reqID uint64, m *wire.LoRotReq) {
+	now := time.Now()
+	vals := make([]wire.KV, len(m.Keys))
+	for i, k := range m.Keys {
+		t := s.clock.Tick()
+		val, ts, ok := s.store.read(k, m.RotID, t, now)
+		if ok {
+			vals[i] = wire.KV{Key: k, Value: val, TS: ts}
+		} else {
+			vals[i] = wire.KV{Key: k}
+		}
+	}
+	_ = s.node.Respond(src, reqID, &wire.LoRotResp{Vals: vals})
+}
+
+// handlePut runs a client PUT: readers check first, then install, then
+// replicate (Figure 2's write path).
+func (s *Server) handlePut(src wire.Addr, reqID uint64, m *wire.LoPutReq) {
+	collected, maxT, err := s.readersCheck(m.Deps, false)
+	if err != nil {
+		transport.RespondError(s.node, src, reqID, 500, "cclo: readers check: "+err.Error())
+		return
+	}
+	// The new version's timestamp must exceed every dependency timestamp
+	// and every collected read time, so that "old" is well defined.
+	high := maxT
+	for _, d := range m.Deps {
+		high = max(high, d.TS)
+	}
+	ts := s.clock.Update(high)
+	s.install(m.Key, loVersion{value: m.Value, ts: ts, srcDC: uint8(s.cfg.DC)}, collected)
+	s.repl.enqueue(&wire.LoRepUpdate{
+		SrcDC:      uint8(s.cfg.DC),
+		SrcPart:    uint32(s.cfg.Part),
+		Key:        m.Key,
+		Value:      m.Value,
+		TS:         ts,
+		Deps:       m.Deps,
+		OldReaders: entriesToWire(collected),
+	})
+	_ = s.node.Respond(src, reqID, &wire.LoPutResp{TS: ts})
+}
+
+// install writes the version and wakes dependency checks.
+func (s *Server) install(key string, v loVersion, collected map[uint64]orEntry) {
+	s.store.install(key, v, collected, time.Now())
+	s.installMu.Lock()
+	s.installGen++
+	s.installCond.Broadcast()
+	s.installMu.Unlock()
+}
+
+// readersCheck interrogates the partition of every dependency for old
+// readers and merges the results. It returns the merged entries and the
+// highest read time seen. replicated marks checks run on behalf of a
+// replicated update (they are counted separately; §5.4 attributes CC-LO's
+// poor geo-scaling to them).
+func (s *Server) readersCheck(deps []wire.LoDep, replicated bool) (map[uint64]orEntry, uint64, error) {
+	s.stats.Checks.Add(1)
+	if replicated {
+		s.stats.ReplicationChecks.Add(1)
+	}
+	s.stats.KeysChecked.Add(uint64(len(deps)))
+	if len(deps) == 0 {
+		return nil, 0, nil
+	}
+	byPart := make(map[int][]wire.LoDep)
+	for _, d := range deps {
+		p := s.ring.Owner(d.Key)
+		byPart[p] = append(byPart[p], d)
+	}
+	collected := make(map[uint64]orEntry)
+	now := time.Now()
+	var scanned int
+
+	// Local dependencies are checked with a direct store access.
+	if local, ok := byPart[s.cfg.Part]; ok {
+		for _, d := range local {
+			scanned += s.store.collectOldReaders(d.Key, d.TS, now, collected)
+		}
+		delete(byPart, s.cfg.Part)
+	}
+
+	// Remote dependencies are interrogated in parallel.
+	type answer struct {
+		readers    []wire.ReaderEntry
+		cumulative uint32
+		bytes      int
+		err        error
+	}
+	ch := make(chan answer, len(byPart))
+	for p, ds := range byPart {
+		go func(p int, ds []wire.LoDep) {
+			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.CallTimeout)
+			defer cancel()
+			resp, err := s.node.Call(ctx, wire.ServerAddr(s.cfg.DC, p), &wire.OldReadersReq{Deps: ds})
+			if err != nil {
+				ch <- answer{err: err}
+				return
+			}
+			or, ok := resp.(*wire.OldReadersResp)
+			if !ok {
+				ch <- answer{err: wire.ErrUnknownType}
+				return
+			}
+			ch <- answer{readers: or.Readers, cumulative: or.Cumulative, bytes: 16 * len(or.Readers)}
+		}(p, ds)
+	}
+	s.stats.PartitionsAsked.Add(uint64(len(byPart)))
+	var firstErr error
+	for range byPart {
+		a := <-ch
+		if a.err != nil {
+			if firstErr == nil {
+				firstErr = a.err
+			}
+			continue
+		}
+		scanned += int(a.cumulative)
+		s.stats.CheckBytes.Add(uint64(a.bytes))
+		for _, r := range a.readers {
+			merge(collected, r.RotID, orEntry{rotID: r.RotID, t: r.T, addedAt: now})
+		}
+	}
+	if firstErr != nil {
+		return nil, 0, firstErr
+	}
+	// Apply the paper's one-id-per-client optimization to the merged set.
+	collected = filterOnePerClient(collected)
+	s.stats.IDsCumulative.Add(uint64(scanned))
+	s.stats.IDsDistinct.Add(uint64(len(collected)))
+	var maxT uint64
+	for _, e := range collected {
+		maxT = max(maxT, e.t)
+	}
+	return collected, maxT, nil
+}
+
+// handleOldReaders answers a readers check for dependencies on this
+// partition's keys.
+func (s *Server) handleOldReaders(src wire.Addr, reqID uint64, m *wire.OldReadersReq) {
+	now := time.Now()
+	collected := make(map[uint64]orEntry)
+	scanned := 0
+	for _, d := range m.Deps {
+		scanned += s.store.collectOldReaders(d.Key, d.TS, now, collected)
+	}
+	collected = filterOnePerClient(collected)
+	// Receiving the check updates our Lamport clock with nothing (the
+	// times flow the other way); the response carries our entries' times.
+	_ = s.node.Respond(src, reqID, &wire.OldReadersResp{
+		Readers:    entriesToWire(collected),
+		Cumulative: uint32(scanned),
+	})
+}
+
+// handleDepCheck blocks until this partition holds a version of Key with
+// timestamp ≥ TS, then responds (COPS dependency checking).
+func (s *Server) handleDepCheck(src wire.Addr, reqID uint64, m *wire.DepCheckReq) {
+	s.waitForVersion(m.Key, m.TS)
+	_ = s.node.Respond(src, reqID, &wire.DepCheckResp{})
+}
+
+func (s *Server) waitForVersion(key string, ts uint64) {
+	if s.store.hasVersion(key, ts) {
+		return
+	}
+	s.installMu.Lock()
+	defer s.installMu.Unlock()
+	for !s.store.hasVersion(key, ts) {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		s.installCond.Wait()
+	}
+}
+
+// handleRepUpdate installs a replicated update: dependency check, then a
+// readers check in this DC, then install (§3, "Challenges of
+// geo-replication"; the two checks are the combined protocol).
+func (s *Server) handleRepUpdate(src wire.Addr, reqID uint64, m *wire.LoRepUpdate) {
+	// 1. Dependency check: every dependency must be installed in this DC.
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(m.Deps))
+	for _, d := range m.Deps {
+		p := s.ring.Owner(d.Key)
+		if p == s.cfg.Part {
+			wg.Add(1)
+			go func(d wire.LoDep) {
+				defer wg.Done()
+				s.waitForVersion(d.Key, d.TS)
+			}(d)
+			continue
+		}
+		wg.Add(1)
+		go func(p int, d wire.LoDep) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.CallTimeout)
+			defer cancel()
+			if _, err := s.node.Call(ctx, wire.ServerAddr(s.cfg.DC, p), &wire.DepCheckReq{Key: d.Key, TS: d.TS}); err != nil {
+				errCh <- err
+			}
+		}(p, d)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		transport.RespondError(s.node, src, reqID, 500, "cclo: dep check: "+err.Error())
+		return
+	default:
+	}
+
+	// 2. Readers check in this DC, merged with the origin's old readers.
+	collected, maxT, err := s.readersCheck(m.Deps, true)
+	if err != nil {
+		transport.RespondError(s.node, src, reqID, 500, "cclo: readers check: "+err.Error())
+		return
+	}
+	now := time.Now()
+	for _, r := range m.OldReaders {
+		merge(collected, r.RotID, orEntry{rotID: r.RotID, t: r.T, addedAt: now})
+	}
+	// 3. Install with the origin timestamp; Lamport clocks stay related.
+	s.clock.Update(max(m.TS, maxT))
+	s.install(m.Key, loVersion{value: m.Value, ts: m.TS, srcDC: m.SrcDC}, collected)
+	_ = s.node.Respond(src, reqID, &wire.LoRepAck{Seq: m.Seq})
+}
+
+// filterOnePerClient keeps, per client, only the most recent ROT id (the
+// paper's §5.2 optimization; sound for clients that issue one ROT at a
+// time, because any older ROT has completed all its reads).
+func filterOnePerClient(in map[uint64]orEntry) map[uint64]orEntry {
+	best := make(map[uint64]orEntry, len(in))
+	for id, e := range in {
+		client := id >> 32
+		if prev, ok := best[client]; !ok || id > prev.rotID {
+			best[client] = e
+		}
+	}
+	out := make(map[uint64]orEntry, len(best))
+	for _, e := range best {
+		out[e.rotID] = e
+	}
+	return out
+}
+
+func entriesToWire(m map[uint64]orEntry) []wire.ReaderEntry {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]wire.ReaderEntry, 0, len(m))
+	for id, e := range m {
+		out = append(out, wire.ReaderEntry{RotID: id, T: e.t})
+	}
+	return out
+}

@@ -1,0 +1,297 @@
+// Package cclo implements CC-LO, the latency-optimal causal-consistency
+// design of COPS-SNOW as characterized in Sections 3 and 5.2 of the paper.
+//
+// ROTs are one round, one version and nonblocking. The price is paid on
+// writes: every PUT performs the "readers check", interrogating the
+// partition of each causal dependency for the ROTs that read a version of
+// that dependency now superseded ("old readers"), and records them — with
+// the logical time of their reads — in the written key's old-reader record
+// before the new version becomes visible. A read by a recorded old reader
+// is served the newest version older than its recorded time, preserving
+// causally consistent snapshots without coordination on the read path.
+//
+// The implementation includes the two optimizations the paper applied to
+// its CC-LO code base (§5.2): reader entries are garbage-collected 500 ms
+// after insertion, and a readers-check response carries at most one ROT id
+// per client (the most recent, valid because clients issue one ROT at a
+// time).
+package cclo
+
+import (
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// loVersion is one version of a key under CC-LO: Lamport timestamp plus
+// source DC for last-writer-wins convergence.
+type loVersion struct {
+	value []byte
+	ts    uint64
+	srcDC uint8
+}
+
+func (v *loVersion) before(o *loVersion) bool {
+	if v.ts != o.ts {
+		return v.ts < o.ts
+	}
+	return v.srcDC < o.srcDC
+}
+
+// orEntry is one old reader of a key: the ROT id, the logical time of its
+// read, and when the entry was created (for GC).
+type orEntry struct {
+	rotID   uint64
+	t       uint64
+	addedAt time.Time
+}
+
+// loKey is the per-key state.
+type loKey struct {
+	versions []loVersion // ascending (ts, srcDC)
+
+	// readers holds the ROTs that have read the *current* latest version,
+	// with the logical time of the read. They become old readers when a
+	// newer version is installed.
+	readers map[uint64]orEntry
+
+	// oldReaders holds ROTs known to have read superseded versions; it is
+	// what a readers check on this key returns.
+	oldReaders map[uint64]orEntry
+
+	// orRecord is the old-reader record consulted when serving reads of
+	// this key: ROT id → the logical time before which the ROT must read.
+	orRecord map[uint64]orEntry
+}
+
+const loShards = 64
+
+// loStore is the CC-LO partition storage engine.
+type loStore struct {
+	shards      [loShards]loShard
+	maxVersions int
+	gcWindow    time.Duration
+	seed        maphash.Seed
+
+	approxReads atomic.Uint64
+}
+
+type loShard struct {
+	mu sync.Mutex
+	m  map[string]*loKey
+}
+
+func newLoStore(maxVersions int, gcWindow time.Duration) *loStore {
+	if maxVersions <= 0 {
+		maxVersions = 64
+	}
+	if gcWindow <= 0 {
+		gcWindow = 500 * time.Millisecond
+	}
+	s := &loStore{maxVersions: maxVersions, gcWindow: gcWindow, seed: maphash.MakeSeed()}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]*loKey)
+	}
+	return s
+}
+
+func (s *loStore) shard(key string) *loShard {
+	return &s.shards[maphash.String(s.seed, key)%loShards]
+}
+
+func (s *loStore) get(key string, create bool) (*loShard, *loKey) {
+	sh := s.shard(key)
+	lk := sh.m[key]
+	if lk == nil && create {
+		lk = &loKey{}
+		sh.m[key] = lk
+	}
+	return sh, lk
+}
+
+// expired reports whether e is past the GC window.
+func (s *loStore) expired(e orEntry, now time.Time) bool {
+	return now.Sub(e.addedAt) > s.gcWindow
+}
+
+// read serves a ROT read of key: the latest version, unless rotID is in the
+// key's old-reader record, in which case the newest version older than the
+// recorded time. It records rotID as a reader of the version it was served
+// at logical time t. ok is false if the key does not exist.
+func (s *loStore) read(key string, rotID uint64, t uint64, now time.Time) (val []byte, ts uint64, ok bool) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	lk := sh.m[key]
+	if lk == nil || len(lk.versions) == 0 {
+		return nil, 0, false
+	}
+	if rec, isOld := lk.orRecord[rotID]; isOld {
+		if s.expired(rec, now) {
+			delete(lk.orRecord, rotID)
+		} else {
+			// Serve the newest version with ts < rec.t.
+			for i := len(lk.versions) - 1; i >= 0; i-- {
+				if lk.versions[i].ts < rec.t {
+					return lk.versions[i].value, lk.versions[i].ts, true
+				}
+			}
+			// All retained versions are too new (trimmed chain); fall back
+			// to the oldest retained one.
+			s.approxReads.Add(1)
+			return lk.versions[0].value, lk.versions[0].ts, true
+		}
+	}
+	v := &lk.versions[len(lk.versions)-1]
+	if lk.readers == nil {
+		lk.readers = make(map[uint64]orEntry)
+	}
+	lk.readers[rotID] = orEntry{rotID: rotID, t: t, addedAt: now}
+	return v.value, v.ts, true
+}
+
+// collectOldReaders returns the old readers of key relevant to a dependency
+// on version depTS: every recorded old reader, plus — when the latest
+// retained version is itself older than depTS (it has not arrived here
+// yet) — the current readers, since they too read a version older than
+// depTS. Expired entries are dropped. The result maps ROT id → entry.
+func (s *loStore) collectOldReaders(key string, depTS uint64, now time.Time, out map[uint64]orEntry) (scanned int) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	lk := sh.m[key]
+	if lk == nil {
+		return 0
+	}
+	gcSweep(lk.oldReaders, s.gcWindow, now)
+	for id, e := range lk.oldReaders {
+		scanned++
+		merge(out, id, e)
+	}
+	// Entries in this key's own old-reader record are old readers too: an
+	// entry (R, t) constrains R to read a version older than t, so R will
+	// miss the dependency's version as well. Without this, a ROT that was
+	// served an old version would be invisible to later dependent writes.
+	gcSweep(lk.orRecord, s.gcWindow, now)
+	for id, e := range lk.orRecord {
+		scanned++
+		merge(out, id, e)
+	}
+	latestTS := uint64(0)
+	if len(lk.versions) > 0 {
+		latestTS = lk.versions[len(lk.versions)-1].ts
+	}
+	if latestTS < depTS {
+		gcSweep(lk.readers, s.gcWindow, now)
+		for id, e := range lk.readers {
+			scanned++
+			merge(out, id, e)
+		}
+	}
+	return scanned
+}
+
+// merge keeps the safest (earliest-time) entry per ROT id.
+func merge(out map[uint64]orEntry, id uint64, e orEntry) {
+	if prev, ok := out[id]; !ok || e.t < prev.t {
+		out[id] = e
+	}
+}
+
+func gcSweep(m map[uint64]orEntry, window time.Duration, now time.Time) {
+	for id, e := range m {
+		if now.Sub(e.addedAt) > window {
+			delete(m, id)
+		}
+	}
+}
+
+// install inserts a version of key, moves the key's current readers to its
+// old readers, and merges the collected old readers of the PUT's
+// dependencies into the key's old-reader record. It returns true if the
+// version is now the latest.
+func (s *loStore) install(key string, v loVersion, collected map[uint64]orEntry, now time.Time) bool {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	lk := sh.m[key]
+	if lk == nil {
+		lk = &loKey{}
+		sh.m[key] = lk
+	}
+	i := len(lk.versions)
+	for i > 0 && v.before(&lk.versions[i-1]) {
+		i--
+	}
+	dup := i > 0 && lk.versions[i-1].ts == v.ts && lk.versions[i-1].srcDC == v.srcDC
+	newest := false
+	if !dup {
+		lk.versions = append(lk.versions, loVersion{})
+		copy(lk.versions[i+1:], lk.versions[i:])
+		lk.versions[i] = v
+		// Decide "newest" before trimming: trimming shortens the slice and
+		// would misclassify every install on a full chain, silently
+		// skipping the readers → old-readers move for hot keys.
+		newest = i == len(lk.versions)-1
+		if len(lk.versions) > s.maxVersions {
+			drop := len(lk.versions) - s.maxVersions
+			lk.versions = append(lk.versions[:0:0], lk.versions[drop:]...)
+		}
+	}
+	if newest && len(lk.readers) > 0 {
+		// The previous latest version is now superseded: its readers are
+		// old readers from here on.
+		if lk.oldReaders == nil {
+			lk.oldReaders = make(map[uint64]orEntry, len(lk.readers))
+		}
+		for id, e := range lk.readers {
+			e.addedAt = now
+			merge(lk.oldReaders, id, e)
+		}
+		clear(lk.readers)
+	}
+	if len(collected) > 0 {
+		if lk.orRecord == nil {
+			lk.orRecord = make(map[uint64]orEntry, len(collected))
+		}
+		for id, e := range collected {
+			e.addedAt = now
+			merge(lk.orRecord, id, e)
+		}
+	}
+	return newest
+}
+
+// latest returns the newest version of key.
+func (s *loStore) latest(key string) (loVersion, bool) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	lk := sh.m[key]
+	if lk == nil || len(lk.versions) == 0 {
+		return loVersion{}, false
+	}
+	return lk.versions[len(lk.versions)-1], true
+}
+
+// hasVersion reports whether key has a version with timestamp ≥ ts
+// (dependency-check predicate).
+func (s *loStore) hasVersion(key string, ts uint64) bool {
+	v, ok := s.latest(key)
+	return ok && v.ts >= ts
+}
+
+// forEachLatest visits every key's newest version (tests, convergence).
+func (s *loStore) forEachLatest(fn func(key string, v loVersion)) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k, lk := range sh.m {
+			if len(lk.versions) > 0 {
+				fn(k, lk.versions[len(lk.versions)-1])
+			}
+		}
+		sh.mu.Unlock()
+	}
+}

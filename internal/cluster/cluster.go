@@ -1,0 +1,329 @@
+// Package cluster assembles complete multi-DC deployments of the protocols
+// — Contrarian, Cure, CC-LO, and COPS — over the in-process transport,
+// mirroring the paper's testbed (§5.2): N partitions per DC, M DCs, a
+// stabilization service per DC for the timestamp-based protocols, and
+// closed-loop clients homed in a DC.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cclo"
+	"repro/internal/cops"
+	"repro/internal/core"
+	"repro/internal/mvstore"
+	"repro/internal/ring"
+	"repro/internal/transport"
+	"repro/internal/vclock"
+	"repro/internal/wire"
+)
+
+// mvstoreVersion builds the canonical preload version.
+func mvstoreVersion(val []byte, dv []uint64) mvstore.Version {
+	return mvstore.Version{Value: val, TS: 1, SrcDC: 0, DV: vclock.Vec(dv)}
+}
+
+// Protocol selects the consistency protocol a cluster runs.
+type Protocol int
+
+const (
+	// Contrarian is the paper's design: HLC clocks, nonblocking one-version
+	// ROTs in 1 1/2 rounds.
+	Contrarian Protocol = iota
+	// ContrarianTwoRound trades ROT latency for fewer messages (§5.3).
+	ContrarianTwoRound
+	// Cure is the physical-clock baseline: 2-round ROTs that block on
+	// clock skew.
+	Cure
+	// CCLO is the latency-optimal COPS-SNOW design: one-round ROTs,
+	// readers checks on writes.
+	CCLO
+	// COPS is the original dependency-list design (§3): nonblocking ROTs
+	// in at most 2 rounds and 2 versions, cheap writes, heavy metadata.
+	COPS
+)
+
+// String names the protocol as in the paper's figures.
+func (p Protocol) String() string {
+	switch p {
+	case Contrarian:
+		return "Contrarian 1 1/2 rounds"
+	case ContrarianTwoRound:
+		return "Contrarian 2 rounds"
+	case Cure:
+		return "Cure"
+	case CCLO:
+		return "CC-LO"
+	case COPS:
+		return "COPS"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// Config parameterizes a cluster.
+type Config struct {
+	Protocol   Protocol
+	DCs        int
+	Partitions int
+
+	// Latency is the injected network latency model; the zero value means
+	// transport.DefaultLatency. Use NoLatency for fast correctness tests.
+	Latency *transport.LatencyModel
+	// MaxSkew bounds per-node physical clock skew (default 1 ms, NTP-ish).
+	MaxSkew time.Duration
+	// StabilizeEvery is the stabilization period (default 5 ms, as §5.2).
+	StabilizeEvery time.Duration
+	// GCWindow is CC-LO's reader GC window (default 500 ms, as §5.2).
+	GCWindow time.Duration
+	// MaxVersions caps per-key version chains.
+	MaxVersions int
+	// Seed randomizes clock skews deterministically.
+	Seed int64
+	// ClockOverride forces a clock mode for the timestamp-based protocols
+	// (ablations: Contrarian on plain logical clocks loses GSS freshness —
+	// §4 "Freshness of the snapshots").
+	ClockOverride *core.ClockMode
+}
+
+// NoLatency is a latency model for correctness tests: messages still pay
+// full marshalling costs but fly instantly.
+func NoLatency() *transport.LatencyModel { return &transport.LatencyModel{} }
+
+// Client is the operation interface shared by all protocol clients.
+type Client interface {
+	// Put installs a new version of key and returns its timestamp.
+	Put(ctx context.Context, key string, value []byte) (uint64, error)
+	// Get reads one key causally.
+	Get(ctx context.Context, key string) ([]byte, error)
+	// ROT reads keys from one causally consistent snapshot.
+	ROT(ctx context.Context, keys []string) ([]wire.KV, error)
+	// Close detaches the client.
+	Close() error
+}
+
+// Cluster is a running deployment.
+type Cluster struct {
+	cfg  Config
+	net  *transport.Local
+	ring ring.Ring
+
+	coreServers []*core.Server // all DCs, flattened
+	ccloServers []*cclo.Server
+	copsServers []*cops.Server
+	stabs       []*core.Stabilizer
+
+	clientSeq []atomic.Int64 // per DC
+}
+
+// Start builds and starts a cluster.
+func Start(cfg Config) (*Cluster, error) {
+	if cfg.DCs <= 0 {
+		cfg.DCs = 1
+	}
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = 1
+	}
+	if cfg.MaxSkew == 0 {
+		cfg.MaxSkew = time.Millisecond
+	}
+	lat := transport.DefaultLatency()
+	if cfg.Latency != nil {
+		lat = *cfg.Latency
+	}
+	c := &Cluster{
+		cfg:       cfg,
+		net:       transport.NewLocal(lat),
+		ring:      ring.New(cfg.Partitions),
+		clientSeq: make([]atomic.Int64, cfg.DCs),
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	skew := func() time.Duration {
+		if cfg.MaxSkew <= 0 {
+			return 0
+		}
+		return time.Duration(rng.Int63n(int64(2*cfg.MaxSkew))) - cfg.MaxSkew
+	}
+
+	for dc := 0; dc < cfg.DCs; dc++ {
+		for p := 0; p < cfg.Partitions; p++ {
+			if err := c.startServer(dc, p, skew()); err != nil {
+				c.Close()
+				return nil, err
+			}
+		}
+		if cfg.Protocol != CCLO && cfg.Protocol != COPS {
+			st, err := core.NewStabilizer(dc, cfg.Partitions, cfg.DCs, cfg.StabilizeEvery, c.net)
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			st.Start()
+			c.stabs = append(c.stabs, st)
+		}
+	}
+	for _, s := range c.coreServers {
+		s.Start()
+	}
+	for _, s := range c.ccloServers {
+		s.Start()
+	}
+	for _, s := range c.copsServers {
+		s.Start()
+	}
+	return c, nil
+}
+
+func (c *Cluster) startServer(dc, p int, skew time.Duration) error {
+	if c.cfg.Protocol == COPS {
+		s, err := cops.NewServer(cops.Config{
+			DC: dc, Part: p, NumDCs: c.cfg.DCs, NumParts: c.cfg.Partitions,
+			MaxVersions: c.cfg.MaxVersions,
+		}, c.net)
+		if err != nil {
+			return err
+		}
+		c.copsServers = append(c.copsServers, s)
+		return nil
+	}
+	if c.cfg.Protocol == CCLO {
+		s, err := cclo.NewServer(cclo.Config{
+			DC: dc, Part: p, NumDCs: c.cfg.DCs, NumParts: c.cfg.Partitions,
+			GCWindow:    c.cfg.GCWindow,
+			MaxVersions: c.cfg.MaxVersions,
+		}, c.net)
+		if err != nil {
+			return err
+		}
+		c.ccloServers = append(c.ccloServers, s)
+		return nil
+	}
+	clock := core.ClockHLC
+	if c.cfg.Protocol == Cure {
+		clock = core.ClockPhysical
+	}
+	if c.cfg.ClockOverride != nil {
+		clock = *c.cfg.ClockOverride
+	}
+	s, err := core.NewServer(core.Config{
+		DC: dc, Part: p, NumDCs: c.cfg.DCs, NumParts: c.cfg.Partitions,
+		Clock:          clock,
+		Skew:           skew,
+		StabilizeEvery: c.cfg.StabilizeEvery,
+		MaxVersions:    c.cfg.MaxVersions,
+	}, c.net)
+	if err != nil {
+		return err
+	}
+	c.coreServers = append(c.coreServers, s)
+	return nil
+}
+
+// Close stops every component.
+func (c *Cluster) Close() {
+	for _, s := range c.coreServers {
+		s.Close()
+	}
+	for _, s := range c.ccloServers {
+		s.Close()
+	}
+	for _, s := range c.copsServers {
+		s.Close()
+	}
+	for _, st := range c.stabs {
+		st.Close()
+	}
+	c.net.Close()
+}
+
+// Ring returns the key-to-partition mapping.
+func (c *Cluster) Ring() ring.Ring { return c.ring }
+
+// Net returns the underlying in-process network (for stats).
+func (c *Cluster) Net() *transport.Local { return c.net }
+
+// NewClient attaches a new client session homed in dc.
+func (c *Cluster) NewClient(dc int) (Client, error) {
+	if dc < 0 || dc >= c.cfg.DCs {
+		return nil, fmt.Errorf("cluster: no such DC %d", dc)
+	}
+	id := int(c.clientSeq[dc].Add(1))
+	if c.cfg.Protocol == CCLO {
+		return cclo.NewClient(cclo.ClientConfig{DC: dc, ID: id, Ring: c.ring}, c.net)
+	}
+	if c.cfg.Protocol == COPS {
+		return cops.NewClient(cops.ClientConfig{DC: dc, ID: id, Ring: c.ring}, c.net)
+	}
+	mode := core.OneAndHalfRounds
+	if c.cfg.Protocol == ContrarianTwoRound || c.cfg.Protocol == Cure {
+		mode = core.TwoRounds
+	}
+	return core.NewClient(core.ClientConfig{
+		DC: dc, ID: id, NumDCs: c.cfg.DCs, Ring: c.ring, Mode: mode,
+	}, c.net)
+}
+
+// CCLOStats sums readers-check counters over every CC-LO server.
+func (c *Cluster) CCLOStats() cclo.StatsSnapshot {
+	var sum cclo.StatsSnapshot
+	for _, s := range c.ccloServers {
+		snap := s.Stats().Snapshot()
+		sum.Checks += snap.Checks
+		sum.KeysChecked += snap.KeysChecked
+		sum.PartitionsAsked += snap.PartitionsAsked
+		sum.IDsCumulative += snap.IDsCumulative
+		sum.IDsDistinct += snap.IDsDistinct
+		sum.CheckBytes += snap.CheckBytes
+		sum.ReplicationChecks += snap.ReplicationChecks
+	}
+	return sum
+}
+
+// Preload installs an initial version of every key directly into every
+// replica's store, bypassing the protocols. keysByPartition[p] must hold
+// keys owned by partition p (as built by workload.BuildKeySpace). Preloaded
+// versions carry timestamp 1 from DC 0 and depend on nothing, so they are
+// visible in any snapshot; benchmarks use this to stand up the paper's 1M
+// keys/partition data set without paying millions of protocol PUTs.
+func (c *Cluster) Preload(keysByPartition [][]string, valueSize int) error {
+	if len(keysByPartition) != c.cfg.Partitions {
+		return fmt.Errorf("cluster: preload expects %d partitions, got %d", c.cfg.Partitions, len(keysByPartition))
+	}
+	val := make([]byte, valueSize)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	for dc := 0; dc < c.cfg.DCs; dc++ {
+		for p, keys := range keysByPartition {
+			idx := dc*c.cfg.Partitions + p
+			if c.cfg.Protocol == CCLO {
+				c.ccloServers[idx].Preload(keys, val)
+				continue
+			}
+			if c.cfg.Protocol == COPS {
+				c.copsServers[idx].Preload(keys, val)
+				continue
+			}
+			s := c.coreServers[idx]
+			dv := make([]uint64, c.cfg.DCs)
+			dv[0] = 1
+			for _, k := range keys {
+				s.Store().Install(k, mvstoreVersion(val, dv))
+			}
+		}
+	}
+	return nil
+}
+
+// CoreServers exposes the timestamp-based servers (tests).
+func (c *Cluster) CoreServers() []*core.Server { return c.coreServers }
+
+// CCLOServers exposes the CC-LO servers (tests).
+func (c *Cluster) CCLOServers() []*cclo.Server { return c.ccloServers }
+
+// COPSServers exposes the COPS servers (tests).
+func (c *Cluster) COPSServers() []*cops.Server { return c.copsServers }

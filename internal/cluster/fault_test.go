@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// TestReplicationSurvivesWANLoss injects 30% cross-DC message loss and
+// checks that acked, retried replication still delivers every write: a
+// DC0 write becomes visible in DC1 despite the drops.
+func TestReplicationSurvivesWANLoss(t *testing.T) {
+	for _, p := range []Protocol{Contrarian, CCLO} {
+		t.Run(p.String(), func(t *testing.T) {
+			t.Parallel()
+			lat := &transport.LatencyModel{
+				IntraDC:     50 * time.Microsecond,
+				InterDC:     200 * time.Microsecond,
+				InterDCLoss: 0.3,
+			}
+			c := startCluster(t, Config{Protocol: p, DCs: 2, Partitions: 2, Latency: lat})
+			ctx := testCtx(t)
+			w, _ := c.NewClient(0)
+			defer w.Close()
+			r, _ := c.NewClient(1)
+			defer r.Close()
+
+			for i := 0; i < 10; i++ {
+				key := fmt.Sprintf("lossy-%d", i)
+				if _, err := w.Put(ctx, key, seqVal(uint64(i+1))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			deadline := time.Now().Add(20 * time.Second)
+			for i := 0; i < 10; i++ {
+				key := fmt.Sprintf("lossy-%d", i)
+				for {
+					got, err := r.Get(ctx, key)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if seqOf(got) == uint64(i+1) {
+						break
+					}
+					if time.Now().After(deadline) {
+						t.Fatalf("key %s never visible under 30%% WAN loss", key)
+					}
+					time.Sleep(5 * time.Millisecond)
+				}
+			}
+			if _, _, dropped := c.Net().Stats().Snapshot(); dropped == 0 {
+				t.Fatal("loss injection did not drop anything; test is vacuous")
+			}
+		})
+	}
+}
+
+// TestLogicalClockLaggardPinsGSS demonstrates the §4 "Freshness of the
+// snapshots" problem that motivates HLCs: with plain logical clocks, a
+// partition that receives no PUTs never advances its clock, its VV entry
+// pins the remote GSS, and a DC0 write stays invisible in DC1 until every
+// partition has moved — HLCs avoid this because idle clocks advance with
+// physical time.
+func TestLogicalClockLaggardPinsGSS(t *testing.T) {
+	logical := core.ClockLogical
+	c := startCluster(t, Config{
+		Protocol:      Contrarian,
+		DCs:           2,
+		Partitions:    4,
+		Latency:       NoLatency(),
+		ClockOverride: &logical,
+	})
+	ctx := testCtx(t)
+	w, _ := c.NewClient(0)
+	defer w.Close()
+	r, _ := c.NewClient(1)
+	defer r.Close()
+
+	if _, err := w.Put(ctx, "pinned", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Idle laggard partitions pin the GSS: the write must NOT become
+	// visible remotely while the other partitions' logical clocks are
+	// stuck at zero.
+	time.Sleep(300 * time.Millisecond)
+	if got, err := r.Get(ctx, "pinned"); err != nil {
+		t.Fatal(err)
+	} else if got != nil {
+		t.Fatalf("write visible remotely despite pinned GSS (got %q); laggard model broken", got)
+	}
+
+	// Touching every partition advances every logical clock past the
+	// marker's timestamp, unpinning the GSS.
+	for round := 0; round < 8; round++ {
+		for i := 0; i < 64; i++ {
+			if _, err := w.Put(ctx, fmt.Sprintf("unpin-%d", i), []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		got, err := r.Get(ctx, "pinned")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) == "v" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("write never became visible after unpinning all partitions")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestHLCAvoidsLaggardPinning is the counterpart: same scenario on HLCs,
+// where idle partitions' clocks advance with physical time and the write
+// becomes visible promptly with no background traffic at all.
+func TestHLCAvoidsLaggardPinning(t *testing.T) {
+	c := startCluster(t, Config{Protocol: Contrarian, DCs: 2, Partitions: 4, Latency: NoLatency()})
+	ctx := testCtx(t)
+	w, _ := c.NewClient(0)
+	defer w.Close()
+	r, _ := c.NewClient(1)
+	defer r.Close()
+	if _, err := w.Put(ctx, "fresh", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got, err := r.Get(ctx, "fresh")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) == "v" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("HLC visibility took more than 5s with idle partitions")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

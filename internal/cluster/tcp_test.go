@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cclo"
+	"repro/internal/core"
+	"repro/internal/ring"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func TestParseTopology(t *testing.T) {
+	src := `
+# comment
+0 0    127.0.0.1:7000
+0 1    127.0.0.1:7001
+0 stab 127.0.0.1:7099
+1 0    127.0.0.1:7100
+1 1    127.0.0.1:7101
+1 stab 127.0.0.1:7199
+`
+	topo, err := ParseTopology(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.DCs != 2 || topo.Partitions != 2 {
+		t.Fatalf("topo = %d DCs, %d partitions", topo.DCs, topo.Partitions)
+	}
+	if topo.Directory[wire.ServerAddr(1, 1)] != "127.0.0.1:7101" {
+		t.Fatalf("directory wrong: %v", topo.Directory)
+	}
+	if topo.Directory[wire.StabilizerAddr(0)] != "127.0.0.1:7099" {
+		t.Fatalf("stabilizer missing: %v", topo.Directory)
+	}
+}
+
+func TestParseTopologyErrors(t *testing.T) {
+	cases := []string{
+		"0 0",                // too few fields
+		"x 0 127.0.0.1:7000", // bad dc
+		"0 y 127.0.0.1:7000", // bad partition
+		"0 0 a:1\n0 0 b:2",   // duplicate
+		"# only comments",    // no partitions
+	}
+	for _, src := range cases {
+		if _, err := ParseTopology(strings.NewReader(src)); err == nil {
+			t.Errorf("ParseTopology(%q) succeeded, want error", src)
+		}
+	}
+}
+
+// TestTCPDeployment runs a 2-partition Contrarian deployment over real TCP
+// sockets on localhost — the cmd/kvserver + cmd/kvctl path — and checks
+// basic causal operation.
+func TestTCPDeployment(t *testing.T) {
+	topo := &Topology{
+		DCs:        1,
+		Partitions: 2,
+		Directory: map[wire.Addr]string{
+			wire.ServerAddr(0, 0):  "127.0.0.1:17931",
+			wire.ServerAddr(0, 1):  "127.0.0.1:17932",
+			wire.StabilizerAddr(0): "127.0.0.1:17933",
+		},
+	}
+	net := transport.NewTCP(topo.Directory)
+	defer net.Close()
+
+	for p := 0; p < 2; p++ {
+		s, err := core.NewServer(core.Config{
+			DC: 0, Part: p, NumDCs: 1, NumParts: 2, Clock: core.ClockHLC,
+		}, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Start()
+		defer s.Close()
+	}
+	st, err := core.NewStabilizer(0, 2, 1, 2*time.Millisecond, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Start()
+	defer st.Close()
+
+	cli, err := core.NewClient(core.ClientConfig{
+		DC: 0, ID: 900, NumDCs: 1, Ring: ring.New(2), Mode: core.OneAndHalfRounds,
+	}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if _, err := cli.Put(ctx, "tcp-a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Put(ctx, "tcp-b", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	kvs, err := cli.ROT(ctx, []string{"tcp-a", "tcp-b", "tcp-missing"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(kvs[0].Value) != "1" || string(kvs[1].Value) != "2" || kvs[2].Value != nil {
+		t.Fatalf("ROT over TCP returned %q %q %q", kvs[0].Value, kvs[1].Value, kvs[2].Value)
+	}
+
+	// Regression: a FRESH client whose first operation is a multi-partition
+	// ROT needs warmed return paths — without Warm, the non-coordinator
+	// partition cannot dial back and the ROT would time out.
+	fresh, err := core.NewClient(core.ClientConfig{
+		DC: 0, ID: 901, NumDCs: 1, Ring: ring.New(2), Mode: core.OneAndHalfRounds,
+	}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	if err := fresh.Warm(ctx); err != nil {
+		t.Fatal(err)
+	}
+	kvs, err = fresh.ROT(ctx, []string{"tcp-a", "tcp-b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(kvs[0].Value) != "1" || string(kvs[1].Value) != "2" {
+		t.Fatalf("fresh-client ROT returned %q %q", kvs[0].Value, kvs[1].Value)
+	}
+}
+
+// TestTCPDeploymentCCLO exercises the CC-LO readers-check path over real
+// sockets, including a cross-partition dependency.
+func TestTCPDeploymentCCLO(t *testing.T) {
+	topo := &Topology{
+		DCs:        1,
+		Partitions: 2,
+		Directory: map[wire.Addr]string{
+			wire.ServerAddr(0, 0): "127.0.0.1:17941",
+			wire.ServerAddr(0, 1): "127.0.0.1:17942",
+		},
+	}
+	net := transport.NewTCP(topo.Directory)
+	defer net.Close()
+	for p := 0; p < 2; p++ {
+		s, err := cclo.NewServer(cclo.Config{DC: 0, Part: p, NumDCs: 1, NumParts: 2}, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Start()
+		defer s.Close()
+	}
+	cli, err := cclo.NewClient(cclo.ClientConfig{DC: 0, ID: 905, Ring: ring.New(2)}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	r := ring.New(2)
+	x := "x"
+	y := ""
+	for i := 0; ; i++ {
+		y = strings.Repeat("y", i+1)
+		if r.Owner(y) != r.Owner(x) {
+			break
+		}
+	}
+	if _, err := cli.Put(ctx, x, []byte("X0")); err != nil {
+		t.Fatal(err)
+	}
+	// This PUT depends on x (cross-partition readers check over TCP).
+	if _, err := cli.Put(ctx, y, []byte("Y0")); err != nil {
+		t.Fatal(err)
+	}
+	kvs, err := cli.ROT(ctx, []string{x, y})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(kvs[0].Value) != "X0" || string(kvs[1].Value) != "Y0" {
+		t.Fatalf("ROT over TCP returned %q %q", kvs[0].Value, kvs[1].Value)
+	}
+}

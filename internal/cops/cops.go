@@ -1,0 +1,593 @@
+// Package cops implements the COPS-GT baseline that Section 3 of the paper
+// walks through: the first causally consistent ROT design, using explicit
+// per-version dependency lists instead of timestamps.
+//
+// ROTs take at most two rounds and may transfer two versions of a key: the
+// first round returns each key's latest version together with its nearest
+// dependencies; if those dependencies reveal a snapshot gap (Figure 1's
+// "Y1 depends on X1" while the client got X0), a second round fetches the
+// exact versions of the causal cut. Reads are nonblocking and writes carry
+// the session's full dependency set — the fine-grained metadata the paper
+// notes "has been shown to limit scalability" (§7, Table 2 row "COPS").
+//
+// Geo-replication ships (version, deps) and installs after a COPS-style
+// dependency check, with no readers check — COPS predates latency
+// optimality, so its writes are cheap compared to CC-LO while its reads
+// cost up to one round and one version more than Contrarian's.
+package cops
+
+import (
+	"context"
+	"fmt"
+	"hash/maphash"
+	"sync"
+	"time"
+
+	"repro/internal/hlc"
+	"repro/internal/ring"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Config parameterizes one COPS partition server.
+type Config struct {
+	DC       int
+	Part     int
+	NumDCs   int
+	NumParts int
+
+	// CallTimeout bounds dependency-check calls.
+	CallTimeout time.Duration
+	// RepRetryTimeout bounds one replication attempt before retry.
+	RepRetryTimeout time.Duration
+	// RepWindow is the number of replication updates in flight per DC.
+	RepWindow int
+	// MaxVersions caps per-key version chains.
+	MaxVersions int
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumDCs <= 0 {
+		c.NumDCs = 1
+	}
+	if c.NumParts <= 0 {
+		c.NumParts = 1
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 10 * time.Second
+	}
+	if c.RepRetryTimeout <= 0 {
+		c.RepRetryTimeout = 2 * time.Second
+	}
+	if c.RepWindow <= 0 {
+		c.RepWindow = 64
+	}
+	if c.MaxVersions <= 0 {
+		c.MaxVersions = 64
+	}
+	return c
+}
+
+// version is one stored version with its nearest dependencies.
+type version struct {
+	value []byte
+	ts    uint64
+	srcDC uint8
+	deps  []wire.LoDep
+}
+
+func (v *version) before(o *version) bool {
+	if v.ts != o.ts {
+		return v.ts < o.ts
+	}
+	return v.srcDC < o.srcDC
+}
+
+const nShards = 64
+
+// store is the COPS partition storage: version chains with dependency
+// lists, supporting latest reads and exact-version fetches.
+type store struct {
+	shards      [nShards]shard
+	maxVersions int
+	seed        maphash.Seed
+}
+
+type shard struct {
+	mu sync.Mutex
+	m  map[string][]version
+}
+
+func newStore(maxVersions int) *store {
+	if maxVersions <= 0 {
+		maxVersions = 64
+	}
+	s := &store{maxVersions: maxVersions, seed: maphash.MakeSeed()}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string][]version)
+	}
+	return s
+}
+
+func (s *store) shard(key string) *shard {
+	return &s.shards[maphash.String(s.seed, key)%nShards]
+}
+
+func (s *store) install(key string, v version) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	chain := sh.m[key]
+	i := len(chain)
+	for i > 0 && v.before(&chain[i-1]) {
+		i--
+	}
+	if i > 0 && chain[i-1].ts == v.ts && chain[i-1].srcDC == v.srcDC {
+		return // duplicate
+	}
+	chain = append(chain, version{})
+	copy(chain[i+1:], chain[i:])
+	chain[i] = v
+	if len(chain) > s.maxVersions {
+		chain = append(chain[:0:0], chain[len(chain)-s.maxVersions:]...)
+	}
+	sh.m[key] = chain
+}
+
+func (s *store) latest(key string) (version, bool) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	chain := sh.m[key]
+	if len(chain) == 0 {
+		return version{}, false
+	}
+	return chain[len(chain)-1], true
+}
+
+// at returns the version of key with timestamp ts; if it was trimmed, the
+// oldest retained version with ts' ≥ ts stands in.
+func (s *store) at(key string, ts uint64) (version, bool) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	chain := sh.m[key]
+	for i := len(chain) - 1; i >= 0; i-- {
+		if chain[i].ts == ts {
+			return chain[i], true
+		}
+		if chain[i].ts < ts {
+			// Exact version gone (trimmed); the next retained one above ts
+			// is the closest safe answer.
+			if i+1 < len(chain) {
+				return chain[i+1], true
+			}
+			return version{}, false
+		}
+	}
+	if len(chain) > 0 {
+		return chain[0], true
+	}
+	return version{}, false
+}
+
+func (s *store) hasVersion(key string, ts uint64) bool {
+	v, ok := s.latest(key)
+	return ok && v.ts >= ts
+}
+
+func (s *store) forEachLatest(fn func(key string, v version)) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k, chain := range sh.m {
+			if len(chain) > 0 {
+				fn(k, chain[len(chain)-1])
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Server is one COPS partition replica.
+type Server struct {
+	cfg   Config
+	clock *hlc.Lamport
+	store *store
+	node  transport.Node
+	ring  ring.Ring
+
+	installMu   sync.Mutex
+	installCond *sync.Cond
+
+	repl *replicator
+	stop chan struct{}
+}
+
+// NewServer builds the partition server and attaches it to net.
+func NewServer(cfg Config, net transport.Network) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		clock: hlc.NewLamport(0),
+		store: newStore(cfg.MaxVersions),
+		ring:  ring.New(cfg.NumParts),
+		stop:  make(chan struct{}),
+	}
+	s.installCond = sync.NewCond(&s.installMu)
+	node, err := net.Attach(wire.ServerAddr(cfg.DC, cfg.Part), s)
+	if err != nil {
+		return nil, err
+	}
+	s.node = node
+	s.repl = newReplicator(s)
+	return s, nil
+}
+
+// Addr returns the server's wire address.
+func (s *Server) Addr() wire.Addr { return s.node.Addr() }
+
+// Start launches replication streams.
+func (s *Server) Start() { s.repl.start() }
+
+// Close stops background work and detaches from the network.
+func (s *Server) Close() error {
+	close(s.stop)
+	s.repl.stopAll()
+	s.installMu.Lock()
+	s.installCond.Broadcast()
+	s.installMu.Unlock()
+	return s.node.Close()
+}
+
+// Preload installs an initial version (ts 1, DC 0) of each key directly.
+func (s *Server) Preload(keys []string, val []byte) {
+	for _, k := range keys {
+		s.store.install(k, version{value: val, ts: 1, srcDC: 0})
+	}
+	s.clock.Update(1)
+}
+
+// ForEachLatest visits every key's newest version (tests, convergence).
+func (s *Server) ForEachLatest(fn func(key string, value []byte, ts uint64, srcDC uint8)) {
+	s.store.forEachLatest(func(k string, v version) {
+		fn(k, v.value, v.ts, v.srcDC)
+	})
+}
+
+// Handle dispatches one incoming message.
+func (s *Server) Handle(n transport.Node, src wire.Addr, reqID uint64, m wire.Message) {
+	switch msg := m.(type) {
+	case *wire.CopsRotReq:
+		s.handleRot(src, reqID, msg)
+	case *wire.CopsVerReq:
+		s.handleVer(src, reqID, msg)
+	case *wire.LoPutReq:
+		s.handlePut(src, reqID, msg)
+	case *wire.LoRepUpdate:
+		s.handleRepUpdate(src, reqID, msg)
+	case *wire.DepCheckReq:
+		s.handleDepCheck(src, reqID, msg)
+	case *wire.Ping:
+		_ = n.Respond(src, reqID, &wire.Pong{Nonce: msg.Nonce})
+	default:
+		if reqID != 0 {
+			transport.RespondError(n, src, reqID, 400, "cops: unexpected message")
+		}
+	}
+}
+
+// handleRot serves the first ROT round: latest versions with their
+// dependency lists (the metadata COPS reads pay for).
+func (s *Server) handleRot(src wire.Addr, reqID uint64, m *wire.CopsRotReq) {
+	vals := make([]wire.DepKV, len(m.Keys))
+	for i, k := range m.Keys {
+		if v, ok := s.store.latest(k); ok {
+			vals[i] = wire.DepKV{
+				KV:   wire.KV{Key: k, Value: v.value, TS: v.ts},
+				Deps: v.deps,
+			}
+		} else {
+			vals[i] = wire.DepKV{KV: wire.KV{Key: k}}
+		}
+	}
+	_ = s.node.Respond(src, reqID, &wire.CopsRotResp{Vals: vals})
+}
+
+// handleVer serves the second ROT round: a specific version.
+func (s *Server) handleVer(src wire.Addr, reqID uint64, m *wire.CopsVerReq) {
+	if v, ok := s.store.at(m.Key, m.TS); ok {
+		_ = s.node.Respond(src, reqID, &wire.CopsVerResp{Val: wire.KV{Key: m.Key, Value: v.value, TS: v.ts}})
+		return
+	}
+	_ = s.node.Respond(src, reqID, &wire.CopsVerResp{Val: wire.KV{Key: m.Key}})
+}
+
+// handlePut installs a new version carrying the client's dependency set.
+// COPS writes are one round trip with no server-to-server communication in
+// the local DC — the cheap-writes end of the paper's design space.
+func (s *Server) handlePut(src wire.Addr, reqID uint64, m *wire.LoPutReq) {
+	high := uint64(0)
+	for _, d := range m.Deps {
+		high = max(high, d.TS)
+	}
+	ts := s.clock.Update(high)
+	s.install(m.Key, version{value: m.Value, ts: ts, srcDC: uint8(s.cfg.DC), deps: m.Deps})
+	s.repl.enqueue(&wire.LoRepUpdate{
+		SrcDC:   uint8(s.cfg.DC),
+		SrcPart: uint32(s.cfg.Part),
+		Key:     m.Key,
+		Value:   m.Value,
+		TS:      ts,
+		Deps:    m.Deps,
+	})
+	_ = s.node.Respond(src, reqID, &wire.LoPutResp{TS: ts})
+}
+
+func (s *Server) install(key string, v version) {
+	s.store.install(key, v)
+	s.installMu.Lock()
+	s.installCond.Broadcast()
+	s.installMu.Unlock()
+}
+
+func (s *Server) waitForVersion(key string, ts uint64) {
+	if s.store.hasVersion(key, ts) {
+		return
+	}
+	s.installMu.Lock()
+	defer s.installMu.Unlock()
+	for !s.store.hasVersion(key, ts) {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		s.installCond.Wait()
+	}
+}
+
+// handleDepCheck blocks until this partition holds a version of Key with
+// timestamp ≥ TS (COPS dependency checking).
+func (s *Server) handleDepCheck(src wire.Addr, reqID uint64, m *wire.DepCheckReq) {
+	s.waitForVersion(m.Key, m.TS)
+	_ = s.node.Respond(src, reqID, &wire.DepCheckResp{})
+}
+
+// handleRepUpdate installs a replicated version after its dependencies are
+// present in this DC.
+func (s *Server) handleRepUpdate(src wire.Addr, reqID uint64, m *wire.LoRepUpdate) {
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(m.Deps))
+	for _, d := range m.Deps {
+		p := s.ring.Owner(d.Key)
+		if p == s.cfg.Part {
+			wg.Add(1)
+			go func(d wire.LoDep) {
+				defer wg.Done()
+				s.waitForVersion(d.Key, d.TS)
+			}(d)
+			continue
+		}
+		wg.Add(1)
+		go func(p int, d wire.LoDep) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.CallTimeout)
+			defer cancel()
+			if _, err := s.node.Call(ctx, wire.ServerAddr(s.cfg.DC, p), &wire.DepCheckReq{Key: d.Key, TS: d.TS}); err != nil {
+				errCh <- err
+			}
+		}(p, d)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		transport.RespondError(s.node, src, reqID, 500, "cops: dep check: "+err.Error())
+		return
+	default:
+	}
+	s.clock.Update(m.TS)
+	s.install(m.Key, version{value: m.Value, ts: m.TS, srcDC: m.SrcDC, deps: m.Deps})
+	_ = s.node.Respond(src, reqID, &wire.LoRepAck{Seq: m.Seq})
+}
+
+// Client is a COPS-GT session. Unlike CC-LO's nearest-dependency contexts,
+// COPS-GT contexts are never collapsed by a PUT: the two-round ROT's cut
+// computation is only sound when a version's stored dependency list
+// per-key dominates its entire transitive dependency closure, which
+// requires carrying the full accumulated set (the metadata growth the
+// paper's Table 2 writes as |deps|).
+type Client struct {
+	dc   int
+	ring ring.Ring
+	node transport.Node
+
+	mu   sync.Mutex
+	deps map[string]uint64
+}
+
+// ClientConfig parameterizes a COPS client session.
+type ClientConfig struct {
+	DC   int
+	ID   int
+	Ring ring.Ring
+}
+
+// NewClient attaches a COPS client to net.
+func NewClient(cfg ClientConfig, net transport.Network) (*Client, error) {
+	c := &Client{dc: cfg.DC, ring: cfg.Ring, deps: make(map[string]uint64)}
+	node, err := net.Attach(wire.ClientAddr(cfg.DC, cfg.ID), transport.HandlerFunc(
+		func(transport.Node, wire.Addr, uint64, wire.Message) {}))
+	if err != nil {
+		return nil, err
+	}
+	c.node = node
+	return c, nil
+}
+
+// Close detaches the client.
+func (c *Client) Close() error { return c.node.Close() }
+
+// DepCount returns the size of the session's dependency set (tests; this
+// is the metadata COPS-GT cannot prune).
+func (c *Client) DepCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.deps)
+}
+
+func (c *Client) depList() []wire.LoDep {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]wire.LoDep, 0, len(c.deps))
+	for k, ts := range c.deps {
+		out = append(out, wire.LoDep{Key: k, TS: ts})
+	}
+	return out
+}
+
+func (c *Client) observe(key string, ts uint64) {
+	c.mu.Lock()
+	if ts > c.deps[key] {
+		c.deps[key] = ts
+	}
+	c.mu.Unlock()
+}
+
+// Put installs a new version of key carrying the session's dependencies.
+func (c *Client) Put(ctx context.Context, key string, value []byte) (uint64, error) {
+	owner := wire.ServerAddr(c.dc, c.ring.Owner(key))
+	resp, err := c.node.Call(ctx, owner, &wire.LoPutReq{Key: key, Value: value, Deps: c.depList()})
+	if err != nil {
+		return 0, fmt.Errorf("cops: put %q: %w", key, err)
+	}
+	pr, ok := resp.(*wire.LoPutResp)
+	if !ok {
+		return 0, fmt.Errorf("cops: put %q: unexpected response %T", key, resp)
+	}
+	c.observe(key, pr.TS)
+	return pr.TS, nil
+}
+
+// Get reads one key causally.
+func (c *Client) Get(ctx context.Context, key string) ([]byte, error) {
+	kvs, err := c.ROT(ctx, []string{key})
+	if err != nil {
+		return nil, err
+	}
+	return kvs[0].Value, nil
+}
+
+// ROT executes COPS' two-round read-only transaction: read the latest
+// versions with their dependencies, compute the causal cut, and — only
+// when the first round straddles a write — fetch the cut's exact versions
+// in a second round.
+func (c *Client) ROT(ctx context.Context, keys []string) ([]wire.KV, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	groups := c.ring.Group(keys)
+	inSet := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		inSet[k] = true
+	}
+
+	// Round 1: latest versions + dependency lists.
+	type r1 struct {
+		vals []wire.DepKV
+		err  error
+	}
+	ch := make(chan r1, len(groups))
+	for p, ks := range groups {
+		go func(p int, ks []string) {
+			resp, err := c.node.Call(ctx, wire.ServerAddr(c.dc, p), &wire.CopsRotReq{Keys: ks})
+			if err != nil {
+				ch <- r1{err: err}
+				return
+			}
+			rr, ok := resp.(*wire.CopsRotResp)
+			if !ok {
+				ch <- r1{err: fmt.Errorf("unexpected response %T", resp)}
+				return
+			}
+			ch <- r1{vals: rr.Vals}
+		}(p, ks)
+	}
+	got := make(map[string]wire.DepKV, len(keys))
+	for range groups {
+		r := <-ch
+		if r.err != nil {
+			return nil, fmt.Errorf("cops: rot round 1: %w", r.err)
+		}
+		for _, v := range r.vals {
+			got[v.KV.Key] = v
+		}
+	}
+
+	// Causal cut: the newest version of each read key that any returned
+	// version depends on.
+	cut := make(map[string]uint64)
+	for _, v := range got {
+		for _, d := range v.Deps {
+			if inSet[d.Key] && d.TS > got[d.Key].KV.TS && d.TS > cut[d.Key] {
+				cut[d.Key] = d.TS
+			}
+		}
+	}
+
+	// Round 2 (only when needed): fetch the cut's exact versions.
+	if len(cut) > 0 {
+		type r2 struct {
+			val wire.KV
+			err error
+		}
+		ch2 := make(chan r2, len(cut))
+		for k, ts := range cut {
+			go func(k string, ts uint64) {
+				dst := wire.ServerAddr(c.dc, c.ring.Owner(k))
+				resp, err := c.node.Call(ctx, dst, &wire.CopsVerReq{Key: k, TS: ts})
+				if err != nil {
+					ch2 <- r2{err: err}
+					return
+				}
+				vr, ok := resp.(*wire.CopsVerResp)
+				if !ok {
+					ch2 <- r2{err: fmt.Errorf("unexpected response %T", resp)}
+					return
+				}
+				ch2 <- r2{val: vr.Val}
+			}(k, ts)
+		}
+		for range cut {
+			r := <-ch2
+			if r.err != nil {
+				return nil, fmt.Errorf("cops: rot round 2: %w", r.err)
+			}
+			prev := got[r.val.Key]
+			prev.KV = r.val
+			got[r.val.Key] = prev
+		}
+	}
+
+	out := make([]wire.KV, len(keys))
+	for i, k := range keys {
+		out[i] = got[k].KV
+		if out[i].TS > 0 {
+			c.observe(k, out[i].TS)
+		}
+	}
+	return out, nil
+}
+
+// Rounds2Needed is exposed for tests: it reports whether the given round-1
+// results would require a second round.
+func Rounds2Needed(vals map[string]wire.DepKV) bool {
+	for _, v := range vals {
+		for _, d := range v.Deps {
+			if other, ok := vals[d.Key]; ok && d.TS > other.KV.TS {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,117 @@
+package cops
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// replicator ships local PUTs with their dependency lists to sibling
+// replicas; receivers enforce causal order by dependency checks, so a
+// window of updates can be in flight concurrently.
+type replicator struct {
+	s       *Server
+	streams []*stream
+}
+
+type stream struct {
+	s      *Server
+	dst    wire.Addr
+	ch     chan *wire.LoRepUpdate
+	sem    chan struct{}
+	ctx    context.Context
+	cancel context.CancelFunc
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+func newReplicator(s *Server) *replicator {
+	r := &replicator{s: s}
+	for dc := 0; dc < s.cfg.NumDCs; dc++ {
+		if dc == s.cfg.DC {
+			continue
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		r.streams = append(r.streams, &stream{
+			s:      s,
+			dst:    wire.ServerAddr(dc, s.cfg.Part),
+			ch:     make(chan *wire.LoRepUpdate, 8192),
+			sem:    make(chan struct{}, s.cfg.RepWindow),
+			ctx:    ctx,
+			cancel: cancel,
+			stop:   make(chan struct{}),
+			done:   make(chan struct{}),
+		})
+	}
+	return r
+}
+
+func (r *replicator) start() {
+	for _, st := range r.streams {
+		go st.run()
+	}
+}
+
+func (r *replicator) stopAll() {
+	for _, st := range r.streams {
+		close(st.stop)
+		st.cancel()
+	}
+	for _, st := range r.streams {
+		<-st.done
+	}
+}
+
+func (r *replicator) enqueue(u *wire.LoRepUpdate) {
+	for _, st := range r.streams {
+		select {
+		case st.ch <- u:
+		case <-st.stop:
+		}
+	}
+}
+
+func (st *stream) run() {
+	defer close(st.done)
+	seq := uint64(0)
+	for {
+		select {
+		case <-st.stop:
+			return
+		case u := <-st.ch:
+			seq++
+			u.Seq = seq
+			select {
+			case st.sem <- struct{}{}:
+			case <-st.stop:
+				return
+			}
+			go func(u *wire.LoRepUpdate) {
+				defer func() { <-st.sem }()
+				st.deliver(u)
+			}(u)
+		}
+	}
+}
+
+func (st *stream) deliver(u *wire.LoRepUpdate) {
+	for {
+		ctx, cancel := context.WithTimeout(st.ctx, st.s.cfg.RepRetryTimeout)
+		resp, err := st.s.node.Call(ctx, st.dst, u)
+		cancel()
+		if err == nil {
+			if _, ok := resp.(*wire.LoRepAck); ok {
+				return
+			}
+		}
+		if st.ctx.Err() != nil {
+			return
+		}
+		select {
+		case <-st.stop:
+			return
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ring"
+	"repro/internal/transport"
+	"repro/internal/vclock"
+	"repro/internal/wire"
+)
+
+// Client is a session against the timestamp-based engine. It tracks the
+// causal context of Section 4: the highest local timestamp and the highest
+// GSS it has observed, piggybacked on every operation so the client sees
+// monotonically increasing snapshots (and its own writes).
+//
+// A Client is safe for concurrent use, though the benchmark drivers use one
+// per closed-loop thread, as the paper's clients do.
+type Client struct {
+	dc     int
+	numDCs int
+	mode   ROTMode
+	ring   ring.Ring
+	node   transport.Node
+
+	mu   sync.Mutex
+	seen vclock.Vec // seen[dc] = highest local ts; others = GSS view
+
+	rotSeq atomic.Uint64
+	rots   sync.Map // rotID -> chan wire.Message
+}
+
+// ClientConfig parameterizes a client session.
+type ClientConfig struct {
+	DC     int
+	ID     int
+	NumDCs int
+	Ring   ring.Ring
+	Mode   ROTMode
+}
+
+// NewClient attaches a client session to net.
+func NewClient(cfg ClientConfig, net transport.Network) (*Client, error) {
+	if cfg.Mode == 0 {
+		cfg.Mode = OneAndHalfRounds
+	}
+	c := &Client{
+		dc:     cfg.DC,
+		numDCs: max(cfg.NumDCs, 1),
+		mode:   cfg.Mode,
+		ring:   cfg.Ring,
+		seen:   vclock.New(max(cfg.NumDCs, 1)),
+	}
+	node, err := net.Attach(wire.ClientAddr(cfg.DC, cfg.ID), transport.HandlerFunc(c.handle))
+	if err != nil {
+		return nil, err
+	}
+	c.node = node
+	return c, nil
+}
+
+// Close detaches the client.
+func (c *Client) Close() error { return c.node.Close() }
+
+// Addr returns the client's wire address.
+func (c *Client) Addr() wire.Addr { return c.node.Addr() }
+
+// Ping checks liveness of one partition. Over connection-oriented
+// transports it also warms the connection, letting the partition answer
+// this client directly (the 1 1/2-round ROT's partition-to-client leg).
+func (c *Client) Ping(ctx context.Context, part int) error {
+	resp, err := c.node.Call(ctx, wire.ServerAddr(c.dc, part), &wire.Ping{Nonce: uint64(part)})
+	if err != nil {
+		return err
+	}
+	if _, ok := resp.(*wire.Pong); !ok {
+		return fmt.Errorf("core: ping: unexpected response %T", resp)
+	}
+	return nil
+}
+
+// Warm pings every partition in the client's DC, establishing return paths
+// before the first ROT. Required for TCP deployments; a no-op concern for
+// the in-process transport.
+func (c *Client) Warm(ctx context.Context) error {
+	for p := 0; p < c.ring.Parts(); p++ {
+		if err := c.Ping(ctx, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Seen returns a copy of the client's causal context (for tests).
+func (c *Client) Seen() vclock.Vec {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.seen.Clone()
+}
+
+// handle routes direct server-to-client ROT messages (1 1/2-round mode).
+func (c *Client) handle(_ transport.Node, _ wire.Addr, _ uint64, m wire.Message) {
+	var rotID uint64
+	switch msg := m.(type) {
+	case *wire.RotSnap:
+		rotID = msg.RotID
+	case *wire.RotVals:
+		rotID = msg.RotID
+	default:
+		return
+	}
+	if ch, ok := c.rots.Load(rotID); ok {
+		select {
+		case ch.(chan wire.Message) <- m:
+		default:
+		}
+	}
+}
+
+func (c *Client) observe(sv vclock.Vec) {
+	c.mu.Lock()
+	c.seen.MaxInto(sv)
+	c.mu.Unlock()
+}
+
+// Put installs a new version of key and returns its timestamp.
+func (c *Client) Put(ctx context.Context, key string, value []byte) (uint64, error) {
+	c.mu.Lock()
+	deps := c.seen.Clone()
+	c.mu.Unlock()
+	owner := wire.ServerAddr(c.dc, c.ring.Owner(key))
+	resp, err := c.node.Call(ctx, owner, &wire.PutReq{Key: key, Value: value, Deps: deps})
+	if err != nil {
+		return 0, fmt.Errorf("core: put %q: %w", key, err)
+	}
+	pr, ok := resp.(*wire.PutResp)
+	if !ok {
+		return 0, fmt.Errorf("core: put %q: unexpected response %T", key, resp)
+	}
+	c.mu.Lock()
+	c.seen.MaxInto(pr.GSS)
+	c.seen[c.dc] = max(c.seen[c.dc], pr.TS)
+	c.mu.Unlock()
+	return pr.TS, nil
+}
+
+// Get reads a single key causally (a one-key ROT).
+func (c *Client) Get(ctx context.Context, key string) ([]byte, error) {
+	kvs, err := c.ROT(ctx, []string{key})
+	if err != nil {
+		return nil, err
+	}
+	return kvs[0].Value, nil
+}
+
+// ROT executes a causally consistent read-only transaction over keys and
+// returns one KV per key, in key order. A missing key yields a nil Value.
+func (c *Client) ROT(ctx context.Context, keys []string) ([]wire.KV, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	groups := c.groups(keys)
+	var (
+		vals map[string]wire.KV
+		err  error
+	)
+	if c.mode == TwoRounds {
+		vals, err = c.rotTwoRounds(ctx, keys, groups)
+	} else {
+		vals, err = c.rotOneAndHalf(ctx, keys, groups)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([]wire.KV, len(keys))
+	for i, k := range keys {
+		if kv, ok := vals[k]; ok {
+			out[i] = kv
+		} else {
+			out[i] = wire.KV{Key: k}
+		}
+	}
+	return out, nil
+}
+
+// groups splits keys by partition into a deterministic order; the first
+// group's partition acts as coordinator.
+func (c *Client) groups(keys []string) []wire.ReadGroup {
+	m := c.ring.Group(keys)
+	parts := make([]int, 0, len(m))
+	for p := range m {
+		parts = append(parts, p)
+	}
+	sort.Ints(parts)
+	// Rotate so coordination load spreads over partitions: the owner of
+	// the first key coordinates.
+	lead := c.ring.Owner(keys[0])
+	groups := make([]wire.ReadGroup, 0, len(parts))
+	groups = append(groups, wire.ReadGroup{Part: uint32(lead), Keys: m[lead]})
+	for _, p := range parts {
+		if p != lead {
+			groups = append(groups, wire.ReadGroup{Part: uint32(p), Keys: m[p]})
+		}
+	}
+	return groups
+}
+
+func (c *Client) rotOneAndHalf(ctx context.Context, keys []string, groups []wire.ReadGroup) (map[string]wire.KV, error) {
+	rotID := c.rotSeq.Add(1)
+	ch := make(chan wire.Message, len(groups))
+	c.rots.Store(rotID, ch)
+	defer c.rots.Delete(rotID)
+
+	c.mu.Lock()
+	seenLocal := c.seen[c.dc]
+	seenGSS := c.seen.Clone()
+	c.mu.Unlock()
+
+	coord := wire.ServerAddr(c.dc, int(groups[0].Part))
+	err := c.node.Send(coord, &wire.RotCoordReq{
+		RotID:     rotID,
+		Mode:      uint8(OneAndHalfRounds),
+		SeenLocal: seenLocal,
+		SeenGSS:   seenGSS,
+		Groups:    groups,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: rot: %w", err)
+	}
+
+	vals := make(map[string]wire.KV, len(keys))
+	var sv vclock.Vec
+	for got := 0; got < len(groups); got++ {
+		select {
+		case m := <-ch:
+			switch msg := m.(type) {
+			case *wire.RotSnap:
+				sv = msg.SV
+				for _, kv := range msg.Vals {
+					vals[kv.Key] = kv
+				}
+			case *wire.RotVals:
+				for _, kv := range msg.Vals {
+					vals[kv.Key] = kv
+				}
+			}
+		case <-ctx.Done():
+			return nil, fmt.Errorf("core: rot: %w", ctx.Err())
+		}
+	}
+	if sv != nil {
+		c.observe(sv)
+	}
+	return vals, nil
+}
+
+func (c *Client) rotTwoRounds(ctx context.Context, keys []string, groups []wire.ReadGroup) (map[string]wire.KV, error) {
+	rotID := c.rotSeq.Add(1)
+	c.mu.Lock()
+	seenLocal := c.seen[c.dc]
+	seenGSS := c.seen.Clone()
+	c.mu.Unlock()
+
+	coord := wire.ServerAddr(c.dc, int(groups[0].Part))
+	resp, err := c.node.Call(ctx, coord, &wire.RotCoordReq{
+		RotID:     rotID,
+		Mode:      uint8(TwoRounds),
+		SeenLocal: seenLocal,
+		SeenGSS:   seenGSS,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: rot coord: %w", err)
+	}
+	cr, ok := resp.(*wire.RotCoordResp)
+	if !ok {
+		return nil, fmt.Errorf("core: rot coord: unexpected response %T", resp)
+	}
+	sv := cr.SV
+
+	type result struct {
+		vals []wire.KV
+		err  error
+	}
+	ch := make(chan result, len(groups))
+	for _, g := range groups {
+		go func(g wire.ReadGroup) {
+			dst := wire.ServerAddr(c.dc, int(g.Part))
+			resp, err := c.node.Call(ctx, dst, &wire.RotReadReq{SV: sv, Keys: g.Keys})
+			if err != nil {
+				ch <- result{err: err}
+				return
+			}
+			rr, ok := resp.(*wire.RotReadResp)
+			if !ok {
+				ch <- result{err: fmt.Errorf("unexpected response %T", resp)}
+				return
+			}
+			ch <- result{vals: rr.Vals}
+		}(g)
+	}
+	vals := make(map[string]wire.KV, len(keys))
+	for range groups {
+		r := <-ch
+		if r.err != nil {
+			return nil, fmt.Errorf("core: rot read: %w", r.err)
+		}
+		for _, kv := range r.vals {
+			vals[kv.Key] = kv
+		}
+	}
+	c.observe(sv)
+	return vals, nil
+}

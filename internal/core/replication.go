@@ -1,0 +1,158 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// newTicker wraps time.NewTicker, flooring the period at a safe minimum.
+func newTicker(d time.Duration) *time.Ticker {
+	if d < 100*time.Microsecond {
+		d = 100 * time.Microsecond
+	}
+	return time.NewTicker(d)
+}
+
+// replicator ships this partition's local PUTs to its sibling replicas in
+// every other DC.
+//
+// Queues are appended inside the server's put fence (putMu) and drained
+// inside it too, so the replication cut — the HighTS a batch carries — is
+// exact: every local version with ts ≤ HighTS is in this or an earlier
+// batch. The receiver advances its VV[src] to HighTS, and through the
+// stabilization protocol that entry flows into the GSS; an over-advanced
+// cut would let remote readers observe snapshots missing local versions,
+// which is precisely the anomaly the paper's Figure 1 illustrates.
+//
+// An empty batch with a fresh cut is the replication heartbeat of Section 4
+// that keeps remote VVs moving while a partition is idle.
+type replicator struct {
+	s       *Server
+	streams []*repStream
+}
+
+type repStream struct {
+	s   *Server
+	dst wire.Addr
+
+	queue []wire.Update // guarded by s.putMu
+
+	ctx    context.Context // cancelled on stop so in-flight calls abort
+	cancel context.CancelFunc
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+func newReplicator(s *Server) *replicator {
+	r := &replicator{s: s}
+	for dc := 0; dc < s.cfg.NumDCs; dc++ {
+		if dc == s.cfg.DC {
+			continue
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		r.streams = append(r.streams, &repStream{
+			s:      s,
+			dst:    wire.ServerAddr(dc, s.cfg.Part),
+			ctx:    ctx,
+			cancel: cancel,
+			stop:   make(chan struct{}),
+			done:   make(chan struct{}),
+		})
+	}
+	return r
+}
+
+func (r *replicator) start() {
+	for _, st := range r.streams {
+		go st.run()
+	}
+}
+
+func (r *replicator) stopAll() {
+	for _, st := range r.streams {
+		close(st.stop)
+		st.cancel()
+	}
+	for _, st := range r.streams {
+		<-st.done
+	}
+}
+
+// enqueue records one local update for every remote DC. The caller must
+// hold s.putMu (it is called from the PUT fence).
+func (r *replicator) enqueue(u wire.Update) {
+	for _, st := range r.streams {
+		st.queue = append(st.queue, u)
+	}
+}
+
+// cut drains up to RepBatchMax queued updates and computes the replication
+// cut: if the queue drained fully the cut is the current clock reading
+// (safe because enqueueing is atomic with timestamp assignment under
+// putMu); otherwise it is the last drained update's timestamp.
+func (st *repStream) cut() ([]wire.Update, uint64) {
+	st.s.putMu.Lock()
+	defer st.s.putMu.Unlock()
+	n := min(len(st.queue), st.s.cfg.RepBatchMax)
+	batch := st.queue[:n:n]
+	st.queue = st.queue[n:]
+	if len(st.queue) == 0 {
+		st.queue = nil // release the drained backing array eventually
+		return batch, st.s.clock.Now()
+	}
+	return batch, batch[n-1].TS
+}
+
+func (st *repStream) run() {
+	defer close(st.done)
+	seq := uint64(0)
+	flush := newTicker(st.s.cfg.RepFlushEvery)
+	defer flush.Stop()
+	for {
+		select {
+		case <-st.stop:
+			return
+		case <-flush.C:
+		}
+		for {
+			batch, high := st.cut()
+			seq++
+			st.deliver(&wire.RepBatch{
+				SrcDC:   uint8(st.s.cfg.DC),
+				SrcPart: uint32(st.s.cfg.Part),
+				Seq:     seq,
+				HighTS:  high,
+				Ups:     batch,
+			})
+			// Keep draining without waiting for the ticker while there is
+			// backlog; an idle queue returns to heartbeat pacing.
+			if len(batch) < st.s.cfg.RepBatchMax {
+				break
+			}
+		}
+	}
+}
+
+// deliver retries the batch until acknowledged or the stream stops.
+func (st *repStream) deliver(msg *wire.RepBatch) {
+	for {
+		ctx, cancel := context.WithTimeout(st.ctx, st.s.cfg.RepRetryTimeout)
+		resp, err := st.s.node.Call(ctx, st.dst, msg)
+		cancel()
+		if err == nil {
+			if _, ok := resp.(*wire.RepAck); ok {
+				return
+			}
+		}
+		if st.ctx.Err() != nil {
+			return
+		}
+		select {
+		case <-st.stop:
+			return
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}

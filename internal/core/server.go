@@ -1,0 +1,296 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/hlc"
+	"repro/internal/mvstore"
+	"repro/internal/transport"
+	"repro/internal/vclock"
+	"repro/internal/wire"
+)
+
+// Server is one partition replica of the timestamp-based engine.
+type Server struct {
+	cfg   Config
+	clock hlc.Clock
+	store *mvstore.Store
+	node  transport.Node
+	repl  *replicator
+
+	mu     sync.RWMutex
+	vv     vclock.Vec // vv[i], i ≠ local: latest ts received from DC i's replica
+	gss    vclock.Vec // latest Global Stable Snapshot broadcast
+	nextIn []uint64   // next expected replication sequence, per source DC
+
+	// putMu is the partition's ordering fence. A PUT assigns its timestamp,
+	// installs, and enqueues for replication inside the write lock; snapshot
+	// reads take the read lock after moving the clock to the snapshot, and
+	// the replicator drains its queue and reads the replication cut inside
+	// the write lock. This guarantees two protocol invariants:
+	//   1. after a reader moves the clock to SV[local], every version with
+	//      ts ≤ SV[local] that will ever exist is already installed;
+	//   2. a replication batch's HighTS never runs ahead of an update that
+	//      has not been enqueued yet.
+	putMu sync.RWMutex
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewServer builds the partition server and attaches it to net. Call Start
+// to begin background replication and VV reporting, and Close to stop.
+func NewServer(cfg Config, net transport.Network) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		clock: cfg.newClock(),
+		store: mvstore.New(cfg.MaxVersions),
+		vv:    vclock.New(cfg.NumDCs),
+		gss:   vclock.New(cfg.NumDCs),
+		stop:  make(chan struct{}),
+	}
+	s.nextIn = make([]uint64, cfg.NumDCs)
+	for i := range s.nextIn {
+		s.nextIn[i] = 1
+	}
+	node, err := net.Attach(wire.ServerAddr(cfg.DC, cfg.Part), s)
+	if err != nil {
+		return nil, err
+	}
+	s.node = node
+	s.repl = newReplicator(s)
+	return s, nil
+}
+
+// Addr returns the server's wire address.
+func (s *Server) Addr() wire.Addr { return s.node.Addr() }
+
+// Store exposes the underlying storage for tests and convergence checks.
+func (s *Server) Store() *mvstore.Store { return s.store }
+
+// Clock exposes the server clock for tests.
+func (s *Server) Clock() hlc.Clock { return s.clock }
+
+// Start launches replication streams and the VV reporting loop.
+func (s *Server) Start() {
+	s.repl.start()
+	s.wg.Add(1)
+	go s.reportLoop()
+}
+
+// Close stops background work and detaches from the network.
+func (s *Server) Close() error {
+	close(s.stop)
+	s.repl.stopAll()
+	s.wg.Wait()
+	return s.node.Close()
+}
+
+// Handle dispatches one incoming message. It runs on a fresh goroutine per
+// message (see transport) and may block.
+func (s *Server) Handle(n transport.Node, src wire.Addr, reqID uint64, m wire.Message) {
+	switch msg := m.(type) {
+	case *wire.PutReq:
+		s.handlePut(src, reqID, msg)
+	case *wire.RotCoordReq:
+		s.handleRotCoord(src, reqID, msg)
+	case *wire.RotFwd:
+		s.handleRotFwd(msg)
+	case *wire.RotReadReq:
+		s.handleRotRead(src, reqID, msg)
+	case *wire.RepBatch:
+		s.handleRepBatch(src, reqID, msg)
+	case *wire.GSSBcast:
+		s.applyGSS(msg.GSS)
+	case *wire.Ping:
+		_ = n.Respond(src, reqID, &wire.Pong{Nonce: msg.Nonce})
+	default:
+		if reqID != 0 {
+			transport.RespondError(n, src, reqID, 400, "core: unexpected message")
+		}
+	}
+}
+
+// gssSnapshot returns a copy of the current GSS.
+func (s *Server) gssSnapshot() vclock.Vec {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gss.Clone()
+}
+
+// applyGSS merges a broadcast GSS, keeping monotonicity under reordering.
+func (s *Server) applyGSS(g vclock.Vec) {
+	s.mu.Lock()
+	s.gss.MaxInto(g)
+	s.mu.Unlock()
+}
+
+// vvSnapshot returns the server's version vector with the local entry set
+// to the current clock reading. With HLC or physical clocks the local entry
+// advances even when the partition is idle, which is the heartbeat that
+// keeps the GSS fresh (Section 4).
+func (s *Server) vvSnapshot() vclock.Vec {
+	s.mu.RLock()
+	v := s.vv.Clone()
+	s.mu.RUnlock()
+	v[s.cfg.DC] = s.clock.Now()
+	return v
+}
+
+// handlePut installs a new local version (Section 4, PUT path).
+func (s *Server) handlePut(src wire.Addr, reqID uint64, m *wire.PutReq) {
+	deps := m.Deps
+	if len(deps) != s.cfg.NumDCs {
+		d := vclock.New(s.cfg.NumDCs)
+		d.MaxInto(deps)
+		deps = d
+	}
+	// The new version's timestamp must exceed every dependency entry so
+	// that DV[src] dominates the vector. With a physical clock this Update
+	// may wait out clock skew — Cure's write-side blocking. The blocking
+	// part runs outside the fence; the final Tick inside it is instant.
+	s.clock.Update(deps.Max())
+
+	s.putMu.Lock()
+	ts := s.clock.Tick()
+	dv := deps.Clone()
+	dv[s.cfg.DC] = ts
+	v := mvstore.Version{Value: m.Value, TS: ts, SrcDC: uint8(s.cfg.DC), DV: dv}
+	s.store.Install(m.Key, v)
+	s.repl.enqueue(wire.Update{Key: m.Key, Value: m.Value, TS: ts, DV: dv})
+	s.putMu.Unlock()
+
+	_ = s.node.Respond(src, reqID, &wire.PutResp{TS: ts, GSS: s.gssSnapshot()})
+}
+
+// makeSV picks the snapshot vector for a ROT: remote entries from the GSS
+// (never ahead of what every local partition has installed, hence
+// nonblocking), local entry from the coordinator clock (fresh).
+func (s *Server) makeSV(seenLocal uint64, seenGSS vclock.Vec) vclock.Vec {
+	sv := s.gssSnapshot()
+	sv.MaxInto(seenGSS)
+	sv[s.cfg.DC] = max(s.clock.Now(), seenLocal)
+	return sv
+}
+
+// handleRotCoord runs the coordinator role (Figure 3).
+func (s *Server) handleRotCoord(src wire.Addr, reqID uint64, m *wire.RotCoordReq) {
+	sv := s.makeSV(m.SeenLocal, m.SeenGSS)
+	if m.Mode == uint8(TwoRounds) {
+		_ = s.node.Respond(src, reqID, &wire.RotCoordResp{RotID: m.RotID, SV: sv})
+		return
+	}
+	// 1 1/2 rounds: forward reads; partitions answer the client directly.
+	var own []string
+	for _, g := range m.Groups {
+		if int(g.Part) == s.cfg.Part {
+			own = g.Keys
+			continue
+		}
+		_ = s.node.Send(wire.ServerAddr(s.cfg.DC, int(g.Part)), &wire.RotFwd{
+			RotID:  m.RotID,
+			Client: src,
+			SV:     sv,
+			Keys:   g.Keys,
+		})
+	}
+	vals := s.readAt(sv, own)
+	_ = s.node.Send(src, &wire.RotSnap{RotID: m.RotID, SV: sv, Vals: vals})
+}
+
+// handleRotFwd serves the coordinator-forwarded leg of a 1 1/2-round ROT.
+func (s *Server) handleRotFwd(m *wire.RotFwd) {
+	vals := s.readAt(m.SV, m.Keys)
+	_ = s.node.Send(m.Client, &wire.RotVals{RotID: m.RotID, Vals: vals})
+}
+
+// handleRotRead serves the second round of a 2-round ROT.
+func (s *Server) handleRotRead(src wire.Addr, reqID uint64, m *wire.RotReadReq) {
+	vals := s.readAt(m.SV, m.Keys)
+	_ = s.node.Respond(src, reqID, &wire.RotReadResp{Vals: vals})
+}
+
+// readAt returns the freshest version of each key within snapshot sv.
+//
+// The partition first brings its clock up to the snapshot's local entry so
+// no later PUT can be assigned a timestamp inside the snapshot. Clocks that
+// can jump (HLC, Lamport) make this instantaneous — nonblocking ROTs; a
+// physical clock sleeps out the difference — Cure's read-side blocking.
+func (s *Server) readAt(sv vclock.Vec, keys []string) []wire.KV {
+	if len(keys) == 0 {
+		return nil
+	}
+	local := uint64(0)
+	if s.cfg.DC < len(sv) {
+		local = sv[s.cfg.DC]
+	}
+	if s.clock.Now() < local {
+		s.clock.Update(local)
+	}
+	// After the clock move, any in-flight PUT that has not yet entered the
+	// fence will be timestamped above SV[local]; waiting for the fence
+	// flushes the ones already inside it.
+	s.putMu.RLock()
+	defer s.putMu.RUnlock()
+	vals := make([]wire.KV, len(keys))
+	for i, k := range keys {
+		v, ok := s.store.ReadAtSnapshot(k, sv)
+		if ok {
+			vals[i] = wire.KV{Key: k, Value: v.Value, TS: v.TS}
+		} else {
+			vals[i] = wire.KV{Key: k}
+		}
+	}
+	return vals
+}
+
+// handleRepBatch applies a replication batch from a sibling replica.
+func (s *Server) handleRepBatch(src wire.Addr, reqID uint64, m *wire.RepBatch) {
+	srcDC := int(m.SrcDC)
+	if srcDC == s.cfg.DC || srcDC >= s.cfg.NumDCs {
+		transport.RespondError(s.node, src, reqID, 400, "core: bad replication source")
+		return
+	}
+	s.mu.Lock()
+	if m.Seq < s.nextIn[srcDC] {
+		// Duplicate delivery after a lost or delayed ack; already applied.
+		s.mu.Unlock()
+		_ = s.node.Respond(src, reqID, &wire.RepAck{Seq: m.Seq})
+		return
+	}
+	s.nextIn[srcDC] = m.Seq + 1
+	s.mu.Unlock()
+
+	for i := range m.Ups {
+		u := &m.Ups[i]
+		s.store.Install(u.Key, mvstore.Version{
+			Value: u.Value, TS: u.TS, SrcDC: m.SrcDC, DV: u.DV,
+		})
+	}
+	s.mu.Lock()
+	if m.HighTS > s.vv[srcDC] {
+		s.vv[srcDC] = m.HighTS
+	}
+	s.mu.Unlock()
+	_ = s.node.Respond(src, reqID, &wire.RepAck{Seq: m.Seq})
+}
+
+// reportLoop periodically reports the server's VV to the DC stabilizer.
+func (s *Server) reportLoop() {
+	defer s.wg.Done()
+	t := newTicker(s.cfg.StabilizeEvery)
+	defer t.Stop()
+	stab := wire.StabilizerAddr(s.cfg.DC)
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			_ = s.node.Send(stab, &wire.VVReport{
+				Part: uint32(s.cfg.Part),
+				VV:   s.vvSnapshot(),
+			})
+		}
+	}
+}

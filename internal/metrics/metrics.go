@@ -1,0 +1,137 @@
+// Package metrics provides the lock-free latency histograms and counters
+// the benchmark harness uses to report the paper's performance metrics:
+// throughput (PUTs + ROTs per second), and average and 99th-percentile
+// operation latencies (§5.2, "Performance metrics").
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// subBucketBits fixes the histogram's relative precision: 2^5 = 32
+// sub-buckets per power of two keeps quantile error under ~3%, comparable
+// to HdrHistogram at 2 significant digits.
+const subBucketBits = 5
+
+const (
+	subBuckets = 1 << subBucketBits
+	numBuckets = 64 * subBuckets
+)
+
+// Histogram is a lock-free log-bucketed latency histogram. The zero value
+// is NOT ready; use NewHistogram.
+type Histogram struct {
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // nanoseconds
+	max     atomic.Uint64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{buckets: make([]atomic.Uint64, numBuckets)}
+}
+
+func bucketIndex(v uint64) int {
+	if v < subBuckets {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 // ≥ subBucketBits
+	sub := (v >> (uint(exp) - subBucketBits)) & (subBuckets - 1)
+	return (exp-subBucketBits+1)*subBuckets + int(sub)
+}
+
+// bucketMid returns a representative value for bucket i (midpoint).
+func bucketMid(i int) uint64 {
+	if i < subBuckets {
+		return uint64(i)
+	}
+	exp := uint(i/subBuckets) + subBucketBits - 1
+	sub := uint64(i % subBuckets)
+	lo := (1 << exp) | (sub << (exp - subBucketBits))
+	return lo + (1 << (exp - subBucketBits) / 2)
+}
+
+// Record adds one latency observation.
+func (h *Histogram) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	v := uint64(d)
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Mean returns the average observation.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Percentile returns the p-th percentile (0 < p ≤ 100).
+func (h *Histogram) Percentile(p float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := uint64(p / 100 * float64(n))
+	if rank >= n {
+		rank = n - 1
+	}
+	var seen uint64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen > rank {
+			return time.Duration(bucketMid(i))
+		}
+	}
+	return h.Max()
+}
+
+// Reset zeroes the histogram (used at the warmup/measurement boundary).
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+}
+
+// Snapshot copies the histogram into a frozen view for reporting.
+func (h *Histogram) Snapshot() Summary {
+	return Summary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Percentile(50),
+		P99:   h.Percentile(99),
+		Max:   h.Max(),
+	}
+}
+
+// Summary is a frozen histogram digest.
+type Summary struct {
+	Count uint64
+	Mean  time.Duration
+	P50   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}

@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(99) != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+func TestMeanAndMax(t *testing.T) {
+	h := NewHistogram()
+	h.Record(100 * time.Microsecond)
+	h.Record(300 * time.Microsecond)
+	if got := h.Mean(); got != 200*time.Microsecond {
+		t.Fatalf("Mean = %v, want 200µs", got)
+	}
+	if got := h.Max(); got != 300*time.Microsecond {
+		t.Fatalf("Max = %v, want 300µs", got)
+	}
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}
+
+func TestPercentileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	r := rand.New(rand.NewSource(1))
+	vals := make([]time.Duration, 10000)
+	for i := range vals {
+		vals[i] = time.Duration(r.Intn(5_000_000)) // up to 5ms
+		h.Record(vals[i])
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, p := range []float64{50, 90, 99} {
+		exact := vals[int(p/100*float64(len(vals)))]
+		got := h.Percentile(p)
+		// Log-bucketed histograms are accurate to one sub-bucket (~3%).
+		lo := time.Duration(float64(exact) * 0.90)
+		hi := time.Duration(float64(exact)*1.10) + time.Microsecond
+		if got < lo || got > hi {
+			t.Errorf("P%.0f = %v, want within 10%% of %v", p, got, exact)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := NewHistogram()
+	h.Record(time.Millisecond)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 || h.Percentile(99) != 0 {
+		t.Fatal("Reset did not clear histogram")
+	}
+}
+
+func TestSnapshotOrdering(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if !(s.P50 <= s.P99 && s.P99 <= s.Max) {
+		t.Fatalf("quantiles out of order: %+v", s)
+	}
+	if s.Count != 1000 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	const workers, per = 8, 10000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(i%1000) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("lost observations: %d", h.Count())
+	}
+}
+
+func TestBucketIndexMonotone(t *testing.T) {
+	prev := -1
+	for _, v := range []uint64{0, 1, 31, 32, 33, 100, 1000, 1 << 20, 1 << 40, 1<<63 + 5} {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone at %d", v)
+		}
+		if idx >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, idx)
+		}
+		prev = idx
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	h := NewHistogram()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Record(123456 * time.Nanosecond)
+		}
+	})
+}
+
+func BenchmarkPercentile(b *testing.B) {
+	h := NewHistogram()
+	for i := 0; i < 100000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Percentile(99)
+	}
+}

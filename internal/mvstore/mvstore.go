@@ -1,0 +1,196 @@
+// Package mvstore implements the per-partition multi-version storage engine
+// used by the timestamp-based protocols (Contrarian, Cure).
+//
+// Each key holds a short chain of versions totally ordered by (TS, SrcDC) —
+// the last-writer-wins rule of Section 2.2 that guarantees convergence.
+// Reads select the freshest version whose dependency vector is entry-wise ≤
+// a snapshot vector, which is exactly the visibility rule of Section 4.
+//
+// Chains are capped: once a chain exceeds its cap the oldest versions are
+// discarded. A snapshot read that would have needed a discarded version
+// falls back to the oldest retained one and the store counts the event, so
+// benchmarks can verify the approximation never matters at the GSS lags the
+// protocols sustain (it does not; see mvstore tests and EXPERIMENTS.md).
+package mvstore
+
+import (
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/vclock"
+)
+
+// Version is one immutable version of an item.
+type Version struct {
+	Value []byte
+	TS    uint64 // timestamp assigned at the source DC; DV[SrcDC] == TS
+	SrcDC uint8
+	DV    vclock.Vec // dependency vector, one entry per DC
+}
+
+// Before reports whether v precedes o in the total last-writer-wins order.
+func (v *Version) Before(o *Version) bool {
+	if v.TS != o.TS {
+		return v.TS < o.TS
+	}
+	return v.SrcDC < o.SrcDC
+}
+
+const nShards = 64
+
+// Store is a sharded multi-version key-value map. All methods are safe for
+// concurrent use.
+type Store struct {
+	shards      [nShards]shard
+	maxVersions int
+	seed        maphash.Seed
+
+	approxReads atomic.Uint64 // snapshot reads served past a trimmed chain
+}
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[string]*chain
+}
+
+type chain struct {
+	versions []Version // ascending by (TS, SrcDC)
+	trimmed  bool      // true once old versions have been discarded
+}
+
+// DefaultMaxVersions caps per-key chains. The GSS lags by roughly one
+// stabilization interval (5 ms), so even a key written continuously needs
+// only (write rate × lag) retained versions; 64 is far above that at our
+// scales.
+const DefaultMaxVersions = 64
+
+// New returns an empty store keeping at most maxVersions versions per key
+// (0 means DefaultMaxVersions).
+func New(maxVersions int) *Store {
+	if maxVersions <= 0 {
+		maxVersions = DefaultMaxVersions
+	}
+	s := &Store{maxVersions: maxVersions, seed: maphash.MakeSeed()}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]*chain)
+	}
+	return s
+}
+
+func (s *Store) shard(key string) *shard {
+	return &s.shards[maphash.String(s.seed, key)%nShards]
+}
+
+// ApproxReads returns how many snapshot reads were answered with the oldest
+// retained version because the exact version had been trimmed.
+func (s *Store) ApproxReads() uint64 { return s.approxReads.Load() }
+
+// Install inserts version v of key, keeping the chain ordered and capped.
+// Duplicate (TS, SrcDC) installs are idempotent. It returns true if v is
+// now the newest version of key.
+func (s *Store) Install(key string, v Version) bool {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	c := sh.m[key]
+	if c == nil {
+		c = &chain{}
+		sh.m[key] = c
+	}
+	// Find insertion point from the tail: installs are usually the newest.
+	i := len(c.versions)
+	for i > 0 && v.Before(&c.versions[i-1]) {
+		i--
+	}
+	if i > 0 && c.versions[i-1].TS == v.TS && c.versions[i-1].SrcDC == v.SrcDC {
+		return i == len(c.versions) // duplicate
+	}
+	c.versions = append(c.versions, Version{})
+	copy(c.versions[i+1:], c.versions[i:])
+	c.versions[i] = v
+	// Decide "newest" before trimming shortens the slice.
+	newest := i == len(c.versions)-1
+	if len(c.versions) > s.maxVersions {
+		drop := len(c.versions) - s.maxVersions
+		c.versions = append(c.versions[:0:0], c.versions[drop:]...)
+		c.trimmed = true
+	}
+	return newest
+}
+
+// ReadLatest returns the newest version of key.
+func (s *Store) ReadLatest(key string) (Version, bool) {
+	sh := s.shard(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	c := sh.m[key]
+	if c == nil || len(c.versions) == 0 {
+		return Version{}, false
+	}
+	return c.versions[len(c.versions)-1], true
+}
+
+// ReadAtSnapshot returns the freshest version of key whose dependency
+// vector is entry-wise ≤ sv. If the key has no version inside the snapshot
+// it returns false — the key does not exist yet in this snapshot.
+func (s *Store) ReadAtSnapshot(key string, sv vclock.Vec) (Version, bool) {
+	sh := s.shard(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	c := sh.m[key]
+	if c == nil || len(c.versions) == 0 {
+		return Version{}, false
+	}
+	for i := len(c.versions) - 1; i >= 0; i-- {
+		if c.versions[i].DV.LEQ(sv) {
+			return c.versions[i], true
+		}
+	}
+	if c.trimmed {
+		// The exact version was discarded; serve the oldest retained one
+		// rather than blocking. Counted so experiments can prove this is
+		// vanishingly rare.
+		s.approxReads.Add(1)
+		return c.versions[0], true
+	}
+	return Version{}, false
+}
+
+// Keys returns the number of keys present.
+func (s *Store) Keys() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// ForEachLatest calls fn with every key's newest version. Used by tests to
+// check replica convergence; fn must not call back into the store.
+func (s *Store) ForEachLatest(fn func(key string, v Version)) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k, c := range sh.m {
+			if len(c.versions) > 0 {
+				fn(k, c.versions[len(c.versions)-1])
+			}
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// ChainLen returns the number of retained versions of key.
+func (s *Store) ChainLen(key string) int {
+	sh := s.shard(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if c := sh.m[key]; c != nil {
+		return len(c.versions)
+	}
+	return 0
+}

@@ -1,0 +1,43 @@
+// Package ring maps keys to partitions with a deterministic hash, the
+// "hash function that deterministically assigns each key to a partition"
+// of Section 2.3. FNV-1a is used so clients and servers in different
+// processes (TCP deployments) agree without exchanging a seed.
+package ring
+
+// Ring assigns keys to n partitions.
+type Ring struct{ n int }
+
+// New returns a ring over n partitions. n must be positive.
+func New(n int) Ring {
+	if n <= 0 {
+		panic("ring: non-positive partition count")
+	}
+	return Ring{n: n}
+}
+
+// Parts returns the number of partitions.
+func (r Ring) Parts() int { return r.n }
+
+// Owner returns the partition owning key.
+func (r Ring) Owner(key string) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return int(h % uint64(r.n))
+}
+
+// Group splits keys by owning partition, preserving order within groups.
+func (r Ring) Group(keys []string) map[int][]string {
+	g := make(map[int][]string)
+	for _, k := range keys {
+		p := r.Owner(k)
+		g[p] = append(g[p], k)
+	}
+	return g
+}

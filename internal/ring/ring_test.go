@@ -1,0 +1,61 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestOwnerDeterministicAndInRange(t *testing.T) {
+	r := New(32)
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		p := r.Owner(k)
+		if p < 0 || p >= 32 {
+			t.Fatalf("Owner(%q) = %d out of range", k, p)
+		}
+		if p != r.Owner(k) {
+			t.Fatalf("Owner(%q) not deterministic", k)
+		}
+	}
+}
+
+func TestOwnerSpread(t *testing.T) {
+	r := New(8)
+	counts := make([]int, 8)
+	const n = 8000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for p, c := range counts {
+		if c < n/8/2 || c > n/8*2 {
+			t.Errorf("partition %d has %d keys, want ≈%d", p, c, n/8)
+		}
+	}
+}
+
+func TestGroup(t *testing.T) {
+	r := New(4)
+	keys := []string{"a", "b", "c", "d", "e", "f"}
+	g := r.Group(keys)
+	total := 0
+	for p, ks := range g {
+		total += len(ks)
+		for _, k := range ks {
+			if r.Owner(k) != p {
+				t.Fatalf("key %q grouped under %d but owned by %d", k, p, r.Owner(k))
+			}
+		}
+	}
+	if total != len(keys) {
+		t.Fatalf("grouped %d keys, want %d", total, len(keys))
+	}
+}
+
+func TestNewPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0)
+}

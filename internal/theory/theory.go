@@ -1,0 +1,296 @@
+// Package theory is an executable model of Section 6 of the paper: the
+// proof that latency-optimal ROTs inherently impose on writes a
+// communication overhead that grows linearly with the number of clients
+// (Theorem 1).
+//
+// The proof's structure is reproduced as a small discrete-event simulation
+// specialized to the two-partition scenario of Figure 10. The canonical
+// schedule is:
+//
+//	X0, Y0 visible  →  t1: every client in R issues ROT{x, y}
+//	t2: px receives the x-reads, py receives the y-reads
+//	t3: PUT(x, X1)  →  t4: PUT(y, Y1)  →  τY1: Y1 visible
+//
+// For each protocol model we can (a) record the communication string of
+// messages px and py exchange before τY1 — the strings Lemma 1 proves must
+// differ across reader sets — and (b) build the adversarial execution E*
+// where a subset of reads is delayed past τY1, and check whether the late
+// ROT still observes a causally consistent snapshot.
+//
+// Three models are provided:
+//
+//   - LatencyOptimal: the CC-LO/COPS-SNOW write path; the readers check
+//     communicates reader identities, so communication grows with |R| and
+//     E* stays consistent.
+//   - LamportStrawMan: the straw man discussed after Theorem 1 — writes
+//     carry only Lamport timestamps. Communication is independent of WHICH
+//     clients read, Lemma 1's distinctness fails, and E* exhibits the
+//     causal violation the proof constructs.
+//   - NonOptimal: a Contrarian-like design; it escapes the theorem by
+//     giving up the one-round property (reads carry snapshot information),
+//     so writes need no reader communication at all.
+package theory
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The fixed schedule of the §6 construction.
+const (
+	tVisible = 0  // X0, Y0 visible
+	t1       = 10 // clients issue ROT{x,y}
+	t2       = 20 // reads received by px and py
+	t3       = 30 // PUT(x, X1) issued
+	t4       = 40 // PUT(y, Y1) issued
+	tauY1    = 50 // Y1 complete (visible)
+	tLate    = 60 // delayed reads of E* arrive
+)
+
+// Model is one protocol under the §6 system model.
+type Model interface {
+	// Name identifies the model.
+	Name() string
+	// LatencyOptimal reports whether the model's ROTs are one-round,
+	// one-version and nonblocking (the theorem's hypothesis).
+	LatencyOptimal() bool
+	// CommString runs the canonical execution E(R) with the given reader
+	// set (client ids, subset of 0..n-1) and returns the concatenation of
+	// the messages px and py exchange with each other before τY1 — the
+	// string of Lemma 1.
+	CommString(readers []int, n int) string
+	// RunEStar builds the execution E* from E(R2) in which the clients in
+	// R1\R2 are old readers: their x-reads arrive at t2 but their y-reads
+	// are delayed past τY1. It returns the snapshot those clients observe.
+	RunEStar(r1, r2 []int, n int) Snapshot
+}
+
+// Snapshot is what a delayed ROT of E* returned.
+type Snapshot struct {
+	X, Y string // version names: "X0"/"X1" and "Y0"/"Y1"
+}
+
+// Consistent reports whether the snapshot is causally consistent under
+// X0 ; X1 ; Y1: the combination {X0, Y1} is the Figure 1 anomaly.
+func (s Snapshot) Consistent() bool { return !(s.X == "X0" && s.Y == "Y1") }
+
+func keyOf(readers []int) string {
+	sorted := append([]int(nil), readers...)
+	sort.Ints(sorted)
+	parts := make([]string, len(sorted))
+	for i, r := range sorted {
+		parts[i] = fmt.Sprint(r)
+	}
+	return strings.Join(parts, ",")
+}
+
+// diff returns the elements of a not in b.
+func diff(a, b []int) []int {
+	inB := make(map[int]bool, len(b))
+	for _, x := range b {
+		inB[x] = true
+	}
+	var out []int
+	for _, x := range a {
+		if !inB[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+//
+// LatencyOptimal: the CC-LO write path.
+//
+
+// LatencyOptimal models COPS-SNOW: px records the readers of X0; the PUT
+// of Y1 triggers a readers check whose response carries their identities.
+type LatencyOptimal struct{}
+
+// Name implements Model.
+func (LatencyOptimal) Name() string { return "CC-LO (readers check)" }
+
+// LatencyOptimal implements Model.
+func (LatencyOptimal) LatencyOptimal() bool { return true }
+
+// CommString returns the readers-check response: the identities of the old
+// readers of x, which is exactly the reader set R. Its length grows
+// linearly with |R| — and across the 2^|D| executions all strings are
+// distinct, matching Lemma 1.
+func (LatencyOptimal) CommString(readers []int, n int) string {
+	// At t2 px records R as readers of X0. At t3 X1 supersedes X0, making
+	// them old readers. At t4 py interrogates px; the response lists R.
+	return "old-readers(x):{" + keyOf(readers) + "}"
+}
+
+// RunEStar: the delayed y-readers are in py's old-reader record (their
+// identities arrived with the readers check), so py serves them Y0.
+func (LatencyOptimal) RunEStar(r1, r2 []int, n int) Snapshot {
+	old := diff(r1, r2)
+	if len(old) == 0 {
+		return Snapshot{X: "X1", Y: "Y1"}
+	}
+	// The old readers read X0 at t2 (before X1); their late y-read finds
+	// their id in the old-reader record and is redirected to Y0.
+	return Snapshot{X: "X0", Y: "Y0"}
+}
+
+//
+// LamportStrawMan: timestamps only.
+//
+
+// LamportStrawMan models the straw man of §6.3's closing remark: every
+// message carries only Lamport clock values. The clock advances by the
+// NUMBER of reads, so two reader sets of equal size produce identical
+// communication — Lemma 1's distinctness fails, and the E* construction
+// yields a causally inconsistent snapshot.
+type LamportStrawMan struct{}
+
+// Name implements Model.
+func (LamportStrawMan) Name() string { return "Lamport straw man" }
+
+// LatencyOptimal implements Model.
+func (LamportStrawMan) LatencyOptimal() bool { return true }
+
+// CommString carries only clock values: px's clock after serving |R|
+// reads, and the dependency timestamp of X1 sent with PUT(y, Y1).
+func (LamportStrawMan) CommString(readers []int, n int) string {
+	clockAfterReads := t2 + len(readers) // ticks once per read
+	tsX1 := clockAfterReads + 1
+	return fmt.Sprintf("dep(x):ts=%d;clock=%d", tsX1, clockAfterReads)
+}
+
+// RunEStar: py has no idea which clients read X0; the late y-read is
+// served the latest version Y1, and the delayed clients assemble the
+// anomalous snapshot {X0, Y1}.
+func (LamportStrawMan) RunEStar(r1, r2 []int, n int) Snapshot {
+	old := diff(r1, r2)
+	if len(old) == 0 {
+		return Snapshot{X: "X1", Y: "Y1"}
+	}
+	return Snapshot{X: "X0", Y: "Y1"} // violation
+}
+
+//
+// NonOptimal: a Contrarian-like coordinator design.
+//
+
+// NonOptimal models a design that is NOT latency optimal: reads take an
+// extra half round through a coordinator and carry a snapshot timestamp.
+// Writes communicate nothing about readers; the snapshot carried by the
+// read itself prevents the anomaly. This shows the theorem's overhead is
+// specific to latency optimality, not to causal consistency.
+type NonOptimal struct{}
+
+// Name implements Model.
+func (NonOptimal) Name() string { return "Contrarian (not latency-optimal)" }
+
+// LatencyOptimal implements Model.
+func (NonOptimal) LatencyOptimal() bool { return false }
+
+// CommString is constant: the write path exchanges no reader information.
+func (NonOptimal) CommString(readers []int, n int) string { return "" }
+
+// RunEStar: the late y-read carries the ROT's snapshot timestamp (chosen
+// at t1, before X1); py serves the freshest version within the snapshot,
+// which is Y0.
+func (NonOptimal) RunEStar(r1, r2 []int, n int) Snapshot {
+	old := diff(r1, r2)
+	if len(old) == 0 {
+		return Snapshot{X: "X1", Y: "Y1"}
+	}
+	return Snapshot{X: "X0", Y: "Y0"}
+}
+
+//
+// The theorem's counting argument.
+//
+
+// subsets enumerates all subsets of {0..n-1}.
+func subsets(n int) [][]int {
+	out := make([][]int, 0, 1<<n)
+	for mask := 0; mask < 1<<n; mask++ {
+		var s []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				s = append(s, i)
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// LemmaOneReport summarizes the distinctness check of Lemma 1 over all
+// 2^n executions of E.
+type LemmaOneReport struct {
+	Model      string
+	N          int  // |D|
+	Executions int  // 2^N
+	Distinct   int  // distinct communication strings
+	Holds      bool // all strings pairwise distinct
+	// WorstCaseBits is the longest communication string in bits; by the
+	// pigeonhole argument of Lemma 2 it must be ≥ N when Holds.
+	WorstCaseBits int
+	// A witness collision when !Holds.
+	CollisionA, CollisionB []int
+}
+
+// CheckLemmaOne enumerates every reader subset and checks whether the
+// model's communication strings are pairwise distinct (Lemma 1). For a
+// correct LO protocol they must be; for the straw man they collide.
+func CheckLemmaOne(m Model, n int) LemmaOneReport {
+	rep := LemmaOneReport{Model: m.Name(), N: n, Executions: 1 << n, Holds: true}
+	seen := make(map[string][]int, 1<<n)
+	for _, r := range subsets(n) {
+		str := m.CommString(r, n)
+		if bits := len(str) * 8; bits > rep.WorstCaseBits {
+			rep.WorstCaseBits = bits
+		}
+		if prev, dup := seen[str]; dup {
+			if rep.Holds {
+				rep.CollisionA, rep.CollisionB = prev, r
+			}
+			rep.Holds = false
+			continue
+		}
+		seen[str] = r
+	}
+	rep.Distinct = len(seen)
+	return rep
+}
+
+// EStarReport records the outcome of the E* construction for a collision.
+type EStarReport struct {
+	Model      string
+	R1, R2     []int
+	Snapshot   Snapshot
+	Consistent bool
+}
+
+// BuildEStar constructs E* for reader sets r1, r2 (r1\r2 nonempty) and
+// reports the snapshot observed by the delayed readers.
+func BuildEStar(m Model, r1, r2 []int, n int) EStarReport {
+	s := m.RunEStar(r1, r2, n)
+	return EStarReport{Model: m.Name(), R1: r1, R2: r2, Snapshot: s, Consistent: s.Consistent()}
+}
+
+// TheoremOneRow is one |D| step of the lower-bound growth table: the
+// worst-case write-side communication of a correct LO protocol.
+type TheoremOneRow struct {
+	N             int
+	Executions    int
+	WorstCaseBits int // ≥ N by Lemma 2
+}
+
+// TheoremOneTable computes the worst-case communication for |D| = 1..n —
+// the theoretical counterpart of the measured Figure 6.
+func TheoremOneTable(m Model, maxN int) []TheoremOneRow {
+	rows := make([]TheoremOneRow, 0, maxN)
+	for n := 1; n <= maxN; n++ {
+		rep := CheckLemmaOne(m, n)
+		rows = append(rows, TheoremOneRow{N: n, Executions: rep.Executions, WorstCaseBits: rep.WorstCaseBits})
+	}
+	return rows
+}

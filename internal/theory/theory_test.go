@@ -1,0 +1,187 @@
+package theory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSubsets(t *testing.T) {
+	ss := subsets(3)
+	if len(ss) != 8 {
+		t.Fatalf("subsets(3) = %d sets, want 8", len(ss))
+	}
+	seen := map[string]bool{}
+	for _, s := range ss {
+		k := keyOf(s)
+		if seen[k] {
+			t.Fatalf("duplicate subset %v", s)
+		}
+		seen[k] = true
+	}
+}
+
+func TestDiff(t *testing.T) {
+	got := diff([]int{1, 2, 3}, []int{2})
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("diff = %v", got)
+	}
+}
+
+// Lemma 1 for the latency-optimal model: every reader subset yields a
+// distinct communication string.
+func TestLemmaOneHoldsForLO(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		rep := CheckLemmaOne(LatencyOptimal{}, n)
+		if !rep.Holds {
+			t.Fatalf("|D|=%d: LO model produced a collision: %v vs %v", n, rep.CollisionA, rep.CollisionB)
+		}
+		if rep.Distinct != 1<<n {
+			t.Fatalf("|D|=%d: %d distinct strings, want %d", n, rep.Distinct, 1<<n)
+		}
+	}
+}
+
+// Lemma 2: with all 2^|D| strings distinct, the worst case is at least |D|
+// bits.
+func TestLemmaTwoLowerBound(t *testing.T) {
+	for n := 1; n <= 12; n++ {
+		rep := CheckLemmaOne(LatencyOptimal{}, n)
+		if rep.WorstCaseBits < n {
+			t.Fatalf("|D|=%d: worst case %d bits < |D|", n, rep.WorstCaseBits)
+		}
+	}
+}
+
+// Theorem 1's growth: the worst-case communication grows (at least)
+// linearly in |D|.
+func TestTheoremOneLinearGrowth(t *testing.T) {
+	rows := TheoremOneTable(LatencyOptimal{}, 10)
+	for i := 1; i < len(rows); i++ {
+		if rows[i].WorstCaseBits <= rows[i-1].WorstCaseBits {
+			t.Fatalf("worst-case bits not increasing: %+v", rows)
+		}
+	}
+	// Linearity: bits per client bounded on both sides.
+	last := rows[len(rows)-1]
+	perClient := float64(last.WorstCaseBits) / float64(last.N)
+	if perClient < 1 || perClient > 64 {
+		t.Fatalf("bits per client = %v, expected linear-scale constant", perClient)
+	}
+}
+
+// The straw man collides: Lemma 1 fails for same-size reader sets.
+func TestStrawManCollides(t *testing.T) {
+	rep := CheckLemmaOne(LamportStrawMan{}, 4)
+	if rep.Holds {
+		t.Fatal("straw man must produce colliding communication strings")
+	}
+	if rep.CollisionA == nil && rep.CollisionB == nil {
+		t.Fatal("no collision witness recorded")
+	}
+	if len(rep.CollisionA) != len(rep.CollisionB) {
+		t.Fatalf("straw-man collisions must have equal size: %v vs %v", rep.CollisionA, rep.CollisionB)
+	}
+}
+
+// E* on the straw man's collision exhibits the causal violation the proof
+// of Lemma 1 constructs.
+func TestEStarViolationForStrawMan(t *testing.T) {
+	rep := CheckLemmaOne(LamportStrawMan{}, 4)
+	r1, r2 := rep.CollisionA, rep.CollisionB
+	if len(diff(r1, r2)) == 0 {
+		r1, r2 = r2, r1
+	}
+	es := BuildEStar(LamportStrawMan{}, r1, r2, 4)
+	if es.Consistent {
+		t.Fatalf("straw man E* returned a consistent snapshot %v; the proof requires a violation", es.Snapshot)
+	}
+	if es.Snapshot.X != "X0" || es.Snapshot.Y != "Y1" {
+		t.Fatalf("expected the {X0, Y1} anomaly, got %+v", es.Snapshot)
+	}
+}
+
+// E* on the LO model stays consistent: the communicated reader identities
+// let py redirect the delayed read.
+func TestEStarConsistentForLO(t *testing.T) {
+	es := BuildEStar(LatencyOptimal{}, []int{0, 1, 2}, []int{1}, 4)
+	if !es.Consistent {
+		t.Fatalf("LO model E* violated consistency: %+v", es.Snapshot)
+	}
+	if es.Snapshot.Y != "Y0" {
+		t.Fatalf("old readers must be served Y0, got %+v", es.Snapshot)
+	}
+}
+
+// The non-optimal (Contrarian-like) model stays consistent with ZERO
+// write-side communication — the theorem's overhead is specific to LO.
+func TestNonOptimalEscapesTheTheorem(t *testing.T) {
+	m := NonOptimal{}
+	if m.LatencyOptimal() {
+		t.Fatal("model must not claim latency optimality")
+	}
+	rep := CheckLemmaOne(m, 6)
+	if rep.Holds {
+		t.Fatal("non-LO model should NOT satisfy Lemma 1 distinctness (it communicates nothing)")
+	}
+	if rep.WorstCaseBits != 0 {
+		t.Fatalf("non-LO write-side communication = %d bits, want 0", rep.WorstCaseBits)
+	}
+	es := BuildEStar(m, []int{0, 2}, []int{}, 4)
+	if !es.Consistent {
+		t.Fatalf("non-LO model must stay consistent: %+v", es.Snapshot)
+	}
+}
+
+// Property: for any pair of subsets, E* under the LO model is consistent.
+func TestQuickEStarAlwaysConsistentForLO(t *testing.T) {
+	f := func(mask1, mask2 uint8) bool {
+		const n = 8
+		var r1, r2 []int
+		for i := 0; i < n; i++ {
+			if mask1&(1<<i) != 0 {
+				r1 = append(r1, i)
+			}
+			if mask2&(1<<i) != 0 {
+				r2 = append(r2, i)
+			}
+		}
+		return BuildEStar(LatencyOptimal{}, r1, r2, n).Consistent
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the straw man violates consistency exactly when there is at
+// least one delayed old reader.
+func TestQuickStrawManViolationCondition(t *testing.T) {
+	f := func(mask1, mask2 uint8) bool {
+		const n = 8
+		var r1, r2 []int
+		for i := 0; i < n; i++ {
+			if mask1&(1<<i) != 0 {
+				r1 = append(r1, i)
+			}
+			if mask2&(1<<i) != 0 {
+				r2 = append(r2, i)
+			}
+		}
+		es := BuildEStar(LamportStrawMan{}, r1, r2, n)
+		wantViolation := len(diff(r1, r2)) > 0
+		return es.Consistent != wantViolation
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotConsistent(t *testing.T) {
+	if (Snapshot{X: "X0", Y: "Y1"}).Consistent() {
+		t.Fatal("{X0,Y1} is the anomaly")
+	}
+	for _, s := range []Snapshot{{X: "X0", Y: "Y0"}, {X: "X1", Y: "Y0"}, {X: "X1", Y: "Y1"}} {
+		if !s.Consistent() {
+			t.Fatalf("%+v should be consistent", s)
+		}
+	}
+}

@@ -1,0 +1,322 @@
+package transport
+
+import (
+	"container/heap"
+	"context"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// LatencyModel computes one-way message delays for the in-process network.
+// The defaults approximate the paper's testbed: a fast LAN within a DC and
+// an emulated WAN between DCs (the paper itself runs DCs over a LAN and
+// argues that suffices, §5.2).
+type LatencyModel struct {
+	// IntraDC is the one-way delay between two nodes in the same DC.
+	IntraDC time.Duration
+	// InterDC is the one-way delay between nodes in different DCs.
+	InterDC time.Duration
+	// JitterFrac adds uniform jitter in [0, JitterFrac] of the base delay.
+	JitterFrac float64
+	// InterDCLoss drops this fraction of cross-DC messages, modelling WAN
+	// loss; replication must mask it by retrying (acked batches).
+	InterDCLoss float64
+}
+
+// DefaultLatency mirrors a 10 Gbps LAN plus an emulated remote DC.
+func DefaultLatency() LatencyModel {
+	return LatencyModel{IntraDC: 100 * time.Microsecond, InterDC: time.Millisecond, JitterFrac: 0.1}
+}
+
+// Drop reports whether a message from src to dst should be lost.
+func (l LatencyModel) Drop(src, dst wire.Addr) bool {
+	return l.InterDCLoss > 0 && src.DC() != dst.DC() && rand.Float64() < l.InterDCLoss
+}
+
+// Delay returns the one-way delay from src to dst.
+func (l LatencyModel) Delay(src, dst wire.Addr) time.Duration {
+	base := l.IntraDC
+	if src.DC() != dst.DC() {
+		base = l.InterDC
+	}
+	if base <= 0 {
+		return 0
+	}
+	if l.JitterFrac > 0 {
+		base += time.Duration(rand.Float64() * l.JitterFrac * float64(base))
+	}
+	return base
+}
+
+// Local is an in-process Network. Every message is marshalled through the
+// wire codec on send and unmarshalled on delivery, so serialization CPU
+// cost is faithfully charged, and delivery is delayed per the LatencyModel.
+//
+// Delayed delivery does not use runtime timers: on stock kernels their
+// granularity (≥1 ms on this class of machine) would swamp the sub-ms LAN
+// latencies under study. Instead, sharded delivery wheels block on a
+// channel while idle and spin only when the next delivery is imminent,
+// giving microsecond-accurate injection (see DESIGN.md).
+type Local struct {
+	latency LatencyModel
+	stats   Stats
+	wheels  []*wheel
+
+	mu     sync.RWMutex
+	nodes  map[wire.Addr]*localNode
+	closed bool
+}
+
+// numWheels shards delayed delivery to avoid a single dispatcher
+// bottleneck at high message rates.
+const numWheels = 4
+
+// NewLocal returns an empty in-process network.
+func NewLocal(latency LatencyModel) *Local {
+	l := &Local{latency: latency, nodes: make(map[wire.Addr]*localNode)}
+	for i := 0; i < numWheels; i++ {
+		w := &wheel{net: l, ch: make(chan delivery, 8192), stop: make(chan struct{})}
+		l.wheels = append(l.wheels, w)
+		go w.run()
+	}
+	return l
+}
+
+// Stats exposes the network's traffic counters.
+func (l *Local) Stats() *Stats { return &l.stats }
+
+// Attach registers addr with handler h.
+func (l *Local) Attach(addr wire.Addr, h Handler) (Node, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := l.nodes[addr]; dup {
+		return nil, ErrAttached
+	}
+	n := &localNode{net: l, addr: addr, h: h}
+	l.nodes[addr] = n
+	return n, nil
+}
+
+// Close detaches every node. In-flight messages are dropped.
+func (l *Local) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	for a, n := range l.nodes {
+		n.closed.Store(true)
+		delete(l.nodes, a)
+	}
+	l.mu.Unlock()
+	for _, w := range l.wheels {
+		close(w.stop)
+	}
+	return nil
+}
+
+func (l *Local) lookup(addr wire.Addr) *localNode {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.nodes[addr]
+}
+
+// dispatch routes a marshalled envelope after its simulated flight.
+func (l *Local) dispatch(buf []byte) {
+	env, err := wire.DecodeEnvelope(buf)
+	if err != nil {
+		l.stats.Dropped.Add(1)
+		return
+	}
+	dst := l.lookup(env.Dst)
+	if dst == nil || dst.closed.Load() {
+		l.stats.Dropped.Add(1)
+		return
+	}
+	if env.Resp {
+		dst.deliverResponse(env)
+		return
+	}
+	dst.h.Handle(dst, env.Src, env.ReqID, env.Msg)
+}
+
+// delivery is one in-flight message.
+type delivery struct {
+	at  time.Time
+	buf []byte
+}
+
+// deliveryHeap is a min-heap of deliveries by due time.
+type deliveryHeap []delivery
+
+func (h deliveryHeap) Len() int           { return len(h) }
+func (h deliveryHeap) Less(i, j int) bool { return h[i].at.Before(h[j].at) }
+func (h deliveryHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *deliveryHeap) Push(x any)        { *h = append(*h, x.(delivery)) }
+func (h *deliveryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	d := old[n-1]
+	*h = old[:n-1]
+	return d
+}
+
+// spinHorizon is how close a due time must be before the wheel spins for
+// it rather than sleeping; it exceeds the host timer slack so sleeps never
+// overshoot a due time.
+const spinHorizon = 2 * time.Millisecond
+
+// wheel delivers delayed messages with microsecond accuracy.
+type wheel struct {
+	net  *Local
+	ch   chan delivery
+	h    deliveryHeap
+	stop chan struct{}
+}
+
+func (w *wheel) run() {
+	for {
+		// Idle: block until work or shutdown (channel wakes are fast).
+		if len(w.h) == 0 {
+			select {
+			case d := <-w.ch:
+				heap.Push(&w.h, d)
+			case <-w.stop:
+				return
+			}
+		}
+		// Drain whatever else arrived.
+		for {
+			select {
+			case d := <-w.ch:
+				heap.Push(&w.h, d)
+				continue
+			case <-w.stop:
+				return
+			default:
+			}
+			break
+		}
+		// Deliver everything due.
+		now := time.Now()
+		for len(w.h) > 0 && !w.h[0].at.After(now) {
+			d := heap.Pop(&w.h).(delivery)
+			go w.net.dispatch(d.buf)
+		}
+		if len(w.h) == 0 {
+			continue
+		}
+		// Far-future head: sleep most of the gap, waking early for new
+		// messages; imminent head: spin.
+		wait := time.Until(w.h[0].at)
+		if wait > spinHorizon {
+			t := time.NewTimer(wait - spinHorizon)
+			select {
+			case d := <-w.ch:
+				heap.Push(&w.h, d)
+			case <-t.C:
+			case <-w.stop:
+				t.Stop()
+				return
+			}
+			t.Stop()
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+type localNode struct {
+	net    *Local
+	addr   wire.Addr
+	h      Handler
+	closed atomic.Bool
+
+	reqSeq  atomic.Uint64
+	pending sync.Map // reqID -> chan *wire.Envelope
+}
+
+func (n *localNode) Addr() wire.Addr { return n.addr }
+
+func (n *localNode) send(env *wire.Envelope) error {
+	if n.closed.Load() {
+		return ErrClosed
+	}
+	buf := wire.EncodeEnvelope(nil, env)
+	n.net.stats.MsgsSent.Add(1)
+	n.net.stats.BytesSent.Add(uint64(len(buf)))
+	if n.net.latency.Drop(env.Src, env.Dst) {
+		n.net.stats.Dropped.Add(1)
+		return nil // lost in flight; sender cannot tell
+	}
+	d := n.net.latency.Delay(env.Src, env.Dst)
+	if d <= 0 {
+		go n.net.dispatch(buf)
+		return nil
+	}
+	w := n.net.wheels[int(env.Dst)%numWheels]
+	select {
+	case w.ch <- delivery{at: time.Now().Add(d), buf: buf}:
+	case <-w.stop:
+		return ErrClosed
+	}
+	return nil
+}
+
+// Send delivers a one-way message.
+func (n *localNode) Send(dst wire.Addr, m wire.Message) error {
+	return n.send(&wire.Envelope{Src: n.addr, Dst: dst, Msg: m})
+}
+
+// Respond answers request reqID at dst.
+func (n *localNode) Respond(dst wire.Addr, reqID uint64, m wire.Message) error {
+	return n.send(&wire.Envelope{Src: n.addr, Dst: dst, ReqID: reqID, Resp: true, Msg: m})
+}
+
+// Call sends a request and waits for the matching response.
+func (n *localNode) Call(ctx context.Context, dst wire.Addr, m wire.Message) (wire.Message, error) {
+	id := n.reqSeq.Add(1)
+	ch := make(chan *wire.Envelope, 1)
+	n.pending.Store(id, ch)
+	defer n.pending.Delete(id)
+	err := n.send(&wire.Envelope{Src: n.addr, Dst: dst, ReqID: id, Msg: m})
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case env := <-ch:
+		if e, ok := env.Msg.(*wire.ErrorResp); ok {
+			return nil, e
+		}
+		return env.Msg, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (n *localNode) deliverResponse(env *wire.Envelope) {
+	if ch, ok := n.pending.Load(env.ReqID); ok {
+		select {
+		case ch.(chan *wire.Envelope) <- env:
+		default: // duplicate response; drop
+		}
+	}
+}
+
+// Close detaches the node from the network.
+func (n *localNode) Close() error {
+	n.closed.Store(true)
+	n.net.mu.Lock()
+	delete(n.net.nodes, n.addr)
+	n.net.mu.Unlock()
+	return nil
+}

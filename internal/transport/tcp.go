@@ -1,0 +1,284 @@
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/wire"
+)
+
+// maxFrame bounds a single TCP frame.
+const maxFrame = 1 << 26 // 64 MiB
+
+// TCP is a Network over real sockets. Server addresses must appear in the
+// directory; clients need not listen — peers respond over the connection a
+// request arrived on.
+type TCP struct {
+	stats Stats
+
+	mu     sync.Mutex
+	dir    map[wire.Addr]string
+	nodes  map[wire.Addr]*tcpNode
+	closed bool
+}
+
+// NewTCP returns a TCP network with the given address directory
+// (wire address → "host:port").
+func NewTCP(directory map[wire.Addr]string) *TCP {
+	dir := make(map[wire.Addr]string, len(directory))
+	for a, hp := range directory {
+		dir[a] = hp
+	}
+	return &TCP{dir: dir, nodes: make(map[wire.Addr]*tcpNode)}
+}
+
+// Stats exposes traffic counters.
+func (t *TCP) Stats() *Stats { return &t.stats }
+
+// Attach registers addr. If addr is in the directory the node listens on
+// its directory endpoint; otherwise it is a client-only node that can dial
+// out but not accept.
+func (t *TCP) Attach(addr wire.Addr, h Handler) (Node, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := t.nodes[addr]; dup {
+		return nil, ErrAttached
+	}
+	n := &tcpNode{t: t, addr: addr, h: h, conns: make(map[wire.Addr]*lockedConn)}
+	if hp, ok := t.dir[addr]; ok {
+		ln, err := net.Listen("tcp", hp)
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen %s: %w", hp, err)
+		}
+		n.ln = ln
+		go n.acceptLoop()
+	}
+	t.nodes[addr] = n
+	return n, nil
+}
+
+// Close shuts down every attached node.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	nodes := make([]*tcpNode, 0, len(t.nodes))
+	for _, n := range t.nodes {
+		nodes = append(nodes, n)
+	}
+	t.closed = true
+	t.mu.Unlock()
+	for _, n := range nodes {
+		n.Close()
+	}
+	return nil
+}
+
+type lockedConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+func (lc *lockedConn) writeFrame(buf []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(buf)))
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if _, err := lc.c.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := lc.c.Write(buf)
+	return err
+}
+
+type tcpNode struct {
+	t    *TCP
+	addr wire.Addr
+	h    Handler
+	ln   net.Listener
+
+	mu    sync.Mutex
+	conns map[wire.Addr]*lockedConn
+
+	reqSeq  atomic.Uint64
+	pending sync.Map // reqID -> chan *wire.Envelope
+	closed  atomic.Bool
+}
+
+func (n *tcpNode) Addr() wire.Addr { return n.addr }
+
+func (n *tcpNode) acceptLoop() {
+	for {
+		c, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		go n.readLoop(c)
+	}
+}
+
+// readLoop decodes frames from c, learning the peer's address from the
+// first envelope so responses can flow back over the same connection.
+func (n *tcpNode) readLoop(c net.Conn) {
+	defer c.Close()
+	lc := &lockedConn{c: c}
+	var learned wire.Addr
+	hdr := make([]byte, 4)
+	for {
+		if _, err := io.ReadFull(c, hdr); err != nil {
+			break
+		}
+		size := binary.LittleEndian.Uint32(hdr)
+		if size > maxFrame {
+			break
+		}
+		buf := make([]byte, size)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			break
+		}
+		env, err := wire.DecodeEnvelope(buf)
+		if err != nil {
+			n.t.stats.Dropped.Add(1)
+			continue
+		}
+		if learned == 0 && env.Src != 0 {
+			learned = env.Src
+			n.mu.Lock()
+			if _, dup := n.conns[learned]; !dup {
+				n.conns[learned] = lc
+			}
+			n.mu.Unlock()
+		}
+		if env.Resp {
+			n.deliverResponse(env)
+			continue
+		}
+		go n.h.Handle(n, env.Src, env.ReqID, env.Msg)
+	}
+	if learned != 0 {
+		n.mu.Lock()
+		if n.conns[learned] == lc {
+			delete(n.conns, learned)
+		}
+		n.mu.Unlock()
+	}
+}
+
+func (n *tcpNode) getConn(dst wire.Addr) (*lockedConn, error) {
+	n.mu.Lock()
+	if lc, ok := n.conns[dst]; ok {
+		n.mu.Unlock()
+		return lc, nil
+	}
+	n.mu.Unlock()
+
+	n.t.mu.Lock()
+	hp, ok := n.t.dir[dst]
+	n.t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNoRoute, dst)
+	}
+	c, err := net.Dial("tcp", hp)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %v at %s: %w", dst, hp, err)
+	}
+	lc := &lockedConn{c: c}
+	n.mu.Lock()
+	if prev, dup := n.conns[dst]; dup {
+		n.mu.Unlock()
+		c.Close()
+		return prev, nil
+	}
+	n.conns[dst] = lc
+	n.mu.Unlock()
+	go n.readLoop(c) // responses to our calls come back on this conn
+	return lc, nil
+}
+
+func (n *tcpNode) send(env *wire.Envelope) error {
+	if n.closed.Load() {
+		return ErrClosed
+	}
+	lc, err := n.getConn(env.Dst)
+	if err != nil {
+		return err
+	}
+	buf := wire.EncodeEnvelope(nil, env)
+	n.t.stats.MsgsSent.Add(1)
+	n.t.stats.BytesSent.Add(uint64(len(buf)))
+	if err := lc.writeFrame(buf); err != nil {
+		// Connection broke; forget it so the next send redials.
+		n.mu.Lock()
+		if n.conns[env.Dst] == lc {
+			delete(n.conns, env.Dst)
+		}
+		n.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// Send delivers a one-way message.
+func (n *tcpNode) Send(dst wire.Addr, m wire.Message) error {
+	return n.send(&wire.Envelope{Src: n.addr, Dst: dst, Msg: m})
+}
+
+// Respond answers request reqID at dst.
+func (n *tcpNode) Respond(dst wire.Addr, reqID uint64, m wire.Message) error {
+	return n.send(&wire.Envelope{Src: n.addr, Dst: dst, ReqID: reqID, Resp: true, Msg: m})
+}
+
+// Call sends a request and waits for the matching response.
+func (n *tcpNode) Call(ctx context.Context, dst wire.Addr, m wire.Message) (wire.Message, error) {
+	id := n.reqSeq.Add(1)
+	ch := make(chan *wire.Envelope, 1)
+	n.pending.Store(id, ch)
+	defer n.pending.Delete(id)
+	if err := n.send(&wire.Envelope{Src: n.addr, Dst: dst, ReqID: id, Msg: m}); err != nil {
+		return nil, err
+	}
+	select {
+	case env := <-ch:
+		if e, ok := env.Msg.(*wire.ErrorResp); ok {
+			return nil, e
+		}
+		return env.Msg, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (n *tcpNode) deliverResponse(env *wire.Envelope) {
+	if ch, ok := n.pending.Load(env.ReqID); ok {
+		select {
+		case ch.(chan *wire.Envelope) <- env:
+		default:
+		}
+	}
+}
+
+// Close shuts the node down, closing its listener and connections.
+func (n *tcpNode) Close() error {
+	if n.closed.Swap(true) {
+		return nil
+	}
+	if n.ln != nil {
+		n.ln.Close()
+	}
+	n.mu.Lock()
+	for a, lc := range n.conns {
+		lc.c.Close()
+		delete(n.conns, a)
+	}
+	n.mu.Unlock()
+	n.t.mu.Lock()
+	delete(n.t.nodes, n.addr)
+	n.t.mu.Unlock()
+	return nil
+}

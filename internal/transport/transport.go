@@ -1,0 +1,88 @@
+// Package transport moves wire messages between processes.
+//
+// Two implementations share one interface: Local, an in-process network
+// that marshals every message and injects configurable per-link latency
+// (the benchmark substrate standing in for the paper's 10 Gbps LAN), and
+// TCP, a real network transport making the same servers deployable across
+// processes (cmd/kvserver).
+//
+// The model is asynchronous messaging with a request/response convenience:
+// Send delivers a one-way message; Call delivers a request and blocks until
+// the matching response or context cancellation. Incoming messages are
+// dispatched to a Handler on a fresh goroutine, so handlers may block and
+// issue nested Calls (the readers check in CC-LO does exactly that).
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"repro/internal/wire"
+)
+
+// Transport errors.
+var (
+	ErrClosed   = errors.New("transport: closed")
+	ErrNoRoute  = errors.New("transport: no route to destination")
+	ErrAttached = errors.New("transport: address already attached")
+)
+
+// Handler receives messages addressed to a node. reqID is nonzero when the
+// sender awaits a response via Call; the handler must eventually call
+// node.Respond(src, reqID, resp) for such messages. Handlers run on
+// dedicated goroutines and may block.
+type Handler interface {
+	Handle(node Node, src wire.Addr, reqID uint64, m wire.Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(node Node, src wire.Addr, reqID uint64, m wire.Message)
+
+// Handle calls f.
+func (f HandlerFunc) Handle(node Node, src wire.Addr, reqID uint64, m wire.Message) {
+	f(node, src, reqID, m)
+}
+
+// Node is one attached endpoint of a network.
+type Node interface {
+	// Addr returns the node's address.
+	Addr() wire.Addr
+	// Send delivers a one-way message to dst.
+	Send(dst wire.Addr, m wire.Message) error
+	// Call sends a request to dst and waits for the response. If the
+	// responder answered with *wire.ErrorResp, Call returns it as the
+	// error.
+	Call(ctx context.Context, dst wire.Addr, m wire.Message) (wire.Message, error)
+	// Respond answers a request previously delivered with reqID.
+	Respond(dst wire.Addr, reqID uint64, m wire.Message) error
+	// Close detaches the node.
+	Close() error
+}
+
+// Network attaches nodes to a message fabric.
+type Network interface {
+	// Attach registers addr with handler h and returns the node.
+	Attach(addr wire.Addr, h Handler) (Node, error)
+	// Close shuts the fabric down.
+	Close() error
+}
+
+// Stats counts network traffic. Benchmarks read these to report the
+// communication overhead analyses of Sections 5.4–5.6.
+type Stats struct {
+	MsgsSent  atomic.Uint64
+	BytesSent atomic.Uint64
+	Dropped   atomic.Uint64
+}
+
+// Snapshot returns a plain copy of the counters.
+func (s *Stats) Snapshot() (msgs, bytes, dropped uint64) {
+	return s.MsgsSent.Load(), s.BytesSent.Load(), s.Dropped.Load()
+}
+
+// respondError is a small helper servers use to answer a Call with an
+// error message.
+func RespondError(n Node, dst wire.Addr, reqID uint64, code uint16, text string) {
+	_ = n.Respond(dst, reqID, &wire.ErrorResp{Code: code, Text: text})
+}

@@ -1,0 +1,156 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsZero(t *testing.T) {
+	v := New(4)
+	if len(v) != 4 {
+		t.Fatalf("len = %d, want 4", len(v))
+	}
+	for i, x := range v {
+		if x != 0 {
+			t.Errorf("v[%d] = %d, want 0", i, x)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := Vec{1, 2, 3}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Fatalf("mutating clone changed original: %v", v)
+	}
+	if Vec(nil).Clone() != nil {
+		t.Fatalf("Clone(nil) should be nil")
+	}
+}
+
+func TestMaxInto(t *testing.T) {
+	v := Vec{1, 5, 3}
+	v.MaxInto(Vec{2, 4, 9})
+	want := Vec{2, 5, 9}
+	if !v.Equal(want) {
+		t.Fatalf("MaxInto = %v, want %v", v, want)
+	}
+}
+
+func TestMinInto(t *testing.T) {
+	v := Vec{1, 5, 3}
+	v.MinInto(Vec{2, 4, 9})
+	want := Vec{1, 4, 3}
+	if !v.Equal(want) {
+		t.Fatalf("MinInto = %v, want %v", v, want)
+	}
+}
+
+func TestLEQ(t *testing.T) {
+	cases := []struct {
+		a, b Vec
+		want bool
+	}{
+		{Vec{1, 2}, Vec{1, 2}, true},
+		{Vec{1, 2}, Vec{2, 2}, true},
+		{Vec{3, 2}, Vec{2, 2}, false},
+		{Vec{}, Vec{1}, true},
+		{Vec{0, 0}, Vec{}, true},  // zero-extension
+		{Vec{0, 1}, Vec{}, false}, // zero-extension
+	}
+	for _, c := range cases {
+		if got := c.a.LEQ(c.b); got != c.want {
+			t.Errorf("%v.LEQ(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMaxMin(t *testing.T) {
+	v := Vec{7, 1, 4}
+	if v.Max() != 7 {
+		t.Errorf("Max = %d, want 7", v.Max())
+	}
+	if v.Min() != 1 {
+		t.Errorf("Min = %d, want 1", v.Min())
+	}
+	if (Vec{}).Max() != 0 || (Vec{}).Min() != 0 {
+		t.Errorf("empty Max/Min should be 0")
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := (Vec{1, 2}).String(); s != "[1 2]" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+// randVecs yields two random equal-length vectors for property tests.
+func randVecs(r *rand.Rand) (Vec, Vec) {
+	n := 1 + r.Intn(8)
+	a, b := New(n), New(n)
+	for i := 0; i < n; i++ {
+		a[i] = uint64(r.Intn(100))
+		b[i] = uint64(r.Intn(100))
+	}
+	return a, b
+}
+
+// Property: a ≤ max(a,b), b ≤ max(a,b), min(a,b) ≤ a, min(a,b) ≤ b.
+func TestQuickLattice(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randVecs(r)
+		mx := a.Clone()
+		mx.MaxInto(b)
+		mn := a.Clone()
+		mn.MinInto(b)
+		return a.LEQ(mx) && b.LEQ(mx) && mn.LEQ(a) && mn.LEQ(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MaxInto is commutative and idempotent.
+func TestQuickMaxCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randVecs(r)
+		ab := a.Clone()
+		ab.MaxInto(b)
+		ba := b.Clone()
+		ba.MaxInto(a)
+		aa := ab.Clone()
+		aa.MaxInto(ab)
+		return ab.Equal(ba) && aa.Equal(ab)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LEQ is a partial order (reflexive, antisymmetric, transitive).
+func TestQuickPartialOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randVecs(r)
+		c, _ := randVecs(r)
+		if !a.LEQ(a) {
+			return false
+		}
+		if a.LEQ(b) && b.LEQ(a) && !a.Equal(b) {
+			return false
+		}
+		// transitivity over min/max constructions
+		mn := a.Clone()
+		mn.MinInto(b)
+		mx := b.Clone()
+		mx.MaxInto(c[:min(len(c), len(b))])
+		return !mn.LEQ(b) || !b.LEQ(mx) || mn.LEQ(mx)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

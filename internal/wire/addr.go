@@ -1,0 +1,55 @@
+// Package wire defines the binary message format spoken between clients,
+// partition servers, and per-DC stabilizers. It plays the role Google
+// protobuf plays in the paper's C++ code base: every message crossing the
+// (simulated or TCP) network is marshalled through this package, so
+// serialization CPU costs are part of what the benchmarks measure.
+package wire
+
+import "fmt"
+
+// Addr is a compact process address.
+//
+// Layout: bit 31 = server flag, bits 30..16 = data-center id,
+// bits 15..0 = partition index (servers) or client id (clients).
+// Partition index 0xFFFF addresses the DC's stabilization service.
+type Addr uint32
+
+const (
+	serverBit  = 1 << 31
+	stabilizer = 0xFFFF
+)
+
+// ServerAddr returns the address of partition part in data center dc.
+func ServerAddr(dc, part int) Addr {
+	return Addr(serverBit | dc<<16 | part&0xFFFF)
+}
+
+// StabilizerAddr returns the address of dc's stabilization service.
+func StabilizerAddr(dc int) Addr { return ServerAddr(dc, stabilizer) }
+
+// ClientAddr returns the address of client id homed in data center dc.
+func ClientAddr(dc, id int) Addr { return Addr(dc<<16 | id&0xFFFF) }
+
+// DC returns the data-center id of a.
+func (a Addr) DC() int { return int(a) &^ serverBit >> 16 }
+
+// Index returns the partition index (servers) or client id (clients).
+func (a Addr) Index() int { return int(a & 0xFFFF) }
+
+// IsServer reports whether a addresses a partition server or stabilizer.
+func (a Addr) IsServer() bool { return a&serverBit != 0 }
+
+// IsStabilizer reports whether a addresses a stabilization service.
+func (a Addr) IsStabilizer() bool { return a.IsServer() && a.Index() == stabilizer }
+
+// String formats a for logs.
+func (a Addr) String() string {
+	switch {
+	case a.IsStabilizer():
+		return fmt.Sprintf("stab(dc%d)", a.DC())
+	case a.IsServer():
+		return fmt.Sprintf("srv(dc%d,p%d)", a.DC(), a.Index())
+	default:
+		return fmt.Sprintf("cli(dc%d,%d)", a.DC(), a.Index())
+	}
+}

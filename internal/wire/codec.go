@@ -1,0 +1,288 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/vclock"
+)
+
+// Codec errors.
+var (
+	ErrTruncated   = errors.New("wire: truncated message")
+	ErrTooLarge    = errors.New("wire: field exceeds size limit")
+	ErrUnknownType = errors.New("wire: unknown message type")
+)
+
+// maxFieldLen bounds any single length-prefixed field; it protects decoders
+// from corrupt frames.
+const maxFieldLen = 1 << 26 // 64 MiB
+
+// Buffer is an append-only encoder.
+type Buffer struct{ B []byte }
+
+// U8 appends a byte.
+func (b *Buffer) U8(v uint8) { b.B = append(b.B, v) }
+
+// U16 appends a fixed-width 16-bit value.
+func (b *Buffer) U16(v uint16) { b.B = binary.LittleEndian.AppendUint16(b.B, v) }
+
+// U32 appends a fixed-width 32-bit value.
+func (b *Buffer) U32(v uint32) { b.B = binary.LittleEndian.AppendUint32(b.B, v) }
+
+// U64 appends a fixed-width 64-bit value.
+func (b *Buffer) U64(v uint64) { b.B = binary.LittleEndian.AppendUint64(b.B, v) }
+
+// Uvarint appends a variable-width unsigned value.
+func (b *Buffer) Uvarint(v uint64) { b.B = binary.AppendUvarint(b.B, v) }
+
+// Bytes appends a length-prefixed byte slice.
+func (b *Buffer) Bytes(v []byte) {
+	b.Uvarint(uint64(len(v)))
+	b.B = append(b.B, v...)
+}
+
+// String appends a length-prefixed string.
+func (b *Buffer) String(v string) {
+	b.Uvarint(uint64(len(v)))
+	b.B = append(b.B, v...)
+}
+
+// Vec appends a length-prefixed timestamp vector.
+func (b *Buffer) Vec(v vclock.Vec) {
+	b.Uvarint(uint64(len(v)))
+	for _, x := range v {
+		b.U64(x)
+	}
+}
+
+// Reader is a sticky-error decoder over a byte slice. After the first
+// error, every accessor returns a zero value; callers check Err once.
+type Reader struct {
+	b   []byte
+	pos int
+	err error
+}
+
+// NewReader returns a Reader over b. The Reader does not copy b; decoded
+// byte slices are copied out so messages do not alias network buffers.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Err returns the first decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.b) - r.pos }
+
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.pos+n > len(r.b) {
+		r.fail(ErrTruncated)
+		return nil
+	}
+	s := r.b[r.pos : r.pos+n]
+	r.pos += n
+	return s
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	s := r.take(1)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+
+// U16 reads a fixed-width 16-bit value.
+func (r *Reader) U16() uint16 {
+	s := r.take(2)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(s)
+}
+
+// U32 reads a fixed-width 32-bit value.
+func (r *Reader) U32() uint32 {
+	s := r.take(4)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(s)
+}
+
+// U64 reads a fixed-width 64-bit value.
+func (r *Reader) U64() uint64 {
+	s := r.take(8)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(s)
+}
+
+// Uvarint reads a variable-width unsigned value.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.pos:])
+	if n <= 0 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *Reader) length() int {
+	n := r.Uvarint()
+	if n > maxFieldLen {
+		r.fail(ErrTooLarge)
+		return 0
+	}
+	return int(n)
+}
+
+// Bytes reads a length-prefixed byte slice into fresh storage. Zero-length
+// fields decode as nil: the wire format does not distinguish empty from
+// absent values (callers signal presence separately, e.g. via KV.TS).
+func (r *Reader) Bytes() []byte {
+	n := r.length()
+	if n == 0 {
+		return nil
+	}
+	s := r.take(n)
+	if s == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, s)
+	return out
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.length()
+	s := r.take(n)
+	if s == nil {
+		return ""
+	}
+	return string(s)
+}
+
+// Vec reads a length-prefixed timestamp vector.
+func (r *Reader) Vec() vclock.Vec {
+	n := r.length()
+	if n > 1<<16 {
+		r.fail(ErrTooLarge)
+		return nil
+	}
+	if r.err != nil {
+		return nil
+	}
+	v := make(vclock.Vec, n)
+	for i := range v {
+		v[i] = r.U64()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return v
+}
+
+// Message is a unit of communication. Implementations register themselves
+// via Register in their init functions.
+type Message interface {
+	// Type identifies the concrete message on the wire.
+	Type() uint16
+	// Encode appends the message body to b.
+	Encode(b *Buffer)
+	// Decode parses the message body from r.
+	Decode(r *Reader)
+}
+
+var registry [256]func() Message
+
+// Register records the factory for message type t. It panics on duplicate
+// registration; call it from init only.
+func Register(t uint16, fn func() Message) {
+	if int(t) >= len(registry) {
+		panic(fmt.Sprintf("wire: message type %d out of range", t))
+	}
+	if registry[t] != nil {
+		panic(fmt.Sprintf("wire: duplicate message type %d", t))
+	}
+	registry[t] = fn
+}
+
+// New instantiates an empty message of type t.
+func New(t uint16) (Message, error) {
+	if int(t) >= len(registry) || registry[t] == nil {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
+	}
+	return registry[t](), nil
+}
+
+// Envelope wraps a message with routing and correlation metadata.
+type Envelope struct {
+	Src   Addr
+	Dst   Addr
+	ReqID uint64 // nonzero for request/response pairs
+	Resp  bool   // true when this is a response to ReqID
+	Msg   Message
+}
+
+// EncodeEnvelope appends the full framed representation of e to buf and
+// returns the extended slice.
+func EncodeEnvelope(buf []byte, e *Envelope) []byte {
+	b := Buffer{B: buf}
+	b.U16(e.Msg.Type())
+	var flags uint8
+	if e.Resp {
+		flags |= 1
+	}
+	b.U8(flags)
+	b.U32(uint32(e.Src))
+	b.U32(uint32(e.Dst))
+	b.Uvarint(e.ReqID)
+	e.Msg.Encode(&b)
+	return b.B
+}
+
+// DecodeEnvelope parses an envelope from p.
+func DecodeEnvelope(p []byte) (*Envelope, error) {
+	r := NewReader(p)
+	t := r.U16()
+	flags := r.U8()
+	src := Addr(r.U32())
+	dst := Addr(r.U32())
+	reqID := r.Uvarint()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	m, err := New(t)
+	if err != nil {
+		return nil, err
+	}
+	m.Decode(r)
+	if r.Err() != nil {
+		return nil, fmt.Errorf("decoding type %d: %w", t, r.Err())
+	}
+	return &Envelope{
+		Src:   src,
+		Dst:   dst,
+		ReqID: reqID,
+		Resp:  flags&1 != 0,
+		Msg:   m,
+	}, nil
+}

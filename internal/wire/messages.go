@@ -1,0 +1,721 @@
+package wire
+
+import "repro/internal/vclock"
+
+// Message type identifiers. The 1–19 range belongs to the timestamp-based
+// engine (Contrarian/Cure), 20–39 to CC-LO (COPS-SNOW), 40+ to generic
+// infrastructure.
+const (
+	TPutReq       = 1
+	TPutResp      = 2
+	TRotCoordReq  = 3
+	TRotCoordResp = 4
+	TRotFwd       = 5
+	TRotVals      = 6
+	TRotSnap      = 7
+	TRotReadReq   = 8
+	TRotReadResp  = 9
+	TRepBatch     = 10
+	TRepAck       = 11
+	TVVReport     = 12
+	TGSSBcast     = 13
+
+	TLoPutReq       = 20
+	TLoPutResp      = 21
+	TLoRotReq       = 22
+	TLoRotResp      = 23
+	TOldReadersReq  = 24
+	TOldReadersResp = 25
+	TLoRepUpdate    = 26
+	TLoRepAck       = 27
+	TDepCheckReq    = 28
+	TDepCheckResp   = 29
+
+	TErrorResp = 40
+	TPing      = 41
+	TPong      = 42
+
+	TCopsRotReq  = 50
+	TCopsRotResp = 51
+	TCopsVerReq  = 52
+	TCopsVerResp = 53
+)
+
+func init() {
+	Register(TPutReq, func() Message { return new(PutReq) })
+	Register(TPutResp, func() Message { return new(PutResp) })
+	Register(TRotCoordReq, func() Message { return new(RotCoordReq) })
+	Register(TRotCoordResp, func() Message { return new(RotCoordResp) })
+	Register(TRotFwd, func() Message { return new(RotFwd) })
+	Register(TRotVals, func() Message { return new(RotVals) })
+	Register(TRotSnap, func() Message { return new(RotSnap) })
+	Register(TRotReadReq, func() Message { return new(RotReadReq) })
+	Register(TRotReadResp, func() Message { return new(RotReadResp) })
+	Register(TRepBatch, func() Message { return new(RepBatch) })
+	Register(TRepAck, func() Message { return new(RepAck) })
+	Register(TVVReport, func() Message { return new(VVReport) })
+	Register(TGSSBcast, func() Message { return new(GSSBcast) })
+
+	Register(TLoPutReq, func() Message { return new(LoPutReq) })
+	Register(TLoPutResp, func() Message { return new(LoPutResp) })
+	Register(TLoRotReq, func() Message { return new(LoRotReq) })
+	Register(TLoRotResp, func() Message { return new(LoRotResp) })
+	Register(TOldReadersReq, func() Message { return new(OldReadersReq) })
+	Register(TOldReadersResp, func() Message { return new(OldReadersResp) })
+	Register(TLoRepUpdate, func() Message { return new(LoRepUpdate) })
+	Register(TLoRepAck, func() Message { return new(LoRepAck) })
+	Register(TDepCheckReq, func() Message { return new(DepCheckReq) })
+	Register(TDepCheckResp, func() Message { return new(DepCheckResp) })
+
+	Register(TCopsRotReq, func() Message { return new(CopsRotReq) })
+	Register(TCopsRotResp, func() Message { return new(CopsRotResp) })
+	Register(TCopsVerReq, func() Message { return new(CopsVerReq) })
+	Register(TCopsVerResp, func() Message { return new(CopsVerResp) })
+
+	Register(TErrorResp, func() Message { return new(ErrorResp) })
+	Register(TPing, func() Message { return new(Ping) })
+	Register(TPong, func() Message { return new(Pong) })
+}
+
+// KV is one read result: a key, the version's value, and the version's
+// timestamp (the source-DC timestamp for the timestamp-based engine, the
+// Lamport timestamp for CC-LO).
+type KV struct {
+	Key   string
+	Value []byte
+	TS    uint64
+}
+
+func encodeKVs(b *Buffer, kvs []KV) {
+	b.Uvarint(uint64(len(kvs)))
+	for i := range kvs {
+		b.String(kvs[i].Key)
+		b.Bytes(kvs[i].Value)
+		b.U64(kvs[i].TS)
+	}
+}
+
+func decodeKVs(r *Reader) []KV {
+	n := r.Uvarint()
+	if n > maxFieldLen {
+		r.fail(ErrTooLarge)
+		return nil
+	}
+	kvs := make([]KV, 0, n)
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		kvs = append(kvs, KV{Key: r.String(), Value: r.Bytes(), TS: r.U64()})
+	}
+	return kvs
+}
+
+func encodeStrings(b *Buffer, ss []string) {
+	b.Uvarint(uint64(len(ss)))
+	for _, s := range ss {
+		b.String(s)
+	}
+}
+
+func decodeStrings(r *Reader) []string {
+	n := r.Uvarint()
+	if n > maxFieldLen {
+		r.fail(ErrTooLarge)
+		return nil
+	}
+	ss := make([]string, 0, n)
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		ss = append(ss, r.String())
+	}
+	return ss
+}
+
+//
+// Timestamp-based engine (Contrarian / Cure).
+//
+
+// PutReq installs a new version of Key. Deps is the client's causal view
+// ("seen" vector): one entry per DC; the local entry is the highest local
+// timestamp the client has observed, remote entries its GSS view.
+type PutReq struct {
+	Key   string
+	Value []byte
+	Deps  vclock.Vec
+}
+
+func (*PutReq) Type() uint16 { return TPutReq }
+func (m *PutReq) Encode(b *Buffer) {
+	b.String(m.Key)
+	b.Bytes(m.Value)
+	b.Vec(m.Deps)
+}
+func (m *PutReq) Decode(r *Reader) {
+	m.Key = r.String()
+	m.Value = r.Bytes()
+	m.Deps = r.Vec()
+}
+
+// PutResp acknowledges a PUT with the new version's timestamp and the
+// partition's current GSS so the client's causal view stays fresh.
+type PutResp struct {
+	TS  uint64
+	GSS vclock.Vec
+}
+
+func (*PutResp) Type() uint16 { return TPutResp }
+func (m *PutResp) Encode(b *Buffer) {
+	b.U64(m.TS)
+	b.Vec(m.GSS)
+}
+func (m *PutResp) Decode(r *Reader) {
+	m.TS = r.U64()
+	m.GSS = r.Vec()
+}
+
+// ReadGroup names the keys a single partition must serve for a ROT.
+type ReadGroup struct {
+	Part uint32
+	Keys []string
+}
+
+// RotCoordReq asks a coordinator to start a ROT. Mode 1 is the paper's
+// 1 1/2-round protocol (Figure 3a): the coordinator forwards reads and
+// partitions answer the client directly. Mode 2 is the classic 2-round
+// protocol (Figure 3b): the coordinator only returns the snapshot vector.
+type RotCoordReq struct {
+	RotID     uint64
+	Mode      uint8
+	SeenLocal uint64
+	SeenGSS   vclock.Vec
+	Groups    []ReadGroup
+}
+
+func (*RotCoordReq) Type() uint16 { return TRotCoordReq }
+func (m *RotCoordReq) Encode(b *Buffer) {
+	b.U64(m.RotID)
+	b.U8(m.Mode)
+	b.U64(m.SeenLocal)
+	b.Vec(m.SeenGSS)
+	b.Uvarint(uint64(len(m.Groups)))
+	for i := range m.Groups {
+		b.U32(m.Groups[i].Part)
+		encodeStrings(b, m.Groups[i].Keys)
+	}
+}
+func (m *RotCoordReq) Decode(r *Reader) {
+	m.RotID = r.U64()
+	m.Mode = r.U8()
+	m.SeenLocal = r.U64()
+	m.SeenGSS = r.Vec()
+	n := r.Uvarint()
+	if n > maxFieldLen {
+		r.fail(ErrTooLarge)
+		return
+	}
+	m.Groups = make([]ReadGroup, 0, n)
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		m.Groups = append(m.Groups, ReadGroup{Part: r.U32(), Keys: decodeStrings(r)})
+	}
+}
+
+// RotCoordResp returns the chosen snapshot vector (2-round mode).
+type RotCoordResp struct {
+	RotID uint64
+	SV    vclock.Vec
+}
+
+func (*RotCoordResp) Type() uint16 { return TRotCoordResp }
+func (m *RotCoordResp) Encode(b *Buffer) {
+	b.U64(m.RotID)
+	b.Vec(m.SV)
+}
+func (m *RotCoordResp) Decode(r *Reader) {
+	m.RotID = r.U64()
+	m.SV = r.Vec()
+}
+
+// RotFwd is the coordinator-to-partition leg of the 1 1/2-round protocol.
+type RotFwd struct {
+	RotID  uint64
+	Client Addr
+	SV     vclock.Vec
+	Keys   []string
+}
+
+func (*RotFwd) Type() uint16 { return TRotFwd }
+func (m *RotFwd) Encode(b *Buffer) {
+	b.U64(m.RotID)
+	b.U32(uint32(m.Client))
+	b.Vec(m.SV)
+	encodeStrings(b, m.Keys)
+}
+func (m *RotFwd) Decode(r *Reader) {
+	m.RotID = r.U64()
+	m.Client = Addr(r.U32())
+	m.SV = r.Vec()
+	m.Keys = decodeStrings(r)
+}
+
+// RotVals is a partition's direct-to-client answer (1 1/2-round mode).
+type RotVals struct {
+	RotID uint64
+	Vals  []KV
+}
+
+func (*RotVals) Type() uint16 { return TRotVals }
+func (m *RotVals) Encode(b *Buffer) {
+	b.U64(m.RotID)
+	encodeKVs(b, m.Vals)
+}
+func (m *RotVals) Decode(r *Reader) {
+	m.RotID = r.U64()
+	m.Vals = decodeKVs(r)
+}
+
+// RotSnap is the coordinator's direct-to-client answer (1 1/2-round mode):
+// the snapshot vector plus the coordinator's own keys.
+type RotSnap struct {
+	RotID uint64
+	SV    vclock.Vec
+	Vals  []KV
+}
+
+func (*RotSnap) Type() uint16 { return TRotSnap }
+func (m *RotSnap) Encode(b *Buffer) {
+	b.U64(m.RotID)
+	b.Vec(m.SV)
+	encodeKVs(b, m.Vals)
+}
+func (m *RotSnap) Decode(r *Reader) {
+	m.RotID = r.U64()
+	m.SV = r.Vec()
+	m.Vals = decodeKVs(r)
+}
+
+// RotReadReq reads Keys at snapshot SV (2-round mode, second round).
+type RotReadReq struct {
+	SV   vclock.Vec
+	Keys []string
+}
+
+func (*RotReadReq) Type() uint16 { return TRotReadReq }
+func (m *RotReadReq) Encode(b *Buffer) {
+	b.Vec(m.SV)
+	encodeStrings(b, m.Keys)
+}
+func (m *RotReadReq) Decode(r *Reader) {
+	m.SV = r.Vec()
+	m.Keys = decodeStrings(r)
+}
+
+// RotReadResp carries the versions read at the requested snapshot.
+type RotReadResp struct {
+	Vals []KV
+}
+
+func (*RotReadResp) Type() uint16       { return TRotReadResp }
+func (m *RotReadResp) Encode(b *Buffer) { encodeKVs(b, m.Vals) }
+func (m *RotReadResp) Decode(r *Reader) { m.Vals = decodeKVs(r) }
+
+// Update is one replicated version inside a RepBatch.
+type Update struct {
+	Key   string
+	Value []byte
+	TS    uint64
+	DV    vclock.Vec
+}
+
+// RepBatch ships a sequence of versions from a partition to its replica in
+// another DC. HighTS is the sender's clock reading after the last update;
+// an empty batch with a fresh HighTS is a replication heartbeat keeping the
+// receiver's VV (and hence the GSS) moving.
+type RepBatch struct {
+	SrcDC   uint8
+	SrcPart uint32
+	Seq     uint64
+	HighTS  uint64
+	Ups     []Update
+}
+
+func (*RepBatch) Type() uint16 { return TRepBatch }
+func (m *RepBatch) Encode(b *Buffer) {
+	b.U8(m.SrcDC)
+	b.U32(m.SrcPart)
+	b.U64(m.Seq)
+	b.U64(m.HighTS)
+	b.Uvarint(uint64(len(m.Ups)))
+	for i := range m.Ups {
+		b.String(m.Ups[i].Key)
+		b.Bytes(m.Ups[i].Value)
+		b.U64(m.Ups[i].TS)
+		b.Vec(m.Ups[i].DV)
+	}
+}
+func (m *RepBatch) Decode(r *Reader) {
+	m.SrcDC = r.U8()
+	m.SrcPart = r.U32()
+	m.Seq = r.U64()
+	m.HighTS = r.U64()
+	n := r.Uvarint()
+	if n > maxFieldLen {
+		r.fail(ErrTooLarge)
+		return
+	}
+	m.Ups = make([]Update, 0, n)
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		m.Ups = append(m.Ups, Update{
+			Key: r.String(), Value: r.Bytes(), TS: r.U64(), DV: r.Vec(),
+		})
+	}
+}
+
+// RepAck acknowledges a RepBatch.
+type RepAck struct{ Seq uint64 }
+
+func (*RepAck) Type() uint16       { return TRepAck }
+func (m *RepAck) Encode(b *Buffer) { b.U64(m.Seq) }
+func (m *RepAck) Decode(r *Reader) { m.Seq = r.U64() }
+
+// VVReport is a partition's periodic version-vector report to the
+// stabilization service.
+type VVReport struct {
+	Part uint32
+	VV   vclock.Vec
+}
+
+func (*VVReport) Type() uint16 { return TVVReport }
+func (m *VVReport) Encode(b *Buffer) {
+	b.U32(m.Part)
+	b.Vec(m.VV)
+}
+func (m *VVReport) Decode(r *Reader) {
+	m.Part = r.U32()
+	m.VV = r.Vec()
+}
+
+// GSSBcast distributes the freshly aggregated Global Stable Snapshot.
+type GSSBcast struct{ GSS vclock.Vec }
+
+func (*GSSBcast) Type() uint16       { return TGSSBcast }
+func (m *GSSBcast) Encode(b *Buffer) { b.Vec(m.GSS) }
+func (m *GSSBcast) Decode(r *Reader) { m.GSS = r.Vec() }
+
+//
+// CC-LO (COPS-SNOW).
+//
+
+// LoDep is one COPS-style nearest dependency: a key and the Lamport
+// timestamp of the version depended upon.
+type LoDep struct {
+	Key string
+	TS  uint64
+}
+
+func encodeDeps(b *Buffer, deps []LoDep) {
+	b.Uvarint(uint64(len(deps)))
+	for i := range deps {
+		b.String(deps[i].Key)
+		b.U64(deps[i].TS)
+	}
+}
+
+func decodeDeps(r *Reader) []LoDep {
+	n := r.Uvarint()
+	if n > maxFieldLen {
+		r.fail(ErrTooLarge)
+		return nil
+	}
+	deps := make([]LoDep, 0, n)
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		deps = append(deps, LoDep{Key: r.String(), TS: r.U64()})
+	}
+	return deps
+}
+
+// Reader identifies a ROT that has read a (possibly by now old) version,
+// together with the Lamport time of that read. These are the "old readers"
+// whose communication Section 6 proves is inherent to latency optimality.
+type ReaderEntry struct {
+	RotID uint64
+	T     uint64
+}
+
+func encodeReaders(b *Buffer, rs []ReaderEntry) {
+	b.Uvarint(uint64(len(rs)))
+	for i := range rs {
+		b.U64(rs[i].RotID)
+		b.U64(rs[i].T)
+	}
+}
+
+func decodeReaders(r *Reader) []ReaderEntry {
+	n := r.Uvarint()
+	if n > maxFieldLen {
+		r.fail(ErrTooLarge)
+		return nil
+	}
+	rs := make([]ReaderEntry, 0, n)
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		rs = append(rs, ReaderEntry{RotID: r.U64(), T: r.U64()})
+	}
+	return rs
+}
+
+// LoPutReq installs a new version of Key in CC-LO. Deps carries the
+// client's nearest dependencies; the receiving partition runs the readers
+// check against every dependency's partition before installing.
+type LoPutReq struct {
+	Key   string
+	Value []byte
+	Deps  []LoDep
+}
+
+func (*LoPutReq) Type() uint16 { return TLoPutReq }
+func (m *LoPutReq) Encode(b *Buffer) {
+	b.String(m.Key)
+	b.Bytes(m.Value)
+	encodeDeps(b, m.Deps)
+}
+func (m *LoPutReq) Decode(r *Reader) {
+	m.Key = r.String()
+	m.Value = r.Bytes()
+	m.Deps = decodeDeps(r)
+}
+
+// LoPutResp acknowledges a CC-LO PUT with the new version's timestamp.
+type LoPutResp struct{ TS uint64 }
+
+func (*LoPutResp) Type() uint16       { return TLoPutResp }
+func (m *LoPutResp) Encode(b *Buffer) { b.U64(m.TS) }
+func (m *LoPutResp) Decode(r *Reader) { m.TS = r.U64() }
+
+// LoRotReq is CC-LO's one-round read: the client sends it directly to every
+// involved partition.
+type LoRotReq struct {
+	RotID uint64
+	Keys  []string
+}
+
+func (*LoRotReq) Type() uint16 { return TLoRotReq }
+func (m *LoRotReq) Encode(b *Buffer) {
+	b.U64(m.RotID)
+	encodeStrings(b, m.Keys)
+}
+func (m *LoRotReq) Decode(r *Reader) {
+	m.RotID = r.U64()
+	m.Keys = decodeStrings(r)
+}
+
+// LoRotResp carries CC-LO read results.
+type LoRotResp struct{ Vals []KV }
+
+func (*LoRotResp) Type() uint16       { return TLoRotResp }
+func (m *LoRotResp) Encode(b *Buffer) { encodeKVs(b, m.Vals) }
+func (m *LoRotResp) Decode(r *Reader) { m.Vals = decodeKVs(r) }
+
+// OldReadersReq is the readers check: it asks a partition for the old
+// readers of each listed dependency.
+type OldReadersReq struct {
+	Deps []LoDep
+}
+
+func (*OldReadersReq) Type() uint16       { return TOldReadersReq }
+func (m *OldReadersReq) Encode(b *Buffer) { encodeDeps(b, m.Deps) }
+func (m *OldReadersReq) Decode(r *Reader) { m.Deps = decodeDeps(r) }
+
+// OldReadersResp returns the collected old readers. Cumulative counts the
+// entries before the at-most-one-per-client filter so benchmarks can report
+// both series of Figure 6.
+type OldReadersResp struct {
+	Readers    []ReaderEntry
+	Cumulative uint32
+}
+
+func (*OldReadersResp) Type() uint16 { return TOldReadersResp }
+func (m *OldReadersResp) Encode(b *Buffer) {
+	encodeReaders(b, m.Readers)
+	b.U32(m.Cumulative)
+}
+func (m *OldReadersResp) Decode(r *Reader) {
+	m.Readers = decodeReaders(r)
+	m.Cumulative = r.U32()
+}
+
+// LoRepUpdate replicates one CC-LO version with its dependency list and the
+// old readers gathered at the origin DC; the receiver performs its own
+// dependency check and readers check before install.
+type LoRepUpdate struct {
+	Seq        uint64
+	SrcDC      uint8
+	SrcPart    uint32
+	Key        string
+	Value      []byte
+	TS         uint64
+	Deps       []LoDep
+	OldReaders []ReaderEntry
+}
+
+func (*LoRepUpdate) Type() uint16 { return TLoRepUpdate }
+func (m *LoRepUpdate) Encode(b *Buffer) {
+	b.U64(m.Seq)
+	b.U8(m.SrcDC)
+	b.U32(m.SrcPart)
+	b.String(m.Key)
+	b.Bytes(m.Value)
+	b.U64(m.TS)
+	encodeDeps(b, m.Deps)
+	encodeReaders(b, m.OldReaders)
+}
+func (m *LoRepUpdate) Decode(r *Reader) {
+	m.Seq = r.U64()
+	m.SrcDC = r.U8()
+	m.SrcPart = r.U32()
+	m.Key = r.String()
+	m.Value = r.Bytes()
+	m.TS = r.U64()
+	m.Deps = decodeDeps(r)
+	m.OldReaders = decodeReaders(r)
+}
+
+// LoRepAck acknowledges a LoRepUpdate.
+type LoRepAck struct{ Seq uint64 }
+
+func (*LoRepAck) Type() uint16       { return TLoRepAck }
+func (m *LoRepAck) Encode(b *Buffer) { b.U64(m.Seq) }
+func (m *LoRepAck) Decode(r *Reader) { m.Seq = r.U64() }
+
+// DepCheckReq asks whether the receiver has installed a version of Key with
+// timestamp ≥ TS; the receiver delays its response until it has (COPS-style
+// dependency checking).
+type DepCheckReq struct {
+	Key string
+	TS  uint64
+}
+
+func (*DepCheckReq) Type() uint16 { return TDepCheckReq }
+func (m *DepCheckReq) Encode(b *Buffer) {
+	b.String(m.Key)
+	b.U64(m.TS)
+}
+func (m *DepCheckReq) Decode(r *Reader) {
+	m.Key = r.String()
+	m.TS = r.U64()
+}
+
+// DepCheckResp signals the dependency is present.
+type DepCheckResp struct{}
+
+func (*DepCheckResp) Type() uint16   { return TDepCheckResp }
+func (*DepCheckResp) Encode(*Buffer) {}
+func (*DepCheckResp) Decode(*Reader) {}
+
+//
+// Infrastructure.
+//
+
+// ErrorResp reports a server-side failure to a caller.
+type ErrorResp struct {
+	Code uint16
+	Text string
+}
+
+func (*ErrorResp) Type() uint16 { return TErrorResp }
+func (m *ErrorResp) Encode(b *Buffer) {
+	b.U16(m.Code)
+	b.String(m.Text)
+}
+func (m *ErrorResp) Decode(r *Reader) {
+	m.Code = r.U16()
+	m.Text = r.String()
+}
+
+func (m *ErrorResp) Error() string { return m.Text }
+
+// Ping is a liveness probe.
+type Ping struct{ Nonce uint64 }
+
+func (*Ping) Type() uint16       { return TPing }
+func (m *Ping) Encode(b *Buffer) { b.U64(m.Nonce) }
+func (m *Ping) Decode(r *Reader) { m.Nonce = r.U64() }
+
+// Pong answers a Ping.
+type Pong struct{ Nonce uint64 }
+
+func (*Pong) Type() uint16       { return TPong }
+func (m *Pong) Encode(b *Buffer) { b.U64(m.Nonce) }
+func (m *Pong) Decode(r *Reader) { m.Nonce = r.U64() }
+
+//
+// COPS (two-round, two-version ROTs; §3 of the paper).
+//
+
+// DepKV is a read result together with the version's nearest dependencies;
+// COPS' first ROT round returns these so the client can detect snapshot
+// gaps (Figure 1: "Y1 depends on X1").
+type DepKV struct {
+	KV   KV
+	Deps []LoDep
+}
+
+// CopsRotReq is the first round of a COPS read-only transaction.
+type CopsRotReq struct{ Keys []string }
+
+func (*CopsRotReq) Type() uint16       { return TCopsRotReq }
+func (m *CopsRotReq) Encode(b *Buffer) { encodeStrings(b, m.Keys) }
+func (m *CopsRotReq) Decode(r *Reader) { m.Keys = decodeStrings(r) }
+
+// CopsRotResp returns the latest versions plus their dependency lists.
+type CopsRotResp struct{ Vals []DepKV }
+
+func (*CopsRotResp) Type() uint16 { return TCopsRotResp }
+func (m *CopsRotResp) Encode(b *Buffer) {
+	b.Uvarint(uint64(len(m.Vals)))
+	for i := range m.Vals {
+		b.String(m.Vals[i].KV.Key)
+		b.Bytes(m.Vals[i].KV.Value)
+		b.U64(m.Vals[i].KV.TS)
+		encodeDeps(b, m.Vals[i].Deps)
+	}
+}
+func (m *CopsRotResp) Decode(r *Reader) {
+	n := r.Uvarint()
+	if n > maxFieldLen {
+		r.fail(ErrTooLarge)
+		return
+	}
+	m.Vals = make([]DepKV, 0, n)
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		m.Vals = append(m.Vals, DepKV{
+			KV:   KV{Key: r.String(), Value: r.Bytes(), TS: r.U64()},
+			Deps: decodeDeps(r),
+		})
+	}
+}
+
+// CopsVerReq is the second ROT round: fetch the specific version TS of Key
+// (the causal cut computed from the first round's dependencies).
+type CopsVerReq struct {
+	Key string
+	TS  uint64
+}
+
+func (*CopsVerReq) Type() uint16 { return TCopsVerReq }
+func (m *CopsVerReq) Encode(b *Buffer) {
+	b.String(m.Key)
+	b.U64(m.TS)
+}
+func (m *CopsVerReq) Decode(r *Reader) {
+	m.Key = r.String()
+	m.TS = r.U64()
+}
+
+// CopsVerResp returns the requested version.
+type CopsVerResp struct{ Val KV }
+
+func (*CopsVerResp) Type() uint16 { return TCopsVerResp }
+func (m *CopsVerResp) Encode(b *Buffer) {
+	b.String(m.Val.Key)
+	b.Bytes(m.Val.Value)
+	b.U64(m.Val.TS)
+}
+func (m *CopsVerResp) Decode(r *Reader) {
+	m.Val = KV{Key: r.String(), Value: r.Bytes(), TS: r.U64()}
+}

@@ -1,0 +1,213 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ring"
+)
+
+func TestPutProbability(t *testing.T) {
+	// w = q/(q + (1-q)p): verify the inversion for the paper's parameters.
+	for _, c := range []struct {
+		w    float64
+		p    int
+		want float64
+	}{
+		{0.05, 4, 0.05 * 4 / (1 - 0.05 + 0.05*4)},
+		{0.01, 4, 0.01 * 4 / (1 - 0.01 + 0.01*4)},
+		{0.1, 24, 0.1 * 24 / (1 - 0.1 + 0.1*24)},
+	} {
+		cfg := Config{WriteRatio: c.w, RotSize: c.p}
+		got := cfg.PutProbability()
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("PutProbability(w=%v,p=%d) = %v, want %v", c.w, c.p, got, c.want)
+		}
+		// Round trip: with probability q, the realized w matches.
+		q := got
+		realized := q / (q + (1-q)*float64(c.p))
+		if math.Abs(realized-c.w) > 1e-12 {
+			t.Errorf("round trip w = %v, want %v", realized, c.w)
+		}
+	}
+	if (Config{WriteRatio: 0, RotSize: 4}).PutProbability() != 0 {
+		t.Error("w=0 must never put")
+	}
+	if (Config{WriteRatio: 1, RotSize: 4}).PutProbability() != 1 {
+		t.Error("w=1 must always put")
+	}
+}
+
+func TestBuildKeySpace(t *testing.T) {
+	r := ring.New(8)
+	cfg := Config{Partitions: 8, KeysPerPartition: 100}
+	ks := BuildKeySpace(cfg, r)
+	for p, pool := range ks.Keys {
+		if len(pool) != 100 {
+			t.Fatalf("partition %d has %d keys, want 100", p, len(pool))
+		}
+		for _, k := range pool {
+			if r.Owner(k) != p {
+				t.Fatalf("key %q in pool %d but owned by %d", k, p, r.Owner(k))
+			}
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	const n = 1000
+	z := NewZipfian(n, 0.99)
+	r := rand.New(rand.NewSource(7))
+	counts := make([]int, n)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		v := z.Next(r)
+		if v >= n {
+			t.Fatalf("draw %d out of range", v)
+		}
+		counts[v]++
+	}
+	// Rank 0 must be much hotter than the median rank, and the head must
+	// dominate: with theta=0.99, the top 10% of keys get well over half
+	// the accesses.
+	if counts[0] < draws/20 {
+		t.Fatalf("rank 0 drew %d/%d, expected heavy head", counts[0], draws)
+	}
+	head := 0
+	for i := 0; i < n/10; i++ {
+		head += counts[i]
+	}
+	if float64(head) < 0.5*draws {
+		t.Fatalf("top 10%% drew %.1f%%, want > 50%%", 100*float64(head)/draws)
+	}
+}
+
+func TestZipfianUniform(t *testing.T) {
+	const n = 100
+	z := NewZipfian(n, 0)
+	r := rand.New(rand.NewSource(7))
+	counts := make([]int, n)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[z.Next(r)]++
+	}
+	for i, c := range counts {
+		if c < draws/n/2 || c > draws/n*2 {
+			t.Fatalf("uniform draw skewed at rank %d: %d", i, c)
+		}
+	}
+}
+
+func TestZipfianModerate(t *testing.T) {
+	// z=0.8 must be strictly between uniform and z=0.99 in head mass.
+	const n, draws = 1000, 100000
+	r := rand.New(rand.NewSource(3))
+	headMass := func(theta float64) float64 {
+		z := NewZipfian(n, theta)
+		head := 0
+		for i := 0; i < draws; i++ {
+			if z.Next(r) < n/100 {
+				head++
+			}
+		}
+		return float64(head) / draws
+	}
+	h0, h8, h99 := headMass(0), headMass(0.8), headMass(0.99)
+	if !(h0 < h8 && h8 < h99) {
+		t.Fatalf("head mass not ordered: z0=%v z0.8=%v z0.99=%v", h0, h8, h99)
+	}
+}
+
+func TestGenOpMix(t *testing.T) {
+	r := ring.New(4)
+	cfg := Default(4, 50)
+	ks := BuildKeySpace(cfg, r)
+	g := NewGen(cfg, ks, 1)
+	var puts, rots, reads int
+	for i := 0; i < 50000; i++ {
+		op := g.Next()
+		switch op.Kind {
+		case OpPut:
+			puts++
+			if len(op.Keys) != 1 {
+				t.Fatalf("PUT with %d keys", len(op.Keys))
+			}
+			if len(op.Value) != cfg.ValueSize {
+				t.Fatalf("value size %d, want %d", len(op.Value), cfg.ValueSize)
+			}
+		case OpROT:
+			rots++
+			reads += len(op.Keys)
+			if len(op.Keys) != cfg.RotSize {
+				t.Fatalf("ROT with %d keys, want %d", len(op.Keys), cfg.RotSize)
+			}
+			seen := map[int]bool{}
+			for _, k := range op.Keys {
+				p := r.Owner(k)
+				if seen[p] {
+					t.Fatalf("ROT reads two keys from partition %d", p)
+				}
+				seen[p] = true
+			}
+		}
+	}
+	w := float64(puts) / float64(puts+reads)
+	if math.Abs(w-cfg.WriteRatio) > 0.01 {
+		t.Fatalf("realized w = %v, want ≈ %v", w, cfg.WriteRatio)
+	}
+}
+
+func TestGenDeterministic(t *testing.T) {
+	r := ring.New(4)
+	cfg := Default(4, 50)
+	ks := BuildKeySpace(cfg, r)
+	g1 := NewGen(cfg, ks, 42)
+	g2 := NewGen(cfg, ks, 42)
+	for i := 0; i < 100; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a.Kind != b.Kind || len(a.Keys) != len(b.Keys) {
+			t.Fatal("same seed diverged")
+		}
+		for j := range a.Keys {
+			if a.Keys[j] != b.Keys[j] {
+				t.Fatal("same seed diverged on keys")
+			}
+		}
+	}
+}
+
+func TestRotSizeClampedToPartitions(t *testing.T) {
+	r := ring.New(2)
+	cfg := Default(2, 10)
+	cfg.RotSize = 8 // more than partitions
+	ks := BuildKeySpace(cfg, r)
+	g := NewGen(cfg, ks, 1)
+	for i := 0; i < 100; i++ {
+		op := g.Next()
+		if op.Kind == OpROT && len(op.Keys) > 2 {
+			t.Fatalf("ROT spans %d keys with 2 partitions", len(op.Keys))
+		}
+	}
+}
+
+func BenchmarkZipfianNext(b *testing.B) {
+	z := NewZipfian(1_000_000, 0.99)
+	r := rand.New(rand.NewSource(1))
+	b.ResetTimer() // exclude the one-time zeta precomputation
+	for i := 0; i < b.N; i++ {
+		z.Next(r)
+	}
+}
+
+func BenchmarkGenNext(b *testing.B) {
+	rg := ring.New(8)
+	cfg := Default(8, 1000)
+	ks := BuildKeySpace(cfg, rg)
+	g := NewGen(cfg, ks, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
