@@ -54,6 +54,39 @@ type LoCheckStats struct {
 	AvgCumulative float64 // ROT ids scanned per check (before dedup)
 }
 
+// TransportStats summarizes write-path efficiency: counter-derived fields
+// (Flushes, Coalesced, MsgsPerFlush, CoalescedFrac, HandlerSpills) are
+// deltas over the measurement window, while the SendQueue gauge fields are
+// whole-run values — the peak in particular may reflect preload/warmup
+// congestion, not just the window's load. On Local (no buffered write
+// path) the flush fields are zero.
+type TransportStats struct {
+	Flushes        uint64  // buffered flushes (≈ write syscalls on TCP)
+	Coalesced      uint64  // frames that shared a flush with an earlier frame
+	MsgsPerFlush   float64 // average frames retired per flush
+	CoalescedFrac  float64 // fraction of sent frames that cost no syscall
+	HandlerSpills  uint64  // inbound requests that overflowed the worker pool
+	SendQueuePeak  int64   // high-water mark of queued frames (whole run)
+	SendQueueDepth int64   // queued frames at window end
+}
+
+func transportDelta(a, b transport.StatsView) TransportStats {
+	ts := TransportStats{
+		Flushes:        b.Flushes - a.Flushes,
+		Coalesced:      b.FramesCoalesced - a.FramesCoalesced,
+		HandlerSpills:  b.HandlerOverflow - a.HandlerOverflow,
+		SendQueuePeak:  b.SendQueuePeak,
+		SendQueueDepth: b.SendQueueDepth,
+	}
+	if msgs := b.MsgsSent - a.MsgsSent; msgs > 0 {
+		ts.CoalescedFrac = float64(ts.Coalesced) / float64(msgs)
+	}
+	if ts.Flushes > 0 {
+		ts.MsgsPerFlush = float64(ts.Coalesced+ts.Flushes) / float64(ts.Flushes)
+	}
+	return ts
+}
+
 // Point is one measured load point.
 type Point struct {
 	System       string
@@ -65,6 +98,7 @@ type Point struct {
 	Lo           LoCheckStats
 	MsgsPerSec   float64
 	BytesPerSec  float64
+	Transport    TransportStats
 }
 
 // Run measures one load point.
@@ -150,7 +184,7 @@ func Run(sys System, spec RunSpec) (Point, error) {
 
 	time.Sleep(spec.Warmup)
 	loStart := c.CCLOStats()
-	msgs0, bytes0, _ := c.Net().Stats().Snapshot()
+	view0 := c.Net().Stats().View()
 	rotHist.Reset()
 	putHist.Reset()
 	measuring.Store(true)
@@ -159,7 +193,7 @@ func Run(sys System, spec RunSpec) (Point, error) {
 	measuring.Store(false)
 	window := time.Since(winStart)
 	loEnd := c.CCLOStats()
-	msgs1, bytes1, _ := c.Net().Stats().Snapshot()
+	view1 := c.Net().Stats().View()
 	stop.Store(true)
 	wg.Wait()
 
@@ -172,9 +206,10 @@ func Run(sys System, spec RunSpec) (Point, error) {
 		ROT:          rot,
 		PUT:          put,
 		Errors:       errs.Load(),
-		MsgsPerSec:   float64(msgs1-msgs0) / window.Seconds(),
-		BytesPerSec:  float64(bytes1-bytes0) / window.Seconds(),
+		MsgsPerSec:   float64(view1.MsgsSent-view0.MsgsSent) / window.Seconds(),
+		BytesPerSec:  float64(view1.BytesSent-view0.BytesSent) / window.Seconds(),
 		Lo:           loDelta(loStart, loEnd),
+		Transport:    transportDelta(view0, view1),
 	}
 	if p.Errors > (rot.Count+put.Count)/100+10 {
 		return p, fmt.Errorf("bench: %d operation errors in window (tput %.0f)", p.Errors, p.Throughput)

@@ -57,17 +57,17 @@ func (o Opts) defaultWorkload() workload.Config {
 
 func (o Opts) printHeader(title string) {
 	fmt.Fprintf(o.Out, "\n=== %s ===\n", title)
-	fmt.Fprintf(o.Out, "%-28s %8s %12s %10s %10s %10s %10s %8s\n",
-		"system", "clients", "tput(op/s)", "rot-avg", "rot-p99", "put-avg", "put-p99", "errs")
+	fmt.Fprintf(o.Out, "%-28s %8s %12s %10s %10s %10s %10s %8s %8s\n",
+		"system", "clients", "tput(op/s)", "rot-avg", "rot-p99", "put-avg", "put-p99", "errs", "msg/fl")
 }
 
 func (o Opts) printSeries(s Series) {
 	for _, p := range s.Points {
-		fmt.Fprintf(o.Out, "%-28s %8d %12.0f %10v %10v %10v %10v %8d\n",
+		fmt.Fprintf(o.Out, "%-28s %8d %12.0f %10v %10v %10v %10v %8d %8.1f\n",
 			p.System, p.ClientsPerDC, p.Throughput,
 			p.ROT.Mean.Round(10*time.Microsecond), p.ROT.P99.Round(10*time.Microsecond),
 			p.PUT.Mean.Round(10*time.Microsecond), p.PUT.P99.Round(10*time.Microsecond),
-			p.Errors)
+			p.Errors, p.Transport.MsgsPerFlush)
 	}
 }
 

@@ -1,0 +1,42 @@
+package metrics
+
+import "sync/atomic"
+
+// Counter is a lock-free monotonically increasing event counter. The zero
+// value is ready to use. Transport hot paths (internal/transport) embed
+// these, so both methods must stay allocation-free.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is a lock-free instantaneous level (e.g. a queue depth) that also
+// tracks its high-water mark. The zero value is ready to use.
+type Gauge struct {
+	v  atomic.Int64
+	hw atomic.Int64
+}
+
+// Add moves the gauge by d (negative to decrement) and returns the new
+// level, updating the high-water mark when the level rises.
+func (g *Gauge) Add(d int64) int64 {
+	n := g.v.Add(d)
+	if d > 0 {
+		for {
+			old := g.hw.Load()
+			if n <= old || g.hw.CompareAndSwap(old, n) {
+				break
+			}
+		}
+	}
+	return n
+}
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// HighWater returns the maximum level ever observed by Add.
+func (g *Gauge) HighWater() int64 { return g.hw.Load() }

@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Load() != 0 {
+		t.Fatal("zero value not zero")
+	}
+	c.Add(3)
+	c.Add(4)
+	if got := c.Load(); got != 7 {
+		t.Fatalf("Load = %d, want 7", got)
+	}
+}
+
+func TestGaugeHighWater(t *testing.T) {
+	var g Gauge
+	g.Add(5)
+	g.Add(-3)
+	g.Add(2)
+	if got := g.Load(); got != 4 {
+		t.Fatalf("Load = %d, want 4", got)
+	}
+	if hw := g.HighWater(); hw != 5 {
+		t.Fatalf("HighWater = %d, want 5", hw)
+	}
+	g.Add(10)
+	if hw := g.HighWater(); hw != 14 {
+		t.Fatalf("HighWater = %d, want 14", hw)
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Load(); got != 0 {
+		t.Fatalf("Load = %d, want 0", got)
+	}
+	if hw := g.HighWater(); hw < 1 || hw > 8 {
+		t.Fatalf("HighWater = %d, want within [1, 8]", hw)
+	}
+}

@@ -130,9 +130,11 @@ func (l *Local) lookup(addr wire.Addr) *localNode {
 	return l.nodes[addr]
 }
 
-// dispatch routes a marshalled envelope after its simulated flight.
-func (l *Local) dispatch(buf []byte) {
-	env, err := wire.DecodeEnvelope(buf)
+// dispatch routes a marshalled envelope after its simulated flight. It
+// consumes f, returning it to the frame pool once decoded.
+func (l *Local) dispatch(f *wire.FrameBuf) {
+	env, err := wire.DecodeEnvelope(f.B)
+	wire.PutFrame(f) // DecodeEnvelope copies fields out; safe to recycle
 	if err != nil {
 		l.stats.Dropped.Add(1)
 		return
@@ -152,7 +154,7 @@ func (l *Local) dispatch(buf []byte) {
 // delivery is one in-flight message.
 type delivery struct {
 	at  time.Time
-	buf []byte
+	buf *wire.FrameBuf
 }
 
 // deliveryHeap is a min-heap of deliveries by due time.
@@ -251,22 +253,25 @@ func (n *localNode) send(env *wire.Envelope) error {
 	if n.closed.Load() {
 		return ErrClosed
 	}
-	buf := wire.EncodeEnvelope(nil, env)
+	f := wire.GetFrame()
+	f.Envelope(env)
 	n.net.stats.MsgsSent.Add(1)
-	n.net.stats.BytesSent.Add(uint64(len(buf)))
+	n.net.stats.BytesSent.Add(uint64(len(f.B)))
 	if n.net.latency.Drop(env.Src, env.Dst) {
 		n.net.stats.Dropped.Add(1)
+		wire.PutFrame(f)
 		return nil // lost in flight; sender cannot tell
 	}
 	d := n.net.latency.Delay(env.Src, env.Dst)
 	if d <= 0 {
-		go n.net.dispatch(buf)
+		go n.net.dispatch(f)
 		return nil
 	}
 	w := n.net.wheels[int(env.Dst)%numWheels]
 	select {
-	case w.ch <- delivery{at: time.Now().Add(d), buf: buf}:
+	case w.ch <- delivery{at: time.Now().Add(d), buf: f}:
 	case <-w.stop:
+		wire.PutFrame(f)
 		return ErrClosed
 	}
 	return nil

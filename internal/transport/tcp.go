@@ -1,11 +1,13 @@
 package transport
 
 import (
+	"bufio"
 	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -14,6 +16,29 @@ import (
 
 // maxFrame bounds a single TCP frame.
 const maxFrame = 1 << 26 // 64 MiB
+
+const (
+	// sendQueueLen bounds the per-connection send queue. Senders block
+	// (backpressure) once a peer's queue is full.
+	sendQueueLen = 1024
+	// writeBufSize sizes the per-connection buffered writer; a full drain
+	// of coalesced frames is flushed in one Write call.
+	writeBufSize = 64 << 10
+	// readBufSize sizes the per-connection buffered reader.
+	readBufSize = 64 << 10
+	// handlerQueueLen bounds the per-node inbound request queue feeding
+	// the worker pool; when full, requests spill to fresh goroutines so
+	// nested Calls between saturated nodes cannot deadlock.
+	handlerQueueLen = 256
+)
+
+// handlerWorkers is the size of the per-node inbound worker pool.
+func handlerWorkers() int {
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		return n
+	}
+	return 4
+}
 
 // TCP is a Network over real sockets. Server addresses must appear in the
 // directory; clients need not listen — peers respond over the connection a
@@ -52,14 +77,27 @@ func (t *TCP) Attach(addr wire.Addr, h Handler) (Node, error) {
 	if _, dup := t.nodes[addr]; dup {
 		return nil, ErrAttached
 	}
-	n := &tcpNode{t: t, addr: addr, h: h, conns: make(map[wire.Addr]*lockedConn)}
+	n := &tcpNode{
+		t:     t,
+		addr:  addr,
+		h:     h,
+		conns: make(map[wire.Addr]*tcpConn),
+		all:   make(map[*tcpConn]struct{}),
+		workq: make(chan inbound, handlerQueueLen),
+		stop:  make(chan struct{}),
+	}
 	if hp, ok := t.dir[addr]; ok {
 		ln, err := net.Listen("tcp", hp)
 		if err != nil {
 			return nil, fmt.Errorf("transport: listen %s: %w", hp, err)
 		}
 		n.ln = ln
+		n.wg.Add(1)
 		go n.acceptLoop()
+	}
+	for i := 0; i < handlerWorkers(); i++ {
+		n.wg.Add(1)
+		go n.worker()
 	}
 	t.nodes[addr] = n
 	return n, nil
@@ -80,21 +118,129 @@ func (t *TCP) Close() error {
 	return nil
 }
 
-type lockedConn struct {
-	mu sync.Mutex
-	c  net.Conn
+// tcpConn owns one socket: a writer goroutine drains its bounded send
+// queue, coalescing all immediately available frames into a single buffered
+// flush (one syscall for N frames) instead of syscalling per frame.
+type tcpConn struct {
+	c     net.Conn
+	sendq chan *wire.FrameBuf
+
+	peer   atomic.Uint32 // learned wire.Addr, 0 until known
+	closed chan struct{}
+	once   sync.Once
 }
 
-func (lc *lockedConn) writeFrame(buf []byte) error {
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(buf)))
-	lc.mu.Lock()
-	defer lc.mu.Unlock()
-	if _, err := lc.c.Write(hdr[:]); err != nil {
-		return err
+func newTCPConn(c net.Conn) *tcpConn {
+	return &tcpConn{
+		c:      c,
+		sendq:  make(chan *wire.FrameBuf, sendQueueLen),
+		closed: make(chan struct{}),
 	}
-	_, err := lc.c.Write(buf)
-	return err
+}
+
+// close shuts the socket down and releases the writer. Idempotent.
+func (tc *tcpConn) close() {
+	tc.once.Do(func() {
+		close(tc.closed)
+		tc.c.Close()
+	})
+}
+
+// enqueue hands a framed envelope to the writer, blocking while the queue
+// is full. Ownership of f transfers to the writer.
+func (tc *tcpConn) enqueue(f *wire.FrameBuf, stats *Stats) error {
+	select {
+	case <-tc.closed:
+		wire.PutFrame(f)
+		return ErrClosed
+	default:
+	}
+	// Count the frame before committing it so the writer's decrement can
+	// never be observed ahead of the increment (a transiently negative
+	// gauge).
+	stats.SendQueue.Add(1)
+	select {
+	case tc.sendq <- f:
+		select {
+		case <-tc.closed:
+			// The conn closed while we were queueing; the writer (and its
+			// teardown drain) may already be gone, stranding f. Sweep the
+			// queue ourselves so no frame or gauge count leaks, and report
+			// the send as failed — the frame may never hit the wire.
+			tc.drain(stats)
+			return ErrClosed
+		default:
+		}
+		return nil
+	case <-tc.closed:
+		stats.SendQueue.Add(-1)
+		wire.PutFrame(f)
+		return ErrClosed
+	}
+}
+
+// writeLoop is the per-connection writer: it blocks for the first queued
+// frame, then greedily drains everything else already queued into the
+// buffered writer and flushes once.
+func (tc *tcpConn) writeLoop(n *tcpNode) {
+	defer n.wg.Done()
+	defer func() {
+		n.forget(tc)
+		tc.close()
+		tc.drain(&n.t.stats)
+	}()
+	stats := &n.t.stats
+	bw := bufio.NewWriterSize(tc.c, writeBufSize)
+	for {
+		var f *wire.FrameBuf
+		select {
+		case f = <-tc.sendq:
+		case <-tc.closed:
+			return
+		}
+		frames := 0
+		for {
+			stats.SendQueue.Add(-1)
+			frames++
+			_, err := bw.Write(f.B)
+			wire.PutFrame(f)
+			if err != nil {
+				return
+			}
+			select {
+			case f = <-tc.sendq:
+				continue
+			default:
+			}
+			break
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+		stats.Flushes.Add(1)
+		stats.FramesCoalesced.Add(uint64(frames - 1))
+	}
+}
+
+// drain empties the send queue after close so the queue-depth gauge does
+// not count frames that will never be written.
+func (tc *tcpConn) drain(stats *Stats) {
+	for {
+		select {
+		case f := <-tc.sendq:
+			stats.SendQueue.Add(-1)
+			wire.PutFrame(f)
+		default:
+			return
+		}
+	}
+}
+
+// inbound is one request waiting for a handler worker.
+type inbound struct {
+	src   wire.Addr
+	reqID uint64
+	msg   wire.Message
 }
 
 type tcpNode struct {
@@ -104,7 +250,12 @@ type tcpNode struct {
 	ln   net.Listener
 
 	mu    sync.Mutex
-	conns map[wire.Addr]*lockedConn
+	conns map[wire.Addr]*tcpConn // routable by learned/dialed peer
+	all   map[*tcpConn]struct{}  // every live conn, learned or not
+
+	workq chan inbound
+	stop  chan struct{}
+	wg    sync.WaitGroup
 
 	reqSeq  atomic.Uint64
 	pending sync.Map // reqID -> chan *wire.Envelope
@@ -114,67 +265,138 @@ type tcpNode struct {
 func (n *tcpNode) Addr() wire.Addr { return n.addr }
 
 func (n *tcpNode) acceptLoop() {
+	defer n.wg.Done()
 	for {
 		c, err := n.ln.Accept()
 		if err != nil {
 			return
 		}
-		go n.readLoop(c)
+		n.startConn(newTCPConn(c))
 	}
 }
 
-// readLoop decodes frames from c, learning the peer's address from the
-// first envelope so responses can flow back over the same connection.
-func (n *tcpNode) readLoop(c net.Conn) {
-	defer c.Close()
-	lc := &lockedConn{c: c}
-	var learned wire.Addr
-	hdr := make([]byte, 4)
+// startConn registers tc and launches its reader and writer goroutines.
+// Returns false (and closes tc) if the node is already shut down.
+func (n *tcpNode) startConn(tc *tcpConn) bool {
+	n.mu.Lock()
+	if n.closed.Load() {
+		n.mu.Unlock()
+		tc.close()
+		return false
+	}
+	n.all[tc] = struct{}{}
+	// Add under n.mu: Close sets closed before taking n.mu to snapshot
+	// conns, so this Add is always ordered before Close's wg.Wait (Add
+	// racing Wait at counter zero is documented WaitGroup misuse).
+	n.wg.Add(2)
+	n.mu.Unlock()
+	go n.readLoop(tc)
+	go tc.writeLoop(n)
+	return true
+}
+
+// learn records that frames from peer arrive on tc, so responses can flow
+// back over the same connection. First learner wins.
+func (n *tcpNode) learn(peer wire.Addr, tc *tcpConn) {
+	tc.peer.Store(uint32(peer))
+	n.mu.Lock()
+	if _, dup := n.conns[peer]; !dup {
+		n.conns[peer] = tc
+	}
+	n.mu.Unlock()
+}
+
+// forget removes tc from both connection maps.
+func (n *tcpNode) forget(tc *tcpConn) {
+	n.mu.Lock()
+	delete(n.all, tc)
+	if peer := wire.Addr(tc.peer.Load()); peer.Valid() && n.conns[peer] == tc {
+		delete(n.conns, peer)
+	}
+	n.mu.Unlock()
+}
+
+// readLoop decodes frames from tc, learning the peer's address from the
+// first envelope carrying a valid source. Responses are matched to pending
+// Calls inline; requests go to the worker pool.
+func (n *tcpNode) readLoop(tc *tcpConn) {
+	defer n.wg.Done()
+	defer func() {
+		n.forget(tc)
+		tc.close()
+	}()
+	br := bufio.NewReaderSize(tc.c, readBufSize)
+	var hdr [4]byte
 	for {
-		if _, err := io.ReadFull(c, hdr); err != nil {
-			break
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return
 		}
-		size := binary.LittleEndian.Uint32(hdr)
+		size := binary.LittleEndian.Uint32(hdr[:])
 		if size > maxFrame {
-			break
+			return
 		}
-		buf := make([]byte, size)
-		if _, err := io.ReadFull(c, buf); err != nil {
-			break
+		f := wire.GetFrameLen(int(size))
+		if _, err := io.ReadFull(br, f.B); err != nil {
+			wire.PutFrame(f)
+			return
 		}
-		env, err := wire.DecodeEnvelope(buf)
+		env, err := wire.DecodeEnvelope(f.B)
+		wire.PutFrame(f) // DecodeEnvelope copies fields out; safe to recycle
 		if err != nil {
 			n.t.stats.Dropped.Add(1)
 			continue
 		}
-		if learned == 0 && env.Src != 0 {
-			learned = env.Src
-			n.mu.Lock()
-			if _, dup := n.conns[learned]; !dup {
-				n.conns[learned] = lc
-			}
-			n.mu.Unlock()
+		if !wire.Addr(tc.peer.Load()).Valid() && env.Src.Valid() {
+			n.learn(env.Src, tc)
 		}
 		if env.Resp {
 			n.deliverResponse(env)
 			continue
 		}
-		go n.h.Handle(n, env.Src, env.ReqID, env.Msg)
-	}
-	if learned != 0 {
-		n.mu.Lock()
-		if n.conns[learned] == lc {
-			delete(n.conns, learned)
-		}
-		n.mu.Unlock()
+		n.dispatch(env)
 	}
 }
 
-func (n *tcpNode) getConn(dst wire.Addr) (*lockedConn, error) {
+// dispatch hands a request to the bounded worker pool, spilling to a fresh
+// goroutine when the pool is saturated. Spilling (rather than blocking the
+// read loop) keeps response frames flowing on this connection, so handlers
+// parked in nested Calls can always be unblocked.
+func (n *tcpNode) dispatch(env *wire.Envelope) {
+	in := inbound{src: env.Src, reqID: env.ReqID, msg: env.Msg}
+	select {
+	case n.workq <- in:
+	default:
+		n.t.stats.HandlerOverflow.Add(1)
+		// Safe to Add here: the calling readLoop holds a wg slot, so the
+		// counter cannot be zero while Close's Wait is racing us.
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.h.Handle(n, in.src, in.reqID, in.msg)
+		}()
+	}
+}
+
+// worker is one member of the node's inbound handler pool.
+func (n *tcpNode) worker() {
+	defer n.wg.Done()
+	for {
+		select {
+		case in := <-n.workq:
+			n.h.Handle(n, in.src, in.reqID, in.msg)
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+// getConn returns the connection to dst, dialing through the directory if
+// none is learned yet.
+func (n *tcpNode) getConn(dst wire.Addr) (*tcpConn, error) {
 	n.mu.Lock()
-	if lc, ok := n.conns[dst]; ok {
+	if tc, ok := n.conns[dst]; ok {
 		n.mu.Unlock()
-		return lc, nil
+		return tc, nil
 	}
 	n.mu.Unlock()
 
@@ -188,40 +410,38 @@ func (n *tcpNode) getConn(dst wire.Addr) (*lockedConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %v at %s: %w", dst, hp, err)
 	}
-	lc := &lockedConn{c: c}
+	tc := newTCPConn(c)
+	tc.peer.Store(uint32(dst))
 	n.mu.Lock()
 	if prev, dup := n.conns[dst]; dup {
 		n.mu.Unlock()
 		c.Close()
 		return prev, nil
 	}
-	n.conns[dst] = lc
+	n.conns[dst] = tc
 	n.mu.Unlock()
-	go n.readLoop(c) // responses to our calls come back on this conn
-	return lc, nil
+	if !n.startConn(tc) {
+		return nil, ErrClosed
+	}
+	return tc, nil
 }
 
 func (n *tcpNode) send(env *wire.Envelope) error {
 	if n.closed.Load() {
 		return ErrClosed
 	}
-	lc, err := n.getConn(env.Dst)
+	tc, err := n.getConn(env.Dst)
 	if err != nil {
 		return err
 	}
-	buf := wire.EncodeEnvelope(nil, env)
+	f := wire.GetFrame()
+	f.AppendEnvelope(env)
 	n.t.stats.MsgsSent.Add(1)
-	n.t.stats.BytesSent.Add(uint64(len(buf)))
-	if err := lc.writeFrame(buf); err != nil {
-		// Connection broke; forget it so the next send redials.
-		n.mu.Lock()
-		if n.conns[env.Dst] == lc {
-			delete(n.conns, env.Dst)
-		}
-		n.mu.Unlock()
-		return err
-	}
-	return nil
+	// Exclude the 4-byte length prefix so BytesSent counts envelope bytes
+	// on both transports (Local has no framing), keeping the paper's
+	// communication-overhead metrics comparable across deployments.
+	n.t.stats.BytesSent.Add(uint64(len(f.B) - wire.FrameHdrLen))
+	return tc.enqueue(f, &n.t.stats)
 }
 
 // Send delivers a one-way message.
@@ -249,6 +469,11 @@ func (n *tcpNode) Call(ctx context.Context, dst wire.Addr, m wire.Message) (wire
 			return nil, e
 		}
 		return env.Msg, nil
+	case <-n.stop:
+		// Node shut down while waiting; the response can never arrive.
+		// Returning promptly also lets handler workers parked in nested
+		// Calls finish, so Close's wg.Wait cannot hang on them.
+		return nil, ErrClosed
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
@@ -263,7 +488,9 @@ func (n *tcpNode) deliverResponse(env *wire.Envelope) {
 	}
 }
 
-// Close shuts the node down, closing its listener and connections.
+// Close shuts the node down: listener, handler workers, and every live
+// connection — learned or not — so no readLoop/writeLoop goroutine or file
+// descriptor outlives the node.
 func (n *tcpNode) Close() error {
 	if n.closed.Swap(true) {
 		return nil
@@ -271,14 +498,19 @@ func (n *tcpNode) Close() error {
 	if n.ln != nil {
 		n.ln.Close()
 	}
+	close(n.stop)
 	n.mu.Lock()
-	for a, lc := range n.conns {
-		lc.c.Close()
-		delete(n.conns, a)
+	conns := make([]*tcpConn, 0, len(n.all))
+	for tc := range n.all {
+		conns = append(conns, tc)
 	}
 	n.mu.Unlock()
+	for _, tc := range conns {
+		tc.close()
+	}
 	n.t.mu.Lock()
 	delete(n.t.nodes, n.addr)
 	n.t.mu.Unlock()
+	n.wg.Wait()
 	return nil
 }

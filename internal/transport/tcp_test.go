@@ -1,0 +1,278 @@
+package transport
+
+import (
+	"context"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// TestTCPClientZeroAddr is the regression test for the ClientAddr(0, 0)
+// collision: that address used to encode to Addr(0), matching the
+// "unlearned peer" sentinel in readLoop, so the server never learned the
+// client's connection and responses failed with ErrNoRoute.
+func TestTCPClientZeroAddr(t *testing.T) {
+	dir := map[wire.Addr]string{wire.ServerAddr(0, 0): "127.0.0.1:17811"}
+	net := NewTCP(dir)
+	defer net.Close()
+	if _, err := net.Attach(wire.ServerAddr(0, 0), &echoHandler{}); err != nil {
+		t.Fatal(err)
+	}
+	cli, err := net.Attach(wire.ClientAddr(0, 0), HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, err := cli.Call(ctx, wire.ServerAddr(0, 0), &wire.Ping{Nonce: 99})
+	if err != nil {
+		t.Fatalf("Call as client (0,0): %v", err)
+	}
+	if pong, ok := resp.(*wire.Pong); !ok || pong.Nonce != 99 {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+// slowHandler responds to Ping after a delay, so a Call can be in flight
+// when the network shuts down.
+type slowHandler struct{ delay time.Duration }
+
+func (s *slowHandler) Handle(n Node, src wire.Addr, reqID uint64, m wire.Message) {
+	if reqID == 0 {
+		return
+	}
+	time.Sleep(s.delay)
+	if p, ok := m.(*wire.Ping); ok {
+		n.Respond(src, reqID, &wire.Pong{Nonce: p.Nonce})
+	}
+}
+
+// TestTCPCloseReleasesResources asserts that Close tears down every
+// goroutine and socket the transport created — including accepted
+// connections that never sent a frame (half-open, unlearned) and calls
+// still in flight. The seed leaked both: send forgot broken conns without
+// closing them, and Close only closed learned conns.
+func TestTCPCloseReleasesResources(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	dir := map[wire.Addr]string{wire.ServerAddr(0, 0): "127.0.0.1:17812"}
+	tnet := NewTCP(dir)
+	if _, err := tnet.Attach(wire.ServerAddr(0, 0), &slowHandler{delay: 100 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	cli, err := tnet.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A half-open connection: accepted by the server, never sends a frame,
+	// so the server cannot learn its address.
+	raw, err := net.Dial("tcp", "127.0.0.1:17812")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+
+	// An in-flight Call: the handler is still sleeping when Close runs.
+	callErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_, err := cli.Call(ctx, wire.ServerAddr(0, 0), &wire.Ping{Nonce: 1})
+		callErr <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the call reach the handler
+
+	if err := tnet.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The in-flight call must fail fast, not hang until its deadline.
+	select {
+	case err := <-callErr:
+		if err == nil {
+			t.Fatal("in-flight call succeeded across Close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("in-flight call hung across Close")
+	}
+
+	// The server must have closed the accepted half-open socket.
+	raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := raw.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("half-open conn read err = %v, want EOF", err)
+	}
+
+	// Every transport goroutine (accept/read/write loops, worker pools)
+	// must exit.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		buf := make([]byte, 1<<20)
+		t.Fatalf("goroutines: %d before, %d after Close\n%s",
+			before, g, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// TestTCPCoalescingUnderLoad drives one connection hard enough that the
+// writer goroutine batches queued frames into shared flushes, and checks
+// the new counters observe it.
+func TestTCPCoalescingUnderLoad(t *testing.T) {
+	dir := map[wire.Addr]string{wire.ServerAddr(0, 0): "127.0.0.1:17813"}
+	tnet := NewTCP(dir)
+	defer tnet.Close()
+	h := &echoHandler{}
+	if _, err := tnet.Attach(wire.ServerAddr(0, 0), h); err != nil {
+		t.Fatal(err)
+	}
+	cli, err := tnet.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const senders, perSender = 8, 400
+	payload := &wire.PutReq{Key: "k", Value: make([]byte, 2048)}
+	var wg sync.WaitGroup
+	for i := 0; i < senders; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perSender; j++ {
+				if err := cli.Send(wire.ServerAddr(0, 0), payload); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for h.oneways.Load() < senders*perSender && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := h.oneways.Load(); got != senders*perSender {
+		t.Fatalf("delivered %d/%d one-ways", got, senders*perSender)
+	}
+
+	v := tnet.Stats().View()
+	if v.Flushes == 0 {
+		t.Fatal("Flushes = 0; writer never flushed")
+	}
+	if v.FramesCoalesced == 0 {
+		t.Fatal("FramesCoalesced = 0 under load; writer never batched")
+	}
+	if v.Flushes+v.FramesCoalesced < uint64(senders*perSender) {
+		t.Fatalf("flushes %d + coalesced %d < %d frames sent",
+			v.Flushes, v.FramesCoalesced, senders*perSender)
+	}
+	if v.SendQueuePeak == 0 {
+		t.Fatal("SendQueuePeak = 0; gauge not wired")
+	}
+	t.Logf("msgs=%d flushes=%d coalesced=%d (%.1f frames/flush) queuePeak=%d",
+		v.MsgsSent, v.Flushes, v.FramesCoalesced,
+		float64(v.Flushes+v.FramesCoalesced)/float64(v.Flushes), v.SendQueuePeak)
+}
+
+// TestTCPReconnectAfterPeerRestart exercises the forget-and-redial path:
+// after the server is torn down and replaced, the client's next call must
+// detect the dead connection and dial fresh.
+func TestTCPReconnectAfterPeerRestart(t *testing.T) {
+	dir := map[wire.Addr]string{wire.ServerAddr(0, 0): "127.0.0.1:17814"}
+	net1 := NewTCP(dir)
+	if _, err := net1.Attach(wire.ServerAddr(0, 0), &echoHandler{}); err != nil {
+		t.Fatal(err)
+	}
+	net2 := NewTCP(dir)
+	defer net2.Close()
+	cli, err := net2.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := cli.Call(ctx, wire.ServerAddr(0, 0), &wire.Ping{Nonce: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	net1.Close()
+	net3 := NewTCP(dir)
+	defer net3.Close()
+	if _, err := net3.Attach(wire.ServerAddr(0, 0), &echoHandler{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The first call(s) after the restart may fail while the client still
+	// holds the dead connection; it must recover within a few attempts.
+	var lastErr error
+	for i := 0; i < 50; i++ {
+		cctx, ccancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+		_, lastErr = cli.Call(cctx, wire.ServerAddr(0, 0), &wire.Ping{Nonce: 2})
+		ccancel()
+		if lastErr == nil {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("client never recovered after peer restart: %v", lastErr)
+}
+
+var benchSink atomic.Uint64
+
+func BenchmarkTCPCall(b *testing.B) {
+	dir := map[wire.Addr]string{wire.ServerAddr(0, 0): "127.0.0.1:17899"}
+	tnet := NewTCP(dir)
+	defer tnet.Close()
+	if _, err := tnet.Attach(wire.ServerAddr(0, 0), &echoHandler{}); err != nil {
+		b.Fatal(err)
+	}
+	cli, err := tnet.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := cli.Call(ctx, wire.ServerAddr(0, 0), &wire.Ping{Nonce: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink.Add(resp.(*wire.Pong).Nonce)
+	}
+}
+
+func BenchmarkTCPOneWayPipelined(b *testing.B) {
+	// One-way sends through a single connection: the coalescing writer's
+	// best case (many frames per flush).
+	dir := map[wire.Addr]string{wire.ServerAddr(0, 0): "127.0.0.1:17898"}
+	tnet := NewTCP(dir)
+	defer tnet.Close()
+	h := &echoHandler{}
+	if _, err := tnet.Attach(wire.ServerAddr(0, 0), h); err != nil {
+		b.Fatal(err)
+	}
+	cli, err := tnet.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := &wire.PutReq{Key: "k", Value: make([]byte, 128)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cli.Send(wire.ServerAddr(0, 0), msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for h.oneways.Load() < uint64(b.N) {
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -9,15 +9,17 @@
 // The model is asynchronous messaging with a request/response convenience:
 // Send delivers a one-way message; Call delivers a request and blocks until
 // the matching response or context cancellation. Incoming messages are
-// dispatched to a Handler on a fresh goroutine, so handlers may block and
-// issue nested Calls (the readers check in CC-LO does exactly that).
+// dispatched to a Handler off the receive path — TCP uses a bounded worker
+// pool that spills to fresh goroutines under saturation — so handlers may
+// block and issue nested Calls (the readers check in CC-LO does exactly
+// that).
 package transport
 
 import (
 	"context"
 	"errors"
-	"sync/atomic"
 
+	"repro/internal/metrics"
 	"repro/internal/wire"
 )
 
@@ -69,16 +71,60 @@ type Network interface {
 }
 
 // Stats counts network traffic. Benchmarks read these to report the
-// communication overhead analyses of Sections 5.4–5.6.
+// communication overhead analyses of Sections 5.4–5.6 and the transport
+// efficiency of the write path (frame coalescing, flush counts, queue
+// depth).
 type Stats struct {
-	MsgsSent  atomic.Uint64
-	BytesSent atomic.Uint64
-	Dropped   atomic.Uint64
+	MsgsSent  metrics.Counter
+	BytesSent metrics.Counter
+	Dropped   metrics.Counter
+
+	// Flushes counts buffered write flushes (≈ write syscalls on TCP);
+	// FramesCoalesced counts frames that shared a flush with an earlier
+	// frame and therefore cost no syscall of their own. Msgs/Flushes and
+	// FramesCoalesced/Msgs together describe how well the writer batches.
+	Flushes         metrics.Counter
+	FramesCoalesced metrics.Counter
+
+	// HandlerOverflow counts inbound requests that found the bounded
+	// worker pool saturated and ran on a spilled goroutine instead.
+	HandlerOverflow metrics.Counter
+
+	// SendQueue tracks frames sitting in per-connection send queues
+	// (current level and high-water mark).
+	SendQueue metrics.Gauge
 }
 
-// Snapshot returns a plain copy of the counters.
+// Snapshot returns a plain copy of the three traffic counters (legacy
+// signature; see View for the full set).
 func (s *Stats) Snapshot() (msgs, bytes, dropped uint64) {
 	return s.MsgsSent.Load(), s.BytesSent.Load(), s.Dropped.Load()
+}
+
+// StatsView is a frozen copy of every transport counter.
+type StatsView struct {
+	MsgsSent        uint64
+	BytesSent       uint64
+	Dropped         uint64
+	Flushes         uint64
+	FramesCoalesced uint64
+	HandlerOverflow uint64
+	SendQueueDepth  int64
+	SendQueuePeak   int64
+}
+
+// View returns a frozen copy of all counters.
+func (s *Stats) View() StatsView {
+	return StatsView{
+		MsgsSent:        s.MsgsSent.Load(),
+		BytesSent:       s.BytesSent.Load(),
+		Dropped:         s.Dropped.Load(),
+		Flushes:         s.Flushes.Load(),
+		FramesCoalesced: s.FramesCoalesced.Load(),
+		HandlerOverflow: s.HandlerOverflow.Load(),
+		SendQueueDepth:  s.SendQueue.Load(),
+		SendQueuePeak:   s.SendQueue.HighWater(),
+	}
 }
 
 // respondError is a small helper servers use to answer a Call with an

@@ -9,29 +9,39 @@ import "fmt"
 
 // Addr is a compact process address.
 //
-// Layout: bit 31 = server flag, bits 30..16 = data-center id,
-// bits 15..0 = partition index (servers) or client id (clients).
-// Partition index 0xFFFF addresses the DC's stabilization service.
+// Layout: bit 31 = server flag, bit 30 = client flag,
+// bits 29..16 = data-center id, bits 15..0 = partition index (servers) or
+// client id (clients). Partition index 0xFFFF addresses the DC's
+// stabilization service.
+//
+// Exactly one of the two role bits is set in every valid address, so the
+// zero Addr is never a legal endpoint: transports use it as an "unknown
+// peer" sentinel (see tcpNode.readLoop) and ClientAddr(0, 0) must not
+// collide with it.
 type Addr uint32
 
 const (
 	serverBit  = 1 << 31
+	clientBit  = 1 << 30
+	dcMask     = 0x3FFF
 	stabilizer = 0xFFFF
 )
 
 // ServerAddr returns the address of partition part in data center dc.
 func ServerAddr(dc, part int) Addr {
-	return Addr(serverBit | dc<<16 | part&0xFFFF)
+	return Addr(serverBit | (dc&dcMask)<<16 | part&0xFFFF)
 }
 
 // StabilizerAddr returns the address of dc's stabilization service.
 func StabilizerAddr(dc int) Addr { return ServerAddr(dc, stabilizer) }
 
 // ClientAddr returns the address of client id homed in data center dc.
-func ClientAddr(dc, id int) Addr { return Addr(dc<<16 | id&0xFFFF) }
+func ClientAddr(dc, id int) Addr {
+	return Addr(clientBit | (dc&dcMask)<<16 | id&0xFFFF)
+}
 
 // DC returns the data-center id of a.
-func (a Addr) DC() int { return int(a) &^ serverBit >> 16 }
+func (a Addr) DC() int { return int(a>>16) & dcMask }
 
 // Index returns the partition index (servers) or client id (clients).
 func (a Addr) Index() int { return int(a & 0xFFFF) }
@@ -39,8 +49,15 @@ func (a Addr) Index() int { return int(a & 0xFFFF) }
 // IsServer reports whether a addresses a partition server or stabilizer.
 func (a Addr) IsServer() bool { return a&serverBit != 0 }
 
+// IsClient reports whether a addresses a client.
+func (a Addr) IsClient() bool { return a&clientBit != 0 }
+
 // IsStabilizer reports whether a addresses a stabilization service.
 func (a Addr) IsStabilizer() bool { return a.IsServer() && a.Index() == stabilizer }
+
+// Valid reports whether a is a well-formed endpoint address. The zero Addr
+// (and any value missing a role bit) is invalid by construction.
+func (a Addr) Valid() bool { return a&(serverBit|clientBit) != 0 }
 
 // String formats a for logs.
 func (a Addr) String() string {
@@ -49,7 +66,9 @@ func (a Addr) String() string {
 		return fmt.Sprintf("stab(dc%d)", a.DC())
 	case a.IsServer():
 		return fmt.Sprintf("srv(dc%d,p%d)", a.DC(), a.Index())
-	default:
+	case a.IsClient():
 		return fmt.Sprintf("cli(dc%d,%d)", a.DC(), a.Index())
+	default:
+		return fmt.Sprintf("invalid(%#x)", uint32(a))
 	}
 }

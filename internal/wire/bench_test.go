@@ -37,6 +37,30 @@ func BenchmarkEncodePutReq2048(b *testing.B) {
 	}
 }
 
+// benchFramePooled is the transport send path after this PR: pooled buffer,
+// length prefix reserved in the same buffer, zero allocations at steady
+// state (vs 7 allocs/op for the seed's EncodeEnvelope(nil, ...)).
+func benchFramePooled(b *testing.B, valSize int) {
+	b.Helper()
+	val := make([]byte, valSize)
+	env := &Envelope{
+		Src:   ClientAddr(0, 1),
+		Dst:   ServerAddr(0, 2),
+		ReqID: 42,
+		Msg:   &PutReq{Key: "key00001234", Value: val, Deps: vclock.Vec{1, 2}},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := GetFrame()
+		f.AppendEnvelope(env)
+		PutFrame(f)
+	}
+}
+
+func BenchmarkEncodeFramePooled8(b *testing.B)    { benchFramePooled(b, 8) }
+func BenchmarkEncodeFramePooled2048(b *testing.B) { benchFramePooled(b, 2048) }
+
 func BenchmarkDecodePutReq8(b *testing.B) {
 	buf := benchEnvelope(make([]byte, 8))
 	b.ReportAllocs()

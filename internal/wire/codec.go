@@ -242,10 +242,12 @@ type Envelope struct {
 	Msg   Message
 }
 
-// EncodeEnvelope appends the full framed representation of e to buf and
-// returns the extended slice.
-func EncodeEnvelope(buf []byte, e *Envelope) []byte {
-	b := Buffer{B: buf}
+// Envelope appends the wire representation of e (header and message body,
+// no length prefix) to b. Encoding through an already-heap-resident Buffer
+// (e.g. a pooled FrameBuf) keeps the hot path allocation-free; the
+// b-by-value wrapper EncodeEnvelope pays one escape allocation for the
+// Buffer itself.
+func (b *Buffer) Envelope(e *Envelope) {
 	b.U16(e.Msg.Type())
 	var flags uint8
 	if e.Resp {
@@ -255,7 +257,14 @@ func EncodeEnvelope(buf []byte, e *Envelope) []byte {
 	b.U32(uint32(e.Src))
 	b.U32(uint32(e.Dst))
 	b.Uvarint(e.ReqID)
-	e.Msg.Encode(&b)
+	e.Msg.Encode(b)
+}
+
+// EncodeEnvelope appends the full framed representation of e to buf and
+// returns the extended slice.
+func EncodeEnvelope(buf []byte, e *Envelope) []byte {
+	b := Buffer{B: buf}
+	b.Envelope(e)
 	return b.B
 }
 

@@ -1,0 +1,69 @@
+package wire
+
+import (
+	"encoding/binary"
+	"sync"
+)
+
+// FrameBuf is a reusable encode/decode buffer. Transports obtain one with
+// GetFrame, fill it (AppendEnvelope on the send side, a socket read on the
+// receive side), and return it with PutFrame once the bytes have been
+// written out or decoded. DecodeEnvelope copies every variable-length field
+// out of its input, so a FrameBuf may be recycled immediately after decode.
+//
+// FrameBuf embeds Buffer so message encoding targets pool-resident memory:
+// passing &f.Buffer to Message.Encode does not force a fresh Buffer
+// allocation the way EncodeEnvelope's stack Buffer does.
+type FrameBuf struct{ Buffer }
+
+// maxPooledCap bounds the capacity of buffers kept in the pool so a burst
+// of giant frames (e.g. 64 MiB replication batches) cannot pin memory for
+// the lifetime of the process.
+const maxPooledCap = 1 << 20 // 1 MiB
+
+var framePool = sync.Pool{
+	New: func() any { return &FrameBuf{Buffer{B: make([]byte, 0, 4096)}} },
+}
+
+// GetFrame returns an empty FrameBuf from the pool.
+func GetFrame() *FrameBuf {
+	f := framePool.Get().(*FrameBuf)
+	f.B = f.B[:0]
+	return f
+}
+
+// GetFrameLen returns a FrameBuf whose B has length n (for reading a frame
+// body off a socket).
+func GetFrameLen(n int) *FrameBuf {
+	f := framePool.Get().(*FrameBuf)
+	if cap(f.B) < n {
+		f.B = make([]byte, n)
+	} else {
+		f.B = f.B[:n]
+	}
+	return f
+}
+
+// PutFrame returns f to the pool. It is safe to pass nil.
+func PutFrame(f *FrameBuf) {
+	if f == nil || cap(f.B) > maxPooledCap {
+		return
+	}
+	framePool.Put(f)
+}
+
+// FrameHdrLen is the size of the length prefix AppendEnvelope reserves
+// ahead of each encoded envelope.
+const FrameHdrLen = 4
+
+// AppendEnvelope appends the length-prefixed wire frame for e to f: a
+// 4-byte little-endian body length followed by the encoded envelope. The
+// prefix is reserved inside the same buffer before encoding and patched
+// afterwards, so framing adds no copy and — with f from the pool — no
+// allocation at all.
+func (f *FrameBuf) AppendEnvelope(e *Envelope) {
+	off := len(f.B)
+	f.B = append(f.B, 0, 0, 0, 0)
+	f.Envelope(e)
+	binary.LittleEndian.PutUint32(f.B[off:off+FrameHdrLen], uint32(len(f.B)-off-FrameHdrLen))
+}

@@ -32,6 +32,29 @@ func TestAddr(t *testing.T) {
 	}
 }
 
+func TestAddrZeroInvalid(t *testing.T) {
+	// ClientAddr(0, 0) used to encode to Addr(0), colliding with the
+	// transport's "unlearned peer" sentinel; the client flag bit now keeps
+	// every constructed address nonzero and Valid.
+	c := ClientAddr(0, 0)
+	if c == 0 || !c.Valid() || !c.IsClient() || c.IsServer() {
+		t.Fatalf("ClientAddr(0,0) = %#x valid=%v", uint32(c), c.Valid())
+	}
+	if c.DC() != 0 || c.Index() != 0 {
+		t.Fatalf("fields: dc=%d idx=%d", c.DC(), c.Index())
+	}
+	var zero Addr
+	if zero.Valid() {
+		t.Fatal("zero Addr must be invalid")
+	}
+	if zero.String() == "" {
+		t.Fatal("zero Addr must still format")
+	}
+	if s := ServerAddr(0, 0); !s.Valid() || s.IsClient() {
+		t.Fatalf("ServerAddr(0,0) = %#x", uint32(s))
+	}
+}
+
 func TestAddrDistinct(t *testing.T) {
 	seen := make(map[Addr]bool)
 	for dc := 0; dc < 4; dc++ {
