@@ -45,6 +45,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *dc < 0 || *dc >= topo.DCs {
+		log.Fatalf("kvctl: -dc %d outside topology (have %d DCs)", *dc, topo.DCs)
+	}
 
 	net := transport.NewTCP(topo.Directory)
 	defer net.Close()

@@ -54,6 +54,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *dc < 0 || *dc >= topo.DCs {
+		log.Fatalf("kvserver: -dc %d outside topology (have %d DCs)", *dc, topo.DCs)
+	}
+	if !*stabilizer && (*partition < 0 || *partition >= topo.Partitions) {
+		log.Fatalf("kvserver: -partition %d outside topology (have %d partitions)", *partition, topo.Partitions)
+	}
 
 	net := transport.NewTCP(topo.Directory)
 	defer net.Close()

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"net"
 	"strings"
 	"testing"
 	"time"
@@ -12,6 +13,19 @@ import (
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
+
+// freeAddr reserves an ephemeral localhost port for a test topology, so
+// tests never flake on a hard-coded port another process holds.
+func freeAddr(t testing.TB) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
 
 func TestParseTopology(t *testing.T) {
 	src := `
@@ -61,9 +75,9 @@ func TestTCPDeployment(t *testing.T) {
 		DCs:        1,
 		Partitions: 2,
 		Directory: map[wire.Addr]string{
-			wire.ServerAddr(0, 0):  "127.0.0.1:17931",
-			wire.ServerAddr(0, 1):  "127.0.0.1:17932",
-			wire.StabilizerAddr(0): "127.0.0.1:17933",
+			wire.ServerAddr(0, 0):  freeAddr(t),
+			wire.ServerAddr(0, 1):  freeAddr(t),
+			wire.StabilizerAddr(0): freeAddr(t),
 		},
 	}
 	net := transport.NewTCP(topo.Directory)
@@ -139,8 +153,8 @@ func TestTCPDeploymentCCLO(t *testing.T) {
 		DCs:        1,
 		Partitions: 2,
 		Directory: map[wire.Addr]string{
-			wire.ServerAddr(0, 0): "127.0.0.1:17941",
-			wire.ServerAddr(0, 1): "127.0.0.1:17942",
+			wire.ServerAddr(0, 0): freeAddr(t),
+			wire.ServerAddr(0, 1): freeAddr(t),
 		},
 	}
 	net := transport.NewTCP(topo.Directory)

@@ -39,8 +39,8 @@ func ParseTopology(r io.Reader) (*Topology, error) {
 			return nil, fmt.Errorf("topology line %d: want 3 fields, got %d", line, len(fields))
 		}
 		dc, err := strconv.Atoi(fields[0])
-		if err != nil || dc < 0 {
-			return nil, fmt.Errorf("topology line %d: bad dc %q", line, fields[0])
+		if err != nil || dc < 0 || dc > wire.MaxDC {
+			return nil, fmt.Errorf("topology line %d: bad dc %q (max %d)", line, fields[0], wire.MaxDC)
 		}
 		if dc+1 > t.DCs {
 			t.DCs = dc + 1
@@ -50,8 +50,8 @@ func ParseTopology(r io.Reader) (*Topology, error) {
 			addr = wire.StabilizerAddr(dc)
 		} else {
 			part, err := strconv.Atoi(fields[1])
-			if err != nil || part < 0 {
-				return nil, fmt.Errorf("topology line %d: bad partition %q", line, fields[1])
+			if err != nil || part < 0 || part > wire.MaxPartition {
+				return nil, fmt.Errorf("topology line %d: bad partition %q (max %d)", line, fields[1], wire.MaxPartition)
 			}
 			if part+1 > t.Partitions {
 				t.Partitions = part + 1

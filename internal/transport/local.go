@@ -100,7 +100,7 @@ func (l *Local) Attach(addr wire.Addr, h Handler) (Node, error) {
 	if _, dup := l.nodes[addr]; dup {
 		return nil, ErrAttached
 	}
-	n := &localNode{net: l, addr: addr, h: h}
+	n := &localNode{net: l, addr: addr, h: h, stop: make(chan struct{})}
 	l.nodes[addr] = n
 	return n, nil
 }
@@ -114,7 +114,7 @@ func (l *Local) Close() error {
 	}
 	l.closed = true
 	for a, n := range l.nodes {
-		n.closed.Store(true)
+		n.shutdown()
 		delete(l.nodes, a)
 	}
 	l.mu.Unlock()
@@ -243,8 +243,20 @@ type localNode struct {
 	h      Handler
 	closed atomic.Bool
 
+	// stop fires when the node (or its network) closes, so Calls waiting
+	// on responses that can never arrive — dispatch drops in-flight
+	// messages at close — abort promptly instead of riding out their ctx.
+	stop     chan struct{}
+	stopOnce sync.Once
+
 	reqSeq  atomic.Uint64
 	pending sync.Map // reqID -> chan *wire.Envelope
+}
+
+// shutdown marks the node closed and releases its waiting Calls.
+func (n *localNode) shutdown() {
+	n.closed.Store(true)
+	n.stopOnce.Do(func() { close(n.stop) })
 }
 
 func (n *localNode) Addr() wire.Addr { return n.addr }
@@ -255,25 +267,26 @@ func (n *localNode) send(env *wire.Envelope) error {
 	}
 	f := wire.GetFrame()
 	f.Envelope(env)
-	n.net.stats.MsgsSent.Add(1)
-	n.net.stats.BytesSent.Add(uint64(len(f.B)))
+	bytes := uint64(len(f.B))
 	if n.net.latency.Drop(env.Src, env.Dst) {
 		n.net.stats.Dropped.Add(1)
-		wire.PutFrame(f)
-		return nil // lost in flight; sender cannot tell
-	}
-	d := n.net.latency.Delay(env.Src, env.Dst)
-	if d <= 0 {
+		wire.PutFrame(f) // lost in flight; sender cannot tell
+	} else if d := n.net.latency.Delay(env.Src, env.Dst); d <= 0 {
 		go n.net.dispatch(f)
-		return nil
+	} else {
+		w := n.net.wheels[int(env.Dst)%numWheels]
+		select {
+		case w.ch <- delivery{at: time.Now().Add(d), buf: f}:
+		case <-w.stop:
+			wire.PutFrame(f)
+			return ErrClosed
+		}
 	}
-	w := n.net.wheels[int(env.Dst)%numWheels]
-	select {
-	case w.ch <- delivery{at: time.Now().Add(d), buf: f}:
-	case <-w.stop:
-		wire.PutFrame(f)
-		return ErrClosed
-	}
+	// Counted only once the message is committed to the network (or
+	// charged as lost in flight), matching the TCP path: sends aborted by
+	// shutdown must not inflate the traffic metrics benchmarks report.
+	n.net.stats.MsgsSent.Add(1)
+	n.net.stats.BytesSent.Add(bytes)
 	return nil
 }
 
@@ -299,10 +312,18 @@ func (n *localNode) Call(ctx context.Context, dst wire.Addr, m wire.Message) (wi
 	}
 	select {
 	case env := <-ch:
-		if e, ok := env.Msg.(*wire.ErrorResp); ok {
-			return nil, e
+		return unwrapResp(env)
+	case <-n.stop:
+		// Node (or network) shut down while waiting; dispatch drops
+		// in-flight messages, so no further response can arrive. Prefer
+		// one that already did (select picks ready cases at random) over
+		// reporting a completed operation as failed.
+		select {
+		case env := <-ch:
+			return unwrapResp(env)
+		default:
 		}
-		return env.Msg, nil
+		return nil, ErrClosed
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
@@ -319,7 +340,7 @@ func (n *localNode) deliverResponse(env *wire.Envelope) {
 
 // Close detaches the node from the network.
 func (n *localNode) Close() error {
-	n.closed.Store(true)
+	n.shutdown()
 	n.net.mu.Lock()
 	delete(n.net.nodes, n.addr)
 	n.net.mu.Unlock()

@@ -27,8 +27,9 @@ const (
 	// readBufSize sizes the per-connection buffered reader.
 	readBufSize = 64 << 10
 	// handlerQueueLen bounds the per-node inbound request queue feeding
-	// the worker pool; when full, requests spill to fresh goroutines so
-	// nested Calls between saturated nodes cannot deadlock.
+	// the worker pool. It is a hand-off buffer, not a backlog: dispatch
+	// only queues a request after reserving an idle worker, so nothing
+	// ever waits in it behind a blocked handler.
 	handlerQueueLen = 256
 )
 
@@ -147,8 +148,10 @@ func (tc *tcpConn) close() {
 }
 
 // enqueue hands a framed envelope to the writer, blocking while the queue
-// is full. Ownership of f transfers to the writer.
-func (tc *tcpConn) enqueue(f *wire.FrameBuf, stats *Stats) error {
+// is full (backpressure). A blocked enqueue aborts when ctx is done, so a
+// Call deadline is honoured even while a peer's socket is stalled.
+// Ownership of f transfers to the writer on success.
+func (tc *tcpConn) enqueue(ctx context.Context, f *wire.FrameBuf, stats *Stats) error {
 	select {
 	case <-tc.closed:
 		wire.PutFrame(f)
@@ -176,7 +179,25 @@ func (tc *tcpConn) enqueue(f *wire.FrameBuf, stats *Stats) error {
 		stats.SendQueue.Add(-1)
 		wire.PutFrame(f)
 		return ErrClosed
+	case <-ctx.Done():
+		stats.SendQueue.Add(-1)
+		wire.PutFrame(f)
+		return ctx.Err()
 	}
+}
+
+// countingWriter counts every Write reaching the socket, so Flushes
+// reflects real write syscalls — including bufio's implicit flushes when a
+// drain overflows its buffer and large frames that bypass it entirely,
+// which an explicit-Flush count would miss.
+type countingWriter struct {
+	c     net.Conn
+	stats *Stats
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	cw.stats.Flushes.Add(1)
+	return cw.c.Write(p)
 }
 
 // writeLoop is the per-connection writer: it blocks for the first queued
@@ -190,7 +211,7 @@ func (tc *tcpConn) writeLoop(n *tcpNode) {
 		tc.drain(&n.t.stats)
 	}()
 	stats := &n.t.stats
-	bw := bufio.NewWriterSize(tc.c, writeBufSize)
+	bw := bufio.NewWriterSize(&countingWriter{c: tc.c, stats: stats}, writeBufSize)
 	for {
 		var f *wire.FrameBuf
 		select {
@@ -217,7 +238,6 @@ func (tc *tcpConn) writeLoop(n *tcpNode) {
 		if err := bw.Flush(); err != nil {
 			return
 		}
-		stats.Flushes.Add(1)
 		stats.FramesCoalesced.Add(uint64(frames - 1))
 	}
 }
@@ -254,6 +274,7 @@ type tcpNode struct {
 	all   map[*tcpConn]struct{}  // every live conn, learned or not
 
 	workq chan inbound
+	idle  atomic.Int64 // workers ready to receive minus requests queued for them
 	stop  chan struct{}
 	wg    sync.WaitGroup
 
@@ -296,7 +317,11 @@ func (n *tcpNode) startConn(tc *tcpConn) bool {
 }
 
 // learn records that frames from peer arrive on tc, so responses can flow
-// back over the same connection. First learner wins.
+// back over the same connection. First learner wins the routing entry; a
+// conn that loses (a symmetric dial race, or a fresh conn racing a stale
+// one) still remembers its peer and is promoted by forget when the
+// registered conn dies, so the peer never becomes unroutable (clients are
+// not in the directory) and the read hot path stays one atomic load.
 func (n *tcpNode) learn(peer wire.Addr, tc *tcpConn) {
 	tc.peer.Store(uint32(peer))
 	n.mu.Lock()
@@ -306,12 +331,20 @@ func (n *tcpNode) learn(peer wire.Addr, tc *tcpConn) {
 	n.mu.Unlock()
 }
 
-// forget removes tc from both connection maps.
+// forget removes tc from both connection maps. If tc held the routing
+// entry for its peer, another live conn that knows the same peer (a learn
+// race loser) is promoted in its place.
 func (n *tcpNode) forget(tc *tcpConn) {
 	n.mu.Lock()
 	delete(n.all, tc)
 	if peer := wire.Addr(tc.peer.Load()); peer.Valid() && n.conns[peer] == tc {
 		delete(n.conns, peer)
+		for other := range n.all {
+			if wire.Addr(other.peer.Load()) == peer {
+				n.conns[peer] = other
+				break
+			}
+		}
 	}
 	n.mu.Unlock()
 }
@@ -357,30 +390,48 @@ func (n *tcpNode) readLoop(tc *tcpConn) {
 	}
 }
 
-// dispatch hands a request to the bounded worker pool, spilling to a fresh
-// goroutine when the pool is saturated. Spilling (rather than blocking the
-// read loop) keeps response frames flowing on this connection, so handlers
-// parked in nested Calls can always be unblocked.
+// dispatch hands a request to the worker pool only when an idle worker is
+// reserved for it, spilling to a fresh goroutine otherwise. Spilling on a
+// busy pool — not merely a full queue — is a liveness requirement: handlers
+// may park on cluster state (a COPS dep check waiting for replication), and
+// the very message that would unblock them must never sit queued behind
+// them with every worker parked. The spill lane is deliberately unbounded:
+// any cap on concurrently running handlers recreates that deadlock for the
+// requests beyond the cap, so under saturation this degrades to the (safe)
+// goroutine-per-request design and HandlerOverflow records how often.
 func (n *tcpNode) dispatch(env *wire.Envelope) {
 	in := inbound{src: env.Src, reqID: env.ReqID, msg: env.Msg}
-	select {
-	case n.workq <- in:
-	default:
-		n.t.stats.HandlerOverflow.Add(1)
-		// Safe to Add here: the calling readLoop holds a wg slot, so the
-		// counter cannot be zero while Close's Wait is racing us.
-		n.wg.Add(1)
-		go func() {
-			defer n.wg.Done()
-			n.h.Handle(n, in.src, in.reqID, in.msg)
-		}()
+	if n.idle.Add(-1) >= 0 {
+		// Reserved one worker receive; exactly one worker iteration will
+		// consume what we queue, so this request cannot strand.
+		select {
+		case n.workq <- in:
+			return
+		default:
+			// Queue full despite the reservation (only possible if the
+			// worker count ever exceeds handlerQueueLen); give it back.
+			n.idle.Add(1)
+		}
+	} else {
+		n.idle.Add(1)
 	}
+	n.t.stats.HandlerOverflow.Add(1)
+	// Safe to Add here: the calling readLoop holds a wg slot, so the
+	// counter cannot be zero while Close's Wait is racing us.
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.h.Handle(n, in.src, in.reqID, in.msg)
+	}()
 }
 
-// worker is one member of the node's inbound handler pool.
+// worker is one member of the node's inbound handler pool. Each loop
+// iteration publishes one idle token before receiving, pairing every queued
+// request with a worker receive.
 func (n *tcpNode) worker() {
 	defer n.wg.Done()
 	for {
+		n.idle.Add(1)
 		select {
 		case in := <-n.workq:
 			n.h.Handle(n, in.src, in.reqID, in.msg)
@@ -391,8 +442,9 @@ func (n *tcpNode) worker() {
 }
 
 // getConn returns the connection to dst, dialing through the directory if
-// none is learned yet.
-func (n *tcpNode) getConn(dst wire.Addr) (*tcpConn, error) {
+// none is learned yet. The dial respects ctx, so a Call deadline bounds
+// connection establishment too, not just queueing.
+func (n *tcpNode) getConn(ctx context.Context, dst wire.Addr) (*tcpConn, error) {
 	n.mu.Lock()
 	if tc, ok := n.conns[dst]; ok {
 		n.mu.Unlock()
@@ -406,7 +458,20 @@ func (n *tcpNode) getConn(dst wire.Addr) (*tcpConn, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %v", ErrNoRoute, dst)
 	}
-	c, err := net.Dial("tcp", hp)
+	// Abort the dial on node shutdown too: Send/Respond dial with a
+	// Background context, and Close must not sit in wg.Wait for the
+	// kernel connect timeout behind a blackholed peer.
+	dialCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go func() {
+		select {
+		case <-n.stop:
+			cancel()
+		case <-dialCtx.Done():
+		}
+	}()
+	var d net.Dialer
+	c, err := d.DialContext(dialCtx, "tcp", hp)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %v at %s: %w", dst, hp, err)
 	}
@@ -426,32 +491,39 @@ func (n *tcpNode) getConn(dst wire.Addr) (*tcpConn, error) {
 	return tc, nil
 }
 
-func (n *tcpNode) send(env *wire.Envelope) error {
+func (n *tcpNode) send(ctx context.Context, env *wire.Envelope) error {
 	if n.closed.Load() {
 		return ErrClosed
 	}
-	tc, err := n.getConn(env.Dst)
+	tc, err := n.getConn(ctx, env.Dst)
 	if err != nil {
 		return err
 	}
 	f := wire.GetFrame()
 	f.AppendEnvelope(env)
-	n.t.stats.MsgsSent.Add(1)
 	// Exclude the 4-byte length prefix so BytesSent counts envelope bytes
 	// on both transports (Local has no framing), keeping the paper's
-	// communication-overhead metrics comparable across deployments.
-	n.t.stats.BytesSent.Add(uint64(len(f.B) - wire.FrameHdrLen))
-	return tc.enqueue(f, &n.t.stats)
+	// communication-overhead metrics comparable across deployments. Sized
+	// before enqueue (which takes ownership of f) and counted only after
+	// it succeeds, so aborted sends don't inflate the traffic metrics.
+	bytes := uint64(len(f.B) - wire.FrameHdrLen)
+	if err := tc.enqueue(ctx, f, &n.t.stats); err != nil {
+		return err
+	}
+	n.t.stats.MsgsSent.Add(1)
+	n.t.stats.BytesSent.Add(bytes)
+	return nil
 }
 
-// Send delivers a one-way message.
+// Send delivers a one-way message. Backpressure from a stalled peer blocks
+// until the connection or node closes.
 func (n *tcpNode) Send(dst wire.Addr, m wire.Message) error {
-	return n.send(&wire.Envelope{Src: n.addr, Dst: dst, Msg: m})
+	return n.send(context.Background(), &wire.Envelope{Src: n.addr, Dst: dst, Msg: m})
 }
 
 // Respond answers request reqID at dst.
 func (n *tcpNode) Respond(dst wire.Addr, reqID uint64, m wire.Message) error {
-	return n.send(&wire.Envelope{Src: n.addr, Dst: dst, ReqID: reqID, Resp: true, Msg: m})
+	return n.send(context.Background(), &wire.Envelope{Src: n.addr, Dst: dst, ReqID: reqID, Resp: true, Msg: m})
 }
 
 // Call sends a request and waits for the matching response.
@@ -460,19 +532,23 @@ func (n *tcpNode) Call(ctx context.Context, dst wire.Addr, m wire.Message) (wire
 	ch := make(chan *wire.Envelope, 1)
 	n.pending.Store(id, ch)
 	defer n.pending.Delete(id)
-	if err := n.send(&wire.Envelope{Src: n.addr, Dst: dst, ReqID: id, Msg: m}); err != nil {
+	if err := n.send(ctx, &wire.Envelope{Src: n.addr, Dst: dst, ReqID: id, Msg: m}); err != nil {
 		return nil, err
 	}
 	select {
 	case env := <-ch:
-		if e, ok := env.Msg.(*wire.ErrorResp); ok {
-			return nil, e
-		}
-		return env.Msg, nil
+		return unwrapResp(env)
 	case <-n.stop:
-		// Node shut down while waiting; the response can never arrive.
-		// Returning promptly also lets handler workers parked in nested
-		// Calls finish, so Close's wg.Wait cannot hang on them.
+		// Node shut down while waiting. Prefer a response that already
+		// arrived (select picks ready cases at random) over reporting a
+		// completed operation as failed; otherwise return promptly —
+		// this also lets handler workers parked in nested Calls finish,
+		// so Close's wg.Wait cannot hang on them.
+		select {
+		case env := <-ch:
+			return unwrapResp(env)
+		default:
+		}
 		return nil, ErrClosed
 	case <-ctx.Done():
 		return nil, ctx.Err()

@@ -18,7 +18,7 @@ import (
 // "unlearned peer" sentinel in readLoop, so the server never learned the
 // client's connection and responses failed with ErrNoRoute.
 func TestTCPClientZeroAddr(t *testing.T) {
-	dir := map[wire.Addr]string{wire.ServerAddr(0, 0): "127.0.0.1:17811"}
+	dir := map[wire.Addr]string{wire.ServerAddr(0, 0): freeAddr(t)}
 	net := NewTCP(dir)
 	defer net.Close()
 	if _, err := net.Attach(wire.ServerAddr(0, 0), &echoHandler{}); err != nil {
@@ -61,7 +61,8 @@ func (s *slowHandler) Handle(n Node, src wire.Addr, reqID uint64, m wire.Message
 func TestTCPCloseReleasesResources(t *testing.T) {
 	before := runtime.NumGoroutine()
 
-	dir := map[wire.Addr]string{wire.ServerAddr(0, 0): "127.0.0.1:17812"}
+	hp := freeAddr(t)
+	dir := map[wire.Addr]string{wire.ServerAddr(0, 0): hp}
 	tnet := NewTCP(dir)
 	if _, err := tnet.Attach(wire.ServerAddr(0, 0), &slowHandler{delay: 100 * time.Millisecond}); err != nil {
 		t.Fatal(err)
@@ -73,7 +74,7 @@ func TestTCPCloseReleasesResources(t *testing.T) {
 
 	// A half-open connection: accepted by the server, never sends a frame,
 	// so the server cannot learn its address.
-	raw, err := net.Dial("tcp", "127.0.0.1:17812")
+	raw, err := net.Dial("tcp", hp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,11 +123,209 @@ func TestTCPCloseReleasesResources(t *testing.T) {
 	}
 }
 
+// TestTCPLearnRaceLoserPromoted pins the learn-race semantics: when two
+// connections to the same peer race (symmetric dials, or a reconnect while
+// the stale conn lingers), the loser must be promoted into the routing map
+// once the winner is forgotten. The loser used to stay stranded forever —
+// the peer became unroutable because clients are not in the directory.
+func TestTCPLearnRaceLoserPromoted(t *testing.T) {
+	n := &tcpNode{conns: make(map[wire.Addr]*tcpConn), all: make(map[*tcpConn]struct{})}
+	peer := wire.ClientAddr(0, 7)
+	stale, fresh := &tcpConn{}, &tcpConn{}
+	n.all[stale] = struct{}{}
+	n.all[fresh] = struct{}{}
+	n.learn(peer, stale)
+	n.learn(peer, fresh) // loses the race but remembers its peer
+	if n.conns[peer] != stale {
+		t.Fatal("first learner did not win the routing entry")
+	}
+	n.forget(stale)
+	if n.conns[peer] != fresh {
+		t.Fatal("surviving conn not promoted after forget; peer unroutable")
+	}
+	n.forget(fresh)
+	if _, ok := n.conns[peer]; ok {
+		t.Fatal("routing entry survived its last conn")
+	}
+}
+
+// parkHandler parks every Ping request until a one-way Pong releases them,
+// modelling handlers that block on cluster state (a COPS dep check waiting
+// for replication).
+type parkHandler struct {
+	release chan struct{}
+	parked  atomic.Int64
+}
+
+func (p *parkHandler) Handle(n Node, src wire.Addr, reqID uint64, m wire.Message) {
+	switch m.(type) {
+	case *wire.Ping:
+		p.parked.Add(1)
+		<-p.release
+		n.Respond(src, reqID, &wire.Pong{})
+	case *wire.Pong:
+		close(p.release)
+	}
+}
+
+// TestTCPDispatchSpillsWhenWorkersBusy is the regression test for the
+// worker-pool liveness bug: with every pool worker parked in a blocking
+// handler, the message that unblocks them used to sit in the (non-full)
+// work queue forever — a distributed deadlock. Dispatch must spill to a
+// fresh goroutine whenever no worker is idle, not only on queue overflow.
+func TestTCPDispatchSpillsWhenWorkersBusy(t *testing.T) {
+	dir := map[wire.Addr]string{wire.ServerAddr(0, 0): freeAddr(t)}
+	tnet := NewTCP(dir)
+	defer tnet.Close()
+	h := &parkHandler{release: make(chan struct{})}
+	if _, err := tnet.Attach(wire.ServerAddr(0, 0), h); err != nil {
+		t.Fatal(err)
+	}
+	cli, err := tnet.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Park as many handlers as the pool has workers.
+	workers := handlerWorkers()
+	callErrs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_, err := cli.Call(ctx, wire.ServerAddr(0, 0), &wire.Ping{Nonce: 1})
+			callErrs <- err
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for h.parked.Load() < int64(workers) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := h.parked.Load(); got < int64(workers) {
+		t.Fatalf("only %d/%d handlers parked", got, workers)
+	}
+
+	// The release message must run even though every worker is parked.
+	if err := cli.Send(wire.ServerAddr(0, 0), &wire.Pong{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < workers; i++ {
+		select {
+		case err := <-callErrs:
+			if err != nil {
+				t.Fatalf("parked call failed: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("parked calls never released: dispatch did not spill (%d/%d done)", i, workers)
+		}
+	}
+}
+
+// TestTCPCallDeadlineUnderBackpressure asserts that a Call whose frame
+// cannot even be queued — the peer reads nothing, so the send queue is
+// full and the writer is blocked on the socket — still honours its
+// context deadline instead of blocking until the connection dies.
+func TestTCPCallDeadlineUnderBackpressure(t *testing.T) {
+	// A peer that accepts the connection and then never reads.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+
+	dir := map[wire.Addr]string{wire.ServerAddr(0, 0): ln.Addr().String()}
+	tnet := NewTCP(dir)
+	defer tnet.Close()
+	cli, err := tnet.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill kernel buffers and then the send queue; the filler eventually
+	// blocks in enqueue and is freed by the deferred Close.
+	payload := &wire.PutReq{Key: "k", Value: make([]byte, 64<<10)}
+	go func() {
+		for {
+			if err := cli.Send(wire.ServerAddr(0, 0), payload); err != nil {
+				return
+			}
+		}
+	}()
+	deadline := time.Now().Add(30 * time.Second)
+	for tnet.Stats().SendQueue.Load() < sendQueueLen && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if q := tnet.Stats().SendQueue.Load(); q < sendQueueLen {
+		t.Fatalf("send queue never filled (depth %d)", q)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = cli.Call(ctx, wire.ServerAddr(0, 0), &wire.Ping{Nonce: 1})
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if since := time.Since(start); since > 5*time.Second {
+		t.Fatalf("Call blocked %v past its 200ms deadline", since)
+	}
+	select {
+	case c := <-accepted:
+		c.Close()
+	default:
+	}
+}
+
+// TestTCPCloseAbortsPendingDial asserts that node shutdown cancels an
+// in-progress dial: a Send dialing a blackholed peer with a Background
+// context used to pin Close in wg.Wait for the kernel connect timeout
+// (minutes) when the sender ran on a transport-tracked goroutine.
+func TestTCPCloseAbortsPendingDial(t *testing.T) {
+	// TEST-NET-1 (RFC 5737) is never allocated: the SYN usually
+	// blackholes (dial hangs, the case under test); environments where it
+	// fails fast or is transparently accepted pass trivially.
+	dir := map[wire.Addr]string{wire.ServerAddr(0, 0): "192.0.2.1:9"}
+	tnet := NewTCP(dir)
+	cli, err := tnet.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendErr := make(chan error, 1)
+	go func() {
+		sendErr <- cli.Send(wire.ServerAddr(0, 0), &wire.Ping{Nonce: 1})
+	}()
+	time.Sleep(50 * time.Millisecond) // let the Send reach the dial
+	done := make(chan struct{})
+	go func() {
+		tnet.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung behind an in-flight dial")
+	}
+	select {
+	case <-sendErr:
+		// The error value is environment-dependent (a NAT/proxy may even
+		// accept the dial); what matters is that the Send unblocked.
+	case <-time.After(5 * time.Second):
+		t.Fatal("Send still blocked in dial after Close")
+	}
+}
+
 // TestTCPCoalescingUnderLoad drives one connection hard enough that the
 // writer goroutine batches queued frames into shared flushes, and checks
 // the new counters observe it.
 func TestTCPCoalescingUnderLoad(t *testing.T) {
-	dir := map[wire.Addr]string{wire.ServerAddr(0, 0): "127.0.0.1:17813"}
+	dir := map[wire.Addr]string{wire.ServerAddr(0, 0): freeAddr(t)}
 	tnet := NewTCP(dir)
 	defer tnet.Close()
 	h := &echoHandler{}
@@ -186,7 +385,7 @@ func TestTCPCoalescingUnderLoad(t *testing.T) {
 // after the server is torn down and replaced, the client's next call must
 // detect the dead connection and dial fresh.
 func TestTCPReconnectAfterPeerRestart(t *testing.T) {
-	dir := map[wire.Addr]string{wire.ServerAddr(0, 0): "127.0.0.1:17814"}
+	dir := map[wire.Addr]string{wire.ServerAddr(0, 0): freeAddr(t)}
 	net1 := NewTCP(dir)
 	if _, err := net1.Attach(wire.ServerAddr(0, 0), &echoHandler{}); err != nil {
 		t.Fatal(err)
@@ -228,7 +427,7 @@ func TestTCPReconnectAfterPeerRestart(t *testing.T) {
 var benchSink atomic.Uint64
 
 func BenchmarkTCPCall(b *testing.B) {
-	dir := map[wire.Addr]string{wire.ServerAddr(0, 0): "127.0.0.1:17899"}
+	dir := map[wire.Addr]string{wire.ServerAddr(0, 0): freeAddr(b)}
 	tnet := NewTCP(dir)
 	defer tnet.Close()
 	if _, err := tnet.Attach(wire.ServerAddr(0, 0), &echoHandler{}); err != nil {
@@ -253,7 +452,7 @@ func BenchmarkTCPCall(b *testing.B) {
 func BenchmarkTCPOneWayPipelined(b *testing.B) {
 	// One-way sends through a single connection: the coalescing writer's
 	// best case (many frames per flush).
-	dir := map[wire.Addr]string{wire.ServerAddr(0, 0): "127.0.0.1:17898"}
+	dir := map[wire.Addr]string{wire.ServerAddr(0, 0): freeAddr(b)}
 	tnet := NewTCP(dir)
 	defer tnet.Close()
 	h := &echoHandler{}

@@ -79,15 +79,16 @@ type Stats struct {
 	BytesSent metrics.Counter
 	Dropped   metrics.Counter
 
-	// Flushes counts buffered write flushes (≈ write syscalls on TCP);
-	// FramesCoalesced counts frames that shared a flush with an earlier
-	// frame and therefore cost no syscall of their own. Msgs/Flushes and
-	// FramesCoalesced/Msgs together describe how well the writer batches.
+	// Flushes counts writes reaching the socket (= write syscalls on TCP,
+	// including bufio's implicit flushes when a drain overflows its
+	// buffer); FramesCoalesced counts frames that joined an earlier
+	// frame's drain batch. Msgs/Flushes and FramesCoalesced/Msgs together
+	// describe how well the writer batches.
 	Flushes         metrics.Counter
 	FramesCoalesced metrics.Counter
 
-	// HandlerOverflow counts inbound requests that found the bounded
-	// worker pool saturated and ran on a spilled goroutine instead.
+	// HandlerOverflow counts inbound requests that found no idle worker
+	// in the bounded pool and ran on a spilled goroutine instead.
 	HandlerOverflow metrics.Counter
 
 	// SendQueue tracks frames sitting in per-connection send queues
@@ -131,4 +132,13 @@ func (s *Stats) View() StatsView {
 // error message.
 func RespondError(n Node, dst wire.Addr, reqID uint64, code uint16, text string) {
 	_ = n.Respond(dst, reqID, &wire.ErrorResp{Code: code, Text: text})
+}
+
+// unwrapResp converts a response envelope into Call's return values,
+// surfacing *wire.ErrorResp as the error.
+func unwrapResp(env *wire.Envelope) (wire.Message, error) {
+	if e, ok := env.Msg.(*wire.ErrorResp); ok {
+		return nil, e
+	}
+	return env.Msg, nil
 }

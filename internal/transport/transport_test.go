@@ -3,6 +3,7 @@ package transport
 import (
 	"context"
 	"fmt"
+	"net"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -10,6 +11,20 @@ import (
 
 	"repro/internal/wire"
 )
+
+// freeAddr reserves an ephemeral localhost port for a test topology. The
+// probe listener is closed immediately; the tiny reuse window beats
+// flaking on hard-coded ports already held by another process.
+func freeAddr(t testing.TB) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
 
 // echoHandler answers Ping with Pong and counts one-way messages.
 type echoHandler struct{ oneways atomic.Uint64 }
@@ -104,7 +119,7 @@ func TestLocalBasics(t *testing.T) {
 
 func TestTCPBasics(t *testing.T) {
 	testNetworkBasics(t, func(t *testing.T) (Network, func()) {
-		dir := map[wire.Addr]string{wire.ServerAddr(0, 0): "127.0.0.1:17801"}
+		dir := map[wire.Addr]string{wire.ServerAddr(0, 0): freeAddr(t)}
 		n := NewTCP(dir)
 		return n, func() { n.Close() }
 	})
@@ -150,6 +165,64 @@ func TestCallTimeout(t *testing.T) {
 	defer cancel()
 	if _, err := cli.Call(ctx, srv, &wire.Ping{}); err != context.DeadlineExceeded {
 		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestLocalCloseAbortsInFlightCall is the regression test for Local.Close
+// stranding Calls: dispatch drops in-flight messages at close, so a Call
+// holding a background context used to wait forever for a response that
+// could never arrive.
+func TestLocalCloseAbortsInFlightCall(t *testing.T) {
+	net := NewLocal(LatencyModel{})
+	srv := wire.ServerAddr(0, 0)
+	// Server that never responds, so the Call is parked when Close runs.
+	net.Attach(srv, HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
+	cli, _ := net.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
+
+	callErr := make(chan error, 1)
+	go func() {
+		_, err := cli.Call(context.Background(), srv, &wire.Ping{Nonce: 1})
+		callErr <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the call reach the server
+
+	if err := net.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-callErr:
+		if err != ErrClosed {
+			t.Fatalf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("in-flight call hung across Local.Close")
+	}
+}
+
+// TestLocalNodeCloseAbortsInFlightCall mirrors the network-level test for
+// an individual node Close.
+func TestLocalNodeCloseAbortsInFlightCall(t *testing.T) {
+	net := NewLocal(LatencyModel{})
+	defer net.Close()
+	srv := wire.ServerAddr(0, 0)
+	net.Attach(srv, HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
+	cli, _ := net.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
+
+	callErr := make(chan error, 1)
+	go func() {
+		_, err := cli.Call(context.Background(), srv, &wire.Ping{Nonce: 1})
+		callErr <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+
+	cli.Close()
+	select {
+	case err := <-callErr:
+		if err != ErrClosed {
+			t.Fatalf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("in-flight call hung across node Close")
 	}
 }
 
@@ -204,8 +277,8 @@ func TestClosedNodeSendFails(t *testing.T) {
 
 func TestTCPServerToServer(t *testing.T) {
 	dir := map[wire.Addr]string{
-		wire.ServerAddr(0, 0): "127.0.0.1:17803",
-		wire.ServerAddr(0, 1): "127.0.0.1:17804",
+		wire.ServerAddr(0, 0): freeAddr(t),
+		wire.ServerAddr(0, 1): freeAddr(t),
 	}
 	net := NewTCP(dir)
 	defer net.Close()

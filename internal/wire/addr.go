@@ -27,17 +27,47 @@ const (
 	stabilizer = 0xFFFF
 )
 
+// Field capacity limits. Code accepting dc/partition/client ids from
+// external input (config files, flags) should bound-check against these
+// and report an error rather than let the constructors panic.
+const (
+	MaxDC        = dcMask         // highest data-center id
+	MaxPartition = stabilizer - 1 // highest ordinary partition index
+	MaxClientID  = 0xFFFF         // highest client id
+)
+
+// checkRange panics when v does not fit its address field. Masking out of
+// range values instead would silently alias another process's address —
+// e.g. dc 16384 wrapping onto dc 0 — which is strictly worse than failing
+// at construction time.
+func checkRange(what string, v, max int) {
+	if v < 0 || v > max {
+		panic(fmt.Sprintf("wire: %s %d out of range [0, %d]", what, v, max))
+	}
+}
+
 // ServerAddr returns the address of partition part in data center dc.
+// It panics if dc or part does not fit the address layout; the top index
+// is excluded because it addresses the stabilizer, and aliasing it would
+// misroute a partition's traffic to the stabilization service.
 func ServerAddr(dc, part int) Addr {
-	return Addr(serverBit | (dc&dcMask)<<16 | part&0xFFFF)
+	checkRange("dc", dc, MaxDC)
+	checkRange("partition", part, MaxPartition)
+	return Addr(serverBit | dc<<16 | part)
 }
 
 // StabilizerAddr returns the address of dc's stabilization service.
-func StabilizerAddr(dc int) Addr { return ServerAddr(dc, stabilizer) }
+func StabilizerAddr(dc int) Addr {
+	checkRange("dc", dc, MaxDC)
+	return Addr(serverBit | dc<<16 | stabilizer)
+}
 
 // ClientAddr returns the address of client id homed in data center dc.
+// It panics if dc or id does not fit the address layout.
 func ClientAddr(dc, id int) Addr {
-	return Addr(clientBit | (dc&dcMask)<<16 | id&0xFFFF)
+	checkRange("dc", dc, MaxDC)
+	checkRange("client id", id, MaxClientID)
+	return Addr(clientBit | dc<<16 | id)
 }
 
 // DC returns the data-center id of a.

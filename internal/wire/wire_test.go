@@ -55,6 +55,43 @@ func TestAddrZeroInvalid(t *testing.T) {
 	}
 }
 
+// TestAddrOutOfRangePanics pins the constructors' refusal to silently mask
+// out-of-range fields: dc 16384 used to wrap onto dc 0 and alias another
+// data center's addresses.
+func TestAddrOutOfRangePanics(t *testing.T) {
+	cases := map[string]func(){
+		"server dc high":   func() { ServerAddr(dcMask+1, 0) },
+		"server dc neg":    func() { ServerAddr(-1, 0) },
+		"server part high": func() { ServerAddr(0, stabilizer+1) },
+		"server part neg":  func() { ServerAddr(0, -1) },
+		"server part stab": func() { ServerAddr(0, stabilizer) }, // would alias StabilizerAddr
+		"stabilizer dc":    func() { StabilizerAddr(dcMask + 1) },
+		"client dc high":   func() { ClientAddr(dcMask+1, 0) },
+		"client id high":   func() { ClientAddr(0, 0x10000) },
+		"client id neg":    func() { ClientAddr(0, -1) },
+	}
+	for name, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: constructor masked instead of panicking", name)
+				}
+			}()
+			f()
+		}()
+	}
+	// The extremes of the legal ranges must still construct.
+	if a := ServerAddr(dcMask, stabilizer-1); !a.IsServer() || a.IsStabilizer() || a.DC() != dcMask {
+		t.Fatalf("max server addr wrong: %v", a)
+	}
+	if a := StabilizerAddr(dcMask); !a.IsStabilizer() || a.DC() != dcMask {
+		t.Fatalf("max stabilizer addr wrong: %v", a)
+	}
+	if a := ClientAddr(dcMask, 0xFFFF); !a.IsClient() || a.Index() != 0xFFFF {
+		t.Fatalf("max client addr wrong: %v", a)
+	}
+}
+
 func TestAddrDistinct(t *testing.T) {
 	seen := make(map[Addr]bool)
 	for dc := 0; dc < 4; dc++ {
