@@ -89,6 +89,15 @@ type Options struct {
 	InterDCLatency time.Duration
 	// MaxClockSkew bounds each node's physical clock offset (default 1ms).
 	MaxClockSkew time.Duration
+	// DataDir, when non-empty, makes every partition durable: acknowledged
+	// writes are group-committed to a segmented write-ahead log under this
+	// directory before the client sees the ack, and a cluster restarted
+	// over the same directory recovers them. Empty (the default) keeps the
+	// cluster purely in memory.
+	DataDir string
+	// SnapshotEvery enables periodic WAL snapshots (compaction + sealed
+	// segment truncation) when DataDir is set; 0 disables them.
+	SnapshotEvery time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -134,11 +143,13 @@ func StartCluster(opts Options) (*Cluster, error) {
 		JitterFrac: 0.1,
 	}
 	inner, err := cluster.Start(cluster.Config{
-		Protocol:   opts.Protocol.internal(),
-		DCs:        opts.DataCenters,
-		Partitions: opts.Partitions,
-		Latency:    &lat,
-		MaxSkew:    opts.MaxClockSkew,
+		Protocol:         opts.Protocol.internal(),
+		DCs:              opts.DataCenters,
+		Partitions:       opts.Partitions,
+		Latency:          &lat,
+		MaxSkew:          opts.MaxClockSkew,
+		DataDir:          opts.DataDir,
+		WALSnapshotEvery: opts.SnapshotEvery,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("causalkv: %w", err)

@@ -29,8 +29,15 @@ func main() {
 		protocol = flag.String("protocol", "contrarian", "contrarian|cure|cclo|cops")
 		dc       = flag.Int("dc", 0, "home data center")
 		timeout  = flag.Duration("timeout", 5*time.Second, "operation timeout")
+		seed     = flag.Int64("seed", 0, "RNG seed for client id and bench key picks; 0 draws a time-based seed, any other value makes runs reproducible")
 	)
 	flag.Parse()
+	if *seed == 0 {
+		*seed = time.Now().UnixNano()
+	}
+	// A locally constructed generator instead of the deprecated global
+	// rand.Seed path: reproducible whenever -seed is given.
+	rng := rand.New(rand.NewSource(*seed))
 	args := flag.Args()
 	if *topoPath == "" || len(args) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: kvctl -topology FILE [-protocol P] [-dc N] put|get|rot|bench ...")
@@ -51,7 +58,7 @@ func main() {
 
 	net := transport.NewTCP(topo.Directory)
 	defer net.Close()
-	cli, err := newClient(*protocol, *dc, topo, net)
+	cli, err := newClient(*protocol, *dc, topo, net, rng)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -109,7 +116,7 @@ func main() {
 		if len(args) == 2 {
 			fmt.Sscanf(args[1], "%d", &n)
 		}
-		benchLoop(cli, n)
+		benchLoop(cli, n, rng)
 	default:
 		log.Fatalf("unknown command %q", args[0])
 	}
@@ -127,8 +134,8 @@ func warm(ctx context.Context, cli cluster.Client, parts int) error {
 	return nil
 }
 
-func newClient(protocol string, dc int, topo *cluster.Topology, net transport.Network) (cluster.Client, error) {
-	id := int(rand.Int31n(30000)) + 1000
+func newClient(protocol string, dc int, topo *cluster.Topology, net transport.Network, rng *rand.Rand) (cluster.Client, error) {
+	id := int(rng.Int31n(30000)) + 1000
 	r := ring.New(topo.Partitions)
 	if protocol == "cclo" {
 		return cclo.NewClient(cclo.ClientConfig{DC: dc, ID: id, Ring: r}, net)
@@ -145,7 +152,7 @@ func newClient(protocol string, dc int, topo *cluster.Topology, net transport.Ne
 	}, net)
 }
 
-func benchLoop(cli cluster.Client, n int) {
+func benchLoop(cli cluster.Client, n int, rng *rand.Rand) {
 	ctx := context.Background()
 	keys := make([]string, 64)
 	for i := range keys {
@@ -160,13 +167,13 @@ func benchLoop(cli cluster.Client, n int) {
 	for i := 0; i < n; i++ {
 		t0 := time.Now()
 		if i%5 == 0 {
-			if _, err := cli.Put(ctx, keys[rand.Intn(len(keys))], []byte("v")); err != nil {
+			if _, err := cli.Put(ctx, keys[rng.Intn(len(keys))], []byte("v")); err != nil {
 				log.Fatal(err)
 			}
 			putTot += time.Since(t0)
 			puts++
 		} else {
-			ks := []string{keys[rand.Intn(len(keys))], keys[rand.Intn(len(keys))]}
+			ks := []string{keys[rng.Intn(len(keys))], keys[rng.Intn(len(keys))]}
 			if _, err := cli.ROT(ctx, ks); err != nil {
 				log.Fatal(err)
 			}

@@ -28,19 +28,20 @@ func main() {
 		duration = flag.Duration("duration", 5*time.Second, "measurement window")
 		writes   = flag.Float64("w", 0.05, "write/read ratio")
 		rotSize  = flag.Int("p", 4, "keys per ROT")
+		seed     = flag.Int64("seed", 1, "base RNG seed; client c draws keys from seed+c, so a fixed seed reproduces the op streams")
 	)
 	flag.Parse()
 
 	fmt.Printf("%-22s %8s %12s %12s %12s %12s\n",
 		"protocol", "clients", "ops/s", "rot-avg", "rot-p99", "put-avg")
 	for _, proto := range []causalkv.Protocol{causalkv.Contrarian, causalkv.CCLO} {
-		if err := run(proto, *clients, *duration, *writes, *rotSize); err != nil {
+		if err := run(proto, *clients, *duration, *writes, *rotSize, *seed); err != nil {
 			log.Fatalf("%v: %v", proto, err)
 		}
 	}
 }
 
-func run(proto causalkv.Protocol, clients int, duration time.Duration, w float64, p int) error {
+func run(proto causalkv.Protocol, clients int, duration time.Duration, w float64, p int, seed int64) error {
 	cluster, err := causalkv.StartCluster(causalkv.Options{Protocol: proto, Partitions: 8})
 	if err != nil {
 		return err
@@ -82,7 +83,7 @@ func run(proto causalkv.Protocol, clients int, duration time.Duration, w float64
 				return
 			}
 			defer s.Close()
-			rng := rand.New(rand.NewSource(int64(c)))
+			rng := rand.New(rand.NewSource(seed + int64(c)))
 			localRot := make([]time.Duration, 0, 4096)
 			localPut := make([]time.Duration, 0, 512)
 			for !stop.Load() {

@@ -17,6 +17,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/metrics"
 	"repro/internal/transport"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -29,6 +30,11 @@ type System struct {
 	Latency *transport.LatencyModel
 	// MaxSkew bounds physical clock skew (Cure's blocking source).
 	MaxSkew time.Duration
+	// DataDir, when non-empty, runs the cluster with durable WALs rooted
+	// there, so the measurement includes group-committed fsyncs on the
+	// write path. Empty (the default, and what every paper figure uses)
+	// keeps the run purely in memory.
+	DataDir string
 }
 
 // Label names the system as the paper's figure legends do.
@@ -55,12 +61,13 @@ type LoCheckStats struct {
 }
 
 // TransportStats summarizes write-path efficiency: counter-derived fields
-// (Flushes, Coalesced, MsgsPerFlush, CoalescedFrac, HandlerSpills) are
-// deltas over the measurement window, while the SendQueue gauge fields are
-// whole-run values — the peak in particular may reflect preload/warmup
+// (Msgs, Flushes, Coalesced, MsgsPerFlush, CoalescedFrac, HandlerSpills)
+// are deltas over the measurement window, while the SendQueue gauge fields
+// are whole-run values — the peak in particular may reflect preload/warmup
 // congestion, not just the window's load. On Local (no buffered write
 // path) the flush fields are zero.
 type TransportStats struct {
+	Msgs           uint64  // messages sent in the window (≈ dispatches)
 	Flushes        uint64  // buffered flushes (≈ write syscalls on TCP)
 	Coalesced      uint64  // frames that shared a flush with an earlier frame
 	MsgsPerFlush   float64 // average frames retired per flush
@@ -70,21 +77,56 @@ type TransportStats struct {
 	SendQueueDepth int64   // queued frames at window end
 }
 
+// SpillFrac is the fraction of dispatches that overflowed the handler
+// worker pool; sustained values above SpillWarnFrac mean the pool is
+// undersized for the load (see ROADMAP: spill-rate alarm).
+func (ts TransportStats) SpillFrac() float64 {
+	if ts.Msgs == 0 {
+		return 0
+	}
+	return float64(ts.HandlerSpills) / float64(ts.Msgs)
+}
+
 func transportDelta(a, b transport.StatsView) TransportStats {
 	ts := TransportStats{
+		Msgs:           b.MsgsSent - a.MsgsSent,
 		Flushes:        b.Flushes - a.Flushes,
 		Coalesced:      b.FramesCoalesced - a.FramesCoalesced,
 		HandlerSpills:  b.HandlerOverflow - a.HandlerOverflow,
 		SendQueuePeak:  b.SendQueuePeak,
 		SendQueueDepth: b.SendQueueDepth,
 	}
-	if msgs := b.MsgsSent - a.MsgsSent; msgs > 0 {
-		ts.CoalescedFrac = float64(ts.Coalesced) / float64(msgs)
+	if ts.Msgs > 0 {
+		ts.CoalescedFrac = float64(ts.Coalesced) / float64(ts.Msgs)
 	}
 	if ts.Flushes > 0 {
 		ts.MsgsPerFlush = float64(ts.Coalesced+ts.Flushes) / float64(ts.Flushes)
 	}
 	return ts
+}
+
+// WALStats summarizes durability-path efficiency over the measurement
+// window. All zero when the run has no data dir (the default), so figure
+// numbers are unaffected by the subsystem's existence.
+type WALStats struct {
+	Appends         uint64  // records made durable in the window
+	Fsyncs          uint64  // fsyncs that retired them
+	AppendsPerFsync float64 // group-commit amortization (>1 under load)
+	BatchPeak       int64   // largest single group commit (whole run)
+	RecoveryTime    time.Duration
+}
+
+func walDelta(a, b wal.StatsView) WALStats {
+	w := WALStats{
+		Appends:      b.Appends - a.Appends,
+		Fsyncs:       b.Fsyncs - a.Fsyncs,
+		BatchPeak:    b.BatchPeak,
+		RecoveryTime: time.Duration(b.RecoveryNanos),
+	}
+	if w.Fsyncs > 0 {
+		w.AppendsPerFsync = float64(w.Appends) / float64(w.Fsyncs)
+	}
+	return w
 }
 
 // Point is one measured load point.
@@ -99,6 +141,7 @@ type Point struct {
 	MsgsPerSec   float64
 	BytesPerSec  float64
 	Transport    TransportStats
+	WAL          WALStats
 }
 
 // Run measures one load point.
@@ -110,6 +153,7 @@ func Run(sys System, spec RunSpec) (Point, error) {
 		Latency:    sys.Latency,
 		MaxSkew:    sys.MaxSkew,
 		Seed:       1,
+		DataDir:    sys.DataDir,
 	}
 	c, err := cluster.Start(cfg)
 	if err != nil {
@@ -185,6 +229,7 @@ func Run(sys System, spec RunSpec) (Point, error) {
 	time.Sleep(spec.Warmup)
 	loStart := c.CCLOStats()
 	view0 := c.Net().Stats().View()
+	wal0 := c.WALView()
 	rotHist.Reset()
 	putHist.Reset()
 	measuring.Store(true)
@@ -194,6 +239,7 @@ func Run(sys System, spec RunSpec) (Point, error) {
 	window := time.Since(winStart)
 	loEnd := c.CCLOStats()
 	view1 := c.Net().Stats().View()
+	wal1 := c.WALView()
 	stop.Store(true)
 	wg.Wait()
 
@@ -210,6 +256,7 @@ func Run(sys System, spec RunSpec) (Point, error) {
 		BytesPerSec:  float64(view1.BytesSent-view0.BytesSent) / window.Seconds(),
 		Lo:           loDelta(loStart, loEnd),
 		Transport:    transportDelta(view0, view1),
+		WAL:          walDelta(wal0, wal1),
 	}
 	if p.Errors > (rot.Count+put.Count)/100+10 {
 		return p, fmt.Errorf("bench: %d operation errors in window (tput %.0f)", p.Errors, p.Throughput)

@@ -45,6 +45,45 @@ func TestRunProducesSanePoint(t *testing.T) {
 	}
 }
 
+// TestRunDurableReportsWALStats runs a small durable load point and checks
+// the acceptance bar for the durability subsystem: group commit amortizes
+// fsyncs across concurrent writers (appends/fsync > 1) and the stat flows
+// through bench.Point. The plain in-memory run above must keep WAL at zero.
+func TestRunDurableReportsWALStats(t *testing.T) {
+	o := tinyOpts()
+	// One partition concentrates every append on a single log so the
+	// committer visibly coalesces; write-heavy so the window sees appends.
+	wl := workload.Default(1, o.KeysPerPartition)
+	wl.WriteRatio = 0.5
+	p, err := Run(System{
+		Protocol: cluster.Contrarian, DCs: 1, Partitions: 1,
+		DataDir: t.TempDir(),
+	}, RunSpec{Workload: wl, ClientsPerDC: 32, Duration: o.Duration, Warmup: o.Warmup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.WAL.Appends == 0 || p.WAL.Fsyncs == 0 {
+		t.Fatalf("durable run reported no WAL activity: %+v", p.WAL)
+	}
+	if p.WAL.AppendsPerFsync <= 1 {
+		t.Fatalf("group commit did not amortize: %.2f appends/fsync (batch peak %d)",
+			p.WAL.AppendsPerFsync, p.WAL.BatchPeak)
+	}
+	t.Logf("durable point: %.0f op/s, %.1f appends/fsync, peak batch %d",
+		p.Throughput, p.WAL.AppendsPerFsync, p.WAL.BatchPeak)
+
+	// Off-by-default: an in-memory run must report an all-zero WAL block.
+	p2, err := Run(System{
+		Protocol: cluster.Contrarian, DCs: 1, Partitions: o.Partitions,
+	}, RunSpec{Workload: wl, ClientsPerDC: 2, Duration: o.Duration, Warmup: o.Warmup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.WAL != (WALStats{}) {
+		t.Fatalf("in-memory run reported WAL activity: %+v", p2.WAL)
+	}
+}
+
 func TestRunCCLOCollectsCheckStats(t *testing.T) {
 	o := tinyOpts()
 	wl := workload.Default(o.Partitions, o.KeysPerPartition)

@@ -55,19 +55,36 @@ func (o Opts) defaultWorkload() workload.Config {
 	return wl
 }
 
+// SpillWarnFrac is the handler-pool overflow rate above which a load point
+// is flagged: past it, a meaningful share of dispatches ran on spilled
+// goroutines, so the figure's latencies include pool-saturation scheduling
+// noise and the worker pool should be considered undersized for the load.
+const SpillWarnFrac = 0.01
+
+// spillWarning renders the spill column for one load point: empty while
+// overflow is rare, "!N.N%" once HandlerOverflow exceeds SpillWarnFrac of
+// the window's dispatches.
+func spillWarning(p Point) string {
+	frac := p.Transport.SpillFrac()
+	if frac <= SpillWarnFrac {
+		return ""
+	}
+	return fmt.Sprintf("!%.1f%%", frac*100)
+}
+
 func (o Opts) printHeader(title string) {
 	fmt.Fprintf(o.Out, "\n=== %s ===\n", title)
-	fmt.Fprintf(o.Out, "%-28s %8s %12s %10s %10s %10s %10s %8s %8s\n",
-		"system", "clients", "tput(op/s)", "rot-avg", "rot-p99", "put-avg", "put-p99", "errs", "msg/fl")
+	fmt.Fprintf(o.Out, "%-28s %8s %12s %10s %10s %10s %10s %8s %8s %7s\n",
+		"system", "clients", "tput(op/s)", "rot-avg", "rot-p99", "put-avg", "put-p99", "errs", "msg/fl", "spill")
 }
 
 func (o Opts) printSeries(s Series) {
 	for _, p := range s.Points {
-		fmt.Fprintf(o.Out, "%-28s %8d %12.0f %10v %10v %10v %10v %8d %8.1f\n",
+		fmt.Fprintf(o.Out, "%-28s %8d %12.0f %10v %10v %10v %10v %8d %8.1f %7s\n",
 			p.System, p.ClientsPerDC, p.Throughput,
 			p.ROT.Mean.Round(10*time.Microsecond), p.ROT.P99.Round(10*time.Microsecond),
 			p.PUT.Mean.Round(10*time.Microsecond), p.PUT.P99.Round(10*time.Microsecond),
-			p.Errors, p.Transport.MsgsPerFlush)
+			p.Errors, p.Transport.MsgsPerFlush, spillWarning(p))
 	}
 }
 

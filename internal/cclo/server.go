@@ -9,6 +9,7 @@ import (
 	"repro/internal/hlc"
 	"repro/internal/ring"
 	"repro/internal/transport"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -31,6 +32,13 @@ type Config struct {
 	RepRetryTimeout time.Duration
 	// MaxVersions caps per-key version chains.
 	MaxVersions int
+
+	// Durable, when non-nil, makes every install durable before it is
+	// acknowledged (see wal.Durability). The soft reader state (readers,
+	// old-reader records) is deliberately not persisted: it only protects
+	// ROTs in flight at the crash, which fail with the server anyway, and it
+	// expires within GCWindow regardless.
+	Durable wal.Durability
 }
 
 func (c Config) withDefaults() Config {
@@ -116,6 +124,11 @@ func NewServer(cfg Config, net transport.Network) (*Server, error) {
 		stop:  make(chan struct{}),
 	}
 	s.installCond = sync.NewCond(&s.installMu)
+	if cfg.Durable != nil {
+		if err := s.recover(); err != nil {
+			return nil, err
+		}
+	}
 	node, err := net.Attach(wire.ServerAddr(cfg.DC, cfg.Part), s)
 	if err != nil {
 		return nil, err
@@ -123,6 +136,36 @@ func NewServer(cfg Config, net transport.Network) (*Server, error) {
 	s.node = node
 	s.repl = newLoReplicator(s)
 	return s, nil
+}
+
+// recover replays the durable log into the store, advances the Lamport
+// clock past every recovered timestamp (so new writes order above
+// acknowledged ones), and registers the snapshot source.
+func (s *Server) recover() error {
+	now := time.Now()
+	var maxTS uint64
+	err := s.cfg.Durable.Replay(func(rec wal.Record) error {
+		s.store.install(rec.Key, loVersion{value: rec.Value, ts: rec.TS, srcDC: rec.SrcDC}, nil, now)
+		maxTS = max(maxTS, rec.TS)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if maxTS > 0 {
+		s.clock.Update(maxTS)
+	}
+	s.cfg.Durable.SetSnapshotSource(func(emit func(wal.Record) error) error {
+		var ferr error
+		s.store.forEachLatest(func(key string, v loVersion) {
+			if ferr != nil {
+				return
+			}
+			ferr = emit(wal.Record{Key: key, Value: v.value, TS: v.ts, SrcDC: v.srcDC})
+		})
+		return ferr
+	})
+	return nil
 }
 
 // Addr returns the server's wire address.
@@ -217,6 +260,20 @@ func (s *Server) handlePut(src wire.Addr, reqID uint64, m *wire.LoPutReq) {
 	}
 	ts := s.clock.Update(high)
 	s.install(m.Key, loVersion{value: m.Value, ts: ts, srcDC: uint8(s.cfg.DC)}, collected)
+	// Durability gates both replication and the acknowledgment: a version
+	// the origin could still lose in a crash must never be durably applied
+	// at a remote DC (replica divergence), so the update is enqueued only
+	// after the group-committed fsync. CC-LO replication carries no batch
+	// cut — receivers order installs by dependency checks — so the
+	// reordering is safe.
+	if s.cfg.Durable != nil {
+		if err := s.cfg.Durable.Append(wal.Record{
+			Key: m.Key, Value: m.Value, TS: ts, SrcDC: uint8(s.cfg.DC),
+		}); err != nil {
+			transport.RespondError(s.node, src, reqID, 500, "cclo: wal: "+err.Error())
+			return
+		}
+	}
 	s.repl.enqueue(&wire.LoRepUpdate{
 		SrcDC:      uint8(s.cfg.DC),
 		SrcPart:    uint32(s.cfg.Part),
@@ -413,6 +470,16 @@ func (s *Server) handleRepUpdate(src wire.Addr, reqID uint64, m *wire.LoRepUpdat
 	// 3. Install with the origin timestamp; Lamport clocks stay related.
 	s.clock.Update(max(m.TS, maxT))
 	s.install(m.Key, loVersion{value: m.Value, ts: m.TS, srcDC: m.SrcDC}, collected)
+	// 4. Durability before the ack; an unacked update is retried
+	// (idempotently) by the origin.
+	if s.cfg.Durable != nil {
+		if err := s.cfg.Durable.Append(wal.Record{
+			Key: m.Key, Value: m.Value, TS: m.TS, SrcDC: m.SrcDC,
+		}); err != nil {
+			transport.RespondError(s.node, src, reqID, 500, "cclo: wal: "+err.Error())
+			return
+		}
+	}
 	_ = s.node.Respond(src, reqID, &wire.LoRepAck{Seq: m.Seq})
 }
 

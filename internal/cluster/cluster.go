@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"sync/atomic"
 	"time"
 
@@ -19,6 +20,7 @@ import (
 	"repro/internal/ring"
 	"repro/internal/transport"
 	"repro/internal/vclock"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -88,6 +90,20 @@ type Config struct {
 	// (ablations: Contrarian on plain logical clocks loses GSS freshness —
 	// §4 "Freshness of the snapshots").
 	ClockOverride *core.ClockMode
+
+	// DataDir, when non-empty, gives every partition server a durable
+	// write-ahead log under DataDir/dc<d>-p<p>: acknowledged installs
+	// survive a crash and RestartPartition recovers them. Empty (the
+	// default) keeps the cluster purely in memory, so benchmark figures are
+	// unaffected unless durability is asked for.
+	DataDir string
+	// WALSnapshotEvery enables periodic WAL snapshots (store serialization
+	// plus sealed-segment truncation); 0 disables them. Only meaningful
+	// with DataDir set.
+	WALSnapshotEvery time.Duration
+	// WALSegmentBytes overrides the WAL segment size (tests force small
+	// segments to exercise rotation); 0 uses the wal default.
+	WALSegmentBytes int64
 }
 
 // NoLatency is a latency model for correctness tests: messages still pay
@@ -112,10 +128,15 @@ type Cluster struct {
 	net  *transport.Local
 	ring ring.Ring
 
-	coreServers []*core.Server // all DCs, flattened
+	// The active protocol's slice is indexed dc*Partitions+p; the others
+	// stay empty. logs and skews share the same indexing (logs holds nils
+	// when DataDir is unset).
+	coreServers []*core.Server
 	ccloServers []*cclo.Server
 	copsServers []*cops.Server
 	stabs       []*core.Stabilizer
+	logs        []*wal.Log
+	skews       []time.Duration
 
 	clientSeq []atomic.Int64 // per DC
 }
@@ -135,23 +156,33 @@ func Start(cfg Config) (*Cluster, error) {
 	if cfg.Latency != nil {
 		lat = *cfg.Latency
 	}
+	n := cfg.DCs * cfg.Partitions
 	c := &Cluster{
 		cfg:       cfg,
 		net:       transport.NewLocal(lat),
 		ring:      ring.New(cfg.Partitions),
+		logs:      make([]*wal.Log, n),
+		skews:     make([]time.Duration, n),
 		clientSeq: make([]atomic.Int64, cfg.DCs),
 	}
+	switch cfg.Protocol {
+	case COPS:
+		c.copsServers = make([]*cops.Server, n)
+	case CCLO:
+		c.ccloServers = make([]*cclo.Server, n)
+	default:
+		c.coreServers = make([]*core.Server, n)
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 7))
-	skew := func() time.Duration {
-		if cfg.MaxSkew <= 0 {
-			return 0
+	for i := range c.skews {
+		if cfg.MaxSkew > 0 {
+			c.skews[i] = time.Duration(rng.Int63n(int64(2*cfg.MaxSkew))) - cfg.MaxSkew
 		}
-		return time.Duration(rng.Int63n(int64(2*cfg.MaxSkew))) - cfg.MaxSkew
 	}
 
 	for dc := 0; dc < cfg.DCs; dc++ {
 		for p := 0; p < cfg.Partitions; p++ {
-			if err := c.startServer(dc, p, skew()); err != nil {
+			if err := c.startServer(dc, p); err != nil {
 				c.Close()
 				return nil, err
 			}
@@ -178,61 +209,177 @@ func Start(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
-func (c *Cluster) startServer(dc, p int, skew time.Duration) error {
-	if c.cfg.Protocol == COPS {
+// openLog opens the (dc,p) partition's WAL when durability is configured.
+func (c *Cluster) openLog(dc, p int) (*wal.Log, error) {
+	if c.cfg.DataDir == "" {
+		return nil, nil
+	}
+	return wal.Open(wal.Options{
+		Dir:           filepath.Join(c.cfg.DataDir, fmt.Sprintf("dc%d-p%d", dc, p)),
+		SegmentBytes:  c.cfg.WALSegmentBytes,
+		SnapshotEvery: c.cfg.WALSnapshotEvery,
+	})
+}
+
+// startServer builds and registers the (dc,p) partition server, opening
+// its WAL (and thereby replaying any previous state) when DataDir is set.
+// The server is placed at index dc*Partitions+p; it is not Start()ed.
+func (c *Cluster) startServer(dc, p int) error {
+	idx := dc*c.cfg.Partitions + p
+	log, err := c.openLog(dc, p)
+	if err != nil {
+		return err
+	}
+	// wal.Durability is an interface: a typed-nil *wal.Log must become a
+	// true nil so servers see "no durability".
+	var durable wal.Durability
+	if log != nil {
+		durable = log
+	}
+	switch c.cfg.Protocol {
+	case COPS:
 		s, err := cops.NewServer(cops.Config{
 			DC: dc, Part: p, NumDCs: c.cfg.DCs, NumParts: c.cfg.Partitions,
 			MaxVersions: c.cfg.MaxVersions,
+			Durable:     durable,
 		}, c.net)
 		if err != nil {
+			closeLog(log)
 			return err
 		}
-		c.copsServers = append(c.copsServers, s)
-		return nil
-	}
-	if c.cfg.Protocol == CCLO {
+		c.copsServers[idx] = s
+	case CCLO:
 		s, err := cclo.NewServer(cclo.Config{
 			DC: dc, Part: p, NumDCs: c.cfg.DCs, NumParts: c.cfg.Partitions,
 			GCWindow:    c.cfg.GCWindow,
 			MaxVersions: c.cfg.MaxVersions,
+			Durable:     durable,
 		}, c.net)
 		if err != nil {
+			closeLog(log)
 			return err
 		}
-		c.ccloServers = append(c.ccloServers, s)
-		return nil
+		c.ccloServers[idx] = s
+	default:
+		clock := core.ClockHLC
+		if c.cfg.Protocol == Cure {
+			clock = core.ClockPhysical
+		}
+		if c.cfg.ClockOverride != nil {
+			clock = *c.cfg.ClockOverride
+		}
+		s, err := core.NewServer(core.Config{
+			DC: dc, Part: p, NumDCs: c.cfg.DCs, NumParts: c.cfg.Partitions,
+			Clock:          clock,
+			Skew:           c.skews[idx],
+			StabilizeEvery: c.cfg.StabilizeEvery,
+			MaxVersions:    c.cfg.MaxVersions,
+			Durable:        durable,
+		}, c.net)
+		if err != nil {
+			closeLog(log)
+			return err
+		}
+		c.coreServers[idx] = s
 	}
-	clock := core.ClockHLC
-	if c.cfg.Protocol == Cure {
-		clock = core.ClockPhysical
-	}
-	if c.cfg.ClockOverride != nil {
-		clock = *c.cfg.ClockOverride
-	}
-	s, err := core.NewServer(core.Config{
-		DC: dc, Part: p, NumDCs: c.cfg.DCs, NumParts: c.cfg.Partitions,
-		Clock:          clock,
-		Skew:           skew,
-		StabilizeEvery: c.cfg.StabilizeEvery,
-		MaxVersions:    c.cfg.MaxVersions,
-	}, c.net)
-	if err != nil {
-		return err
-	}
-	c.coreServers = append(c.coreServers, s)
+	c.logs[idx] = log
 	return nil
 }
 
-// Close stops every component.
+func closeLog(l *wal.Log) {
+	if l != nil {
+		l.Close()
+	}
+}
+
+// stopServer closes the (dc,p) partition server and its WAL, clearing the
+// slots. Safe on partially started clusters.
+func (c *Cluster) stopServer(idx int) {
+	switch {
+	case c.coreServers != nil && c.coreServers[idx] != nil:
+		c.coreServers[idx].Close()
+		c.coreServers[idx] = nil
+	case c.ccloServers != nil && c.ccloServers[idx] != nil:
+		c.ccloServers[idx].Close()
+		c.ccloServers[idx] = nil
+	case c.copsServers != nil && c.copsServers[idx] != nil:
+		c.copsServers[idx].Close()
+		c.copsServers[idx] = nil
+	}
+	closeLog(c.logs[idx])
+	c.logs[idx] = nil
+}
+
+// RestartPartition stops the (dc,p) partition server — flushed or not,
+// every acknowledged write is already on disk — and starts a fresh server
+// over the same data directory, driving WAL recovery. It requires DataDir;
+// tests use it as the in-process stand-in for kill -9 + restart (the torn
+// final record a real crash can leave is injected by the fault tests
+// directly into the segment file between stop and restart).
+func (c *Cluster) RestartPartition(dc, p int) error {
+	if c.cfg.DataDir == "" {
+		return fmt.Errorf("cluster: RestartPartition requires DataDir")
+	}
+	if dc < 0 || dc >= c.cfg.DCs || p < 0 || p >= c.cfg.Partitions {
+		return fmt.Errorf("cluster: no such partition dc%d/p%d", dc, p)
+	}
+	idx := dc*c.cfg.Partitions + p
+	c.stopServer(idx)
+	if err := c.startServer(dc, p); err != nil {
+		return err
+	}
+	switch {
+	case c.coreServers != nil:
+		c.coreServers[idx].Start()
+	case c.ccloServers != nil:
+		c.ccloServers[idx].Start()
+	case c.copsServers != nil:
+		c.copsServers[idx].Start()
+	}
+	return nil
+}
+
+// WALDir returns the (dc,p) partition's WAL directory (fault tests corrupt
+// segment tails there), or "" when durability is off.
+func (c *Cluster) WALDir(dc, p int) string {
+	if c.cfg.DataDir == "" {
+		return ""
+	}
+	return filepath.Join(c.cfg.DataDir, fmt.Sprintf("dc%d-p%d", dc, p))
+}
+
+// WALView aggregates WAL counters over every partition log (zero when
+// durability is off).
+func (c *Cluster) WALView() wal.StatsView {
+	var v wal.StatsView
+	for _, l := range c.logs {
+		if l != nil {
+			v.Merge(l.Stats().View())
+		}
+	}
+	return v
+}
+
+// Close stops every component: servers first (draining their appends),
+// then their logs, then the stabilizers and the network.
 func (c *Cluster) Close() {
 	for _, s := range c.coreServers {
-		s.Close()
+		if s != nil {
+			s.Close()
+		}
 	}
 	for _, s := range c.ccloServers {
-		s.Close()
+		if s != nil {
+			s.Close()
+		}
 	}
 	for _, s := range c.copsServers {
-		s.Close()
+		if s != nil {
+			s.Close()
+		}
+	}
+	for _, l := range c.logs {
+		closeLog(l)
 	}
 	for _, st := range c.stabs {
 		st.Close()

@@ -26,6 +26,7 @@ import (
 	"repro/internal/hlc"
 	"repro/internal/ring"
 	"repro/internal/transport"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -44,6 +45,11 @@ type Config struct {
 	RepWindow int
 	// MaxVersions caps per-key version chains.
 	MaxVersions int
+
+	// Durable, when non-nil, makes every install — with its dependency
+	// list, which COPS needs to recompute causal cuts — durable before it
+	// is acknowledged (see wal.Durability).
+	Durable wal.Durability
 }
 
 func (c Config) withDefaults() Config {
@@ -215,6 +221,11 @@ func NewServer(cfg Config, net transport.Network) (*Server, error) {
 		stop:  make(chan struct{}),
 	}
 	s.installCond = sync.NewCond(&s.installMu)
+	if cfg.Durable != nil {
+		if err := s.recover(); err != nil {
+			return nil, err
+		}
+	}
 	node, err := net.Attach(wire.ServerAddr(cfg.DC, cfg.Part), s)
 	if err != nil {
 		return nil, err
@@ -222,6 +233,35 @@ func NewServer(cfg Config, net transport.Network) (*Server, error) {
 	s.node = node
 	s.repl = newReplicator(s)
 	return s, nil
+}
+
+// recover replays the durable log — dependency lists included — into the
+// store, advances the clock past every recovered timestamp, and registers
+// the snapshot source.
+func (s *Server) recover() error {
+	var maxTS uint64
+	err := s.cfg.Durable.Replay(func(rec wal.Record) error {
+		s.store.install(rec.Key, version{value: rec.Value, ts: rec.TS, srcDC: rec.SrcDC, deps: rec.Deps})
+		maxTS = max(maxTS, rec.TS)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if maxTS > 0 {
+		s.clock.Update(maxTS)
+	}
+	s.cfg.Durable.SetSnapshotSource(func(emit func(wal.Record) error) error {
+		var ferr error
+		s.store.forEachLatest(func(key string, v version) {
+			if ferr != nil {
+				return
+			}
+			ferr = emit(wal.Record{Key: key, Value: v.value, TS: v.ts, SrcDC: v.srcDC, Deps: v.deps})
+		})
+		return ferr
+	})
+	return nil
 }
 
 // Addr returns the server's wire address.
@@ -253,6 +293,13 @@ func (s *Server) ForEachLatest(fn func(key string, value []byte, ts uint64, srcD
 	s.store.forEachLatest(func(k string, v version) {
 		fn(k, v.value, v.ts, v.srcDC)
 	})
+}
+
+// Latest returns key's newest version with its dependency list (tests:
+// crash recovery must preserve the deps COPS uses to compute causal cuts).
+func (s *Server) Latest(key string) (value []byte, ts uint64, deps []wire.LoDep, ok bool) {
+	v, ok := s.store.latest(key)
+	return v.value, v.ts, v.deps, ok
 }
 
 // Handle dispatches one incoming message.
@@ -313,6 +360,19 @@ func (s *Server) handlePut(src wire.Addr, reqID uint64, m *wire.LoPutReq) {
 	}
 	ts := s.clock.Update(high)
 	s.install(m.Key, version{value: m.Value, ts: ts, srcDC: uint8(s.cfg.DC), deps: m.Deps})
+	// Durability gates both replication and the acknowledgment: the update
+	// is enqueued only after the group-committed fsync, so a version the
+	// origin could still lose is never durably applied at a remote DC.
+	// COPS replication has no batch cut (receivers dependency-check each
+	// update), so the reordering is safe.
+	if s.cfg.Durable != nil {
+		if err := s.cfg.Durable.Append(wal.Record{
+			Key: m.Key, Value: m.Value, TS: ts, SrcDC: uint8(s.cfg.DC), Deps: m.Deps,
+		}); err != nil {
+			transport.RespondError(s.node, src, reqID, 500, "cops: wal: "+err.Error())
+			return
+		}
+	}
 	s.repl.enqueue(&wire.LoRepUpdate{
 		SrcDC:   uint8(s.cfg.DC),
 		SrcPart: uint32(s.cfg.Part),
@@ -388,6 +448,15 @@ func (s *Server) handleRepUpdate(src wire.Addr, reqID uint64, m *wire.LoRepUpdat
 	}
 	s.clock.Update(m.TS)
 	s.install(m.Key, version{value: m.Value, ts: m.TS, srcDC: m.SrcDC, deps: m.Deps})
+	// Durability before the ack; an unacked update is retried idempotently.
+	if s.cfg.Durable != nil {
+		if err := s.cfg.Durable.Append(wal.Record{
+			Key: m.Key, Value: m.Value, TS: m.TS, SrcDC: m.SrcDC, Deps: m.Deps,
+		}); err != nil {
+			transport.RespondError(s.node, src, reqID, 500, "cops: wal: "+err.Error())
+			return
+		}
+	}
 	_ = s.node.Respond(src, reqID, &wire.LoRepAck{Seq: m.Seq})
 }
 

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/hlc"
+	"repro/internal/wal"
 )
 
 // ROTMode selects the read-only transaction protocol (Figure 3).
@@ -72,6 +73,13 @@ type Config struct {
 	RepRetryTimeout time.Duration
 	// MaxVersions caps per-key version chains (0 = default).
 	MaxVersions int
+
+	// Durable, when non-nil, makes every install durable before it is
+	// acknowledged: NewServer replays the recovered state into the store and
+	// registers the snapshot source, and the PUT/replication paths append to
+	// the log (group-committed) before responding. Nil keeps the server
+	// purely in memory.
+	Durable wal.Durability
 }
 
 // withDefaults fills zero fields with production defaults.

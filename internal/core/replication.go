@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/wire"
@@ -33,11 +34,24 @@ type replicator struct {
 	streams []*repStream
 }
 
+// repUpdate is one queued update plus its durability gate: nil means the
+// update needs no fsync (in-memory server), otherwise the flag flips true
+// once the origin's WAL append has committed. Replication ships only
+// durable updates — a write the origin could still lose in a crash must
+// never be durably applied at a remote DC, or the replicas diverge the
+// moment the origin recovers without it.
+type repUpdate struct {
+	wire.Update
+	durable *atomic.Bool
+}
+
+func (u *repUpdate) ready() bool { return u.durable == nil || u.durable.Load() }
+
 type repStream struct {
 	s   *Server
 	dst wire.Addr
 
-	queue []wire.Update // guarded by s.putMu
+	queue []repUpdate // guarded by s.putMu
 
 	ctx    context.Context // cancelled on stop so in-flight calls abort
 	cancel context.CancelFunc
@@ -81,33 +95,61 @@ func (r *replicator) stopAll() {
 }
 
 // enqueue records one local update for every remote DC. The caller must
-// hold s.putMu (it is called from the PUT fence).
-func (r *replicator) enqueue(u wire.Update) {
+// hold s.putMu (it is called from the PUT fence). durable is the update's
+// durability gate (nil when the server has no WAL).
+func (r *replicator) enqueue(u wire.Update, durable *atomic.Bool) {
 	for _, st := range r.streams {
-		st.queue = append(st.queue, u)
+		st.queue = append(st.queue, repUpdate{Update: u, durable: durable})
 	}
 }
 
-// cut drains up to RepBatchMax queued updates and computes the replication
-// cut: if the queue drained fully the cut is the current clock reading
-// (safe because enqueueing is atomic with timestamp assignment under
-// putMu); otherwise it is the last drained update's timestamp.
+// cut drains up to RepBatchMax queued DURABLE updates and computes the
+// replication cut. Draining stops at the first update whose WAL append has
+// not committed yet, and the cut is clamped below that update's timestamp:
+// updates are enqueued in timestamp order inside the fence, so everything
+// below the clamp is in this or an earlier batch, and nothing the origin
+// could still lose is ever shipped. A fully drained queue cuts at the
+// current clock reading (safe because enqueueing is atomic with timestamp
+// assignment under putMu).
 func (st *repStream) cut() ([]wire.Update, uint64) {
 	st.s.putMu.Lock()
 	defer st.s.putMu.Unlock()
 	n := min(len(st.queue), st.s.cfg.RepBatchMax)
-	batch := st.queue[:n:n]
-	st.queue = st.queue[n:]
+	k := 0
+	for k < n && st.queue[k].ready() {
+		k++
+	}
+	batch := make([]wire.Update, k)
+	for i := range batch {
+		batch[i] = st.queue[i].Update
+	}
+	st.queue = st.queue[k:]
 	if len(st.queue) == 0 {
 		st.queue = nil // release the drained backing array eventually
 		return batch, st.s.clock.Now()
 	}
-	return batch, batch[n-1].TS
+	if !st.queue[0].ready() {
+		// Blocked on an in-flight (or failed) group commit: the cut must
+		// stay strictly below the undurable head so remote snapshots never
+		// cover a version that might not survive the origin.
+		return batch, st.queue[0].TS - 1
+	}
+	return batch, batch[k-1].TS
 }
 
 func (st *repStream) run() {
 	defer close(st.done)
-	seq := uint64(0)
+	// Receivers deduplicate batches by requiring seq to advance, so the
+	// stream's base must be monotone across process restarts: a durable
+	// partition that crashes and recovers must not resume at seq 1, or a
+	// surviving receiver (whose cursor is high) would ack-and-drop every
+	// post-restart batch as a duplicate. Wall-clock nanoseconds outpace
+	// any achievable batch rate, so as long as the host clock does not
+	// step back past the previous process's start (NTP slew is fine; a VM
+	// snapshot restore is not), a restarted stream starts above where its
+	// predecessor stopped. Persisting per-stream cursors in the WAL would
+	// remove the assumption (see ROADMAP).
+	seq := uint64(time.Now().UnixNano())
 	flush := newTicker(st.s.cfg.RepFlushEvery)
 	defer flush.Stop()
 	for {

@@ -2,11 +2,13 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/hlc"
 	"repro/internal/mvstore"
 	"repro/internal/transport"
 	"repro/internal/vclock"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -54,6 +56,11 @@ func NewServer(cfg Config, net transport.Network) (*Server, error) {
 	for i := range s.nextIn {
 		s.nextIn[i] = 1
 	}
+	if cfg.Durable != nil {
+		if err := s.recover(); err != nil {
+			return nil, err
+		}
+	}
 	node, err := net.Attach(wire.ServerAddr(cfg.DC, cfg.Part), s)
 	if err != nil {
 		return nil, err
@@ -61,6 +68,57 @@ func NewServer(cfg Config, net transport.Network) (*Server, error) {
 	s.node = node
 	s.repl = newReplicator(s)
 	return s, nil
+}
+
+// recover replays the durable log into the store and prepares snapshots.
+// It runs before the server attaches to the network, so no locks are
+// needed. The clock is advanced past the highest recovered timestamp so new
+// PUTs can never be assigned timestamps the last-writer-wins order would
+// place below already-acknowledged versions (with a physical clock — Cure —
+// this Update waits out the apparent skew, exactly as it does for remote
+// timestamps). Remote VV entries are rebuilt from recovered installs: a
+// replication stream is logged in receipt order, so the highest recovered
+// timestamp from a DC understates — never overstates — what was received,
+// which is the safe direction for the GSS.
+func (s *Server) recover() error {
+	var maxTS uint64
+	err := s.cfg.Durable.Replay(func(rec wal.Record) error {
+		s.store.Install(rec.Key, mvstore.Version{
+			Value: rec.Value, TS: rec.TS, SrcDC: rec.SrcDC, DV: rec.DV,
+		})
+		maxTS = max(maxTS, rec.TS)
+		if dc := int(rec.SrcDC); dc != s.cfg.DC && dc < len(s.vv) && rec.TS > s.vv[dc] {
+			s.vv[dc] = rec.TS
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if maxTS > 0 {
+		s.clock.Update(maxTS)
+	}
+	s.cfg.Durable.SetSnapshotSource(func(emit func(wal.Record) error) error {
+		var ferr error
+		s.store.ForEachLatest(func(key string, v mvstore.Version) {
+			if ferr != nil {
+				return
+			}
+			ferr = emit(wal.Record{Key: key, Value: v.Value, TS: v.TS, SrcDC: v.SrcDC, DV: v.DV})
+		})
+		return ferr
+	})
+	return nil
+}
+
+// logInstall makes one local install durable; it must be called outside the
+// put fence (fsync latency must not serialize the partition) and before the
+// acknowledgment. On error the version stays in memory unacknowledged,
+// which a crash is allowed to lose.
+func (s *Server) logInstall(key string, value []byte, ts uint64, dv vclock.Vec) error {
+	return s.cfg.Durable.Append(wal.Record{
+		Key: key, Value: value, TS: ts, SrcDC: uint8(s.cfg.DC), DV: dv,
+	})
 }
 
 // Addr returns the server's wire address.
@@ -152,15 +210,31 @@ func (s *Server) handlePut(src wire.Addr, reqID uint64, m *wire.PutReq) {
 	// part runs outside the fence; the final Tick inside it is instant.
 	s.clock.Update(deps.Max())
 
+	var durable *atomic.Bool
+	if s.cfg.Durable != nil {
+		durable = new(atomic.Bool)
+	}
 	s.putMu.Lock()
 	ts := s.clock.Tick()
 	dv := deps.Clone()
 	dv[s.cfg.DC] = ts
 	v := mvstore.Version{Value: m.Value, TS: ts, SrcDC: uint8(s.cfg.DC), DV: dv}
 	s.store.Install(m.Key, v)
-	s.repl.enqueue(wire.Update{Key: m.Key, Value: m.Value, TS: ts, DV: dv})
+	s.repl.enqueue(wire.Update{Key: m.Key, Value: m.Value, TS: ts, DV: dv}, durable)
 	s.putMu.Unlock()
 
+	// Durability gates both the acknowledgment and replication, but not
+	// the install: group commit runs outside the fence so concurrent PUTs
+	// share fsyncs, and the enqueued update only becomes shippable once
+	// the flag flips (see repStream.cut) — a version the origin could
+	// still lose must never be durably applied at a remote DC.
+	if s.cfg.Durable != nil {
+		if err := s.logInstall(m.Key, m.Value, ts, dv); err != nil {
+			transport.RespondError(s.node, src, reqID, 500, "core: wal: "+err.Error())
+			return
+		}
+		durable.Store(true)
+	}
 	_ = s.node.Respond(src, reqID, &wire.PutResp{TS: ts, GSS: s.gssSnapshot()})
 }
 
@@ -259,6 +333,7 @@ func (s *Server) handleRepBatch(src wire.Addr, reqID uint64, m *wire.RepBatch) {
 		_ = s.node.Respond(src, reqID, &wire.RepAck{Seq: m.Seq})
 		return
 	}
+	prevNextIn := s.nextIn[srcDC]
 	s.nextIn[srcDC] = m.Seq + 1
 	s.mu.Unlock()
 
@@ -267,6 +342,30 @@ func (s *Server) handleRepBatch(src wire.Addr, reqID uint64, m *wire.RepBatch) {
 		s.store.Install(u.Key, mvstore.Version{
 			Value: u.Value, TS: u.TS, SrcDC: m.SrcDC, DV: u.DV,
 		})
+	}
+	// Replicated installs are logged as one multi-record append (one group
+	// commit) before the batch is acknowledged, so the sender only retires a
+	// batch once it is durable here too. A WAL failure withholds the ack and
+	// the (idempotent) batch is retried.
+	if s.cfg.Durable != nil && len(m.Ups) > 0 {
+		recs := make([]wal.Record, len(m.Ups))
+		for i := range m.Ups {
+			u := &m.Ups[i]
+			recs[i] = wal.Record{Key: u.Key, Value: u.Value, TS: u.TS, SrcDC: m.SrcDC, DV: u.DV}
+		}
+		if err := s.cfg.Durable.Append(recs...); err != nil {
+			// Withholding the ack makes the sender retry; roll the dedup
+			// cursor back (unless a later batch already advanced it) so the
+			// retry is not mistaken for an applied duplicate and the
+			// records get another chance at durability.
+			s.mu.Lock()
+			if s.nextIn[srcDC] == m.Seq+1 {
+				s.nextIn[srcDC] = prevNextIn
+			}
+			s.mu.Unlock()
+			transport.RespondError(s.node, src, reqID, 500, "core: wal: "+err.Error())
+			return
+		}
 	}
 	s.mu.Lock()
 	if m.HighTS > s.vv[srcDC] {

@@ -142,6 +142,7 @@ func (l *Local) dispatch(f *wire.FrameBuf) {
 	dst := l.lookup(env.Dst)
 	if dst == nil || dst.closed.Load() {
 		l.stats.Dropped.Add(1)
+		wire.Recycle(env.Msg)
 		return
 	}
 	if env.Resp {
@@ -149,6 +150,7 @@ func (l *Local) dispatch(f *wire.FrameBuf) {
 		return
 	}
 	dst.h.Handle(dst, env.Src, env.ReqID, env.Msg)
+	wire.Recycle(env.Msg)
 }
 
 // delivery is one in-flight message.

@@ -422,6 +422,7 @@ func (n *tcpNode) dispatch(env *wire.Envelope) {
 	go func() {
 		defer n.wg.Done()
 		n.h.Handle(n, in.src, in.reqID, in.msg)
+		wire.Recycle(in.msg)
 	}()
 }
 
@@ -435,6 +436,7 @@ func (n *tcpNode) worker() {
 		select {
 		case in := <-n.workq:
 			n.h.Handle(n, in.src, in.reqID, in.msg)
+			wire.Recycle(in.msg)
 		case <-n.stop:
 			return
 		}

@@ -34,6 +34,14 @@ var (
 // sender awaits a response via Call; the handler must eventually call
 // node.Respond(src, reqID, resp) for such messages. Handlers run on
 // dedicated goroutines and may block.
+//
+// Ownership: the transport recycles pooled message types after Handle
+// returns (wire.Recycle), so a handler must not retain the message struct —
+// nor the container slices its Reset recycles (e.g. RepBatch.Ups, the Keys
+// of the read requests) — past its return. Deep data the protocols do keep
+// (key strings, value bytes, vectors, dependency lists) is allocated fresh
+// by every decode and safe to retain; each pooled type's Reset documents
+// its policy.
 type Handler interface {
 	Handle(node Node, src wire.Addr, reqID uint64, m wire.Message)
 }

@@ -1,0 +1,51 @@
+package wal
+
+import (
+	"testing"
+)
+
+// BenchmarkAppendSerial is the worst case for group commit: one writer, so
+// every append pays a full fsync.
+func BenchmarkAppendSerial(b *testing.B) {
+	l, err := Open(Options{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	r := rec(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Append(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	v := l.Stats().View()
+	b.ReportMetric(v.AppendsPerFsync(), "appends/fsync")
+}
+
+// BenchmarkAppendGroupCommit measures the amortization under concurrent
+// writers: many blocked appenders share each fsync, so appends/fsync rises
+// well above 1 (the acceptance bar for the durability subsystem) and
+// per-append cost falls accordingly.
+func BenchmarkAppendGroupCommit(b *testing.B) {
+	l, err := Open(Options{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	r := rec(1)
+	b.SetParallelism(16)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := l.Append(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	v := l.Stats().View()
+	b.ReportMetric(v.AppendsPerFsync(), "appends/fsync")
+	b.ReportMetric(float64(v.BatchPeak), "peak-batch")
+}

@@ -1,0 +1,93 @@
+package wal
+
+import "repro/internal/metrics"
+
+// Stats counts durability events, built on the same lock-free counters the
+// transport uses so benchmarks can report deltas over a measurement window.
+type Stats struct {
+	// Appends counts records made durable; Fsyncs counts the syncs that
+	// retired them. Appends/Fsyncs is the group-commit amortization factor.
+	Appends metrics.Counter
+	Fsyncs  metrics.Counter
+	// AppendBytes counts bytes written to segments (headers included).
+	AppendBytes metrics.Counter
+	// Batch pulses by each group commit's record count; its high-water mark
+	// is the largest batch a single fsync ever retired.
+	Batch metrics.Gauge
+
+	// Segments counts segment files created; Snapshots counts snapshots
+	// taken, SnapshotRecords the records they serialized, SnapshotErrors
+	// failed periodic attempts, and Truncated the files snapshots deleted.
+	Segments        metrics.Counter
+	Snapshots       metrics.Counter
+	SnapshotRecords metrics.Counter
+	SnapshotErrors  metrics.Counter
+	Truncated       metrics.Counter
+
+	// RecoveredRecords counts records replayed at Open-time recovery,
+	// RecoveryNanos the time Replay spent, and TornTails the torn final
+	// records recovery tolerated.
+	RecoveredRecords metrics.Counter
+	RecoveryNanos    metrics.Counter
+	TornTails        metrics.Counter
+}
+
+// StatsView is a frozen copy of every WAL counter.
+type StatsView struct {
+	Appends          uint64
+	Fsyncs           uint64
+	AppendBytes      uint64
+	BatchPeak        int64
+	Segments         uint64
+	Snapshots        uint64
+	SnapshotRecords  uint64
+	SnapshotErrors   uint64
+	Truncated        uint64
+	RecoveredRecords uint64
+	RecoveryNanos    uint64
+	TornTails        uint64
+}
+
+// View returns a frozen copy of all counters.
+func (s *Stats) View() StatsView {
+	return StatsView{
+		Appends:          s.Appends.Load(),
+		Fsyncs:           s.Fsyncs.Load(),
+		AppendBytes:      s.AppendBytes.Load(),
+		BatchPeak:        s.Batch.HighWater(),
+		Segments:         s.Segments.Load(),
+		Snapshots:        s.Snapshots.Load(),
+		SnapshotRecords:  s.SnapshotRecords.Load(),
+		SnapshotErrors:   s.SnapshotErrors.Load(),
+		Truncated:        s.Truncated.Load(),
+		RecoveredRecords: s.RecoveredRecords.Load(),
+		RecoveryNanos:    s.RecoveryNanos.Load(),
+		TornTails:        s.TornTails.Load(),
+	}
+}
+
+// AppendsPerFsync is the group-commit amortization factor: how many records
+// the average fsync retired.
+func (v StatsView) AppendsPerFsync() float64 {
+	if v.Fsyncs == 0 {
+		return 0
+	}
+	return float64(v.Appends) / float64(v.Fsyncs)
+}
+
+// Merge accumulates o into v (cluster-wide aggregation over per-partition
+// logs): counters sum, the batch peak takes the max.
+func (v *StatsView) Merge(o StatsView) {
+	v.Appends += o.Appends
+	v.Fsyncs += o.Fsyncs
+	v.AppendBytes += o.AppendBytes
+	v.BatchPeak = max(v.BatchPeak, o.BatchPeak)
+	v.Segments += o.Segments
+	v.Snapshots += o.Snapshots
+	v.SnapshotRecords += o.SnapshotRecords
+	v.SnapshotErrors += o.SnapshotErrors
+	v.Truncated += o.Truncated
+	v.RecoveredRecords += o.RecoveredRecords
+	v.RecoveryNanos += o.RecoveryNanos
+	v.TornTails += o.TornTails
+}

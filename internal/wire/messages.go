@@ -75,6 +75,30 @@ func init() {
 	Register(TErrorResp, func() Message { return new(ErrorResp) })
 	Register(TPing, func() Message { return new(Ping) })
 	Register(TPong, func() Message { return new(Pong) })
+
+	// Hot request-path messages are pooled on decode the way encode buffers
+	// already are (see Pool/Recycle in codec.go). Only messages consumed by
+	// server Handle methods qualify: responses are handed to Call waiters,
+	// which retain them, and the client-bound one-way messages (RotSnap,
+	// RotVals) are retained by client ROT state. Each pooled type's Reset
+	// documents which container slices are recycled; everything else a
+	// handler might keep (keys, values, vectors, dependency lists) is
+	// allocated fresh by every decode.
+	Pool(TPutReq)
+	Pool(TRotCoordReq)
+	Pool(TRotFwd)
+	Pool(TRotReadReq)
+	Pool(TRepBatch)
+	Pool(TVVReport)
+	Pool(TGSSBcast)
+	Pool(TLoPutReq)
+	Pool(TLoRotReq)
+	Pool(TOldReadersReq)
+	Pool(TLoRepUpdate)
+	Pool(TDepCheckReq)
+	Pool(TPing)
+	Pool(TCopsRotReq)
+	Pool(TCopsVerReq)
 }
 
 // KV is one read result: a key, the version's value, and the version's
@@ -116,16 +140,22 @@ func encodeStrings(b *Buffer, ss []string) {
 }
 
 func decodeStrings(r *Reader) []string {
+	return decodeStringsInto(nil, r)
+}
+
+// decodeStringsInto appends the decoded strings to dst[:0], reusing its
+// backing array — the capacity-recycling half of message pooling.
+func decodeStringsInto(dst []string, r *Reader) []string {
+	dst = dst[:0]
 	n := r.Uvarint()
 	if n > maxFieldLen {
 		r.fail(ErrTooLarge)
 		return nil
 	}
-	ss := make([]string, 0, n)
 	for i := uint64(0); i < n && r.Err() == nil; i++ {
-		ss = append(ss, r.String())
+		dst = append(dst, r.String())
 	}
-	return ss
+	return dst
 }
 
 //
@@ -152,6 +182,10 @@ func (m *PutReq) Decode(r *Reader) {
 	m.Value = r.Bytes()
 	m.Deps = r.Vec()
 }
+
+// Reset recycles no slices: Value is retained by the store and the
+// replication queue, and Deps may be kept as the new version's vector.
+func (m *PutReq) Reset() { *m = PutReq{} }
 
 // PutResp acknowledges a PUT with the new version's timestamp and the
 // partition's current GSS so the client's causal view stays fresh.
@@ -205,15 +239,22 @@ func (m *RotCoordReq) Decode(r *Reader) {
 	m.Mode = r.U8()
 	m.SeenLocal = r.U64()
 	m.SeenGSS = r.Vec()
+	m.Groups = m.Groups[:0]
 	n := r.Uvarint()
 	if n > maxFieldLen {
 		r.fail(ErrTooLarge)
 		return
 	}
-	m.Groups = make([]ReadGroup, 0, n)
 	for i := uint64(0); i < n && r.Err() == nil; i++ {
 		m.Groups = append(m.Groups, ReadGroup{Part: r.U32(), Keys: decodeStrings(r)})
 	}
+}
+
+// Reset recycles the Groups container (the coordinator forwards the inner
+// key slices only through synchronously encoded Sends).
+func (m *RotCoordReq) Reset() {
+	clear(m.Groups)
+	*m = RotCoordReq{Groups: m.Groups[:0]}
 }
 
 // RotCoordResp returns the chosen snapshot vector (2-round mode).
@@ -251,7 +292,14 @@ func (m *RotFwd) Decode(r *Reader) {
 	m.RotID = r.U64()
 	m.Client = Addr(r.U32())
 	m.SV = r.Vec()
-	m.Keys = decodeStrings(r)
+	m.Keys = decodeStringsInto(m.Keys, r)
+}
+
+// Reset recycles the Keys container (readAt copies the string headers it
+// needs into its reply).
+func (m *RotFwd) Reset() {
+	clear(m.Keys)
+	*m = RotFwd{Keys: m.Keys[:0]}
 }
 
 // RotVals is a partition's direct-to-client answer (1 1/2-round mode).
@@ -303,7 +351,13 @@ func (m *RotReadReq) Encode(b *Buffer) {
 }
 func (m *RotReadReq) Decode(r *Reader) {
 	m.SV = r.Vec()
-	m.Keys = decodeStrings(r)
+	m.Keys = decodeStringsInto(m.Keys, r)
+}
+
+// Reset recycles the Keys container.
+func (m *RotReadReq) Reset() {
+	clear(m.Keys)
+	*m = RotReadReq{Keys: m.Keys[:0]}
 }
 
 // RotReadResp carries the versions read at the requested snapshot.
@@ -354,17 +408,24 @@ func (m *RepBatch) Decode(r *Reader) {
 	m.SrcPart = r.U32()
 	m.Seq = r.U64()
 	m.HighTS = r.U64()
+	m.Ups = m.Ups[:0]
 	n := r.Uvarint()
 	if n > maxFieldLen {
 		r.fail(ErrTooLarge)
 		return
 	}
-	m.Ups = make([]Update, 0, n)
 	for i := uint64(0); i < n && r.Err() == nil; i++ {
 		m.Ups = append(m.Ups, Update{
 			Key: r.String(), Value: r.Bytes(), TS: r.U64(), DV: r.Vec(),
 		})
 	}
+}
+
+// Reset recycles the Ups container — the replication hot path — which the
+// receiver only iterates, copying each update's fields into its store.
+func (m *RepBatch) Reset() {
+	clear(m.Ups)
+	*m = RepBatch{Ups: m.Ups[:0]}
 }
 
 // RepAck acknowledges a RepBatch.
@@ -391,12 +452,19 @@ func (m *VVReport) Decode(r *Reader) {
 	m.VV = r.Vec()
 }
 
+// Reset recycles nothing: the stabilizer retains VV.
+func (m *VVReport) Reset() { *m = VVReport{} }
+
 // GSSBcast distributes the freshly aggregated Global Stable Snapshot.
 type GSSBcast struct{ GSS vclock.Vec }
 
 func (*GSSBcast) Type() uint16       { return TGSSBcast }
 func (m *GSSBcast) Encode(b *Buffer) { b.Vec(m.GSS) }
 func (m *GSSBcast) Decode(r *Reader) { m.GSS = r.Vec() }
+
+// Reset recycles nothing (receivers merge GSS entry-wise, but Vec decode
+// always allocates fresh).
+func (m *GSSBcast) Reset() { *m = GSSBcast{} }
 
 //
 // CC-LO (COPS-SNOW).
@@ -418,16 +486,22 @@ func encodeDeps(b *Buffer, deps []LoDep) {
 }
 
 func decodeDeps(r *Reader) []LoDep {
+	return decodeDepsInto(nil, r)
+}
+
+// decodeDepsInto appends the decoded deps to dst[:0], reusing its backing
+// array.
+func decodeDepsInto(dst []LoDep, r *Reader) []LoDep {
+	dst = dst[:0]
 	n := r.Uvarint()
 	if n > maxFieldLen {
 		r.fail(ErrTooLarge)
 		return nil
 	}
-	deps := make([]LoDep, 0, n)
 	for i := uint64(0); i < n && r.Err() == nil; i++ {
-		deps = append(deps, LoDep{Key: r.String(), TS: r.U64()})
+		dst = append(dst, LoDep{Key: r.String(), TS: r.U64()})
 	}
-	return deps
+	return dst
 }
 
 // Reader identifies a ROT that has read a (possibly by now old) version,
@@ -447,16 +521,22 @@ func encodeReaders(b *Buffer, rs []ReaderEntry) {
 }
 
 func decodeReaders(r *Reader) []ReaderEntry {
+	return decodeReadersInto(nil, r)
+}
+
+// decodeReadersInto appends the decoded entries to dst[:0], reusing its
+// backing array.
+func decodeReadersInto(dst []ReaderEntry, r *Reader) []ReaderEntry {
+	dst = dst[:0]
 	n := r.Uvarint()
 	if n > maxFieldLen {
 		r.fail(ErrTooLarge)
 		return nil
 	}
-	rs := make([]ReaderEntry, 0, n)
 	for i := uint64(0); i < n && r.Err() == nil; i++ {
-		rs = append(rs, ReaderEntry{RotID: r.U64(), T: r.U64()})
+		dst = append(dst, ReaderEntry{RotID: r.U64(), T: r.U64()})
 	}
-	return rs
+	return dst
 }
 
 // LoPutReq installs a new version of Key in CC-LO. Deps carries the
@@ -480,6 +560,10 @@ func (m *LoPutReq) Decode(r *Reader) {
 	m.Deps = decodeDeps(r)
 }
 
+// Reset recycles nothing: Value is retained by the store and Deps rides
+// into the enqueued LoRepUpdate (CC-LO) or the stored version (COPS).
+func (m *LoPutReq) Reset() { *m = LoPutReq{} }
+
 // LoPutResp acknowledges a CC-LO PUT with the new version's timestamp.
 type LoPutResp struct{ TS uint64 }
 
@@ -501,7 +585,14 @@ func (m *LoRotReq) Encode(b *Buffer) {
 }
 func (m *LoRotReq) Decode(r *Reader) {
 	m.RotID = r.U64()
-	m.Keys = decodeStrings(r)
+	m.Keys = decodeStringsInto(m.Keys, r)
+}
+
+// Reset recycles the Keys container (the read path copies string headers
+// into its synchronously encoded response).
+func (m *LoRotReq) Reset() {
+	clear(m.Keys)
+	*m = LoRotReq{Keys: m.Keys[:0]}
 }
 
 // LoRotResp carries CC-LO read results.
@@ -519,7 +610,13 @@ type OldReadersReq struct {
 
 func (*OldReadersReq) Type() uint16       { return TOldReadersReq }
 func (m *OldReadersReq) Encode(b *Buffer) { encodeDeps(b, m.Deps) }
-func (m *OldReadersReq) Decode(r *Reader) { m.Deps = decodeDeps(r) }
+func (m *OldReadersReq) Decode(r *Reader) { m.Deps = decodeDepsInto(m.Deps, r) }
+
+// Reset recycles the Deps container (the readers check only scans it).
+func (m *OldReadersReq) Reset() {
+	clear(m.Deps)
+	*m = OldReadersReq{Deps: m.Deps[:0]}
+}
 
 // OldReadersResp returns the collected old readers. Cumulative counts the
 // entries before the at-most-one-per-client filter so benchmarks can report
@@ -572,7 +669,13 @@ func (m *LoRepUpdate) Decode(r *Reader) {
 	m.Value = r.Bytes()
 	m.TS = r.U64()
 	m.Deps = decodeDeps(r)
-	m.OldReaders = decodeReaders(r)
+	m.OldReaders = decodeReadersInto(m.OldReaders, r)
+}
+
+// Reset recycles the OldReaders container (entries are merged by value);
+// Value and Deps are retained by the receiving store, so they are dropped.
+func (m *LoRepUpdate) Reset() {
+	*m = LoRepUpdate{OldReaders: m.OldReaders[:0]}
 }
 
 // LoRepAck acknowledges a LoRepUpdate.
@@ -599,6 +702,9 @@ func (m *DepCheckReq) Decode(r *Reader) {
 	m.Key = r.String()
 	m.TS = r.U64()
 }
+
+// Reset clears the scalar fields.
+func (m *DepCheckReq) Reset() { *m = DepCheckReq{} }
 
 // DepCheckResp signals the dependency is present.
 type DepCheckResp struct{}
@@ -636,6 +742,9 @@ func (*Ping) Type() uint16       { return TPing }
 func (m *Ping) Encode(b *Buffer) { b.U64(m.Nonce) }
 func (m *Ping) Decode(r *Reader) { m.Nonce = r.U64() }
 
+// Reset clears the nonce.
+func (m *Ping) Reset() { *m = Ping{} }
+
 // Pong answers a Ping.
 type Pong struct{ Nonce uint64 }
 
@@ -660,7 +769,13 @@ type CopsRotReq struct{ Keys []string }
 
 func (*CopsRotReq) Type() uint16       { return TCopsRotReq }
 func (m *CopsRotReq) Encode(b *Buffer) { encodeStrings(b, m.Keys) }
-func (m *CopsRotReq) Decode(r *Reader) { m.Keys = decodeStrings(r) }
+func (m *CopsRotReq) Decode(r *Reader) { m.Keys = decodeStringsInto(m.Keys, r) }
+
+// Reset recycles the Keys container.
+func (m *CopsRotReq) Reset() {
+	clear(m.Keys)
+	*m = CopsRotReq{Keys: m.Keys[:0]}
+}
 
 // CopsRotResp returns the latest versions plus their dependency lists.
 type CopsRotResp struct{ Vals []DepKV }
@@ -706,6 +821,9 @@ func (m *CopsVerReq) Decode(r *Reader) {
 	m.Key = r.String()
 	m.TS = r.U64()
 }
+
+// Reset clears the scalar fields.
+func (m *CopsVerReq) Reset() { *m = CopsVerReq{} }
 
 // CopsVerResp returns the requested version.
 type CopsVerResp struct{ Val KV }

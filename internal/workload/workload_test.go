@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"bytes"
 	"math"
 	"math/rand"
 	"testing"
@@ -164,16 +165,73 @@ func TestGenDeterministic(t *testing.T) {
 	ks := BuildKeySpace(cfg, r)
 	g1 := NewGen(cfg, ks, 42)
 	g2 := NewGen(cfg, ks, 42)
-	for i := 0; i < 100; i++ {
+	for i := 0; i < 10_000; i++ {
 		a, b := g1.Next(), g2.Next()
 		if a.Kind != b.Kind || len(a.Keys) != len(b.Keys) {
-			t.Fatal("same seed diverged")
+			t.Fatalf("same seed diverged at op %d", i)
 		}
 		for j := range a.Keys {
 			if a.Keys[j] != b.Keys[j] {
-				t.Fatal("same seed diverged on keys")
+				t.Fatalf("same seed diverged on keys at op %d", i)
 			}
 		}
+		// Value bytes are part of the stream too (PUT payload mutation).
+		if a.Kind == OpPut && !bytes.Equal(a.Value, b.Value) {
+			t.Fatalf("same seed diverged on value at op %d", i)
+		}
+	}
+}
+
+// TestGenSeedsDiverge is the counterpart: distinct seeds must not replay
+// the same stream (a constant generator would pass the test above).
+func TestGenSeedsDiverge(t *testing.T) {
+	r := ring.New(4)
+	cfg := Default(4, 50)
+	ks := BuildKeySpace(cfg, r)
+	g1 := NewGen(cfg, ks, 1)
+	g2 := NewGen(cfg, ks, 2)
+	for i := 0; i < 1000; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a.Kind != b.Kind {
+			return
+		}
+		for j := range a.Keys {
+			if j < len(b.Keys) && a.Keys[j] != b.Keys[j] {
+				return
+			}
+		}
+	}
+	t.Fatal("seeds 1 and 2 produced identical 1000-op streams")
+}
+
+// TestZipfianHottestKeyGrowsWithTheta pins the skew knob to its effect:
+// the frequency of the single hottest key (rank 0) must grow strictly with
+// theta across the paper's Table 1 settings z ∈ {0, 0.8, 0.99}.
+func TestZipfianHottestKeyGrowsWithTheta(t *testing.T) {
+	const n, draws = 1000, 200_000
+	rank0Freq := func(theta float64) float64 {
+		z := NewZipfian(n, theta)
+		r := rand.New(rand.NewSource(11))
+		hits := 0
+		for i := 0; i < draws; i++ {
+			if z.Next(r) == 0 {
+				hits++
+			}
+		}
+		return float64(hits) / draws
+	}
+	f0, f8, f99 := rank0Freq(0), rank0Freq(0.8), rank0Freq(0.99)
+	if !(f0 < f8 && f8 < f99) {
+		t.Fatalf("hottest-key frequency not monotone in theta: z=0 %.4f, z=0.8 %.4f, z=0.99 %.4f",
+			f0, f8, f99)
+	}
+	// Sanity on the magnitudes: uniform ≈ 1/n; z=0.99 concentrates a few
+	// percent of all draws on the single hottest key.
+	if f0 > 5.0/n {
+		t.Fatalf("uniform hottest-key freq %.4f implausibly high", f0)
+	}
+	if f99 < 10.0/n {
+		t.Fatalf("z=0.99 hottest-key freq %.4f shows no real skew", f99)
 	}
 }
 
