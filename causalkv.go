@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/transport"
+	"repro/internal/wal"
 )
 
 // Protocol selects the consistency protocol a Cluster runs.
@@ -98,6 +99,16 @@ type Options struct {
 	// SnapshotEvery enables periodic WAL snapshots (compaction + sealed
 	// segment truncation) when DataDir is set; 0 disables them.
 	SnapshotEvery time.Duration
+	// WALSync selects the durability acknowledgment contract when DataDir
+	// is set: "sync" (the default: a write is acknowledged only after its
+	// fsync, so acknowledged writes always survive a crash) or "async" (a
+	// write is acknowledged once written to the OS and fsynced within
+	// WALFsyncEvery — faster writes, with up to one window of acknowledged
+	// writes lost on a crash; replication still ships only fsynced writes,
+	// so replicas never diverge).
+	WALSync string
+	// WALFsyncEvery bounds the "async" loss window (0 = default 2ms).
+	WALFsyncEvery time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -142,6 +153,10 @@ func StartCluster(opts Options) (*Cluster, error) {
 		InterDC:    max(opts.InterDCLatency, 0),
 		JitterFrac: 0.1,
 	}
+	mode, err := wal.ParseSyncMode(opts.WALSync)
+	if err != nil {
+		return nil, fmt.Errorf("causalkv: %w", err)
+	}
 	inner, err := cluster.Start(cluster.Config{
 		Protocol:         opts.Protocol.internal(),
 		DCs:              opts.DataCenters,
@@ -150,6 +165,8 @@ func StartCluster(opts Options) (*Cluster, error) {
 		MaxSkew:          opts.MaxClockSkew,
 		DataDir:          opts.DataDir,
 		WALSnapshotEvery: opts.SnapshotEvery,
+		WALSync:          mode,
+		WALFsyncEvery:    opts.WALFsyncEvery,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("causalkv: %w", err)

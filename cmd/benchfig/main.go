@@ -12,6 +12,7 @@
 //	benchfig -fig 9            # Figure 9 (ROT size sweep)
 //	benchfig -fig values       # §5.8 (value size sweep)
 //	benchfig -fig table2       # Table 2 (systems characterization)
+//	benchfig -fig wal          # durability: WAL off vs sync vs async
 //	benchfig -fig all          # everything
 //
 // Scale knobs: -partitions, -keys, -clients, -duration, -warmup, -paper.
@@ -30,7 +31,7 @@ import (
 
 func main() {
 	var (
-		fig        = flag.String("fig", "all", "figure to reproduce: 4,5,6,7a,7b,8,9,values,compare,ablation,table2,all")
+		fig        = flag.String("fig", "all", "figure to reproduce: 4,5,6,7a,7b,8,9,values,compare,ablation,table2,wal,all")
 		partitions = flag.Int("partitions", 8, "partitions per DC")
 		keys       = flag.Int("keys", 20000, "keys per partition")
 		clientsCSV = flag.String("clients", "4,16,64,192", "comma-separated clients/DC sweep")
@@ -118,6 +119,9 @@ func main() {
 	}
 	if want("ablation") {
 		run("clock ablation", func() error { _, err := bench.AblationClockFreshness(o, 30); return err })
+	}
+	if want("wal") {
+		run("wal sync modes", func() error { _, err := bench.FigureWAL(o, ""); return err })
 	}
 }
 

@@ -52,6 +52,9 @@ func main() {
 		dataDir    = flag.String("data-dir", "", "durability root: group-commit every install to a WAL under this directory and recover it on restart (partitions only; empty = in-memory)")
 		snapEvery  = flag.Duration("wal-snapshot-every", time.Minute, "periodic WAL snapshot+truncate interval (with -data-dir; 0 disables)")
 		segBytes   = flag.Int64("wal-segment-bytes", 0, "WAL segment size before rotation (0 = default 64 MiB)")
+		walSync    = flag.String("wal-sync", "sync", "WAL acknowledgment contract: sync (acked ⇒ fsynced) or async (acked ⇒ written; fsync within -wal-fsync-every)")
+		fsyncEvery = flag.Duration("wal-fsync-every", 0, "async mode's bounded loss window (0 = default 2ms)")
+		repFlush   = flag.Duration("rep-flush-every", 0, "replication flush period for the timestamp-based engine (0 = default 2ms; tests stretch it to hold replication back)")
 	)
 	flag.Parse()
 	if *topoPath == "" {
@@ -82,10 +85,16 @@ func main() {
 	var durable wal.Durability
 	var walLog *wal.Log
 	if *dataDir != "" && !*stabilizer {
+		mode, err := wal.ParseSyncMode(*walSync)
+		if err != nil {
+			log.Fatal(err)
+		}
 		l, err := wal.Open(wal.Options{
 			Dir:           filepath.Join(*dataDir, fmt.Sprintf("dc%d-p%d", *dc, *partition)),
 			SegmentBytes:  *segBytes,
 			SnapshotEvery: *snapEvery,
+			Sync:          mode,
+			FsyncEvery:    *fsyncEvery,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -132,8 +141,9 @@ func main() {
 		}
 		s, err := core.NewServer(core.Config{
 			DC: *dc, Part: *partition, NumDCs: topo.DCs, NumParts: topo.Partitions,
-			Clock:   clock,
-			Durable: durable,
+			Clock:         clock,
+			RepFlushEvery: *repFlush,
+			Durable:       durable,
 		}, net)
 		if err != nil {
 			log.Fatal(err)

@@ -35,6 +35,11 @@ type System struct {
 	// write path. Empty (the default, and what every paper figure uses)
 	// keeps the run purely in memory.
 	DataDir string
+	// WALSync selects the WAL acknowledgment contract when DataDir is set:
+	// wal.SyncAlways (acked ⇒ fsynced) or wal.SyncBackground (acked ⇒
+	// written; fsync within the loss window) — the measurable
+	// latency/durability trade-off.
+	WALSync wal.SyncMode
 }
 
 // Label names the system as the paper's figure legends do.
@@ -109,19 +114,23 @@ func transportDelta(a, b transport.StatsView) TransportStats {
 // window. All zero when the run has no data dir (the default), so figure
 // numbers are unaffected by the subsystem's existence.
 type WALStats struct {
+	Mode            string  // "sync" | "async" ("" when no WAL)
 	Appends         uint64  // records made durable in the window
 	Fsyncs          uint64  // fsyncs that retired them
 	AppendsPerFsync float64 // group-commit amortization (>1 under load)
 	BatchPeak       int64   // largest single group commit (whole run)
+	CursorAppends   uint64  // replication cursors persisted in the window
 	RecoveryTime    time.Duration
 }
 
-func walDelta(a, b wal.StatsView) WALStats {
+func walDelta(a, b wal.StatsView, mode string) WALStats {
 	w := WALStats{
-		Appends:      b.Appends - a.Appends,
-		Fsyncs:       b.Fsyncs - a.Fsyncs,
-		BatchPeak:    b.BatchPeak,
-		RecoveryTime: time.Duration(b.RecoveryNanos),
+		Mode:          mode,
+		Appends:       b.Appends - a.Appends,
+		Fsyncs:        b.Fsyncs - a.Fsyncs,
+		BatchPeak:     b.BatchPeak,
+		CursorAppends: b.CursorAppends - a.CursorAppends,
+		RecoveryTime:  time.Duration(b.RecoveryNanos),
 	}
 	if w.Fsyncs > 0 {
 		w.AppendsPerFsync = float64(w.Appends) / float64(w.Fsyncs)
@@ -154,6 +163,7 @@ func Run(sys System, spec RunSpec) (Point, error) {
 		MaxSkew:    sys.MaxSkew,
 		Seed:       1,
 		DataDir:    sys.DataDir,
+		WALSync:    sys.WALSync,
 	}
 	c, err := cluster.Start(cfg)
 	if err != nil {
@@ -256,7 +266,9 @@ func Run(sys System, spec RunSpec) (Point, error) {
 		BytesPerSec:  float64(view1.BytesSent-view0.BytesSent) / window.Seconds(),
 		Lo:           loDelta(loStart, loEnd),
 		Transport:    transportDelta(view0, view1),
-		WAL:          walDelta(wal0, wal1),
+	}
+	if sys.DataDir != "" {
+		p.WAL = walDelta(wal0, wal1, sys.WALSync.String())
 	}
 	if p.Errors > (rot.Count+put.Count)/100+10 {
 		return p, fmt.Errorf("bench: %d operation errors in window (tput %.0f)", p.Errors, p.Throughput)

@@ -3,9 +3,12 @@ package bench
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -313,6 +316,61 @@ func PrintTable2(out io.Writer) {
 		fmt.Fprintf(out, "%-20s %-12s %-14s %-9s %-20s %-18s %-9s\n",
 			r.Name, nb, r.Rounds, r.Versions, r.WriteCostSS, r.Metadata, r.Clock)
 	}
+}
+
+// FigureWAL is the durability extension table: Contrarian with no WAL,
+// with a synchronous WAL (acked ⇒ fsynced), and with the background-fsync
+// WAL (acked ⇒ written; bounded loss window), so the latency price of each
+// durability contract — and the group-commit amortization that pays part
+// of it back — is measurable side by side. dataDir hosts the WALs (a
+// temporary directory; pass "" to let the harness create one).
+func FigureWAL(o Opts, dataDir string) ([]Series, error) {
+	o.printHeader("Durability: WAL off vs sync vs async (Contrarian, 1 DC)")
+	modes := []struct {
+		label string
+		sync  wal.SyncMode
+		wal   bool
+	}{
+		{"no-wal", wal.SyncAlways, false},
+		{"wal-sync", wal.SyncAlways, true},
+		{"wal-async", wal.SyncBackground, true},
+	}
+	var out []Series
+	for _, m := range modes {
+		sys := System{
+			Protocol: cluster.Contrarian, DCs: 1, Partitions: o.Partitions, MaxSkew: o.MaxSkew,
+		}
+		if m.wal {
+			dir := dataDir
+			if dir == "" {
+				tmp, err := os.MkdirTemp("", "benchwal-*")
+				if err != nil {
+					return out, err
+				}
+				defer os.RemoveAll(tmp)
+				dir = tmp
+			}
+			sys.DataDir = filepath.Join(dir, m.label)
+			sys.WALSync = m.sync
+		}
+		s, err := Sweep(sys, o.defaultWorkload(), o.Clients, o.Duration, o.Warmup)
+		if err != nil {
+			return out, err
+		}
+		s.Label = m.label
+		for i := range s.Points {
+			s.Points[i].System = m.label
+		}
+		o.printSeries(s)
+		for _, p := range s.Points {
+			if p.WAL.Appends > 0 {
+				fmt.Fprintf(o.Out, "%-28s %8d   appends/fsync %.1f (peak batch %d, cursors %d)\n",
+					"  └ "+m.label, p.ClientsPerDC, p.WAL.AppendsPerFsync, p.WAL.BatchPeak, p.WAL.CursorAppends)
+			}
+		}
+		out = append(out, s)
+	}
+	return out, nil
 }
 
 // CompareAll is an extension beyond the paper's figures: all five protocol

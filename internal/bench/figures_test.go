@@ -42,6 +42,7 @@ func TestWALDeltaAmortization(t *testing.T) {
 	p := walDelta(
 		walView(100, 90),
 		walView(1300, 390),
+		"sync",
 	)
 	if p.Appends != 1200 || p.Fsyncs != 300 {
 		t.Fatalf("delta: %+v", p)
@@ -49,7 +50,7 @@ func TestWALDeltaAmortization(t *testing.T) {
 	if p.AppendsPerFsync != 4.0 {
 		t.Fatalf("AppendsPerFsync = %v, want 4.0", p.AppendsPerFsync)
 	}
-	if z := walDelta(walView(5, 5), walView(5, 5)); z.AppendsPerFsync != 0 {
+	if z := walDelta(walView(5, 5), walView(5, 5), "async"); z.AppendsPerFsync != 0 {
 		t.Fatalf("idle window AppendsPerFsync = %v, want 0", z.AppendsPerFsync)
 	}
 }

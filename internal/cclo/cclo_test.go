@@ -369,15 +369,31 @@ func TestLWWConvergenceOrder(t *testing.T) {
 
 func TestHasVersion(t *testing.T) {
 	s := newLoStore(0, time.Second)
-	if s.hasVersion("k", 1) {
+	if s.hasVersion("k", 1, 0) {
 		t.Fatal("empty store claims version")
 	}
-	s.install("k", loVersion{ts: 10}, nil, time.Now())
-	if !s.hasVersion("k", 10) || !s.hasVersion("k", 5) {
-		t.Fatal("hasVersion(≤ latest) must hold")
+	s.install("k", loVersion{ts: 10, srcDC: 1}, nil, time.Now())
+	if !s.hasVersion("k", 10, 1) {
+		t.Fatal("exact version must hold")
 	}
-	if s.hasVersion("k", 11) {
+	if s.hasVersion("k", 10, 0) {
+		t.Fatal("same timestamp from another DC is a different version")
+	}
+	if s.hasVersion("k", 5, 1) {
+		t.Fatal("never-installed version must fail (exact check, not ≥)")
+	}
+	if s.hasVersion("k", 11, 1) {
 		t.Fatal("hasVersion above latest must fail")
+	}
+	// A trimmed chain whose oldest retained version is LWW-above the asked
+	// identity proves the version was installed and compacted away.
+	s2 := newLoStore(2, time.Second)
+	now := time.Now()
+	for ts := uint64(1); ts <= 5; ts++ {
+		s2.install("k", loVersion{ts: ts}, nil, now)
+	}
+	if !s2.hasVersion("k", 2, 0) {
+		t.Fatal("trimmed-past version must count as installed")
 	}
 }
 
@@ -393,7 +409,7 @@ func TestReadersMoveOnFullChain(t *testing.T) {
 		s.install("k", loVersion{ts: ts}, nil, now)
 	}
 	// Chain is full (cap 4). A reader reads the latest version...
-	if _, ts, ok := s.read("k", 42, 100, now); !ok || ts != 10 {
+	if _, ts, _, ok := s.read("k", 42, 100, now); !ok || ts != 10 {
 		t.Fatalf("read latest = %d ok=%v", ts, ok)
 	}
 	// ...and a further install must still move it to old readers.

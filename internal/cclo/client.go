@@ -24,8 +24,9 @@ type Client struct {
 	node   transport.Node
 	rotSeq atomic.Uint64
 
-	mu   sync.Mutex
-	deps map[string]uint64 // nearest dependencies: key → version ts
+	mu     sync.Mutex
+	deps   map[string]wire.LoDep // nearest dependencies: key → version identity
+	seenTS uint64                // Lamport high-water mark over everything observed
 }
 
 // ClientConfig parameterizes a CC-LO client session.
@@ -41,7 +42,7 @@ func NewClient(cfg ClientConfig, net transport.Network) (*Client, error) {
 		dc:   cfg.DC,
 		id:   cfg.ID,
 		ring: cfg.Ring,
-		deps: make(map[string]uint64),
+		deps: make(map[string]wire.LoDep),
 	}
 	node, err := net.Attach(wire.ClientAddr(cfg.DC, cfg.ID), transport.HandlerFunc(
 		func(transport.Node, wire.Addr, uint64, wire.Message) {}))
@@ -92,8 +93,8 @@ func (c *Client) depList() []wire.LoDep {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make([]wire.LoDep, 0, len(c.deps))
-	for k, ts := range c.deps {
-		out = append(out, wire.LoDep{Key: k, TS: ts})
+	for _, d := range c.deps {
+		out = append(out, d)
 	}
 	return out
 }
@@ -114,7 +115,8 @@ func (c *Client) Put(ctx context.Context, key string, value []byte) (uint64, err
 	}
 	c.mu.Lock()
 	clear(c.deps)
-	c.deps[key] = pr.TS
+	c.deps[key] = wire.LoDep{Key: key, TS: pr.TS, Src: uint8(c.dc)}
+	c.seenTS = max(c.seenTS, pr.TS)
 	c.mu.Unlock()
 	return pr.TS, nil
 }
@@ -136,6 +138,9 @@ func (c *Client) ROT(ctx context.Context, keys []string) ([]wire.KV, error) {
 	}
 	rotID := uint64(c.Addr())<<32 | (c.rotSeq.Add(1) & 0xFFFFFFFF)
 	groups := c.ring.Group(keys)
+	c.mu.Lock()
+	seen := c.seenTS
+	c.mu.Unlock()
 
 	type result struct {
 		vals []wire.KV
@@ -144,7 +149,7 @@ func (c *Client) ROT(ctx context.Context, keys []string) ([]wire.KV, error) {
 	ch := make(chan result, len(groups))
 	for p, ks := range groups {
 		go func(p int, ks []string) {
-			resp, err := c.node.Call(ctx, wire.ServerAddr(c.dc, p), &wire.LoRotReq{RotID: rotID, Keys: ks})
+			resp, err := c.node.Call(ctx, wire.ServerAddr(c.dc, p), &wire.LoRotReq{RotID: rotID, SeenTS: seen, Keys: ks})
 			if err != nil {
 				ch <- result{err: err}
 				return
@@ -167,12 +172,14 @@ func (c *Client) ROT(ctx context.Context, keys []string) ([]wire.KV, error) {
 			vals[kv.Key] = kv
 		}
 	}
-	// Reads extend the nearest-dependency set.
+	// Reads extend the nearest-dependency set and the session's Lamport
+	// high-water mark.
 	c.mu.Lock()
 	for _, kv := range vals {
-		if kv.TS > 0 && kv.TS > c.deps[kv.Key] {
-			c.deps[kv.Key] = kv.TS
+		if prev, ok := c.deps[kv.Key]; kv.TS > 0 && (!ok || kv.TS > prev.TS || (kv.TS == prev.TS && kv.Src > prev.Src)) {
+			c.deps[kv.Key] = wire.LoDep{Key: kv.Key, TS: kv.TS, Src: kv.Src}
 		}
+		c.seenTS = max(c.seenTS, kv.TS)
 	}
 	c.mu.Unlock()
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -13,39 +14,73 @@ import (
 // checks, not by stream sequencing, so each stream keeps a window of
 // updates in flight. The per-update payload (deps + old readers) is the
 // replication cost Section 5.4 blames for CC-LO's poor multi-DC scaling.
+//
+// Durability: each stream tracks its acknowledged frontier — the highest
+// timestamp below which every update has been acked — with a
+// wal.CursorTracker (acks complete out of order inside the window) and
+// persists it as a replication cursor. A recovering partition re-enqueues
+// its recovered local updates above each stream's cursor, so a crash
+// between the local fsync and remote delivery no longer strands the tail.
+// Window-based streams have no receiver-side sequence cursor, so the
+// persisted Seq simply mirrors HighTS (both frontiers coincide).
 type loReplicator struct {
 	s       *Server
 	streams []*loStream
 }
 
 type loStream struct {
-	s      *Server
-	dst    wire.Addr
-	ch     chan *wire.LoRepUpdate
-	sem    chan struct{}   // window of in-flight updates
-	ctx    context.Context // cancelled on stop so in-flight calls abort
-	cancel context.CancelFunc
-	stop   chan struct{}
-	done   chan struct{}
+	s       *Server
+	dst     wire.Addr
+	dstDC   int
+	seq     uint64
+	backlog []*wire.LoRepUpdate // recovered-but-unacked tail, sent before ch
+	tracker wal.CursorTracker
+	ch      chan *wire.LoRepUpdate
+	sem     chan struct{}   // window of in-flight updates
+	ctx     context.Context // cancelled on stop so in-flight calls abort
+	cancel  context.CancelFunc
+	stop    chan struct{}
+	done    chan struct{}
 }
 
-func newLoReplicator(s *Server) *loReplicator {
+// newLoReplicator builds one stream per remote DC, seeding each with the
+// WAL-recovered local updates (timestamp order) its durable cursor says the
+// DC has not acknowledged. The origin's collected old readers are soft
+// state and not persisted, so re-enqueued updates carry none — the readers
+// they would have protected belonged to ROTs that died with the crash, and
+// the receiver still runs its own DC's readers check.
+func newLoReplicator(s *Server, recovered []*wire.LoRepUpdate) *loReplicator {
+	cursors := make(map[int]wal.Cursor)
+	if s.cfg.Durable != nil {
+		for _, c := range s.cfg.Durable.Cursors() {
+			cursors[int(c.DstDC)] = c
+		}
+	}
 	r := &loReplicator{s: s}
 	for dc := 0; dc < s.cfg.NumDCs; dc++ {
 		if dc == s.cfg.DC {
 			continue
 		}
 		ctx, cancel := context.WithCancel(context.Background())
-		r.streams = append(r.streams, &loStream{
+		st := &loStream{
 			s:      s,
 			dst:    wire.ServerAddr(dc, s.cfg.Part),
+			dstDC:  dc,
 			ch:     make(chan *wire.LoRepUpdate, 8192),
 			sem:    make(chan struct{}, s.cfg.RepWindow),
 			ctx:    ctx,
 			cancel: cancel,
 			stop:   make(chan struct{}),
 			done:   make(chan struct{}),
-		})
+		}
+		for _, u := range recovered {
+			if u.TS > cursors[dc].HighTS {
+				cp := *u
+				st.track(cp.TS)
+				st.backlog = append(st.backlog, &cp)
+			}
+		}
+		r.streams = append(r.streams, st)
 	}
 	return r
 }
@@ -66,57 +101,114 @@ func (r *loReplicator) stopAll() {
 	}
 }
 
+// track registers a local update's timestamp with every stream's
+// ack-frontier tracker. It MUST run before the update's WAL append: the
+// cursor frontier treats unknown timestamps as acknowledged, so a durable
+// update the tracker has not seen could be skipped by the recovery
+// re-enqueue if a crash lands between its fsync and its enqueue. A tracked
+// update whose put then fails merely pins the frontier (stale cursors are
+// safe — recovery re-ships more, receivers dedup).
+func (r *loReplicator) track(ts uint64) {
+	if r.s.cfg.Durable == nil {
+		return
+	}
+	for _, st := range r.streams {
+		st.tracker.Enqueue(ts)
+	}
+}
+
 func (r *loReplicator) enqueue(u *wire.LoRepUpdate) {
 	for _, st := range r.streams {
+		// Per-stream copy: run() stamps Seq, and sharing one update across
+		// streams would race their stamps.
+		cp := *u
 		select {
-		case st.ch <- u:
+		case st.ch <- &cp:
 		case <-st.stop:
 		}
+	}
+}
+
+// track registers ts with the stream's ack-frontier tracker (durable runs
+// only; in-memory streams keep no cursors).
+func (st *loStream) track(ts uint64) {
+	if st.s.cfg.Durable != nil {
+		st.tracker.Enqueue(ts)
 	}
 }
 
 func (st *loStream) run() {
 	defer close(st.done)
-	seq := uint64(0)
+	for _, u := range st.backlog {
+		if !st.launch(u) {
+			return
+		}
+	}
+	st.backlog = nil
 	for {
 		select {
 		case <-st.stop:
 			return
 		case u := <-st.ch:
-			seq++
-			u.Seq = seq
-			select {
-			case st.sem <- struct{}{}:
-			case <-st.stop:
+			if !st.launch(u) {
 				return
 			}
-			go func(u *wire.LoRepUpdate) {
-				defer func() { <-st.sem }()
-				st.deliver(u)
-			}(u)
 		}
 	}
 }
 
-// deliver retries the update until acknowledged or the stream stops.
-// Launch order preserves the property that an update's same-partition
-// dependencies are sent no later than the update itself.
-func (st *loStream) deliver(u *wire.LoRepUpdate) {
+// launch stamps the update's sequence, claims a window slot, and delivers
+// in the background. Launch order preserves the property that an update's
+// same-partition dependencies are sent no later than the update itself.
+func (st *loStream) launch(u *wire.LoRepUpdate) bool {
+	st.seq++
+	u.Seq = st.seq
+	select {
+	case st.sem <- struct{}{}:
+	case <-st.stop:
+		return false
+	}
+	go func(u *wire.LoRepUpdate) {
+		defer func() { <-st.sem }()
+		if st.deliver(u) {
+			st.ackCursor(u.TS)
+		}
+	}(u)
+	return true
+}
+
+// ackCursor folds one acknowledgment into the frontier and persists the
+// cursor when it advanced. Cursor write failures are ignored: a stale
+// cursor only re-ships an acknowledged suffix on recovery, which receivers
+// install idempotently.
+func (st *loStream) ackCursor(ts uint64) {
+	if st.s.cfg.Durable == nil {
+		return
+	}
+	if high, advanced := st.tracker.Ack(ts); advanced {
+		_ = st.s.cfg.Durable.AppendCursor(wal.Cursor{
+			DstDC: uint8(st.dstDC), Seq: high, HighTS: high,
+		})
+	}
+}
+
+// deliver retries the update until acknowledged (true) or the stream stops.
+func (st *loStream) deliver(u *wire.LoRepUpdate) bool {
 	for {
 		ctx, cancel := context.WithTimeout(st.ctx, st.s.cfg.RepRetryTimeout)
 		resp, err := st.s.node.Call(ctx, st.dst, u)
 		cancel()
 		if err == nil {
 			if _, ok := resp.(*wire.LoRepAck); ok {
-				return
+				return true
 			}
 		}
 		if st.ctx.Err() != nil {
-			return
+			return false
 		}
 		select {
 		case <-st.stop:
-			return
+			return false
 		case <-time.After(10 * time.Millisecond):
 		}
 	}

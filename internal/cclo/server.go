@@ -2,6 +2,7 @@ package cclo
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -124,37 +125,71 @@ func NewServer(cfg Config, net transport.Network) (*Server, error) {
 		stop:  make(chan struct{}),
 	}
 	s.installCond = sync.NewCond(&s.installMu)
+	var recovered []*wire.LoRepUpdate
 	if cfg.Durable != nil {
-		if err := s.recover(); err != nil {
+		var err error
+		if recovered, err = s.recover(); err != nil {
 			return nil, err
 		}
 	}
-	node, err := net.Attach(wire.ServerAddr(cfg.DC, cfg.Part), s)
+	// The replicator must exist before the server is reachable: the first
+	// PUT to arrive enqueues into its streams.
+	s.repl = newLoReplicator(s, recovered)
+	// The server is reachable the instant Attach returns, but handlers need
+	// s.node: gate dispatch on construction completing so an early message
+	// cannot observe a half-built server.
+	ready := make(chan struct{})
+	node, err := net.Attach(wire.ServerAddr(cfg.DC, cfg.Part), transport.HandlerFunc(
+		func(n transport.Node, src wire.Addr, reqID uint64, m wire.Message) {
+			<-ready
+			s.Handle(n, src, reqID, m)
+		}))
 	if err != nil {
 		return nil, err
 	}
 	s.node = node
-	s.repl = newLoReplicator(s)
+	close(ready)
 	return s, nil
 }
 
 // recover replays the durable log into the store, advances the Lamport
 // clock past every recovered timestamp (so new writes order above
-// acknowledged ones), and registers the snapshot source.
-func (s *Server) recover() error {
+// acknowledged ones), and registers the snapshot source. It returns the
+// recovered LOCAL updates — dependency lists included, old readers
+// deliberately not (soft state; see newLoReplicator) — in timestamp order
+// for the replicator's re-enqueue.
+func (s *Server) recover() ([]*wire.LoRepUpdate, error) {
 	now := time.Now()
 	var maxTS uint64
+	var local []*wire.LoRepUpdate
 	err := s.cfg.Durable.Replay(func(rec wal.Record) error {
 		s.store.install(rec.Key, loVersion{value: rec.Value, ts: rec.TS, srcDC: rec.SrcDC}, nil, now)
 		maxTS = max(maxTS, rec.TS)
+		if int(rec.SrcDC) == s.cfg.DC {
+			local = append(local, &wire.LoRepUpdate{
+				SrcDC:   rec.SrcDC,
+				SrcPart: uint32(s.cfg.Part),
+				Key:     rec.Key,
+				Value:   rec.Value,
+				TS:      rec.TS,
+				Deps:    rec.Deps,
+			})
+		}
 		return nil
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
+	sort.Slice(local, func(i, j int) bool { return local[i].TS < local[j].TS })
 	if maxTS > 0 {
 		s.clock.Update(maxTS)
 	}
+	// The store keeps no per-version dependency lists, so snapshot-compacted
+	// entries lose their Deps: a local update that is BOTH unacked by some
+	// DC and already folded into a snapshot re-enqueues with an empty list.
+	// Its dependencies have lower timestamps and re-enqueue ahead of it (or
+	// were acked long ago), so the window of weakened ordering is the
+	// re-delivery itself, and replicas still converge.
 	s.cfg.Durable.SetSnapshotSource(func(emit func(wal.Record) error) error {
 		var ferr error
 		s.store.forEachLatest(func(key string, v loVersion) {
@@ -165,7 +200,7 @@ func (s *Server) recover() error {
 		})
 		return ferr
 	})
-	return nil
+	return local, nil
 }
 
 // Addr returns the server's wire address.
@@ -230,13 +265,19 @@ func (s *Server) Handle(n transport.Node, src wire.Addr, reqID uint64, m wire.Me
 // handleRot serves CC-LO's one-round read: latest version, or — for a
 // recorded old reader — the newest version older than its recorded time.
 func (s *Server) handleRot(src wire.Addr, reqID uint64, m *wire.LoRotReq) {
+	// Fold the session's high-water mark into this partition's clock
+	// before assigning read times: per-partition Lamport clocks know
+	// nothing of what a session observed elsewhere, and an old-reader
+	// entry recorded below the session's past would let a later rewind
+	// serve this session versions older than state it already saw.
+	s.clock.Update(m.SeenTS)
 	now := time.Now()
 	vals := make([]wire.KV, len(m.Keys))
 	for i, k := range m.Keys {
 		t := s.clock.Tick()
-		val, ts, ok := s.store.read(k, m.RotID, t, now)
+		val, ts, src, ok := s.store.read(k, m.RotID, t, now)
 		if ok {
-			vals[i] = wire.KV{Key: k, Value: val, TS: ts}
+			vals[i] = wire.KV{Key: k, Value: val, TS: ts, Src: src}
 		} else {
 			vals[i] = wire.KV{Key: k}
 		}
@@ -259,21 +300,30 @@ func (s *Server) handlePut(src wire.Addr, reqID uint64, m *wire.LoPutReq) {
 		high = max(high, d.TS)
 	}
 	ts := s.clock.Update(high)
-	s.install(m.Key, loVersion{value: m.Value, ts: ts, srcDC: uint8(s.cfg.DC)}, collected)
-	// Durability gates both replication and the acknowledgment: a version
-	// the origin could still lose in a crash must never be durably applied
-	// at a remote DC (replica divergence), so the update is enqueued only
-	// after the group-committed fsync. CC-LO replication carries no batch
-	// cut — receivers order installs by dependency checks — so the
-	// reordering is safe.
+	// Register the timestamp with the replication cursor trackers BEFORE
+	// the append: once the record is durable, a crash at any point must
+	// find the cursor frontier still below it, or recovery would not
+	// re-ship it.
+	s.repl.track(ts)
+	// Durability gates VISIBILITY, not just the acknowledgment: the fsync
+	// runs before the install, so no read or dependency check can ever
+	// observe a version a crash could still take back. A dep check passing
+	// on an un-fsynced version would permanently unblock dependents in
+	// other DCs that recovery can never satisfy again. The same order
+	// keeps replication honest (never ship what the origin could lose; the
+	// enqueue-after-durable order also keeps same-partition dependencies
+	// launching no later than their dependents), and the dependency list
+	// is persisted with the install so a crash-recovered re-enqueue still
+	// carries it.
 	if s.cfg.Durable != nil {
-		if err := s.cfg.Durable.Append(wal.Record{
-			Key: m.Key, Value: m.Value, TS: ts, SrcDC: uint8(s.cfg.DC),
-		}); err != nil {
+		if err := wal.AppendAndSync(s.cfg.Durable, []wal.Record{{
+			Key: m.Key, Value: m.Value, TS: ts, SrcDC: uint8(s.cfg.DC), Deps: m.Deps,
+		}}); err != nil {
 			transport.RespondError(s.node, src, reqID, 500, "cclo: wal: "+err.Error())
 			return
 		}
 	}
+	s.install(m.Key, loVersion{value: m.Value, ts: ts, srcDC: uint8(s.cfg.DC)}, collected)
 	s.repl.enqueue(&wire.LoRepUpdate{
 		SrcDC:      uint8(s.cfg.DC),
 		SrcPart:    uint32(s.cfg.Part),
@@ -399,27 +449,35 @@ func (s *Server) handleOldReaders(src wire.Addr, reqID uint64, m *wire.OldReader
 	})
 }
 
-// handleDepCheck blocks until this partition holds a version of Key with
-// timestamp ≥ TS, then responds (COPS dependency checking).
+// handleDepCheck blocks until this partition holds the version of Key at
+// TS, then responds (COPS dependency checking). A shutdown abort answers
+// with an error — never success: the caller would otherwise durably
+// install a dependent whose dependency this partition never had.
 func (s *Server) handleDepCheck(src wire.Addr, reqID uint64, m *wire.DepCheckReq) {
-	s.waitForVersion(m.Key, m.TS)
+	if !s.waitForVersion(m.Key, m.TS, m.Src) {
+		transport.RespondError(s.node, src, reqID, 503, "cclo: dep check aborted: server stopping")
+		return
+	}
 	_ = s.node.Respond(src, reqID, &wire.DepCheckResp{})
 }
 
-func (s *Server) waitForVersion(key string, ts uint64) {
-	if s.store.hasVersion(key, ts) {
-		return
+// waitForVersion blocks until key@ts is installed; false means the server
+// is stopping and the dependency was NOT verified.
+func (s *Server) waitForVersion(key string, ts uint64, src uint8) bool {
+	if s.store.hasVersion(key, ts, src) {
+		return true
 	}
 	s.installMu.Lock()
 	defer s.installMu.Unlock()
-	for !s.store.hasVersion(key, ts) {
+	for !s.store.hasVersion(key, ts, src) {
 		select {
 		case <-s.stop:
-			return
+			return false
 		default:
 		}
 		s.installCond.Wait()
 	}
+	return true
 }
 
 // handleRepUpdate installs a replicated update: dependency check, then a
@@ -427,6 +485,9 @@ func (s *Server) waitForVersion(key string, ts uint64) {
 // geo-replication"; the two checks are the combined protocol).
 func (s *Server) handleRepUpdate(src wire.Addr, reqID uint64, m *wire.LoRepUpdate) {
 	// 1. Dependency check: every dependency must be installed in this DC.
+	// A failed or shutdown-aborted check withholds the install AND the ack
+	// — installing an unverified dependent would be durably wrong, while
+	// the origin simply retries the (idempotent) update later.
 	var wg sync.WaitGroup
 	errCh := make(chan error, len(m.Deps))
 	for _, d := range m.Deps {
@@ -435,7 +496,9 @@ func (s *Server) handleRepUpdate(src wire.Addr, reqID uint64, m *wire.LoRepUpdat
 			wg.Add(1)
 			go func(d wire.LoDep) {
 				defer wg.Done()
-				s.waitForVersion(d.Key, d.TS)
+				if !s.waitForVersion(d.Key, d.TS, d.Src) {
+					errCh <- transport.ErrClosed
+				}
 			}(d)
 			continue
 		}
@@ -444,7 +507,7 @@ func (s *Server) handleRepUpdate(src wire.Addr, reqID uint64, m *wire.LoRepUpdat
 			defer wg.Done()
 			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.CallTimeout)
 			defer cancel()
-			if _, err := s.node.Call(ctx, wire.ServerAddr(s.cfg.DC, p), &wire.DepCheckReq{Key: d.Key, TS: d.TS}); err != nil {
+			if _, err := s.node.Call(ctx, wire.ServerAddr(s.cfg.DC, p), &wire.DepCheckReq{Key: d.Key, TS: d.TS, Src: d.Src}); err != nil {
 				errCh <- err
 			}
 		}(p, d)
@@ -467,19 +530,24 @@ func (s *Server) handleRepUpdate(src wire.Addr, reqID uint64, m *wire.LoRepUpdat
 	for _, r := range m.OldReaders {
 		merge(collected, r.RotID, orEntry{rotID: r.RotID, t: r.T, addedAt: now})
 	}
-	// 3. Install with the origin timestamp; Lamport clocks stay related.
+	// 3. Durability before visibility AND before the ack, waiting for the
+	// real fsync even in background-sync mode: an install visible to reads
+	// or dependency checks before its fsync could be taken back by a
+	// crash after dependents elsewhere already cleared their checks, and
+	// the ack advances the origin's durable cursor, after which this
+	// update is never re-sent. An unacked update is retried (idempotently)
+	// by the origin.
 	s.clock.Update(max(m.TS, maxT))
-	s.install(m.Key, loVersion{value: m.Value, ts: m.TS, srcDC: m.SrcDC}, collected)
-	// 4. Durability before the ack; an unacked update is retried
-	// (idempotently) by the origin.
 	if s.cfg.Durable != nil {
-		if err := s.cfg.Durable.Append(wal.Record{
+		if err := wal.AppendAndSync(s.cfg.Durable, []wal.Record{{
 			Key: m.Key, Value: m.Value, TS: m.TS, SrcDC: m.SrcDC,
-		}); err != nil {
+		}}); err != nil {
 			transport.RespondError(s.node, src, reqID, 500, "cclo: wal: "+err.Error())
 			return
 		}
 	}
+	// 4. Install with the origin timestamp; Lamport clocks stay related.
+	s.install(m.Key, loVersion{value: m.Value, ts: m.TS, srcDC: m.SrcDC}, collected)
 	_ = s.node.Respond(src, reqID, &wire.LoRepAck{Seq: m.Seq})
 }
 

@@ -4,11 +4,19 @@
 // ROTs are one round, one version and nonblocking. The price is paid on
 // writes: every PUT performs the "readers check", interrogating the
 // partition of each causal dependency for the ROTs that read a version of
-// that dependency now superseded ("old readers"), and records them — with
-// the logical time of their reads — in the written key's old-reader record
-// before the new version becomes visible. A read by a recorded old reader
-// is served the newest version older than its recorded time, preserving
-// causally consistent snapshots without coordination on the read path.
+// that dependency now superseded ("old readers"), and marks the written
+// version invisible to each of them before it becomes readable. A read by
+// such a ROT is served the newest version NOT marked invisible to it,
+// preserving causally consistent snapshots without coordination on the
+// read path.
+//
+// Invisibility is tracked per VERSION, not as a per-key time cutoff: a
+// time cutoff either fails to hide a dependent version whose origin
+// timestamp trails the reader's local clock (per-partition Lamport clocks
+// drift apart under geo-replication — the Figure 1 anomaly reappears), or,
+// if clamped, also hides CONCURRENT versions the session may already have
+// observed, breaking read-your-writes and monotonic reads. Marking exactly
+// the dependent versions hides exactly what causality requires.
 //
 // The implementation includes the two optimizations the paper applied to
 // its CC-LO code base (§5.2): reader entries are garbage-collected 500 ms
@@ -25,11 +33,14 @@ import (
 )
 
 // loVersion is one version of a key under CC-LO: Lamport timestamp plus
-// source DC for last-writer-wins convergence.
+// source DC for last-writer-wins convergence, plus the set of ROTs this
+// version is invisible to (they read one of its causal dependencies too
+// early; nil when no readers check collected anyone).
 type loVersion struct {
-	value []byte
-	ts    uint64
-	srcDC uint8
+	value     []byte
+	ts        uint64
+	srcDC     uint8
+	invisible map[uint64]orEntry
 }
 
 func (v *loVersion) before(o *loVersion) bool {
@@ -40,10 +51,12 @@ func (v *loVersion) before(o *loVersion) bool {
 }
 
 // orEntry is one old reader of a key: the ROT id, the logical time of its
-// read, and when the entry was created (for GC).
+// read, the timestamp of the version it was served (what "old" is judged
+// against), and when the entry was created (for GC).
 type orEntry struct {
 	rotID   uint64
 	t       uint64
+	vts     uint64
 	addedAt time.Time
 }
 
@@ -57,12 +70,9 @@ type loKey struct {
 	readers map[uint64]orEntry
 
 	// oldReaders holds ROTs known to have read superseded versions; it is
-	// what a readers check on this key returns.
+	// what a readers check on this key returns (filtered by the version
+	// each actually read).
 	oldReaders map[uint64]orEntry
-
-	// orRecord is the old-reader record consulted when serving reads of
-	// this key: ROT id → the logical time before which the ROT must read.
-	orRecord map[uint64]orEntry
 }
 
 const loShards = 64
@@ -115,47 +125,77 @@ func (s *loStore) expired(e orEntry, now time.Time) bool {
 	return now.Sub(e.addedAt) > s.gcWindow
 }
 
-// read serves a ROT read of key: the latest version, unless rotID is in the
-// key's old-reader record, in which case the newest version older than the
-// recorded time. It records rotID as a reader of the version it was served
-// at logical time t. ok is false if the key does not exist.
-func (s *loStore) read(key string, rotID uint64, t uint64, now time.Time) (val []byte, ts uint64, ok bool) {
+// read serves a ROT read of key: the newest version not marked invisible
+// to rotID. It records rotID as a reader of the version it was served at
+// logical time t. ok is false if the key does not exist.
+func (s *loStore) read(key string, rotID uint64, t uint64, now time.Time) (val []byte, ts uint64, src uint8, ok bool) {
 	sh := s.shard(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	lk := sh.m[key]
 	if lk == nil || len(lk.versions) == 0 {
-		return nil, 0, false
-	}
-	if rec, isOld := lk.orRecord[rotID]; isOld {
-		if s.expired(rec, now) {
-			delete(lk.orRecord, rotID)
-		} else {
-			// Serve the newest version with ts < rec.t.
-			for i := len(lk.versions) - 1; i >= 0; i-- {
-				if lk.versions[i].ts < rec.t {
-					return lk.versions[i].value, lk.versions[i].ts, true
-				}
-			}
-			// All retained versions are too new (trimmed chain); fall back
-			// to the oldest retained one.
-			s.approxReads.Add(1)
-			return lk.versions[0].value, lk.versions[0].ts, true
+		// Record the negative read. "No version" is an observation too:
+		// when the key's first version arrives, this ROT must surface as
+		// its old reader (vts 0), or a write depending on that version
+		// could become readable next to this ROT's "not found" — the
+		// Figure 1 anomaly with a missing key in the role of the stale
+		// permissions.
+		if lk == nil {
+			lk = &loKey{}
+			sh.m[key] = lk
 		}
+		if lk.readers == nil {
+			lk.readers = make(map[uint64]orEntry)
+		}
+		// Keys that are only ever probed have no install or readers check
+		// to GC their entries, so sweep here once the map grows; what
+		// remains is bounded by the probe rate times the GC window.
+		if len(lk.readers) >= 128 {
+			gcSweep(lk.readers, s.gcWindow, now)
+		}
+		lk.readers[rotID] = orEntry{rotID: rotID, t: t, vts: 0, addedAt: now}
+		return nil, 0, 0, false
 	}
-	v := &lk.versions[len(lk.versions)-1]
-	if lk.readers == nil {
-		lk.readers = make(map[uint64]orEntry)
+	for i := len(lk.versions) - 1; i >= 0; i-- {
+		v := &lk.versions[i]
+		if e, hidden := v.invisible[rotID]; hidden {
+			if !s.expired(e, now) {
+				continue
+			}
+			delete(v.invisible, rotID)
+		}
+		if i == len(lk.versions)-1 {
+			// Served the latest: record the read so a future write that
+			// supersedes it can find this ROT among its old readers.
+			if lk.readers == nil {
+				lk.readers = make(map[uint64]orEntry)
+			}
+			lk.readers[rotID] = orEntry{rotID: rotID, t: t, vts: v.ts, addedAt: now}
+		}
+		return v.value, v.ts, v.srcDC, true
 	}
-	lk.readers[rotID] = orEntry{rotID: rotID, t: t, addedAt: now}
-	return v.value, v.ts, true
+	// Every retained version is invisible (trimmed chain); fall back to the
+	// oldest retained one.
+	s.approxReads.Add(1)
+	return lk.versions[0].value, lk.versions[0].ts, lk.versions[0].srcDC, true
 }
 
 // collectOldReaders returns the old readers of key relevant to a dependency
-// on version depTS: every recorded old reader, plus — when the latest
-// retained version is itself older than depTS (it has not arrived here
-// yet) — the current readers, since they too read a version older than
-// depTS. Expired entries are dropped. The result maps ROT id → entry.
+// on version depTS — every ROT whose served version of this key trails
+// depTS, i.e. every ROT that would be inconsistent if it now saw a version
+// depending on key@depTS. Three sources, all filtered precisely (an
+// over-collected ROT would be hidden from versions it may legitimately
+// have observed, breaking its session guarantees):
+//
+//   - oldReaders: ROTs that read a since-superseded latest; collected when
+//     the version they read (vts) trails depTS.
+//   - readers: ROTs on the current latest; collected only when the latest
+//     itself trails depTS (the dependency has not replicated here yet).
+//   - invisibility marks: a ROT hidden from every retained version at or
+//     above depTS was served something older — the transitive propagation
+//     that keeps a rewound ROT visible to later dependent writes.
+//
+// Expired entries are dropped. The result maps ROT id → entry.
 func (s *loStore) collectOldReaders(key string, depTS uint64, now time.Time, out map[uint64]orEntry) (scanned int) {
 	sh := s.shard(key)
 	sh.mu.Lock()
@@ -167,16 +207,9 @@ func (s *loStore) collectOldReaders(key string, depTS uint64, now time.Time, out
 	gcSweep(lk.oldReaders, s.gcWindow, now)
 	for id, e := range lk.oldReaders {
 		scanned++
-		merge(out, id, e)
-	}
-	// Entries in this key's own old-reader record are old readers too: an
-	// entry (R, t) constrains R to read a version older than t, so R will
-	// miss the dependency's version as well. Without this, a ROT that was
-	// served an old version would be invisible to later dependent writes.
-	gcSweep(lk.orRecord, s.gcWindow, now)
-	for id, e := range lk.orRecord {
-		scanned++
-		merge(out, id, e)
+		if e.vts < depTS {
+			merge(out, id, e)
+		}
 	}
 	latestTS := uint64(0)
 	if len(lk.versions) > 0 {
@@ -185,6 +218,28 @@ func (s *loStore) collectOldReaders(key string, depTS uint64, now time.Time, out
 	if latestTS < depTS {
 		gcSweep(lk.readers, s.gcWindow, now)
 		for id, e := range lk.readers {
+			scanned++
+			merge(out, id, e)
+		}
+	}
+	// Invisibility-derived old readers: every ROT marked on ANY version of
+	// this key missed something in that version's causal past, so it is
+	// conservatively treated as an old reader of the dependency too. The
+	// conservatism is what keeps transitive propagation unbroken — a
+	// concurrent newer version can mask a ROT's miss timestamp-wise
+	// without covering the missed version's causal past on OTHER keys —
+	// and it is session-safe: marks only ever exist on versions installed
+	// during the marked ROT's own lifetime, so the extra hiding can never
+	// take back state its session observed before. Chains are bounded by
+	// maxVersions and marks are GC-swept, so this walk is small — and it
+	// is write-path cost, which is exactly where CC-LO pays (§3).
+	for i := range lk.versions {
+		inv := lk.versions[i].invisible
+		for id, e := range inv {
+			if s.expired(e, now) {
+				delete(inv, id)
+				continue
+			}
 			scanned++
 			merge(out, id, e)
 		}
@@ -208,9 +263,9 @@ func gcSweep(m map[uint64]orEntry, window time.Duration, now time.Time) {
 }
 
 // install inserts a version of key, moves the key's current readers to its
-// old readers, and merges the collected old readers of the PUT's
-// dependencies into the key's old-reader record. It returns true if the
-// version is now the latest.
+// old readers, and marks the version invisible to the collected old
+// readers of the PUT's dependencies. It returns true if the version is now
+// the latest.
 func (s *loStore) install(key string, v loVersion, collected map[uint64]orEntry, now time.Time) bool {
 	sh := s.shard(key)
 	sh.mu.Lock()
@@ -225,8 +280,29 @@ func (s *loStore) install(key string, v loVersion, collected map[uint64]orEntry,
 		i--
 	}
 	dup := i > 0 && lk.versions[i-1].ts == v.ts && lk.versions[i-1].srcDC == v.srcDC
+	if dup && len(collected) > 0 {
+		// A re-delivered update (lost ack, or a retry against a recovered
+		// replica) arrives with freshly collected old readers; the marks
+		// must land on the existing version or the retry's readers check
+		// was for nothing and a rewound ROT could see the version anyway.
+		ex := &lk.versions[i-1]
+		if ex.invisible == nil {
+			ex.invisible = make(map[uint64]orEntry, len(collected))
+		}
+		for id, e := range collected {
+			e.addedAt = now
+			merge(ex.invisible, id, e)
+		}
+	}
 	newest := false
 	if !dup {
+		if len(collected) > 0 {
+			v.invisible = make(map[uint64]orEntry, len(collected))
+			for id, e := range collected {
+				e.addedAt = now
+				v.invisible[id] = e
+			}
+		}
 		lk.versions = append(lk.versions, loVersion{})
 		copy(lk.versions[i+1:], lk.versions[i:])
 		lk.versions[i] = v
@@ -251,15 +327,6 @@ func (s *loStore) install(key string, v loVersion, collected map[uint64]orEntry,
 		}
 		clear(lk.readers)
 	}
-	if len(collected) > 0 {
-		if lk.orRecord == nil {
-			lk.orRecord = make(map[uint64]orEntry, len(collected))
-		}
-		for id, e := range collected {
-			e.addedAt = now
-			merge(lk.orRecord, id, e)
-		}
-	}
 	return newest
 }
 
@@ -275,11 +342,35 @@ func (s *loStore) latest(key string) (loVersion, bool) {
 	return lk.versions[len(lk.versions)-1], true
 }
 
-// hasVersion reports whether key has a version with timestamp ≥ ts
-// (dependency-check predicate).
-func (s *loStore) hasVersion(key string, ts uint64) bool {
-	v, ok := s.latest(key)
-	return ok && v.ts >= ts
+// hasVersion reports whether the version of key identified by (ts, src)
+// has been installed here (dependency-check predicate). The check is
+// EXACT, not "any newer version": a newer CONCURRENT version can satisfy a
+// ≥ check while being invisible to some rewound ROT, which would let a
+// dependent update become readable before the one version that ROT could
+// consistently be served has arrived — and a same-timestamp version from a
+// DIFFERENT DC is a different version entirely (Lamport timestamps collide
+// across DCs). A chain whose oldest retained version is already LWW-above
+// (ts, src) proves the version was installed and trimmed.
+func (s *loStore) hasVersion(key string, ts uint64, src uint8) bool {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	lk := sh.m[key]
+	if lk == nil || len(lk.versions) == 0 {
+		return false
+	}
+	want := loVersion{ts: ts, srcDC: src}
+	if len(lk.versions) >= s.maxVersions && want.before(&lk.versions[0]) {
+		// Only a chain at capacity can have trimmed the asked version; on a
+		// shorter chain "LWW-below the oldest" just means never installed.
+		return true
+	}
+	for i := len(lk.versions) - 1; i >= 0 && lk.versions[i].ts >= ts; i-- {
+		if lk.versions[i].ts == ts && lk.versions[i].srcDC == src {
+			return true
+		}
+	}
+	return false
 }
 
 // forEachLatest visits every key's newest version (tests, convergence).

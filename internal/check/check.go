@@ -1,0 +1,207 @@
+// Package check is a black-box causal-consistency checker: it records the
+// history of puts and reads each client session performs against a store
+// and flags session-guarantee violations online — read-your-writes,
+// monotonic reads, and writes-follow-reads — plus the read-only-transaction
+// snapshot property (the paper's Figure 1 anomaly: a ROT returning a
+// version together with a state older than that version's causal past).
+//
+// The checker identifies versions by VALUE, so drivers must write a unique
+// value per put (e.g. "c<client>-<n>"). Each recorded version carries a
+// snapshot of its writer's observed frontier — for every key, the newest
+// (timestamp, value) in the writer's causal past at write time. Because
+// every read folds the read version's frontier into the reader's own, each
+// recorded frontier transitively dominates the version's entire causal
+// past, which is what makes the online check sound: a read that returns a
+// timestamp below the reader's frontier for that key has provably observed
+// a state excluded by causality.
+//
+// The checker deliberately tolerates indeterminate operations: a put whose
+// acknowledgment was lost to a crash may surface later as an unknown value.
+// Unknown values still participate in the timestamp checks but contribute
+// no dependencies (their causal past is unknowable), so fault-injection
+// workloads never produce false positives.
+package check
+
+import (
+	"fmt"
+	"sync"
+)
+
+// entry is one frontier cell: the newest observation of a key.
+type entry struct {
+	ts  uint64
+	val string
+}
+
+// versionMeta is one recorded version: its key, timestamp, and the
+// writer's frontier at write time (the version's causal past).
+type versionMeta struct {
+	key  string
+	ts   uint64
+	deps map[string]entry
+}
+
+// History records and checks one workload's operations. All methods are
+// safe for concurrent use by many Clients.
+type History struct {
+	mu         sync.Mutex
+	versions   map[string]*versionMeta
+	violations []error
+	puts       uint64
+	reads      uint64
+}
+
+// New returns an empty history.
+func New() *History {
+	return &History{versions: make(map[string]*versionMeta)}
+}
+
+// Client opens a session recorder. One Client per protocol session; a
+// Client's methods must not be called concurrently with each other (the
+// session model is a single closed-loop client).
+func (h *History) Client(name string) *Client {
+	return &Client{h: h, name: name, frontier: make(map[string]entry)}
+}
+
+// Err returns the first recorded violation, or nil.
+func (h *History) Err() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.violations) == 0 {
+		return nil
+	}
+	return h.violations[0]
+}
+
+// Violations returns every recorded violation.
+func (h *History) Violations() []error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]error(nil), h.violations...)
+}
+
+// Ops returns the number of recorded puts and reads (tests assert the
+// workload actually exercised the checker).
+func (h *History) Ops() (puts, reads uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.puts, h.reads
+}
+
+func (h *History) violatef(format string, args ...any) {
+	h.violations = append(h.violations, fmt.Errorf(format, args...))
+}
+
+// Read is one ROT result handed to the checker: the key, the returned
+// value ("" when the key was missing from the snapshot), and its
+// timestamp.
+type Read struct {
+	Key string
+	Val string
+	TS  uint64
+}
+
+// Client records one session's operations.
+type Client struct {
+	h        *History
+	name     string
+	frontier map[string]entry
+}
+
+// Put records an acknowledged write of val (globally unique) to key at ts.
+// Call it only for acknowledged puts; an indeterminate put (error, crash)
+// must NOT be recorded — if it landed anyway, its value is simply an
+// unknown version to later readers.
+func (c *Client) Put(key, val string, ts uint64) {
+	h := c.h
+	h.mu.Lock()
+	h.puts++
+	if prev, ok := c.frontier[key]; ok && ts <= prev.ts {
+		h.violatef("check: %s: put %s=%s got ts %d ≤ previously observed %d (%s): own write ordered below observed state",
+			c.name, key, val, ts, prev.ts, prev.val)
+	}
+	deps := make(map[string]entry, len(c.frontier))
+	for k, e := range c.frontier {
+		deps[k] = e
+	}
+	if _, dup := h.versions[val]; dup {
+		h.violatef("check: %s: duplicate value %q; values must be globally unique", c.name, val)
+	}
+	h.versions[val] = &versionMeta{key: key, ts: ts, deps: deps}
+	h.mu.Unlock()
+	c.observe(key, ts, val)
+}
+
+// Get records a single-key read; equivalent to a one-item ReadTx.
+func (c *Client) Get(key, val string, ts uint64) {
+	c.ReadTx([]Read{{Key: key, Val: val, TS: ts}})
+}
+
+// ReadTx records the results of one read-only transaction: every item was
+// returned from one causally consistent snapshot. It checks each item
+// against the session frontier (read-your-writes, monotonic reads,
+// writes-follow-reads — the frontier embeds all three) and the items
+// against each other (the snapshot property), then advances the frontier.
+func (c *Client) ReadTx(reads []Read) {
+	h := c.h
+	h.mu.Lock()
+	h.reads += uint64(len(reads))
+	inTx := make(map[string]Read, len(reads))
+	for _, r := range reads {
+		inTx[r.Key] = r
+	}
+	for _, r := range reads {
+		prev, seen := c.frontier[r.Key]
+		if r.Val == "" {
+			if seen {
+				h.violatef("check: %s: read %s=∅ after observing %s@%d: version vanished",
+					c.name, r.Key, prev.val, prev.ts)
+			}
+			continue
+		}
+		if seen && r.TS < prev.ts {
+			h.violatef("check: %s: read %s=%s@%d below session frontier %s@%d",
+				c.name, r.Key, r.Val, r.TS, prev.val, prev.ts)
+		}
+		// Snapshot property: every dependency of a returned version that
+		// falls on another key in this ROT must be covered by that key's
+		// returned version (Figure 1's album/permissions anomaly).
+		if meta := h.versions[r.Val]; meta != nil {
+			for dk, de := range meta.deps {
+				if other, ok := inTx[dk]; ok && other.TS < de.ts {
+					h.violatef("check: %s: ROT returned %s=%s@%d which depends on %s=%s@%d, but the same ROT returned %s=%s@%d",
+						c.name, r.Key, r.Val, r.TS, dk, de.val, de.ts, dk, other.Val, other.TS)
+				}
+			}
+		}
+	}
+	// Merge only after every item was checked against the pre-ROT state:
+	// a ROT is one snapshot, not a sequence.
+	metas := make([]*versionMeta, 0, len(reads))
+	for _, r := range reads {
+		if r.Val == "" {
+			continue
+		}
+		if meta := h.versions[r.Val]; meta != nil {
+			metas = append(metas, meta)
+		}
+	}
+	h.mu.Unlock()
+	for _, r := range reads {
+		if r.Val != "" {
+			c.observe(r.Key, r.TS, r.Val)
+		}
+	}
+	for _, meta := range metas {
+		for dk, de := range meta.deps {
+			c.observe(dk, de.ts, de.val)
+		}
+	}
+}
+
+// observe advances the session frontier for key to at least (ts, val).
+func (c *Client) observe(key string, ts uint64, val string) {
+	if prev, ok := c.frontier[key]; !ok || ts > prev.ts {
+		c.frontier[key] = entry{ts: ts, val: val}
+	}
+}

@@ -1,0 +1,106 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLegalHistoryAccepted(t *testing.T) {
+	h := New()
+	c1 := h.Client("c1")
+	c2 := h.Client("c2")
+
+	c1.Put("x", "x1", 1)
+	c1.Put("y", "y1", 2) // depends on x1 through c1's session
+	c1.Get("x", "x1", 1) // read-your-writes
+	c2.ReadTx([]Read{{Key: "x", Val: "x1", TS: 1}, {Key: "y", Val: "y1", TS: 2}})
+	c2.Get("x", "x1", 1) // monotonic: same version again is fine
+	c2.Put("x", "x2", 3)
+	c1.Get("x", "x2", 3) // newer version is always fine
+	if err := h.Err(); err != nil {
+		t.Fatalf("legal history flagged: %v", err)
+	}
+	if p, r := h.Ops(); p != 3 || r == 0 {
+		t.Fatalf("ops miscounted: %d puts, %d reads", p, r)
+	}
+}
+
+func TestReadYourWritesViolation(t *testing.T) {
+	h := New()
+	c := h.Client("c")
+	c.Put("x", "x5", 5)
+	c.Get("x", "x3", 3) // older than own write
+	if err := h.Err(); err == nil || !strings.Contains(err.Error(), "below session frontier") {
+		t.Fatalf("RYW violation not flagged: %v", err)
+	}
+}
+
+func TestMonotonicReadsViolationUnknownVersions(t *testing.T) {
+	h := New()
+	c := h.Client("c")
+	// Both versions are unknown (e.g. written by a client whose ack was
+	// lost to a crash); the timestamp order alone must still be enforced.
+	c.Get("x", "v5", 5)
+	c.Get("x", "v3", 3)
+	if err := h.Err(); err == nil {
+		t.Fatal("monotonic-reads violation not flagged")
+	}
+}
+
+func TestVanishedVersionViolation(t *testing.T) {
+	h := New()
+	c := h.Client("c")
+	c.Put("x", "x1", 7)
+	c.Get("x", "", 0) // acked write gone
+	if err := h.Err(); err == nil || !strings.Contains(err.Error(), "vanished") {
+		t.Fatalf("vanished version not flagged: %v", err)
+	}
+}
+
+func TestWritesFollowReadsViolation(t *testing.T) {
+	h := New()
+	w := h.Client("w")
+	r := h.Client("r")
+	w.Put("x", "x1", 1)
+	w.Put("y", "y1", 2) // y1's recorded deps include x@1
+	r.Get("y", "y1", 2) // r inherits x@1 into its frontier
+	r.Get("x", "", 0)   // ...so x may no longer be missing
+	if err := h.Err(); err == nil {
+		t.Fatal("writes-follow-reads violation not flagged")
+	}
+
+	h2 := New()
+	w2 := h2.Client("w")
+	r2 := h2.Client("r")
+	w2.Put("x", "x1", 1)
+	w2.Put("y", "y1", 2)
+	r2.Get("y", "y1", 2)
+	r2.Get("x", "x1", 1) // exactly the causal past: fine
+	if err := h2.Err(); err != nil {
+		t.Fatalf("legal WFR history flagged: %v", err)
+	}
+}
+
+func TestROTSnapshotViolation(t *testing.T) {
+	h := New()
+	w := h.Client("w")
+	r := h.Client("r")
+	w.Put("x", "x1", 1)
+	w.Put("y", "y1", 2)
+	// Figure 1: the ROT returns y1 (which causally depends on x@1) next to
+	// a pre-x1 state of x.
+	r.ReadTx([]Read{{Key: "x", Val: "", TS: 0}, {Key: "y", Val: "y1", TS: 2}})
+	if err := h.Err(); err == nil || !strings.Contains(err.Error(), "ROT returned") {
+		t.Fatalf("snapshot violation not flagged: %v", err)
+	}
+}
+
+func TestOwnWriteBelowObservedViolation(t *testing.T) {
+	h := New()
+	c := h.Client("c")
+	c.Get("x", "v9", 9)
+	c.Put("x", "mine", 4) // store ordered the own write below observed state
+	if err := h.Err(); err == nil || !strings.Contains(err.Error(), "own write") {
+		t.Fatalf("own-write ordering violation not flagged: %v", err)
+	}
+}

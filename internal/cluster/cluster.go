@@ -104,6 +104,17 @@ type Config struct {
 	// WALSegmentBytes overrides the WAL segment size (tests force small
 	// segments to exercise rotation); 0 uses the wal default.
 	WALSegmentBytes int64
+	// WALSync selects the WAL acknowledgment contract: wal.SyncAlways
+	// (default; acked ⇒ fsynced) or wal.SyncBackground (acked ⇒ written,
+	// fsynced within WALFsyncEvery — the bounded loss window).
+	WALSync wal.SyncMode
+	// WALFsyncEvery bounds the SyncBackground loss window (0 = wal
+	// default).
+	WALFsyncEvery time.Duration
+	// RepFlushEvery overrides the timestamp-based engine's replication
+	// flush period (fault tests stretch it to hold replication back while
+	// they crash the origin); 0 uses the core default.
+	RepFlushEvery time.Duration
 }
 
 // NoLatency is a latency model for correctness tests: messages still pay
@@ -218,6 +229,8 @@ func (c *Cluster) openLog(dc, p int) (*wal.Log, error) {
 		Dir:           filepath.Join(c.cfg.DataDir, fmt.Sprintf("dc%d-p%d", dc, p)),
 		SegmentBytes:  c.cfg.WALSegmentBytes,
 		SnapshotEvery: c.cfg.WALSnapshotEvery,
+		Sync:          c.cfg.WALSync,
+		FsyncEvery:    c.cfg.WALFsyncEvery,
 	})
 }
 
@@ -273,6 +286,7 @@ func (c *Cluster) startServer(dc, p int) error {
 			Clock:          clock,
 			Skew:           c.skews[idx],
 			StabilizeEvery: c.cfg.StabilizeEvery,
+			RepFlushEvery:  c.cfg.RepFlushEvery,
 			MaxVersions:    c.cfg.MaxVersions,
 			Durable:        durable,
 		}, c.net)
@@ -338,6 +352,54 @@ func (c *Cluster) RestartPartition(dc, p int) error {
 	}
 	return nil
 }
+
+// CrashPartition hard-kills the (dc,p) partition: the WAL is crashed first
+// — discarding every byte the last fsync did not cover, exactly as a power
+// cut discards the kernel page cache — and the server is then torn down,
+// failing whatever was in flight. The partition stays down (its address
+// unreachable) until RestartPartition brings it back over the same data
+// directory. Together they are the in-process kill -9.
+func (c *Cluster) CrashPartition(dc, p int) error {
+	if c.cfg.DataDir == "" {
+		return fmt.Errorf("cluster: CrashPartition requires DataDir")
+	}
+	if dc < 0 || dc >= c.cfg.DCs || p < 0 || p >= c.cfg.Partitions {
+		return fmt.Errorf("cluster: no such partition dc%d/p%d", dc, p)
+	}
+	idx := dc*c.cfg.Partitions + p
+	if l := c.logs[idx]; l != nil {
+		if err := l.Crash(); err != nil {
+			return err
+		}
+	}
+	c.stopServer(idx)
+	return nil
+}
+
+// WALViewOf returns the (dc,p) partition's own WAL counters (fault tests
+// assert per-side effects — e.g. that a recovered tail reached the remote
+// WAL exactly once), or the zero view when durability is off.
+func (c *Cluster) WALViewOf(dc, p int) wal.StatsView {
+	idx := dc*c.cfg.Partitions + p
+	if idx < 0 || idx >= len(c.logs) || c.logs[idx] == nil {
+		return wal.StatsView{}
+	}
+	return c.logs[idx].Stats().View()
+}
+
+// WALCursors returns the (dc,p) partition's durable replication cursor
+// table (nil when durability is off).
+func (c *Cluster) WALCursors(dc, p int) []wal.Cursor {
+	idx := dc*c.cfg.Partitions + p
+	if idx < 0 || idx >= len(c.logs) || c.logs[idx] == nil {
+		return nil
+	}
+	return c.logs[idx].Cursors()
+}
+
+// SetInterDCLoss adjusts the simulated WAN loss at runtime (fault tests
+// sever and heal cross-DC links around crashes).
+func (c *Cluster) SetInterDCLoss(frac float64) { c.net.SetInterDCLoss(frac) }
 
 // WALDir returns the (dc,p) partition's WAL directory (fault tests corrupt
 // segment tails there), or "" when durability is off.

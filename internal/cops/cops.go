@@ -20,6 +20,7 @@ import (
 	"context"
 	"fmt"
 	"hash/maphash"
+	"sort"
 	"sync"
 	"time"
 
@@ -151,19 +152,20 @@ func (s *store) latest(key string) (version, bool) {
 	return chain[len(chain)-1], true
 }
 
-// at returns the version of key with timestamp ts; if it was trimmed, the
-// oldest retained version with ts' ≥ ts stands in.
-func (s *store) at(key string, ts uint64) (version, bool) {
+// at returns the version of key identified by (ts, src); if it was
+// trimmed, the oldest retained version above it stands in.
+func (s *store) at(key string, ts uint64, src uint8) (version, bool) {
 	sh := s.shard(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	chain := sh.m[key]
+	want := version{ts: ts, srcDC: src}
 	for i := len(chain) - 1; i >= 0; i-- {
-		if chain[i].ts == ts {
+		if chain[i].ts == ts && chain[i].srcDC == src {
 			return chain[i], true
 		}
-		if chain[i].ts < ts {
-			// Exact version gone (trimmed); the next retained one above ts
+		if chain[i].before(&want) {
+			// Exact version gone (trimmed); the next retained one above it
 			// is the closest safe answer.
 			if i+1 < len(chain) {
 				return chain[i+1], true
@@ -177,9 +179,32 @@ func (s *store) at(key string, ts uint64) (version, bool) {
 	return version{}, false
 }
 
-func (s *store) hasVersion(key string, ts uint64) bool {
-	v, ok := s.latest(key)
-	return ok && v.ts >= ts
+// hasVersion reports whether the version of key identified by (ts, src) is
+// installed (dependency-check predicate). Exact identity, not "any newer
+// timestamp": Lamport timestamps collide across DCs, and a same-timestamp
+// version from another DC satisfying the check would break the causal
+// install order. A chain whose oldest retained version is LWW-above the
+// identity proves it was installed and trimmed.
+func (s *store) hasVersion(key string, ts uint64, src uint8) bool {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	chain := sh.m[key]
+	if len(chain) == 0 {
+		return false
+	}
+	want := version{ts: ts, srcDC: src}
+	if len(chain) >= s.maxVersions && want.before(&chain[0]) {
+		// Only a chain at capacity can have trimmed the asked version; on a
+		// shorter chain "LWW-below the oldest" just means never installed.
+		return true
+	}
+	for i := len(chain) - 1; i >= 0 && chain[i].ts >= ts; i-- {
+		if chain[i].ts == ts && chain[i].srcDC == src {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *store) forEachLatest(fn func(key string, v version)) {
@@ -221,33 +246,59 @@ func NewServer(cfg Config, net transport.Network) (*Server, error) {
 		stop:  make(chan struct{}),
 	}
 	s.installCond = sync.NewCond(&s.installMu)
+	var recovered []*wire.LoRepUpdate
 	if cfg.Durable != nil {
-		if err := s.recover(); err != nil {
+		var err error
+		if recovered, err = s.recover(); err != nil {
 			return nil, err
 		}
 	}
-	node, err := net.Attach(wire.ServerAddr(cfg.DC, cfg.Part), s)
+	// The replicator must exist before the server is reachable: the first
+	// PUT to arrive enqueues into its streams.
+	s.repl = newReplicator(s, recovered)
+	// The server is reachable the instant Attach returns, but handlers need
+	// s.node: gate dispatch on construction completing so an early message
+	// cannot observe a half-built server.
+	ready := make(chan struct{})
+	node, err := net.Attach(wire.ServerAddr(cfg.DC, cfg.Part), transport.HandlerFunc(
+		func(n transport.Node, src wire.Addr, reqID uint64, m wire.Message) {
+			<-ready
+			s.Handle(n, src, reqID, m)
+		}))
 	if err != nil {
 		return nil, err
 	}
 	s.node = node
-	s.repl = newReplicator(s)
+	close(ready)
 	return s, nil
 }
 
 // recover replays the durable log — dependency lists included — into the
 // store, advances the clock past every recovered timestamp, and registers
-// the snapshot source.
-func (s *Server) recover() error {
+// the snapshot source. It returns the recovered LOCAL updates in timestamp
+// order for the replicator's re-enqueue.
+func (s *Server) recover() ([]*wire.LoRepUpdate, error) {
 	var maxTS uint64
+	var local []*wire.LoRepUpdate
 	err := s.cfg.Durable.Replay(func(rec wal.Record) error {
 		s.store.install(rec.Key, version{value: rec.Value, ts: rec.TS, srcDC: rec.SrcDC, deps: rec.Deps})
 		maxTS = max(maxTS, rec.TS)
+		if int(rec.SrcDC) == s.cfg.DC {
+			local = append(local, &wire.LoRepUpdate{
+				SrcDC:   rec.SrcDC,
+				SrcPart: uint32(s.cfg.Part),
+				Key:     rec.Key,
+				Value:   rec.Value,
+				TS:      rec.TS,
+				Deps:    rec.Deps,
+			})
+		}
 		return nil
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
+	sort.Slice(local, func(i, j int) bool { return local[i].TS < local[j].TS })
 	if maxTS > 0 {
 		s.clock.Update(maxTS)
 	}
@@ -261,7 +312,7 @@ func (s *Server) recover() error {
 		})
 		return ferr
 	})
-	return nil
+	return local, nil
 }
 
 // Addr returns the server's wire address.
@@ -293,6 +344,19 @@ func (s *Server) ForEachLatest(fn func(key string, value []byte, ts uint64, srcD
 	s.store.forEachLatest(func(k string, v version) {
 		fn(k, v.value, v.ts, v.srcDC)
 	})
+}
+
+// VersionsOf returns the identities of key's retained version chain, oldest
+// first (tests and fault diagnostics).
+func (s *Server) VersionsOf(key string) []wire.LoDep {
+	sh := s.store.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	out := make([]wire.LoDep, 0, len(sh.m[key]))
+	for _, v := range sh.m[key] {
+		out = append(out, wire.LoDep{Key: key, TS: v.ts, Src: v.srcDC})
+	}
+	return out
 }
 
 // Latest returns key's newest version with its dependency list (tests:
@@ -331,7 +395,7 @@ func (s *Server) handleRot(src wire.Addr, reqID uint64, m *wire.CopsRotReq) {
 	for i, k := range m.Keys {
 		if v, ok := s.store.latest(k); ok {
 			vals[i] = wire.DepKV{
-				KV:   wire.KV{Key: k, Value: v.value, TS: v.ts},
+				KV:   wire.KV{Key: k, Value: v.value, TS: v.ts, Src: v.srcDC},
 				Deps: v.deps,
 			}
 		} else {
@@ -343,8 +407,8 @@ func (s *Server) handleRot(src wire.Addr, reqID uint64, m *wire.CopsRotReq) {
 
 // handleVer serves the second ROT round: a specific version.
 func (s *Server) handleVer(src wire.Addr, reqID uint64, m *wire.CopsVerReq) {
-	if v, ok := s.store.at(m.Key, m.TS); ok {
-		_ = s.node.Respond(src, reqID, &wire.CopsVerResp{Val: wire.KV{Key: m.Key, Value: v.value, TS: v.ts}})
+	if v, ok := s.store.at(m.Key, m.TS, m.Src); ok {
+		_ = s.node.Respond(src, reqID, &wire.CopsVerResp{Val: wire.KV{Key: m.Key, Value: v.value, TS: v.ts, Src: v.srcDC}})
 		return
 	}
 	_ = s.node.Respond(src, reqID, &wire.CopsVerResp{Val: wire.KV{Key: m.Key}})
@@ -359,20 +423,25 @@ func (s *Server) handlePut(src wire.Addr, reqID uint64, m *wire.LoPutReq) {
 		high = max(high, d.TS)
 	}
 	ts := s.clock.Update(high)
-	s.install(m.Key, version{value: m.Value, ts: ts, srcDC: uint8(s.cfg.DC), deps: m.Deps})
-	// Durability gates both replication and the acknowledgment: the update
-	// is enqueued only after the group-committed fsync, so a version the
-	// origin could still lose is never durably applied at a remote DC.
-	// COPS replication has no batch cut (receivers dependency-check each
-	// update), so the reordering is safe.
+	// Register the timestamp with the replication cursor trackers BEFORE
+	// the append: a durable update unknown to the tracker could be skipped
+	// by the recovery re-enqueue (crash between fsync and enqueue).
+	s.repl.track(ts)
+	// Durability gates VISIBILITY as well as replication and the
+	// acknowledgment: the fsync runs before the install so no read or
+	// dependency check can observe a version a crash could still take
+	// back, the update is enqueued only after the real fsync (never ship
+	// what the origin could lose), and same-partition dependencies keep
+	// launching no later than their dependents.
 	if s.cfg.Durable != nil {
-		if err := s.cfg.Durable.Append(wal.Record{
+		if err := wal.AppendAndSync(s.cfg.Durable, []wal.Record{{
 			Key: m.Key, Value: m.Value, TS: ts, SrcDC: uint8(s.cfg.DC), Deps: m.Deps,
-		}); err != nil {
+		}}); err != nil {
 			transport.RespondError(s.node, src, reqID, 500, "cops: wal: "+err.Error())
 			return
 		}
 	}
+	s.install(m.Key, version{value: m.Value, ts: ts, srcDC: uint8(s.cfg.DC), deps: m.Deps})
 	s.repl.enqueue(&wire.LoRepUpdate{
 		SrcDC:   uint8(s.cfg.DC),
 		SrcPart: uint32(s.cfg.Part),
@@ -391,31 +460,40 @@ func (s *Server) install(key string, v version) {
 	s.installMu.Unlock()
 }
 
-func (s *Server) waitForVersion(key string, ts uint64) {
-	if s.store.hasVersion(key, ts) {
-		return
+// waitForVersion blocks until the (ts, src) version of key is installed;
+// false means the server is stopping and the dependency was NOT verified.
+func (s *Server) waitForVersion(key string, ts uint64, src uint8) bool {
+	if s.store.hasVersion(key, ts, src) {
+		return true
 	}
 	s.installMu.Lock()
 	defer s.installMu.Unlock()
-	for !s.store.hasVersion(key, ts) {
+	for !s.store.hasVersion(key, ts, src) {
 		select {
 		case <-s.stop:
-			return
+			return false
 		default:
 		}
 		s.installCond.Wait()
 	}
+	return true
 }
 
 // handleDepCheck blocks until this partition holds a version of Key with
-// timestamp ≥ TS (COPS dependency checking).
+// timestamp ≥ TS (COPS dependency checking). A shutdown abort answers with
+// an error — never success.
 func (s *Server) handleDepCheck(src wire.Addr, reqID uint64, m *wire.DepCheckReq) {
-	s.waitForVersion(m.Key, m.TS)
+	if !s.waitForVersion(m.Key, m.TS, m.Src) {
+		transport.RespondError(s.node, src, reqID, 503, "cops: dep check aborted: server stopping")
+		return
+	}
 	_ = s.node.Respond(src, reqID, &wire.DepCheckResp{})
 }
 
 // handleRepUpdate installs a replicated version after its dependencies are
-// present in this DC.
+// present in this DC. A failed or shutdown-aborted dependency check
+// withholds the install and the ack; the origin retries the (idempotent)
+// update.
 func (s *Server) handleRepUpdate(src wire.Addr, reqID uint64, m *wire.LoRepUpdate) {
 	var wg sync.WaitGroup
 	errCh := make(chan error, len(m.Deps))
@@ -425,7 +503,9 @@ func (s *Server) handleRepUpdate(src wire.Addr, reqID uint64, m *wire.LoRepUpdat
 			wg.Add(1)
 			go func(d wire.LoDep) {
 				defer wg.Done()
-				s.waitForVersion(d.Key, d.TS)
+				if !s.waitForVersion(d.Key, d.TS, d.Src) {
+					errCh <- transport.ErrClosed
+				}
 			}(d)
 			continue
 		}
@@ -434,7 +514,7 @@ func (s *Server) handleRepUpdate(src wire.Addr, reqID uint64, m *wire.LoRepUpdat
 			defer wg.Done()
 			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.CallTimeout)
 			defer cancel()
-			if _, err := s.node.Call(ctx, wire.ServerAddr(s.cfg.DC, p), &wire.DepCheckReq{Key: d.Key, TS: d.TS}); err != nil {
+			if _, err := s.node.Call(ctx, wire.ServerAddr(s.cfg.DC, p), &wire.DepCheckReq{Key: d.Key, TS: d.TS, Src: d.Src}); err != nil {
 				errCh <- err
 			}
 		}(p, d)
@@ -447,16 +527,20 @@ func (s *Server) handleRepUpdate(src wire.Addr, reqID uint64, m *wire.LoRepUpdat
 	default:
 	}
 	s.clock.Update(m.TS)
-	s.install(m.Key, version{value: m.Value, ts: m.TS, srcDC: m.SrcDC, deps: m.Deps})
-	// Durability before the ack; an unacked update is retried idempotently.
+	// Durability before visibility and before the ack, waiting for the
+	// real fsync even in background-sync mode: a pre-fsync install could
+	// clear dependency checks a crash then invalidates, and the ack
+	// advances the origin's durable cursor, which must never outrun our
+	// own durability. An unacked update is retried idempotently.
 	if s.cfg.Durable != nil {
-		if err := s.cfg.Durable.Append(wal.Record{
+		if err := wal.AppendAndSync(s.cfg.Durable, []wal.Record{{
 			Key: m.Key, Value: m.Value, TS: m.TS, SrcDC: m.SrcDC, Deps: m.Deps,
-		}); err != nil {
+		}}); err != nil {
 			transport.RespondError(s.node, src, reqID, 500, "cops: wal: "+err.Error())
 			return
 		}
 	}
+	s.install(m.Key, version{value: m.Value, ts: m.TS, srcDC: m.SrcDC, deps: m.Deps})
 	_ = s.node.Respond(src, reqID, &wire.LoRepAck{Seq: m.Seq})
 }
 
@@ -472,7 +556,7 @@ type Client struct {
 	node transport.Node
 
 	mu   sync.Mutex
-	deps map[string]uint64
+	deps map[string]wire.LoDep
 }
 
 // ClientConfig parameterizes a COPS client session.
@@ -484,7 +568,7 @@ type ClientConfig struct {
 
 // NewClient attaches a COPS client to net.
 func NewClient(cfg ClientConfig, net transport.Network) (*Client, error) {
-	c := &Client{dc: cfg.DC, ring: cfg.Ring, deps: make(map[string]uint64)}
+	c := &Client{dc: cfg.DC, ring: cfg.Ring, deps: make(map[string]wire.LoDep)}
 	node, err := net.Attach(wire.ClientAddr(cfg.DC, cfg.ID), transport.HandlerFunc(
 		func(transport.Node, wire.Addr, uint64, wire.Message) {}))
 	if err != nil {
@@ -509,16 +593,16 @@ func (c *Client) depList() []wire.LoDep {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make([]wire.LoDep, 0, len(c.deps))
-	for k, ts := range c.deps {
-		out = append(out, wire.LoDep{Key: k, TS: ts})
+	for _, d := range c.deps {
+		out = append(out, d)
 	}
 	return out
 }
 
-func (c *Client) observe(key string, ts uint64) {
+func (c *Client) observe(key string, ts uint64, src uint8) {
 	c.mu.Lock()
-	if ts > c.deps[key] {
-		c.deps[key] = ts
+	if prev, ok := c.deps[key]; !ok || ts > prev.TS || (ts == prev.TS && src > prev.Src) {
+		c.deps[key] = wire.LoDep{Key: key, TS: ts, Src: src}
 	}
 	c.mu.Unlock()
 }
@@ -534,7 +618,7 @@ func (c *Client) Put(ctx context.Context, key string, value []byte) (uint64, err
 	if !ok {
 		return 0, fmt.Errorf("cops: put %q: unexpected response %T", key, resp)
 	}
-	c.observe(key, pr.TS)
+	c.observe(key, pr.TS, uint8(c.dc))
 	return pr.TS, nil
 }
 
@@ -590,16 +674,37 @@ func (c *Client) ROT(ctx context.Context, keys []string) ([]wire.KV, error) {
 		}
 		for _, v := range r.vals {
 			got[v.KV.Key] = v
+			// Inherit the read version's dependency list into the session
+			// context. Stored lists dominate a version's transitive closure
+			// only because every observer folds them in: without this, a
+			// session that read X (which depends on k@ts) but never k could
+			// write a version whose stored deps omit k@ts, and a later
+			// two-round ROT over {that version, k} would miss the causal
+			// cut — the gap the checker's writes-follow-reads test catches.
+			for _, d := range v.Deps {
+				c.observe(d.Key, d.TS, d.Src)
+			}
 		}
 	}
 
 	// Causal cut: the newest version of each read key that any returned
-	// version depends on.
-	cut := make(map[string]uint64)
+	// version depends on. LWW order (TS, Src) decides "newer": an
+	// equal-timestamp dependency from a higher DC is a different, newer
+	// version than the one round 1 returned.
+	lwwAfter := func(ts uint64, src uint8, ts2 uint64, src2 uint8) bool {
+		return ts > ts2 || (ts == ts2 && src > src2)
+	}
+	cut := make(map[string]wire.LoDep)
 	for _, v := range got {
 		for _, d := range v.Deps {
-			if inSet[d.Key] && d.TS > got[d.Key].KV.TS && d.TS > cut[d.Key] {
-				cut[d.Key] = d.TS
+			if !inSet[d.Key] {
+				continue
+			}
+			cur := got[d.Key].KV
+			if lwwAfter(d.TS, d.Src, cur.TS, cur.Src) {
+				if prev, ok := cut[d.Key]; !ok || lwwAfter(d.TS, d.Src, prev.TS, prev.Src) {
+					cut[d.Key] = d
+				}
 			}
 		}
 	}
@@ -611,10 +716,10 @@ func (c *Client) ROT(ctx context.Context, keys []string) ([]wire.KV, error) {
 			err error
 		}
 		ch2 := make(chan r2, len(cut))
-		for k, ts := range cut {
-			go func(k string, ts uint64) {
+		for k, d := range cut {
+			go func(k string, d wire.LoDep) {
 				dst := wire.ServerAddr(c.dc, c.ring.Owner(k))
-				resp, err := c.node.Call(ctx, dst, &wire.CopsVerReq{Key: k, TS: ts})
+				resp, err := c.node.Call(ctx, dst, &wire.CopsVerReq{Key: k, TS: d.TS, Src: d.Src})
 				if err != nil {
 					ch2 <- r2{err: err}
 					return
@@ -625,16 +730,21 @@ func (c *Client) ROT(ctx context.Context, keys []string) ([]wire.KV, error) {
 					return
 				}
 				ch2 <- r2{val: vr.Val}
-			}(k, ts)
+			}(k, d)
 		}
 		for range cut {
 			r := <-ch2
 			if r.err != nil {
 				return nil, fmt.Errorf("cops: rot round 2: %w", r.err)
 			}
-			prev := got[r.val.Key]
-			prev.KV = r.val
-			got[r.val.Key] = prev
+			if r.val.TS > 0 {
+				// A miss cannot happen when the cut identity is real (the
+				// version carrying the dependency installed after it), but
+				// never replace a served version with emptiness.
+				prev := got[r.val.Key]
+				prev.KV = r.val
+				got[r.val.Key] = prev
+			}
 		}
 	}
 
@@ -642,18 +752,19 @@ func (c *Client) ROT(ctx context.Context, keys []string) ([]wire.KV, error) {
 	for i, k := range keys {
 		out[i] = got[k].KV
 		if out[i].TS > 0 {
-			c.observe(k, out[i].TS)
+			c.observe(k, out[i].TS, out[i].Src)
 		}
 	}
 	return out, nil
 }
 
 // Rounds2Needed is exposed for tests: it reports whether the given round-1
-// results would require a second round.
+// results would require a second round (LWW identity order).
 func Rounds2Needed(vals map[string]wire.DepKV) bool {
 	for _, v := range vals {
 		for _, d := range v.Deps {
-			if other, ok := vals[d.Key]; ok && d.TS > other.KV.TS {
+			if other, ok := vals[d.Key]; ok &&
+				(d.TS > other.KV.TS || (d.TS == other.KV.TS && d.Src > other.KV.Src)) {
 				return true
 			}
 		}

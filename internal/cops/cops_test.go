@@ -112,8 +112,7 @@ func TestSecondRoundClosesTheGap(t *testing.T) {
 	if _, err := c2.Put(ctx, x, []byte("X0")); err != nil {
 		t.Fatal(err)
 	}
-	tsX1, err := c2.Put(ctx, x, []byte("X1"))
-	if err != nil {
+	if _, err := c2.Put(ctx, x, []byte("X1")); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := c2.Put(ctx, y, []byte("Y1")); err != nil {
@@ -124,10 +123,9 @@ func TestSecondRoundClosesTheGap(t *testing.T) {
 	// round-1 answer holding stale X0 next to fresh Y1 (whose deps include
 	// x@tsX1) must trigger a second round.
 	sx := servers[r.Owner(x)]
-	vx0, ok := sx.store.at(x, tsX1-1)
+	vx0, ok := sx.store.at(x, 1, 0) // chain bottom: the stale X0
 	if !ok {
-		// Exact old version may have a different ts; read the chain bottom.
-		vx0, _ = sx.store.at(x, 1)
+		t.Fatal("no retained version of x")
 	}
 	sy := servers[r.Owner(y)]
 	vy1, _ := sy.store.latest(y)
@@ -156,14 +154,14 @@ func TestStoreAtExactAndFallback(t *testing.T) {
 		s.install("k", version{value: []byte{byte(ts)}, ts: ts})
 	}
 	// Exact retained version.
-	if v, ok := s.at("k", 9); !ok || v.ts != 9 {
+	if v, ok := s.at("k", 9, 0); !ok || v.ts != 9 {
 		t.Fatalf("at(9) = %+v ok=%v", v, ok)
 	}
 	// Trimmed version: next retained one above stands in.
-	if v, ok := s.at("k", 3); !ok || v.ts < 3 {
+	if v, ok := s.at("k", 3, 0); !ok || v.ts < 3 {
 		t.Fatalf("at(3) after trim = %+v ok=%v, want ts ≥ 3", v, ok)
 	}
-	if _, ok := s.at("nope", 1); ok {
+	if _, ok := s.at("nope", 1, 0); ok {
 		t.Fatal("missing key must miss")
 	}
 }

@@ -4,45 +4,76 @@ import (
 	"context"
 	"time"
 
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
 // replicator ships local PUTs with their dependency lists to sibling
 // replicas; receivers enforce causal order by dependency checks, so a
 // window of updates can be in flight concurrently.
+//
+// Durability mirrors the CC-LO streams: each stream tracks its
+// acknowledged frontier with a wal.CursorTracker and persists it as a
+// replication cursor, and a recovering partition re-enqueues recovered
+// local updates above the cursor (COPS records persist their dependency
+// lists, so re-enqueued updates dependency-check exactly like the
+// originals). Window streams have no receiver-side sequence cursor, so the
+// persisted Seq mirrors HighTS.
 type replicator struct {
 	s       *Server
 	streams []*stream
 }
 
 type stream struct {
-	s      *Server
-	dst    wire.Addr
-	ch     chan *wire.LoRepUpdate
-	sem    chan struct{}
-	ctx    context.Context
-	cancel context.CancelFunc
-	stop   chan struct{}
-	done   chan struct{}
+	s       *Server
+	dst     wire.Addr
+	dstDC   int
+	seq     uint64
+	backlog []*wire.LoRepUpdate // recovered-but-unacked tail, sent before ch
+	tracker wal.CursorTracker
+	ch      chan *wire.LoRepUpdate
+	sem     chan struct{}
+	ctx     context.Context
+	cancel  context.CancelFunc
+	stop    chan struct{}
+	done    chan struct{}
 }
 
-func newReplicator(s *Server) *replicator {
+// newReplicator builds one stream per remote DC, seeding each with the
+// recovered local updates its durable cursor says that DC has not
+// acknowledged.
+func newReplicator(s *Server, recovered []*wire.LoRepUpdate) *replicator {
+	cursors := make(map[int]wal.Cursor)
+	if s.cfg.Durable != nil {
+		for _, c := range s.cfg.Durable.Cursors() {
+			cursors[int(c.DstDC)] = c
+		}
+	}
 	r := &replicator{s: s}
 	for dc := 0; dc < s.cfg.NumDCs; dc++ {
 		if dc == s.cfg.DC {
 			continue
 		}
 		ctx, cancel := context.WithCancel(context.Background())
-		r.streams = append(r.streams, &stream{
+		st := &stream{
 			s:      s,
 			dst:    wire.ServerAddr(dc, s.cfg.Part),
+			dstDC:  dc,
 			ch:     make(chan *wire.LoRepUpdate, 8192),
 			sem:    make(chan struct{}, s.cfg.RepWindow),
 			ctx:    ctx,
 			cancel: cancel,
 			stop:   make(chan struct{}),
 			done:   make(chan struct{}),
-		})
+		}
+		for _, u := range recovered {
+			if u.TS > cursors[dc].HighTS {
+				cp := *u
+				st.track(cp.TS)
+				st.backlog = append(st.backlog, &cp)
+			}
+		}
+		r.streams = append(r.streams, st)
 	}
 	return r
 }
@@ -63,54 +94,108 @@ func (r *replicator) stopAll() {
 	}
 }
 
+// track registers a local update's timestamp with every stream's
+// ack-frontier tracker. It MUST run before the update's WAL append (see
+// the cclo twin): a durable update unknown to the tracker could be skipped
+// by the recovery re-enqueue if a crash lands between fsync and enqueue.
+func (r *replicator) track(ts uint64) {
+	if r.s.cfg.Durable == nil {
+		return
+	}
+	for _, st := range r.streams {
+		st.tracker.Enqueue(ts)
+	}
+}
+
 func (r *replicator) enqueue(u *wire.LoRepUpdate) {
 	for _, st := range r.streams {
+		// Per-stream copy: run() stamps Seq, and sharing one update across
+		// streams would race their stamps.
+		cp := *u
 		select {
-		case st.ch <- u:
+		case st.ch <- &cp:
 		case <-st.stop:
 		}
+	}
+}
+
+func (st *stream) track(ts uint64) {
+	if st.s.cfg.Durable != nil {
+		st.tracker.Enqueue(ts)
 	}
 }
 
 func (st *stream) run() {
 	defer close(st.done)
-	seq := uint64(0)
+	for _, u := range st.backlog {
+		if !st.launch(u) {
+			return
+		}
+	}
+	st.backlog = nil
 	for {
 		select {
 		case <-st.stop:
 			return
 		case u := <-st.ch:
-			seq++
-			u.Seq = seq
-			select {
-			case st.sem <- struct{}{}:
-			case <-st.stop:
+			if !st.launch(u) {
 				return
 			}
-			go func(u *wire.LoRepUpdate) {
-				defer func() { <-st.sem }()
-				st.deliver(u)
-			}(u)
 		}
 	}
 }
 
-func (st *stream) deliver(u *wire.LoRepUpdate) {
+// launch stamps the update's sequence, claims a window slot, and delivers
+// in the background. Launch order preserves the property that an update's
+// same-partition dependencies are sent no later than the update itself.
+func (st *stream) launch(u *wire.LoRepUpdate) bool {
+	st.seq++
+	u.Seq = st.seq
+	select {
+	case st.sem <- struct{}{}:
+	case <-st.stop:
+		return false
+	}
+	go func(u *wire.LoRepUpdate) {
+		defer func() { <-st.sem }()
+		if st.deliver(u) {
+			st.ackCursor(u.TS)
+		}
+	}(u)
+	return true
+}
+
+// ackCursor folds one acknowledgment into the frontier and persists the
+// cursor when it advanced; failures are ignored (a stale cursor only
+// re-ships an acknowledged, idempotent suffix on recovery).
+func (st *stream) ackCursor(ts uint64) {
+	if st.s.cfg.Durable == nil {
+		return
+	}
+	if high, advanced := st.tracker.Ack(ts); advanced {
+		_ = st.s.cfg.Durable.AppendCursor(wal.Cursor{
+			DstDC: uint8(st.dstDC), Seq: high, HighTS: high,
+		})
+	}
+}
+
+// deliver retries the update until acknowledged (true) or the stream stops.
+func (st *stream) deliver(u *wire.LoRepUpdate) bool {
 	for {
 		ctx, cancel := context.WithTimeout(st.ctx, st.s.cfg.RepRetryTimeout)
 		resp, err := st.s.node.Call(ctx, st.dst, u)
 		cancel()
 		if err == nil {
 			if _, ok := resp.(*wire.LoRepAck); ok {
-				return
+				return true
 			}
 		}
 		if st.ctx.Err() != nil {
-			return
+			return false
 		}
 		select {
 		case <-st.stop:
-			return
+			return false
 		case <-time.After(10 * time.Millisecond):
 		}
 	}

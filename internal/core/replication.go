@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -48,8 +49,13 @@ type repUpdate struct {
 func (u *repUpdate) ready() bool { return u.durable == nil || u.durable.Load() }
 
 type repStream struct {
-	s   *Server
-	dst wire.Addr
+	s     *Server
+	dst   wire.Addr
+	dstDC int
+	// seq is the last sequence this stream used; seeded from the durable
+	// cursor so a restarted sender resumes exactly where the receiver's
+	// dedup expects it (see ROADMAP: this replaced the wall-clock base).
+	seq uint64
 
 	queue []repUpdate // guarded by s.putMu
 
@@ -59,21 +65,41 @@ type repStream struct {
 	done   chan struct{}
 }
 
-func newReplicator(s *Server) *replicator {
+// newReplicator builds one stream per remote DC. recovered holds this
+// partition's WAL-recovered local updates in timestamp order; each stream
+// is seeded with its durable cursor and re-enqueues the recovered updates
+// the cursor says that DC has not acknowledged — the tail a crash stranded
+// between local fsync and remote delivery.
+func newReplicator(s *Server, recovered []wire.Update) *replicator {
+	cursors := make(map[int]wal.Cursor)
+	if s.cfg.Durable != nil {
+		for _, c := range s.cfg.Durable.Cursors() {
+			cursors[int(c.DstDC)] = c
+		}
+	}
 	r := &replicator{s: s}
 	for dc := 0; dc < s.cfg.NumDCs; dc++ {
 		if dc == s.cfg.DC {
 			continue
 		}
 		ctx, cancel := context.WithCancel(context.Background())
-		r.streams = append(r.streams, &repStream{
+		st := &repStream{
 			s:      s,
 			dst:    wire.ServerAddr(dc, s.cfg.Part),
+			dstDC:  dc,
+			seq:    cursors[dc].Seq,
 			ctx:    ctx,
 			cancel: cancel,
 			stop:   make(chan struct{}),
 			done:   make(chan struct{}),
-		})
+		}
+		for _, u := range recovered {
+			if u.TS > cursors[dc].HighTS {
+				// Recovered from the WAL, so durable by definition: no gate.
+				st.queue = append(st.queue, repUpdate{Update: u})
+			}
+		}
+		r.streams = append(r.streams, st)
 	}
 	return r
 }
@@ -139,17 +165,13 @@ func (st *repStream) cut() ([]wire.Update, uint64) {
 
 func (st *repStream) run() {
 	defer close(st.done)
-	// Receivers deduplicate batches by requiring seq to advance, so the
-	// stream's base must be monotone across process restarts: a durable
-	// partition that crashes and recovers must not resume at seq 1, or a
-	// surviving receiver (whose cursor is high) would ack-and-drop every
-	// post-restart batch as a duplicate. Wall-clock nanoseconds outpace
-	// any achievable batch rate, so as long as the host clock does not
-	// step back past the previous process's start (NTP slew is fine; a VM
-	// snapshot restore is not), a restarted stream starts above where its
-	// predecessor stopped. Persisting per-stream cursors in the WAL would
-	// remove the assumption (see ROADMAP).
-	seq := uint64(time.Now().UnixNano())
+	// st.seq resumes from the durable cursor (zero without a WAL), so a
+	// recovered sender continues exactly where the receiver's dedup cursor
+	// expects. Receivers no longer trust sequence alone: a batch is dropped
+	// as a duplicate only when its sequence is stale AND its HighTS is
+	// covered by the receiver's version vector, which makes sequence
+	// discontinuities across restarts (heartbeat sequences are not
+	// persisted) safe in both directions.
 	flush := newTicker(st.s.cfg.RepFlushEvery)
 	defer flush.Stop()
 	for {
@@ -160,40 +182,51 @@ func (st *repStream) run() {
 		}
 		for {
 			batch, high := st.cut()
-			seq++
-			st.deliver(&wire.RepBatch{
+			st.seq++
+			acked := st.deliver(&wire.RepBatch{
 				SrcDC:   uint8(st.s.cfg.DC),
 				SrcPart: uint32(st.s.cfg.Part),
-				Seq:     seq,
+				Seq:     st.seq,
 				HighTS:  high,
 				Ups:     batch,
 			})
+			// Persist the acknowledged frontier — but only for batches that
+			// carried updates: heartbeats advance the cut every few
+			// milliseconds and journaling each would turn an idle system
+			// into constant fsync traffic. A stale cursor only means the
+			// recovered sender re-ships an acknowledged suffix, which the
+			// receiver detects and drops.
+			if acked && len(batch) > 0 && st.s.cfg.Durable != nil {
+				_ = st.s.cfg.Durable.AppendCursor(wal.Cursor{
+					DstDC: uint8(st.dstDC), Seq: st.seq, HighTS: high,
+				})
+			}
 			// Keep draining without waiting for the ticker while there is
 			// backlog; an idle queue returns to heartbeat pacing.
-			if len(batch) < st.s.cfg.RepBatchMax {
+			if !acked || len(batch) < st.s.cfg.RepBatchMax {
 				break
 			}
 		}
 	}
 }
 
-// deliver retries the batch until acknowledged or the stream stops.
-func (st *repStream) deliver(msg *wire.RepBatch) {
+// deliver retries the batch until acknowledged (true) or the stream stops.
+func (st *repStream) deliver(msg *wire.RepBatch) bool {
 	for {
 		ctx, cancel := context.WithTimeout(st.ctx, st.s.cfg.RepRetryTimeout)
 		resp, err := st.s.node.Call(ctx, st.dst, msg)
 		cancel()
 		if err == nil {
 			if _, ok := resp.(*wire.RepAck); ok {
-				return
+				return true
 			}
 		}
 		if st.ctx.Err() != nil {
-			return
+			return false
 		}
 		select {
 		case <-st.stop:
-			return
+			return false
 		case <-time.After(10 * time.Millisecond):
 		}
 	}

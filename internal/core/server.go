@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -36,8 +37,92 @@ type Server struct {
 	//      has not been enqueued yet.
 	putMu sync.RWMutex
 
+	// durGate tracks local puts whose fsync is still pending, so snapshot
+	// reads can refuse to serve a version a crash could take back (nil
+	// without a WAL). Local installs must stay inside the put fence
+	// (invariant 1 above), so unlike the lo-families core cannot simply
+	// install after the fsync — instead the read path waits out the
+	// sub-millisecond gap between install and group commit.
+	durGate *durGate
+
 	stop chan struct{}
 	wg   sync.WaitGroup
+}
+
+// durGate is the read-side durability watermark: pending holds the
+// timestamps of local puts between install and fsync, in assignment order
+// (timestamps are ticked inside the put fence, so adds are sorted).
+// Completions arrive in WAL order, which may differ, hence the lazy
+// deletion. Readers block while any pending timestamp is inside their
+// snapshot.
+type durGate struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []uint64
+	inGate  map[uint64]bool // membership of pending, for idempotent complete
+	fin     map[uint64]bool
+	closed  bool
+}
+
+func newDurGate() *durGate {
+	g := &durGate{inGate: make(map[uint64]bool), fin: make(map[uint64]bool)}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// add registers a just-installed, not-yet-durable local put. Callers hold
+// the put fence, so timestamps arrive in increasing order.
+func (g *durGate) add(ts uint64) {
+	g.mu.Lock()
+	g.pending = append(g.pending, ts)
+	g.inGate[ts] = true
+	g.mu.Unlock()
+}
+
+// complete marks ts durable (or abandoned — a poisoned log must not pin
+// readers forever) and releases any waiters it unblocks. Idempotent: the
+// WAL may both fire the synced callback with an error AND return the error
+// from AppendSynced, so a timestamp can be completed twice.
+func (g *durGate) complete(ts uint64) {
+	g.mu.Lock()
+	if !g.inGate[ts] {
+		g.mu.Unlock()
+		return
+	}
+	g.fin[ts] = true
+	for len(g.pending) > 0 && g.fin[g.pending[0]] {
+		delete(g.fin, g.pending[0])
+		delete(g.inGate, g.pending[0])
+		g.pending = g.pending[1:]
+	}
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// waitClear blocks until no pending put has a timestamp ≤ ts (or the gate
+// closes with the server).
+func (g *durGate) waitClear(ts uint64) {
+	g.mu.Lock()
+	for !g.closed && len(g.pending) > 0 && g.pending[0] <= ts {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// clearBelow reports, without blocking, whether no pending put has a
+// timestamp ≤ ts.
+func (g *durGate) clearBelow(ts uint64) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.closed || len(g.pending) == 0 || g.pending[0] > ts
+}
+
+// close releases all waiters permanently (server shutdown).
+func (g *durGate) close() {
+	g.mu.Lock()
+	g.closed = true
+	g.cond.Broadcast()
+	g.mu.Unlock()
 }
 
 // NewServer builds the partition server and attaches it to net. Call Start
@@ -56,17 +141,31 @@ func NewServer(cfg Config, net transport.Network) (*Server, error) {
 	for i := range s.nextIn {
 		s.nextIn[i] = 1
 	}
+	var recovered []wire.Update
 	if cfg.Durable != nil {
-		if err := s.recover(); err != nil {
+		s.durGate = newDurGate()
+		var err error
+		if recovered, err = s.recover(); err != nil {
 			return nil, err
 		}
 	}
-	node, err := net.Attach(wire.ServerAddr(cfg.DC, cfg.Part), s)
+	// The replicator must exist before the server is reachable: the first
+	// PUT to arrive enqueues into its streams.
+	s.repl = newReplicator(s, recovered)
+	// The server is reachable the instant Attach returns, but handlers need
+	// s.node: gate dispatch on construction completing so an early message
+	// cannot observe a half-built server.
+	ready := make(chan struct{})
+	node, err := net.Attach(wire.ServerAddr(cfg.DC, cfg.Part), transport.HandlerFunc(
+		func(n transport.Node, src wire.Addr, reqID uint64, m wire.Message) {
+			<-ready
+			s.Handle(n, src, reqID, m)
+		}))
 	if err != nil {
 		return nil, err
 	}
 	s.node = node
-	s.repl = newReplicator(s)
+	close(ready)
 	return s, nil
 }
 
@@ -80,8 +179,14 @@ func NewServer(cfg Config, net transport.Network) (*Server, error) {
 // replication stream is logged in receipt order, so the highest recovered
 // timestamp from a DC understates — never overstates — what was received,
 // which is the safe direction for the GSS.
-func (s *Server) recover() error {
+//
+// It returns the recovered LOCAL updates in timestamp order: the
+// replicator re-enqueues the suffix each remote DC has not acknowledged
+// (per the durable cursors), closing the gap between a write surviving the
+// crash locally and it ever reaching the other DCs.
+func (s *Server) recover() ([]wire.Update, error) {
 	var maxTS uint64
+	var local []wire.Update
 	err := s.cfg.Durable.Replay(func(rec wal.Record) error {
 		s.store.Install(rec.Key, mvstore.Version{
 			Value: rec.Value, TS: rec.TS, SrcDC: rec.SrcDC, DV: rec.DV,
@@ -90,11 +195,18 @@ func (s *Server) recover() error {
 		if dc := int(rec.SrcDC); dc != s.cfg.DC && dc < len(s.vv) && rec.TS > s.vv[dc] {
 			s.vv[dc] = rec.TS
 		}
+		if int(rec.SrcDC) == s.cfg.DC {
+			local = append(local, wire.Update{Key: rec.Key, Value: rec.Value, TS: rec.TS, DV: rec.DV})
+		}
 		return nil
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
+	// Replay order is append order, which group commit may leave slightly
+	// off timestamp order; the replication cut assumes its queue is
+	// timestamp-sorted.
+	sort.Slice(local, func(i, j int) bool { return local[i].TS < local[j].TS })
 	if maxTS > 0 {
 		s.clock.Update(maxTS)
 	}
@@ -108,17 +220,32 @@ func (s *Server) recover() error {
 		})
 		return ferr
 	})
-	return nil
+	return local, nil
 }
 
-// logInstall makes one local install durable; it must be called outside the
-// put fence (fsync latency must not serialize the partition) and before the
-// acknowledgment. On error the version stays in memory unacknowledged,
-// which a crash is allowed to lose.
-func (s *Server) logInstall(key string, value []byte, ts uint64, dv vclock.Vec) error {
-	return s.cfg.Durable.Append(wal.Record{
+// logInstall makes one local install durable per the WAL's sync mode; it
+// must be called outside the put fence (fsync latency must not serialize
+// the partition) and before the acknowledgment. The durable gate flips only
+// on the real fsync — under background sync the client may be acked inside
+// the loss window, but replication never ships a version the origin could
+// still lose. On error the version stays in memory unacknowledged, which a
+// crash is allowed to lose.
+func (s *Server) logInstall(key string, value []byte, ts uint64, dv vclock.Vec, durable *atomic.Bool) error {
+	err := s.cfg.Durable.AppendSynced([]wal.Record{{
 		Key: key, Value: value, TS: ts, SrcDC: uint8(s.cfg.DC), DV: dv,
+	}}, func(err error) {
+		if err == nil {
+			durable.Store(true)
+		}
+		// Unpin readers even on failure: the log is poisoned and the
+		// version will never replicate, but a frozen read path on top of a
+		// dying partition helps no one.
+		s.durGate.complete(ts)
 	})
+	if err != nil {
+		s.durGate.complete(ts)
+	}
+	return err
 }
 
 // Addr returns the server's wire address.
@@ -130,6 +257,17 @@ func (s *Server) Store() *mvstore.Store { return s.store }
 // Clock exposes the server clock for tests.
 func (s *Server) Clock() hlc.Clock { return s.clock }
 
+// NextIn exposes the replication dedup cursor for dc (tests: a restarted
+// sender must resume exactly at the receiver's cursor).
+func (s *Server) NextIn(dc int) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if dc < 0 || dc >= len(s.nextIn) {
+		return 0
+	}
+	return s.nextIn[dc]
+}
+
 // Start launches replication streams and the VV reporting loop.
 func (s *Server) Start() {
 	s.repl.start()
@@ -140,6 +278,9 @@ func (s *Server) Start() {
 // Close stops background work and detaches from the network.
 func (s *Server) Close() error {
 	close(s.stop)
+	if s.durGate != nil {
+		s.durGate.close()
+	}
 	s.repl.stopAll()
 	s.wg.Wait()
 	return s.node.Close()
@@ -220,20 +361,23 @@ func (s *Server) handlePut(src wire.Addr, reqID uint64, m *wire.PutReq) {
 	dv[s.cfg.DC] = ts
 	v := mvstore.Version{Value: m.Value, TS: ts, SrcDC: uint8(s.cfg.DC), DV: dv}
 	s.store.Install(m.Key, v)
+	if s.durGate != nil {
+		s.durGate.add(ts)
+	}
 	s.repl.enqueue(wire.Update{Key: m.Key, Value: m.Value, TS: ts, DV: dv}, durable)
 	s.putMu.Unlock()
 
 	// Durability gates both the acknowledgment and replication, but not
 	// the install: group commit runs outside the fence so concurrent PUTs
 	// share fsyncs, and the enqueued update only becomes shippable once
-	// the flag flips (see repStream.cut) — a version the origin could
-	// still lose must never be durably applied at a remote DC.
+	// the flag flips on the real fsync (see repStream.cut and logInstall)
+	// — a version the origin could still lose must never be durably
+	// applied at a remote DC.
 	if s.cfg.Durable != nil {
-		if err := s.logInstall(m.Key, m.Value, ts, dv); err != nil {
+		if err := s.logInstall(m.Key, m.Value, ts, dv, durable); err != nil {
 			transport.RespondError(s.node, src, reqID, 500, "core: wal: "+err.Error())
 			return
 		}
-		durable.Store(true)
 	}
 	_ = s.node.Respond(src, reqID, &wire.PutResp{TS: ts, GSS: s.gssSnapshot()})
 }
@@ -302,10 +446,34 @@ func (s *Server) readAt(sv vclock.Vec, keys []string) []wire.KV {
 	if s.clock.Now() < local {
 		s.clock.Update(local)
 	}
+	// A durable partition additionally waits until every local put inside
+	// the snapshot has been fsynced: serving a version the WAL could still
+	// lose would let a crash un-happen an observed state. The wait is the
+	// tail of a group commit (sub-millisecond in sync mode, up to the
+	// background window in async mode — the documented trade-off).
+	//
+	// The gate must be re-checked UNDER the fence: a put already inside the
+	// fence with ts ≤ SV[local] registers with the gate there, so a plain
+	// wait-then-lock could slip between its timestamp assignment and its
+	// registration. Once the read lock is held with the gate clear, no new
+	// pending put at ts ≤ SV[local] can appear (writers are excluded, and
+	// the clock move above pushes future puts past the snapshot).
+	//
 	// After the clock move, any in-flight PUT that has not yet entered the
 	// fence will be timestamped above SV[local]; waiting for the fence
 	// flushes the ones already inside it.
-	s.putMu.RLock()
+	if s.durGate != nil {
+		for {
+			s.durGate.waitClear(local)
+			s.putMu.RLock()
+			if s.durGate.clearBelow(local) {
+				break
+			}
+			s.putMu.RUnlock()
+		}
+	} else {
+		s.putMu.RLock()
+	}
 	defer s.putMu.RUnlock()
 	vals := make([]wire.KV, len(keys))
 	for i, k := range keys {
@@ -320,6 +488,17 @@ func (s *Server) readAt(sv vclock.Vec, keys []string) []wire.KV {
 }
 
 // handleRepBatch applies a replication batch from a sibling replica.
+//
+// Deduplication: a batch is dropped only when BOTH its sequence is stale
+// (below the per-source cursor) and its HighTS is covered by our version
+// vector. The second condition is what makes the drop provably safe: every
+// update in the batch has ts ≤ HighTS, and vv[src] = H means the origin's
+// cut invariant already delivered us every origin update with ts ≤ H — so
+// the batch's content is a subset of what we hold. Sequence alone is NOT
+// proof: a sender recovering from a crash resumes from its durable cursor,
+// which may trail what we acknowledged (the cursor fsync raced the crash),
+// so stale-sequence batches with fresh HighTS carry the re-shipped
+// recovered tail and must be applied (installs are idempotent).
 func (s *Server) handleRepBatch(src wire.Addr, reqID uint64, m *wire.RepBatch) {
 	srcDC := int(m.SrcDC)
 	if srcDC == s.cfg.DC || srcDC >= s.cfg.NumDCs {
@@ -327,33 +506,33 @@ func (s *Server) handleRepBatch(src wire.Addr, reqID uint64, m *wire.RepBatch) {
 		return
 	}
 	s.mu.Lock()
-	if m.Seq < s.nextIn[srcDC] {
-		// Duplicate delivery after a lost or delayed ack; already applied.
+	if m.Seq < s.nextIn[srcDC] && m.HighTS <= s.vv[srcDC] {
+		// Provable duplicate (lost or delayed ack); already applied.
 		s.mu.Unlock()
 		_ = s.node.Respond(src, reqID, &wire.RepAck{Seq: m.Seq})
 		return
 	}
 	prevNextIn := s.nextIn[srcDC]
-	s.nextIn[srcDC] = m.Seq + 1
+	if m.Seq >= s.nextIn[srcDC] {
+		s.nextIn[srcDC] = m.Seq + 1
+	}
 	s.mu.Unlock()
 
-	for i := range m.Ups {
-		u := &m.Ups[i]
-		s.store.Install(u.Key, mvstore.Version{
-			Value: u.Value, TS: u.TS, SrcDC: m.SrcDC, DV: u.DV,
-		})
-	}
 	// Replicated installs are logged as one multi-record append (one group
-	// commit) before the batch is acknowledged, so the sender only retires a
-	// batch once it is durable here too. A WAL failure withholds the ack and
-	// the (idempotent) batch is retried.
+	// commit) BEFORE they become visible and before the batch is
+	// acknowledged, waiting for the real fsync even in background-sync
+	// mode: a pre-fsync install could be observed by a local ROT and then
+	// taken back by a crash, and our ack advances the sender's durable
+	// cursor, after which it will never re-send this batch, so acking
+	// inside our loss window could diverge the DCs. A WAL failure
+	// withholds the ack and the (idempotent) batch is retried.
 	if s.cfg.Durable != nil && len(m.Ups) > 0 {
 		recs := make([]wal.Record, len(m.Ups))
 		for i := range m.Ups {
 			u := &m.Ups[i]
 			recs[i] = wal.Record{Key: u.Key, Value: u.Value, TS: u.TS, SrcDC: m.SrcDC, DV: u.DV}
 		}
-		if err := s.cfg.Durable.Append(recs...); err != nil {
+		if err := wal.AppendAndSync(s.cfg.Durable, recs); err != nil {
 			// Withholding the ack makes the sender retry; roll the dedup
 			// cursor back (unless a later batch already advanced it) so the
 			// retry is not mistaken for an applied duplicate and the
@@ -366,6 +545,12 @@ func (s *Server) handleRepBatch(src wire.Addr, reqID uint64, m *wire.RepBatch) {
 			transport.RespondError(s.node, src, reqID, 500, "core: wal: "+err.Error())
 			return
 		}
+	}
+	for i := range m.Ups {
+		u := &m.Ups[i]
+		s.store.Install(u.Key, mvstore.Version{
+			Value: u.Value, TS: u.TS, SrcDC: m.SrcDC, DV: u.DV,
+		})
 	}
 	s.mu.Lock()
 	if m.HighTS > s.vv[srcDC] {

@@ -3,6 +3,7 @@ package transport
 import (
 	"container/heap"
 	"context"
+	"math"
 	"math/rand/v2"
 	"runtime"
 	"sync"
@@ -67,6 +68,11 @@ type Local struct {
 	stats   Stats
 	wheels  []*wheel
 
+	// lossBits holds the current cross-DC loss fraction (float64 bits),
+	// runtime-adjustable so fault tests can sever and heal the WAN
+	// mid-workload (SetInterDCLoss). Seeded from latency.InterDCLoss.
+	lossBits atomic.Uint64
+
 	mu     sync.RWMutex
 	nodes  map[wire.Addr]*localNode
 	closed bool
@@ -79,6 +85,7 @@ const numWheels = 4
 // NewLocal returns an empty in-process network.
 func NewLocal(latency LatencyModel) *Local {
 	l := &Local{latency: latency, nodes: make(map[wire.Addr]*localNode)}
+	l.lossBits.Store(math.Float64bits(latency.InterDCLoss))
 	for i := 0; i < numWheels; i++ {
 		w := &wheel{net: l, ch: make(chan delivery, 8192), stop: make(chan struct{})}
 		l.wheels = append(l.wheels, w)
@@ -89,6 +96,20 @@ func NewLocal(latency LatencyModel) *Local {
 
 // Stats exposes the network's traffic counters.
 func (l *Local) Stats() *Stats { return &l.stats }
+
+// SetInterDCLoss changes the cross-DC loss fraction at runtime. Fault
+// tests use 1.0 to sever the WAN (isolating a DC while it keeps serving
+// locally) and 0 to heal it.
+func (l *Local) SetInterDCLoss(frac float64) {
+	l.lossBits.Store(math.Float64bits(frac))
+}
+
+// dropMsg applies the current loss fraction to one src→dst flight, using
+// the shared LatencyModel predicate so the loss semantics live in one
+// place.
+func (l *Local) dropMsg(src, dst wire.Addr) bool {
+	return LatencyModel{InterDCLoss: math.Float64frombits(l.lossBits.Load())}.Drop(src, dst)
+}
 
 // Attach registers addr with handler h.
 func (l *Local) Attach(addr wire.Addr, h Handler) (Node, error) {
@@ -270,7 +291,7 @@ func (n *localNode) send(env *wire.Envelope) error {
 	f := wire.GetFrame()
 	f.Envelope(env)
 	bytes := uint64(len(f.B))
-	if n.net.latency.Drop(env.Src, env.Dst) {
+	if n.net.dropMsg(env.Src, env.Dst) {
 		n.net.stats.Dropped.Add(1)
 		wire.PutFrame(f) // lost in flight; sender cannot tell
 	} else if d := n.net.latency.Delay(env.Src, env.Dst); d <= 0 {

@@ -24,12 +24,17 @@ type Stats struct {
 	SnapshotErrors  metrics.Counter
 	Truncated       metrics.Counter
 
-	// RecoveredRecords counts records replayed at Open-time recovery,
-	// RecoveryNanos the time Replay spent, and TornTails the torn final
-	// records recovery tolerated.
+	// RecoveredRecords counts install records replayed at Open-time
+	// recovery, RecoveryNanos the time Replay spent, and TornTails the torn
+	// final records recovery tolerated.
 	RecoveredRecords metrics.Counter
 	RecoveryNanos    metrics.Counter
 	TornTails        metrics.Counter
+
+	// CursorAppends counts replication-cursor updates persisted;
+	// CursorsRecovered counts cursor records folded back in at recovery.
+	CursorAppends    metrics.Counter
+	CursorsRecovered metrics.Counter
 }
 
 // StatsView is a frozen copy of every WAL counter.
@@ -46,6 +51,8 @@ type StatsView struct {
 	RecoveredRecords uint64
 	RecoveryNanos    uint64
 	TornTails        uint64
+	CursorAppends    uint64
+	CursorsRecovered uint64
 }
 
 // View returns a frozen copy of all counters.
@@ -63,6 +70,8 @@ func (s *Stats) View() StatsView {
 		RecoveredRecords: s.RecoveredRecords.Load(),
 		RecoveryNanos:    s.RecoveryNanos.Load(),
 		TornTails:        s.TornTails.Load(),
+		CursorAppends:    s.CursorAppends.Load(),
+		CursorsRecovered: s.CursorsRecovered.Load(),
 	}
 }
 
@@ -90,4 +99,6 @@ func (v *StatsView) Merge(o StatsView) {
 	v.RecoveredRecords += o.RecoveredRecords
 	v.RecoveryNanos += o.RecoveryNanos
 	v.TornTails += o.TornTails
+	v.CursorAppends += o.CursorAppends
+	v.CursorsRecovered += o.CursorsRecovered
 }

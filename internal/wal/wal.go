@@ -19,6 +19,26 @@
 // — the half-written tail of a crash mid-commit — is detected by the CRC
 // (or a short read) and tolerated, because a torn record was by definition
 // never acknowledged.
+//
+// Beyond installs, the log persists per-stream replication cursors: the
+// highest (sequence, timestamp) a remote DC has acknowledged back to this
+// partition. Cursors make the durability and replication state recover
+// together — a restarted partition knows exactly which prefix of its local
+// writes every remote DC already holds, re-enqueues the rest, and resumes
+// its stream sequences where the receivers expect them. Cursor records ride
+// the same segments as installs and are folded into snapshots so truncation
+// never loses them; losing the tail of cursor updates is always safe (the
+// sender merely re-ships an acknowledged suffix, which receivers apply
+// idempotently).
+//
+// Two sync modes are offered. SyncAlways (the default) is the classic
+// contract: Append returns only after the covering fsync, so an
+// acknowledged write always survives a crash. SyncBackground acknowledges
+// once the record is written to the OS and fsyncs on a timer, trading a
+// bounded loss window (FsyncEvery) for write latency — the measurable
+// latency/durability trade-off of the figures. Callers that must never act
+// on un-fsynced data (the replication gates) use AppendSynced, whose
+// callback fires only after the real fsync in either mode.
 package wal
 
 import (
@@ -34,6 +54,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/vclock"
@@ -48,16 +69,38 @@ var (
 	errNoSource = errors.New("wal: no snapshot source registered")
 )
 
-// Record is one durable install, carrying the union of the version metadata
-// the three protocol families persist: the timestamp engine's dependency
-// vector (DV), COPS' nearest-dependency list (Deps), or neither (CC-LO).
+// Record kinds.
+const (
+	// RecInstall is one durable version install (the default zero value).
+	RecInstall uint8 = 0
+	// RecCursor is a replication-cursor update: SrcDC holds the destination
+	// DC, Seq the acknowledged stream sequence, TS the acknowledged HighTS.
+	RecCursor uint8 = 1
+)
+
+// Record is one durable log entry. Installs carry the union of the version
+// metadata the three protocol families persist: the timestamp engine's
+// dependency vector (DV), COPS' nearest-dependency list (Deps), or neither
+// (CC-LO). Cursor records reuse SrcDC/Seq/TS as documented on RecCursor.
 type Record struct {
+	Kind  uint8
 	Key   string
 	Value []byte
 	TS    uint64
 	SrcDC uint8
+	Seq   uint64       // cursor records: acknowledged stream sequence
 	DV    vclock.Vec   // timestamp-based engine; nil otherwise
 	Deps  []wire.LoDep // COPS; nil otherwise
+}
+
+// Cursor is one stream's durable replication frontier: the receiver in
+// DstDC has acknowledged every batch up to Seq, covering every local update
+// with timestamp ≤ HighTS. A partition recovering its WAL re-enqueues local
+// updates above HighTS and resumes the stream at Seq.
+type Cursor struct {
+	DstDC  uint8
+	Seq    uint64
+	HighTS uint64
 }
 
 // SnapshotSource streams the current durable state of a store, one Record
@@ -69,14 +112,70 @@ type SnapshotSource func(emit func(Record) error) error
 // nil Durability means the server runs purely in memory (the default, so
 // benchmark figures are unaffected unless a data dir is configured).
 type Durability interface {
-	// Append makes recs durable before returning. Concurrent Appends are
+	// Append makes recs durable per the log's SyncMode before returning:
+	// under SyncAlways the covering fsync has completed; under
+	// SyncBackground the records are written to the OS and the fsync is
+	// pending (the bounded loss window). Concurrent Appends are
 	// group-committed into shared fsyncs.
 	Append(recs ...Record) error
+	// AppendSynced is Append plus a real-durability notification: synced
+	// fires with nil exactly when the fsync covering recs has completed
+	// (under SyncAlways, before AppendSynced returns). Callbacks fire in
+	// log order, from the committer goroutine — keep them short and never
+	// call back into the log. On failure, synced fires at most once with
+	// the error — possibly in addition to AppendSynced returning it, or
+	// not at all when the request never reached the committer — so error
+	// cleanup must be idempotent; act only on synced(nil).
+	AppendSynced(recs []Record, synced func(error)) error
+	// AppendCursor persists a replication-cursor update (per SyncMode) and
+	// folds it into the in-memory cursor table.
+	AppendCursor(c Cursor) error
+	// Cursors returns the recovered-plus-appended cursor table, one entry
+	// per destination DC, sorted by DC. Recovery fills it during Replay,
+	// so call Replay first; it is stable to read before serving starts.
+	Cursors() []Cursor
 	// Replay streams every recovered install — newest valid snapshot first,
-	// then the log tail — in apply order. Call it once, before serving.
+	// then the log tail — in apply order. Cursor records are consumed into
+	// the cursor table and not passed to apply. Call it once, before
+	// serving.
 	Replay(apply func(Record) error) error
 	// SetSnapshotSource registers the store serializer used by snapshots.
 	SetSnapshotSource(src SnapshotSource)
+}
+
+// SyncMode selects when Append acknowledges relative to fsync.
+type SyncMode uint8
+
+const (
+	// SyncAlways acknowledges only after the covering fsync: an
+	// acknowledged write always survives a crash.
+	SyncAlways SyncMode = iota
+	// SyncBackground acknowledges once the record is written to the OS and
+	// fsyncs on the FsyncEvery timer: a crash may lose up to one window of
+	// acknowledged writes, never more. Replication gates still wait for
+	// the real fsync (AppendSynced), so a write lost to the window is lost
+	// everywhere — replicas never diverge.
+	SyncBackground
+)
+
+// String names the mode as the -wal-sync flag spells it.
+func (m SyncMode) String() string {
+	if m == SyncBackground {
+		return "async"
+	}
+	return "sync"
+}
+
+// ParseSyncMode parses "sync" or "async".
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch s {
+	case "", "sync":
+		return SyncAlways, nil
+	case "async":
+		return SyncBackground, nil
+	default:
+		return SyncAlways, fmt.Errorf("wal: unknown sync mode %q (want sync|async)", s)
+	}
 }
 
 // Options parameterizes Open.
@@ -89,6 +188,10 @@ type Options struct {
 	// SnapshotEvery is the periodic snapshot interval; 0 disables periodic
 	// snapshots (Snapshot can still be called explicitly).
 	SnapshotEvery time.Duration
+	// Sync selects the acknowledgment contract (default SyncAlways).
+	Sync SyncMode
+	// FsyncEvery bounds the SyncBackground loss window (default 2ms).
+	FsyncEvery time.Duration
 }
 
 const (
@@ -109,8 +212,10 @@ const (
 )
 
 var (
-	segMagic  = [8]byte{'C', 'K', 'V', 'W', 'A', 'L', '0', '1'}
-	snapMagic = [8]byte{'C', 'K', 'V', 'S', 'N', 'P', '0', '1'}
+	// Format 02: records gained a Kind byte (installs vs replication
+	// cursors); 01 files fail the magic check rather than misparse.
+	segMagic  = [8]byte{'C', 'K', 'V', 'W', 'A', 'L', '0', '2'}
+	snapMagic = [8]byte{'C', 'K', 'V', 'S', 'N', 'P', '0', '2'}
 
 	crcTable = crc32.MakeTable(crc32.Castagnoli)
 )
@@ -137,8 +242,18 @@ type Log struct {
 
 	// Active segment state, owned by the committer goroutine after Open.
 	active     *os.File
+	activePath string
 	activeSeq  uint64
 	activeSize int64
+	// syncedSize is how much of the active segment the last fsync covered.
+	// Crash() truncates back to it, modelling the kernel page-cache loss a
+	// power cut inflicts on un-fsynced writes. Written by the committer,
+	// read after wg.Wait (the WaitGroup orders the accesses).
+	syncedSize int64
+	// pendingSynced holds, in log order, the synced callbacks of records
+	// written but not yet covered by an fsync (SyncBackground only; under
+	// SyncAlways every commit fsyncs, so the list never survives a batch).
+	pendingSynced []func(error)
 	// broken latches the first write/sync/rotate failure. A partial record
 	// may now sit mid-file, and anything appended after it would be
 	// unreachable to recovery (replay stops at the first bad CRC), so the
@@ -146,6 +261,13 @@ type Log struct {
 	// request fails with this error until the process restarts and
 	// recovery truncates its view at the damage.
 	broken error
+
+	// crashed marks a Crash() shutdown: skip the final fsync so the
+	// truncation to syncedSize faithfully discards the loss window.
+	crashed atomic.Bool
+
+	cursorMu sync.Mutex
+	cursors  map[uint8]Cursor
 
 	snapMu sync.Mutex // serializes Snapshot runs
 	srcMu  sync.Mutex
@@ -156,9 +278,11 @@ type Log struct {
 // commitReq is one queued unit of committer work: an append (buf non-nil)
 // or a rotation request (rotated non-nil). done always receives exactly one
 // result; rotated receives the new active sequence before done on success.
+// synced, when non-nil, fires once the records' covering fsync completes.
 type commitReq struct {
 	buf     *wire.FrameBuf
 	recs    int
+	synced  func(error)
 	done    chan error
 	rotated chan uint64
 }
@@ -173,6 +297,9 @@ func Open(opts Options) (*Log, error) {
 	if opts.SegmentBytes <= 0 {
 		opts.SegmentBytes = defaultSegmentBytes
 	}
+	if opts.FsyncEvery <= 0 {
+		opts.FsyncEvery = 2 * time.Millisecond
+	}
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
@@ -181,6 +308,7 @@ func Open(opts Options) (*Log, error) {
 		appendCh: make(chan *commitReq, maxBatchReqs),
 		stop:     make(chan struct{}),
 		dead:     make(chan struct{}),
+		cursors:  make(map[uint8]Cursor),
 	}
 	maxSeq, err := l.scan()
 	if err != nil {
@@ -287,7 +415,8 @@ func (l *Log) openSegment(seq uint64) error {
 		f.Close()
 		return err
 	}
-	l.active, l.activeSeq, l.activeSize = f, seq, fileHdrLen
+	l.active, l.activePath, l.activeSeq = f, path, seq
+	l.activeSize, l.syncedSize = fileHdrLen, fileHdrLen
 	l.stats.Segments.Add(1)
 	return nil
 }
@@ -310,18 +439,26 @@ func syncDir(dir string) error {
 // Stats exposes the log's counters.
 func (l *Log) Stats() *Stats { return &l.stats }
 
-// Append makes recs durable before returning. Concurrent Appends from
-// different goroutines are coalesced by the committer into shared
-// write+fsync batches (group commit).
+// Append makes recs durable per the log's SyncMode before returning.
+// Concurrent Appends from different goroutines are coalesced by the
+// committer into shared write+fsync batches (group commit).
 func (l *Log) Append(recs ...Record) error {
+	return l.AppendSynced(recs, nil)
+}
+
+// AppendSynced is Append plus a real-fsync notification (see Durability).
+func (l *Log) AppendSynced(recs []Record, synced func(error)) error {
 	if len(recs) == 0 {
+		if synced != nil {
+			synced(nil)
+		}
 		return nil
 	}
 	f := wire.GetFrame()
 	for i := range recs {
 		encodeRecord(&f.Buffer, &recs[i])
 	}
-	req := &commitReq{buf: f, recs: len(recs), done: make(chan error, 1)}
+	req := &commitReq{buf: f, recs: len(recs), synced: synced, done: make(chan error, 1)}
 	select {
 	case l.appendCh <- req:
 	case <-l.stop:
@@ -329,6 +466,45 @@ func (l *Log) Append(recs ...Record) error {
 		return ErrClosed
 	}
 	return l.wait(req)
+}
+
+// AppendAndSync appends recs and blocks until the covering fsync has
+// completed regardless of the log's SyncMode. Replication receivers use it:
+// the sender retires a batch (and advances its durable cursor) on our ack,
+// so the ack must never outrun our own fsync — otherwise a receiver crash
+// could lose data the sender will never re-send, and the DCs would diverge.
+func AppendAndSync(d Durability, recs []Record) error {
+	ch := make(chan error, 1)
+	if err := d.AppendSynced(recs, func(err error) { ch <- err }); err != nil {
+		return err
+	}
+	return <-ch
+}
+
+// AppendCursor persists a replication-cursor update and folds it into the
+// in-memory cursor table. Cursor loss is always safe (the stream re-ships
+// an acknowledged suffix receivers dedup), so callers may ignore the error
+// beyond logging.
+func (l *Log) AppendCursor(c Cursor) error {
+	l.cursorMu.Lock()
+	if prev, ok := l.cursors[c.DstDC]; !ok || c.Seq >= prev.Seq {
+		l.cursors[c.DstDC] = c
+	}
+	l.cursorMu.Unlock()
+	l.stats.CursorAppends.Add(1)
+	return l.Append(Record{Kind: RecCursor, SrcDC: c.DstDC, Seq: c.Seq, TS: c.HighTS})
+}
+
+// Cursors returns the current cursor table, sorted by destination DC.
+func (l *Log) Cursors() []Cursor {
+	l.cursorMu.Lock()
+	out := make([]Cursor, 0, len(l.cursors))
+	for _, c := range l.cursors {
+		out = append(out, c)
+	}
+	l.cursorMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].DstDC < out[j].DstDC })
+	return out
 }
 
 // wait blocks for req's result, falling back to ErrClosed if the committer
@@ -365,15 +541,25 @@ func (l *Log) rotate() (uint64, error) {
 
 // run is the committer: it blocks for the first queued request, greedily
 // drains everything else already queued, writes the whole batch to the
-// active segment, and retires it with a single fsync.
+// active segment, and retires it with a single fsync (SyncAlways) or leaves
+// it for the background fsync timer (SyncBackground).
 func (l *Log) run() {
 	defer l.wg.Done()
 	defer close(l.dead)
+	var tick <-chan time.Time
+	if l.opts.Sync == SyncBackground {
+		t := time.NewTicker(l.opts.FsyncEvery)
+		defer t.Stop()
+		tick = t.C
+	}
 	batch := make([]*commitReq, 0, maxBatchReqs)
 	for {
 		var req *commitReq
 		select {
 		case req = <-l.appendCh:
+		case <-tick:
+			l.backgroundSync()
+			continue
 		case <-l.stop:
 			l.shutdown()
 			return
@@ -417,7 +603,10 @@ func (l *Log) run() {
 	}
 }
 
-// commit writes one group-commit batch and fsyncs once for all of it.
+// commit writes one group-commit batch. Under SyncAlways it retires the
+// whole batch with a single fsync; under SyncBackground the records are
+// acknowledged as written and their synced callbacks queue for the next
+// background fsync.
 func (l *Log) commit(batch []*commitReq) {
 	err := l.broken
 	if err == nil && l.activeSize >= l.opts.SegmentBytes {
@@ -435,14 +624,13 @@ func (l *Log) commit(batch []*commitReq) {
 		wire.PutFrame(r.buf)
 		r.buf = nil
 	}
-	if err == nil {
-		err = l.active.Sync()
+	if err == nil && l.opts.Sync == SyncAlways {
+		err = l.fsync()
 	}
 	if err != nil && l.broken == nil {
 		l.broken = fmt.Errorf("wal: log poisoned by earlier failure: %w", err)
 	}
 	if err == nil {
-		l.stats.Fsyncs.Add(1)
 		l.stats.Appends.Add(uint64(recs))
 		l.stats.AppendBytes.Add(uint64(bytes))
 		// Pulse the gauge by the batch size so its high-water mark records
@@ -451,31 +639,100 @@ func (l *Log) commit(batch []*commitReq) {
 		l.stats.Batch.Add(-int64(recs))
 	}
 	for _, r := range batch {
+		if r.synced != nil {
+			if err != nil || l.opts.Sync == SyncAlways {
+				// Failure, or the batch fsync above already covered it.
+				r.synced(err)
+			} else {
+				l.pendingSynced = append(l.pendingSynced, r.synced)
+			}
+		}
 		r.done <- err
 	}
 }
 
-// rotateSegment seals the active segment and opens the next one.
-func (l *Log) rotateSegment() error {
+// fsync flushes the active segment, records the covered size, and fires
+// every pending synced callback in log order.
+func (l *Log) fsync() error {
 	if err := l.active.Sync(); err != nil {
+		l.firePending(err)
+		return err
+	}
+	l.syncedSize = l.activeSize
+	l.stats.Fsyncs.Add(1)
+	l.firePending(nil)
+	return nil
+}
+
+// firePending drains the pendingSynced callbacks with err.
+func (l *Log) firePending(err error) {
+	for _, fn := range l.pendingSynced {
+		fn(err)
+	}
+	l.pendingSynced = l.pendingSynced[:0]
+}
+
+// backgroundSync is the SyncBackground timer body: flush anything written
+// since the last fsync.
+func (l *Log) backgroundSync() {
+	if l.broken != nil {
+		l.firePending(l.broken)
+		return
+	}
+	if l.syncedSize == l.activeSize && len(l.pendingSynced) == 0 {
+		return
+	}
+	if err := l.fsync(); err != nil && l.broken == nil {
+		l.broken = fmt.Errorf("wal: log poisoned by earlier failure: %w", err)
+	}
+}
+
+// rotateSegment seals the active segment and opens the next one. The seal
+// fsync covers every record written so far, so pending callbacks fire.
+func (l *Log) rotateSegment() error {
+	dirty := l.syncedSize < l.activeSize || len(l.pendingSynced) > 0
+	if err := l.active.Sync(); err != nil {
+		l.firePending(err)
 		return fmt.Errorf("wal: %w", err)
 	}
+	l.syncedSize = l.activeSize
+	if dirty {
+		l.stats.Fsyncs.Add(1)
+	}
+	l.firePending(nil)
 	if err := l.active.Close(); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
 	return l.openSegment(l.activeSeq + 1)
 }
 
-// shutdown syncs and closes the active segment, then fails whatever is
-// still queued.
+// shutdown closes the active segment — syncing it first unless this is a
+// Crash(), whose whole point is to lose the unsynced window — then fails
+// whatever is still queued.
 func (l *Log) shutdown() {
-	l.active.Sync()
+	if l.crashed.Load() {
+		l.firePending(ErrClosed)
+	} else {
+		dirty := l.syncedSize < l.activeSize || len(l.pendingSynced) > 0
+		if l.broken == nil && l.active.Sync() == nil {
+			l.syncedSize = l.activeSize
+			if dirty {
+				l.stats.Fsyncs.Add(1)
+			}
+			l.firePending(nil)
+		} else {
+			l.firePending(ErrClosed)
+		}
+	}
 	l.active.Close()
 	for {
 		select {
 		case r := <-l.appendCh:
 			if r.buf != nil {
 				wire.PutFrame(r.buf)
+			}
+			if r.synced != nil {
+				r.synced(ErrClosed)
 			}
 			r.done <- ErrClosed
 		default:
@@ -489,6 +746,23 @@ func (l *Log) shutdown() {
 func (l *Log) Close() error {
 	l.stopOnce.Do(func() { close(l.stop) })
 	l.wg.Wait()
+	return nil
+}
+
+// Crash is the fault-injection shutdown: it stops the log WITHOUT the final
+// fsync and truncates the active segment back to the last fsync-covered
+// offset, discarding the same bytes a power cut would take from the kernel
+// page cache. Under SyncAlways every acknowledged append survives; under
+// SyncBackground up to one FsyncEvery window of acknowledged appends is
+// lost — exactly the documented contract. Tests use it as the in-process
+// kill -9.
+func (l *Log) Crash() error {
+	l.crashed.Store(true)
+	l.stopOnce.Do(func() { close(l.stop) })
+	l.wg.Wait()
+	if err := os.Truncate(l.activePath, l.syncedSize); err != nil {
+		return fmt.Errorf("wal: crash truncate: %w", err)
+	}
 	return nil
 }
 
@@ -566,6 +840,18 @@ func (l *Log) replayFile(path string, magic [8]byte, seq uint64, tolerateTail bo
 			// bug), not a torn write; never skip it silently.
 			return fmt.Errorf("%w (%s): %v", ErrCorrupt, path, derr)
 		}
+		if rec.Kind == RecCursor {
+			// Replication cursors are the log's own state, not the store's:
+			// fold into the table (max by sequence — snapshot entries replay
+			// before newer segment entries) instead of handing to apply.
+			l.cursorMu.Lock()
+			if prev, ok := l.cursors[rec.SrcDC]; !ok || rec.Seq >= prev.Seq {
+				l.cursors[rec.SrcDC] = Cursor{DstDC: rec.SrcDC, Seq: rec.Seq, HighTS: rec.TS}
+			}
+			l.cursorMu.Unlock()
+			l.stats.CursorsRecovered.Add(1)
+			continue
+		}
 		if err := apply(rec); err != nil {
 			return err
 		}
@@ -641,6 +927,21 @@ func (l *Log) Snapshot() error {
 			_, werr := bw.Write(frame.B)
 			return werr
 		})
+		if err == nil {
+			// The snapshot supersedes sealed segments, so it must carry the
+			// cursor table those segments held: the current table is at
+			// least as fresh as any cursor record below the cut (newer ones
+			// live in the active segment and replay after).
+			for _, c := range l.Cursors() {
+				frame.B = frame.B[:0]
+				encodeRecord(&frame.Buffer, &Record{Kind: RecCursor, SrcDC: c.DstDC, Seq: c.Seq, TS: c.HighTS})
+				recs++
+				if _, werr := bw.Write(frame.B); werr != nil {
+					err = werr
+					break
+				}
+			}
+		}
 		wire.PutFrame(frame)
 	}
 	if err == nil {
@@ -707,15 +1008,23 @@ func (l *Log) truncate(cut uint64) {
 func encodeRecord(b *wire.Buffer, rec *Record) {
 	off := len(b.B)
 	b.B = append(b.B, 0, 0, 0, 0, 0, 0, 0, 0)
-	b.String(rec.Key)
-	b.Bytes(rec.Value)
-	b.U64(rec.TS)
-	b.U8(rec.SrcDC)
-	b.Vec(rec.DV)
-	b.Uvarint(uint64(len(rec.Deps)))
-	for i := range rec.Deps {
-		b.String(rec.Deps[i].Key)
-		b.U64(rec.Deps[i].TS)
+	b.U8(rec.Kind)
+	if rec.Kind == RecCursor {
+		b.U8(rec.SrcDC)
+		b.U64(rec.Seq)
+		b.U64(rec.TS)
+	} else {
+		b.String(rec.Key)
+		b.Bytes(rec.Value)
+		b.U64(rec.TS)
+		b.U8(rec.SrcDC)
+		b.Vec(rec.DV)
+		b.Uvarint(uint64(len(rec.Deps)))
+		for i := range rec.Deps {
+			b.String(rec.Deps[i].Key)
+			b.U64(rec.Deps[i].TS)
+			b.U8(rec.Deps[i].Src)
+		}
 	}
 	body := b.B[off+recHdrLen:]
 	binary.LittleEndian.PutUint32(b.B[off:], uint32(len(body)))
@@ -725,6 +1034,21 @@ func encodeRecord(b *wire.Buffer, rec *Record) {
 // decodeRecord parses one record body (the CRC has already been verified).
 func decodeRecord(body []byte) (Record, error) {
 	r := wire.NewReader(body)
+	kind := r.U8()
+	switch kind {
+	case RecCursor:
+		rec := Record{Kind: kind, SrcDC: r.U8(), Seq: r.U64(), TS: r.U64()}
+		if r.Err() != nil {
+			return Record{}, r.Err()
+		}
+		if r.Remaining() != 0 {
+			return Record{}, fmt.Errorf("%d trailing bytes", r.Remaining())
+		}
+		return rec, nil
+	case RecInstall:
+	default:
+		return Record{}, fmt.Errorf("unknown record kind %d", kind)
+	}
 	rec := Record{
 		Key:   r.String(),
 		Value: r.Bytes(),
@@ -739,7 +1063,7 @@ func decodeRecord(body []byte) (Record, error) {
 	if n > 0 && r.Err() == nil {
 		rec.Deps = make([]wire.LoDep, 0, n)
 		for i := uint64(0); i < n && r.Err() == nil; i++ {
-			rec.Deps = append(rec.Deps, wire.LoDep{Key: r.String(), TS: r.U64()})
+			rec.Deps = append(rec.Deps, wire.LoDep{Key: r.String(), TS: r.U64(), Src: r.U8()})
 		}
 	}
 	if r.Err() != nil {

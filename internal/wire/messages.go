@@ -101,13 +101,16 @@ func init() {
 	Pool(TCopsVerReq)
 }
 
-// KV is one read result: a key, the version's value, and the version's
-// timestamp (the source-DC timestamp for the timestamp-based engine, the
-// Lamport timestamp for CC-LO).
+// KV is one read result: a key, the version's value, its timestamp (the
+// source-DC timestamp for the timestamp-based engine, the Lamport
+// timestamp for CC-LO), and the version's origin DC. (TS, Src) is the
+// version's identity: Lamport timestamps collide freely across DCs, so a
+// timestamp alone cannot name a version.
 type KV struct {
 	Key   string
 	Value []byte
 	TS    uint64
+	Src   uint8
 }
 
 func encodeKVs(b *Buffer, kvs []KV) {
@@ -116,6 +119,7 @@ func encodeKVs(b *Buffer, kvs []KV) {
 		b.String(kvs[i].Key)
 		b.Bytes(kvs[i].Value)
 		b.U64(kvs[i].TS)
+		b.U8(kvs[i].Src)
 	}
 }
 
@@ -127,7 +131,7 @@ func decodeKVs(r *Reader) []KV {
 	}
 	kvs := make([]KV, 0, n)
 	for i := uint64(0); i < n && r.Err() == nil; i++ {
-		kvs = append(kvs, KV{Key: r.String(), Value: r.Bytes(), TS: r.U64()})
+		kvs = append(kvs, KV{Key: r.String(), Value: r.Bytes(), TS: r.U64(), Src: r.U8()})
 	}
 	return kvs
 }
@@ -470,11 +474,15 @@ func (m *GSSBcast) Reset() { *m = GSSBcast{} }
 // CC-LO (COPS-SNOW).
 //
 
-// LoDep is one COPS-style nearest dependency: a key and the Lamport
-// timestamp of the version depended upon.
+// LoDep is one COPS-style nearest dependency: a key plus the (Lamport
+// timestamp, origin DC) identity of the version depended upon. The origin
+// DC matters: Lamport timestamps collide across DCs, and a dependency
+// check satisfied by a same-timestamp version from the wrong DC would
+// break the causal install order.
 type LoDep struct {
 	Key string
 	TS  uint64
+	Src uint8
 }
 
 func encodeDeps(b *Buffer, deps []LoDep) {
@@ -482,6 +490,7 @@ func encodeDeps(b *Buffer, deps []LoDep) {
 	for i := range deps {
 		b.String(deps[i].Key)
 		b.U64(deps[i].TS)
+		b.U8(deps[i].Src)
 	}
 }
 
@@ -499,7 +508,7 @@ func decodeDepsInto(dst []LoDep, r *Reader) []LoDep {
 		return nil
 	}
 	for i := uint64(0); i < n && r.Err() == nil; i++ {
-		dst = append(dst, LoDep{Key: r.String(), TS: r.U64()})
+		dst = append(dst, LoDep{Key: r.String(), TS: r.U64(), Src: r.U8()})
 	}
 	return dst
 }
@@ -575,16 +584,25 @@ func (m *LoPutResp) Decode(r *Reader) { m.TS = r.U64() }
 // involved partition.
 type LoRotReq struct {
 	RotID uint64
-	Keys  []string
+	// SeenTS is the session's Lamport high-water mark (the newest timestamp
+	// it has observed through reads and put acks). The serving partition
+	// folds it into its clock before assigning read times, so a recorded
+	// old-reader entry is never below state the session already saw — the
+	// rewind a later dependent write triggers can then never serve this
+	// session something older than its own past.
+	SeenTS uint64
+	Keys   []string
 }
 
 func (*LoRotReq) Type() uint16 { return TLoRotReq }
 func (m *LoRotReq) Encode(b *Buffer) {
 	b.U64(m.RotID)
+	b.U64(m.SeenTS)
 	encodeStrings(b, m.Keys)
 }
 func (m *LoRotReq) Decode(r *Reader) {
 	m.RotID = r.U64()
+	m.SeenTS = r.U64()
 	m.Keys = decodeStringsInto(m.Keys, r)
 }
 
@@ -685,22 +703,25 @@ func (*LoRepAck) Type() uint16       { return TLoRepAck }
 func (m *LoRepAck) Encode(b *Buffer) { b.U64(m.Seq) }
 func (m *LoRepAck) Decode(r *Reader) { m.Seq = r.U64() }
 
-// DepCheckReq asks whether the receiver has installed a version of Key with
-// timestamp ≥ TS; the receiver delays its response until it has (COPS-style
-// dependency checking).
+// DepCheckReq asks whether the receiver has installed the version of Key
+// identified by (TS, Src); the receiver delays its response until it has
+// (COPS-style dependency checking).
 type DepCheckReq struct {
 	Key string
 	TS  uint64
+	Src uint8
 }
 
 func (*DepCheckReq) Type() uint16 { return TDepCheckReq }
 func (m *DepCheckReq) Encode(b *Buffer) {
 	b.String(m.Key)
 	b.U64(m.TS)
+	b.U8(m.Src)
 }
 func (m *DepCheckReq) Decode(r *Reader) {
 	m.Key = r.String()
 	m.TS = r.U64()
+	m.Src = r.U8()
 }
 
 // Reset clears the scalar fields.
@@ -787,6 +808,7 @@ func (m *CopsRotResp) Encode(b *Buffer) {
 		b.String(m.Vals[i].KV.Key)
 		b.Bytes(m.Vals[i].KV.Value)
 		b.U64(m.Vals[i].KV.TS)
+		b.U8(m.Vals[i].KV.Src)
 		encodeDeps(b, m.Vals[i].Deps)
 	}
 }
@@ -799,27 +821,30 @@ func (m *CopsRotResp) Decode(r *Reader) {
 	m.Vals = make([]DepKV, 0, n)
 	for i := uint64(0); i < n && r.Err() == nil; i++ {
 		m.Vals = append(m.Vals, DepKV{
-			KV:   KV{Key: r.String(), Value: r.Bytes(), TS: r.U64()},
+			KV:   KV{Key: r.String(), Value: r.Bytes(), TS: r.U64(), Src: r.U8()},
 			Deps: decodeDeps(r),
 		})
 	}
 }
 
-// CopsVerReq is the second ROT round: fetch the specific version TS of Key
-// (the causal cut computed from the first round's dependencies).
+// CopsVerReq is the second ROT round: fetch the specific version (TS, Src)
+// of Key (the causal cut computed from the first round's dependencies).
 type CopsVerReq struct {
 	Key string
 	TS  uint64
+	Src uint8
 }
 
 func (*CopsVerReq) Type() uint16 { return TCopsVerReq }
 func (m *CopsVerReq) Encode(b *Buffer) {
 	b.String(m.Key)
 	b.U64(m.TS)
+	b.U8(m.Src)
 }
 func (m *CopsVerReq) Decode(r *Reader) {
 	m.Key = r.String()
 	m.TS = r.U64()
+	m.Src = r.U8()
 }
 
 // Reset clears the scalar fields.
