@@ -109,6 +109,11 @@ type Options struct {
 	WALSync string
 	// WALFsyncEvery bounds the "async" loss window (0 = default 2ms).
 	WALFsyncEvery time.Duration
+	// FlushBudget bounds how long the transport keeps a coalesced batch of
+	// frames open before flushing (the adaptive flush policy; an idle send
+	// queue always flushes immediately). 0 applies the default (~200µs);
+	// negative disables the budget, restoring greedy drain-until-idle.
+	FlushBudget time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -167,6 +172,7 @@ func StartCluster(opts Options) (*Cluster, error) {
 		WALSnapshotEvery: opts.SnapshotEvery,
 		WALSync:          mode,
 		WALFsyncEvery:    opts.WALFsyncEvery,
+		FlushBudget:      opts.FlushBudget,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("causalkv: %w", err)

@@ -13,12 +13,17 @@
 //	benchfig -fig values       # §5.8 (value size sweep)
 //	benchfig -fig table2       # Table 2 (systems characterization)
 //	benchfig -fig wal          # durability: WAL off vs sync vs async
+//	benchfig -fig transport    # batching engine: greedy vs adaptive flush
 //	benchfig -fig all          # everything
 //
 // Scale knobs: -partitions, -keys, -clients, -duration, -warmup, -paper.
+// With -json FILE, the measured series of the run are additionally written
+// as JSON (CI archives the transport figure this way so future changes
+// have a perf trajectory to compare against).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,7 +36,7 @@ import (
 
 func main() {
 	var (
-		fig        = flag.String("fig", "all", "figure to reproduce: 4,5,6,7a,7b,8,9,values,compare,ablation,table2,wal,all")
+		fig        = flag.String("fig", "all", "figure to reproduce: 4,5,6,7a,7b,8,9,values,compare,ablation,table2,wal,transport,all")
 		partitions = flag.Int("partitions", 8, "partitions per DC")
 		keys       = flag.Int("keys", 20000, "keys per partition")
 		clientsCSV = flag.String("clients", "4,16,64,192", "comma-separated clients/DC sweep")
@@ -39,6 +44,7 @@ func main() {
 		warmup     = flag.Duration("warmup", time.Second, "warmup per point")
 		skew       = flag.Duration("skew", time.Millisecond, "max physical clock skew")
 		paper      = flag.Bool("paper", false, "use paper-scale parameters (hours of runtime)")
+		jsonOut    = flag.String("json", "", "also write the measured series as JSON to this file")
 	)
 	flag.Parse()
 
@@ -62,6 +68,7 @@ func main() {
 		o.Clients = cs
 	}
 
+	var collected []bench.Series
 	run := func(name string, fn func() error) {
 		if err := fn(); err != nil {
 			fatal("%s: %v", name, err)
@@ -75,6 +82,7 @@ func main() {
 	if want("4") {
 		run("figure 4", func() error {
 			series, err := bench.Figure4(o)
+			collected = append(collected, series...)
 			if err == nil {
 				bench.PlotSeries(os.Stdout, "Figure 4 (plot)", series)
 			}
@@ -84,6 +92,7 @@ func main() {
 	if want("5") {
 		run("figure 5", func() error {
 			series, err := bench.Figure5(o)
+			collected = append(collected, series...)
 			if err == nil {
 				bench.PlotSeries(os.Stdout, "Figure 5 (plot)", series)
 			}
@@ -91,26 +100,51 @@ func main() {
 		})
 	}
 	if want("6") {
-		run("figure 6", func() error { _, err := bench.Figure6(o); return err })
+		run("figure 6", func() error {
+			series, err := bench.Figure6(o)
+			collected = append(collected, series)
+			return err
+		})
 	}
 	if want("7a") {
-		run("figure 7a", func() error { _, err := bench.Figure7(o, 1); return err })
+		run("figure 7a", func() error {
+			series, err := bench.Figure7(o, 1)
+			collected = append(collected, series...)
+			return err
+		})
 	}
 	if want("7b") {
-		run("figure 7b", func() error { _, err := bench.Figure7(o, 2); return err })
+		run("figure 7b", func() error {
+			series, err := bench.Figure7(o, 2)
+			collected = append(collected, series...)
+			return err
+		})
 	}
 	if want("8") {
-		run("figure 8", func() error { _, err := bench.Figure8(o); return err })
+		run("figure 8", func() error {
+			series, err := bench.Figure8(o)
+			collected = append(collected, series...)
+			return err
+		})
 	}
 	if want("9") {
-		run("figure 9", func() error { _, err := bench.Figure9(o); return err })
+		run("figure 9", func() error {
+			series, err := bench.Figure9(o)
+			collected = append(collected, series...)
+			return err
+		})
 	}
 	if want("values") {
-		run("value sizes", func() error { _, err := bench.ValueSizes(o); return err })
+		run("value sizes", func() error {
+			series, err := bench.ValueSizes(o)
+			collected = append(collected, series...)
+			return err
+		})
 	}
 	if want("compare") {
 		run("compare all", func() error {
 			series, err := bench.CompareAll(o)
+			collected = append(collected, series...)
 			if err == nil {
 				bench.PlotSeries(os.Stdout, "All protocols (plot)", series)
 			}
@@ -121,7 +155,34 @@ func main() {
 		run("clock ablation", func() error { _, err := bench.AblationClockFreshness(o, 30); return err })
 	}
 	if want("wal") {
-		run("wal sync modes", func() error { _, err := bench.FigureWAL(o, ""); return err })
+		run("wal sync modes", func() error {
+			series, err := bench.FigureWAL(o, "")
+			collected = append(collected, series...)
+			return err
+		})
+	}
+	if want("transport") {
+		run("transport flush policies", func() error {
+			series, err := bench.FigureTransport(o, 1)
+			collected = append(collected, series...)
+			return err
+		})
+	}
+	if *jsonOut != "" {
+		if len(collected) == 0 {
+			// table2/ablation produce no Series; after an otherwise
+			// successful run, warn and write a valid empty archive rather
+			// than failing (or emitting literal "null").
+			fmt.Fprintf(os.Stderr, "benchfig: -fig %s produced no measured series; writing an empty JSON array\n", *fig)
+			collected = []bench.Series{}
+		}
+		buf, err := json.MarshalIndent(collected, "", "  ")
+		if err != nil {
+			fatal("marshal -json: %v", err)
+		}
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			fatal("write -json: %v", err)
+		}
 	}
 }
 

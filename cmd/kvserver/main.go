@@ -55,6 +55,8 @@ func main() {
 		walSync    = flag.String("wal-sync", "sync", "WAL acknowledgment contract: sync (acked ⇒ fsynced) or async (acked ⇒ written; fsync within -wal-fsync-every)")
 		fsyncEvery = flag.Duration("wal-fsync-every", 0, "async mode's bounded loss window (0 = default 2ms)")
 		repFlush   = flag.Duration("rep-flush-every", 0, "replication flush period for the timestamp-based engine (0 = default 2ms; tests stretch it to hold replication back)")
+		flushBud   = flag.Duration("flush-budget", transport.DefaultFlushBudget, "adaptive flush latency budget: how long the transport may keep a coalesced batch open before flushing (0 = greedy drain-until-idle)")
+		writevMin  = flag.Int("writev-bytes", 0, "frame size at or above which frames skip the copy into the flush buffer and go out via writev scatter-gather (0 = default 16 KiB)")
 	)
 	flag.Parse()
 	if *topoPath == "" {
@@ -76,7 +78,13 @@ func main() {
 		log.Fatalf("kvserver: -partition %d outside topology (have %d partitions)", *partition, topo.Partitions)
 	}
 
-	net := transport.NewTCP(topo.Directory)
+	// The flag spells greedy as 0; the engine policy does too, so it is
+	// passed through as-is (unlike struct configs, an explicit flag default
+	// carries the adaptive budget itself).
+	net := transport.NewTCPOpts(topo.Directory, transport.BatchPolicy{
+		FlushBudget: *flushBud,
+		WritevBytes: *writevMin,
+	})
 	defer net.Close()
 
 	// Durability: one WAL per partition process. Opened before the server

@@ -40,6 +40,10 @@ type System struct {
 	// written; fsync within the loss window) — the measurable
 	// latency/durability trade-off.
 	WALSync wal.SyncMode
+	// FlushBudget is the transport's adaptive flush latency budget
+	// (0 = default ~200µs, negative = greedy drain) — the measurable
+	// latency/coalescing trade-off of the batching engine.
+	FlushBudget time.Duration
 }
 
 // Label names the system as the paper's figure legends do.
@@ -66,20 +70,23 @@ type LoCheckStats struct {
 }
 
 // TransportStats summarizes write-path efficiency: counter-derived fields
-// (Msgs, Flushes, Coalesced, MsgsPerFlush, CoalescedFrac, HandlerSpills)
-// are deltas over the measurement window, while the SendQueue gauge fields
-// are whole-run values — the peak in particular may reflect preload/warmup
-// congestion, not just the window's load. On Local (no buffered write
-// path) the flush fields are zero.
+// (Msgs, Flushes, Coalesced, MsgsPerFlush, CoalescedFrac, WritevBytes,
+// HandlerSpills) are deltas over the measurement window, while the
+// SendQueue gauge fields and FlushP99Delay are whole-run values — the peak
+// in particular may reflect preload/warmup congestion, not just the
+// window's load. Both transports feed the flush fields through the shared
+// batching engine; WritevBytes is TCP-only (Local has no copy to skip).
 type TransportStats struct {
-	Msgs           uint64  // messages sent in the window (≈ dispatches)
-	Flushes        uint64  // buffered flushes (≈ write syscalls on TCP)
-	Coalesced      uint64  // frames that shared a flush with an earlier frame
-	MsgsPerFlush   float64 // average frames retired per flush
-	CoalescedFrac  float64 // fraction of sent frames that cost no syscall
-	HandlerSpills  uint64  // inbound requests that overflowed the worker pool
-	SendQueuePeak  int64   // high-water mark of queued frames (whole run)
-	SendQueueDepth int64   // queued frames at window end
+	Msgs           uint64        // messages sent in the window (≈ dispatches)
+	Flushes        uint64        // coalesced batches cut (≈ write syscalls on TCP)
+	Coalesced      uint64        // frames that shared a flush with an earlier frame
+	MsgsPerFlush   float64       // average frames retired per flush
+	CoalescedFrac  float64       // fraction of sent frames that cost no syscall
+	FlushP99Delay  time.Duration // p99 enqueue→flush delay (whole run)
+	WritevBytes    uint64        // frame bytes sent via scatter-gather, no staging copy
+	HandlerSpills  uint64        // inbound requests that overflowed the worker pool
+	SendQueuePeak  int64         // high-water mark of queued frames (whole run)
+	SendQueueDepth int64         // queued frames at window end
 }
 
 // SpillFrac is the fraction of dispatches that overflowed the handler
@@ -97,6 +104,8 @@ func transportDelta(a, b transport.StatsView) TransportStats {
 		Msgs:           b.MsgsSent - a.MsgsSent,
 		Flushes:        b.Flushes - a.Flushes,
 		Coalesced:      b.FramesCoalesced - a.FramesCoalesced,
+		FlushP99Delay:  b.FlushP99Delay,
+		WritevBytes:    b.WritevBytes - a.WritevBytes,
 		HandlerSpills:  b.HandlerOverflow - a.HandlerOverflow,
 		SendQueuePeak:  b.SendQueuePeak,
 		SendQueueDepth: b.SendQueueDepth,
@@ -156,14 +165,15 @@ type Point struct {
 // Run measures one load point.
 func Run(sys System, spec RunSpec) (Point, error) {
 	cfg := cluster.Config{
-		Protocol:   sys.Protocol,
-		DCs:        sys.DCs,
-		Partitions: sys.Partitions,
-		Latency:    sys.Latency,
-		MaxSkew:    sys.MaxSkew,
-		Seed:       1,
-		DataDir:    sys.DataDir,
-		WALSync:    sys.WALSync,
+		Protocol:    sys.Protocol,
+		DCs:         sys.DCs,
+		Partitions:  sys.Partitions,
+		Latency:     sys.Latency,
+		MaxSkew:     sys.MaxSkew,
+		Seed:        1,
+		DataDir:     sys.DataDir,
+		WALSync:     sys.WALSync,
+		FlushBudget: sys.FlushBudget,
 	}
 	c, err := cluster.Start(cfg)
 	if err != nil {

@@ -77,17 +77,34 @@ func spillWarning(p Point) string {
 
 func (o Opts) printHeader(title string) {
 	fmt.Fprintf(o.Out, "\n=== %s ===\n", title)
-	fmt.Fprintf(o.Out, "%-28s %8s %12s %10s %10s %10s %10s %8s %8s %7s\n",
-		"system", "clients", "tput(op/s)", "rot-avg", "rot-p99", "put-avg", "put-p99", "errs", "msg/fl", "spill")
+	fmt.Fprintf(o.Out, "%-28s %8s %12s %10s %10s %10s %10s %8s %8s %9s %9s %7s\n",
+		"system", "clients", "tput(op/s)", "rot-avg", "rot-p99", "put-avg", "put-p99",
+		"errs", "msg/fl", "fl-p99", "writev", "spill")
 }
 
 func (o Opts) printSeries(s Series) {
 	for _, p := range s.Points {
-		fmt.Fprintf(o.Out, "%-28s %8d %12.0f %10v %10v %10v %10v %8d %8.1f %7s\n",
+		fmt.Fprintf(o.Out, "%-28s %8d %12.0f %10v %10v %10v %10v %8d %8.1f %9v %9s %7s\n",
 			p.System, p.ClientsPerDC, p.Throughput,
 			p.ROT.Mean.Round(10*time.Microsecond), p.ROT.P99.Round(10*time.Microsecond),
 			p.PUT.Mean.Round(10*time.Microsecond), p.PUT.P99.Round(10*time.Microsecond),
-			p.Errors, p.Transport.MsgsPerFlush, spillWarning(p))
+			p.Errors, p.Transport.MsgsPerFlush,
+			p.Transport.FlushP99Delay.Round(10*time.Microsecond),
+			fmtBytes(p.Transport.WritevBytes), spillWarning(p))
+	}
+}
+
+// fmtBytes renders a byte count compactly for the figure tables.
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
 	}
 }
 
@@ -368,6 +385,43 @@ func FigureWAL(o Opts, dataDir string) ([]Series, error) {
 					"  └ "+m.label, p.ClientsPerDC, p.WAL.AppendsPerFsync, p.WAL.BatchPeak, p.WAL.CursorAppends)
 			}
 		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// FigureTransport is the batching-engine extension table: Contrarian under
+// the default workload with the transport's flush policy swept from greedy
+// drain (the seed behavior, budget off) through the adaptive default to a
+// deliberately loose budget, so the latency/coalescing trade-off — frames
+// per flush vs p99 enqueue→flush delay — is measured side by side. Run on
+// the Local simulator, whose delivery wheels share the same engine, so the
+// flush columns describe exactly what a TCP deployment's writer does.
+func FigureTransport(o Opts, dcs int) ([]Series, error) {
+	o.printHeader(fmt.Sprintf("Transport: greedy vs adaptive flush (Contrarian, %d DC)", dcs))
+	budgets := []struct {
+		label  string
+		budget time.Duration
+	}{
+		{"greedy (no budget)", -1},
+		{"adaptive 200µs", 0}, // 0 resolves to the default budget
+		{"adaptive 1ms", time.Millisecond},
+	}
+	var out []Series
+	for _, b := range budgets {
+		sys := System{
+			Protocol: cluster.Contrarian, DCs: dcs, Partitions: o.Partitions,
+			MaxSkew: o.MaxSkew, FlushBudget: b.budget,
+		}
+		s, err := Sweep(sys, o.defaultWorkload(), o.Clients, o.Duration, o.Warmup)
+		if err != nil {
+			return out, err
+		}
+		s.Label = b.label
+		for i := range s.Points {
+			s.Points[i].System = b.label
+		}
+		o.printSeries(s)
 		out = append(out, s)
 	}
 	return out, nil

@@ -1,0 +1,99 @@
+package cclo
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/ring"
+	"repro/internal/transport"
+	"repro/internal/wal"
+	"repro/internal/wire"
+)
+
+// TestRecoverAfterSnapshotKeepsDeps is the regression test for the
+// recover() gap the ROADMAP named: a local update that was still unacked
+// by a remote DC when its log record was folded into a snapshot used to
+// re-enqueue with an EMPTY dependency list (the snapshot serializer
+// dropped Deps), so the receiving DC's dependency check was silently
+// skipped for exactly the updates a crash made most fragile. The store now
+// keeps each local version's dependency list and the snapshot re-emits it;
+// this test fails on the old behavior.
+func TestRecoverAfterSnapshotKeepsDeps(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *wal.Log {
+		l, err := wal.Open(wal.Options{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	net := transport.NewLocal(transport.LatencyModel{})
+	defer net.Close()
+
+	// A 2-DC config whose remote DC is never attached: replication cannot
+	// be acked, so the durable cursor stays at zero and recovery must
+	// re-enqueue everything.
+	cfg := Config{DC: 0, Part: 0, NumDCs: 2, NumParts: 1}
+	log1 := open()
+	cfg.Durable = log1
+	srv1, err := NewServer(cfg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1.Start()
+	cli, err := NewClient(ClientConfig{DC: 0, ID: 1, Ring: ring.New(1)}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	ts1, err := cli.Put(ctx, "k1", []byte("v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The session's second put carries k1@ts1 as its nearest dependency.
+	if _, err := cli.Put(ctx, "k2", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	cli.Close()
+
+	// Snapshot: both records are compacted out of the segments and now
+	// survive only as snapshot entries. Then crash (no clean final fsync).
+	if err := log1.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	srv1.Close()
+	if err := log1.Crash(); err != nil {
+		t.Fatal(err)
+	}
+
+	log2 := open()
+	defer log2.Close()
+	cfg.Durable = log2
+	srv2, err := NewServer(cfg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inspect the recovered backlog before Start launches the streams
+	// (Close requires Start; the backlog is private to the streams after).
+	var k2 *wire.LoRepUpdate
+	for _, st := range srv2.repl.streams {
+		for _, u := range st.backlog {
+			if u.Key == "k2" {
+				k2 = u
+			}
+		}
+	}
+	srv2.Start()
+	defer srv2.Close()
+	if k2 == nil {
+		t.Fatal("k2 was not re-enqueued for the unacked remote DC")
+	}
+	if len(k2.Deps) == 0 {
+		t.Fatal("snapshot-compacted record lost its dependency list: the re-enqueued update would skip dependency checks at the receiver")
+	}
+	if d := k2.Deps[0]; d.Key != "k1" || d.TS != ts1 || d.Src != 0 {
+		t.Fatalf("re-enqueued deps = %+v, want k1@%d from DC0", k2.Deps, ts1)
+	}
+}

@@ -163,7 +163,13 @@ func (s *Server) recover() ([]*wire.LoRepUpdate, error) {
 	var maxTS uint64
 	var local []*wire.LoRepUpdate
 	err := s.cfg.Durable.Replay(func(rec wal.Record) error {
-		s.store.install(rec.Key, loVersion{value: rec.Value, ts: rec.TS, srcDC: rec.SrcDC}, nil, now)
+		// Local versions keep their dependency lists in the store so the
+		// next snapshot re-emits them (see loVersion.deps).
+		var deps []wire.LoDep
+		if int(rec.SrcDC) == s.cfg.DC {
+			deps = rec.Deps
+		}
+		s.store.install(rec.Key, loVersion{value: rec.Value, ts: rec.TS, srcDC: rec.SrcDC, deps: deps}, nil, now)
 		maxTS = max(maxTS, rec.TS)
 		if int(rec.SrcDC) == s.cfg.DC {
 			local = append(local, &wire.LoRepUpdate{
@@ -184,23 +190,51 @@ func (s *Server) recover() ([]*wire.LoRepUpdate, error) {
 	if maxTS > 0 {
 		s.clock.Update(maxTS)
 	}
-	// The store keeps no per-version dependency lists, so snapshot-compacted
-	// entries lose their Deps: a local update that is BOTH unacked by some
-	// DC and already folded into a snapshot re-enqueues with an empty list.
-	// Its dependencies have lower timestamps and re-enqueue ahead of it (or
-	// were acked long ago), so the window of weakened ordering is the
-	// re-delivery itself, and replicas still converge.
+	// Snapshot records carry each local version's dependency list (the
+	// store keeps it alongside the version, see loVersion.deps), so a local
+	// update that is BOTH unacked by some DC and already folded into a
+	// snapshot still re-enqueues with its deps — the receiving DC's
+	// dependency check must never be skipped just because the origin
+	// compacted its log. Versions at or below every stream's durable ack
+	// frontier are never re-enqueued, so their deps are omitted to keep
+	// snapshot growth bounded by the unacked window, not the keyspace.
 	s.cfg.Durable.SetSnapshotSource(func(emit func(wal.Record) error) error {
+		frontier := s.ackedFrontier()
 		var ferr error
 		s.store.forEachLatest(func(key string, v loVersion) {
 			if ferr != nil {
 				return
 			}
-			ferr = emit(wal.Record{Key: key, Value: v.value, TS: v.ts, SrcDC: v.srcDC})
+			deps := v.deps
+			if v.ts <= frontier {
+				deps = nil
+			}
+			ferr = emit(wal.Record{Key: key, Value: v.value, TS: v.ts, SrcDC: v.srcDC, Deps: deps})
 		})
 		return ferr
 	})
 	return local, nil
+}
+
+// ackedFrontier returns the timestamp at or below which every remote DC
+// has durably acknowledged this partition's local updates (MaxUint64 with
+// no remote DCs). A missing cursor means that DC has acked nothing.
+func (s *Server) ackedFrontier() uint64 {
+	if s.cfg.NumDCs <= 1 {
+		return ^uint64(0)
+	}
+	byDC := make(map[uint8]uint64)
+	for _, c := range s.cfg.Durable.Cursors() {
+		byDC[c.DstDC] = c.HighTS
+	}
+	frontier := ^uint64(0)
+	for dc := 0; dc < s.cfg.NumDCs; dc++ {
+		if dc == s.cfg.DC {
+			continue
+		}
+		frontier = min(frontier, byDC[uint8(dc)])
+	}
+	return frontier
 }
 
 // Addr returns the server's wire address.
@@ -323,7 +357,7 @@ func (s *Server) handlePut(src wire.Addr, reqID uint64, m *wire.LoPutReq) {
 			return
 		}
 	}
-	s.install(m.Key, loVersion{value: m.Value, ts: ts, srcDC: uint8(s.cfg.DC)}, collected)
+	s.install(m.Key, loVersion{value: m.Value, ts: ts, srcDC: uint8(s.cfg.DC), deps: m.Deps}, collected)
 	s.repl.enqueue(&wire.LoRepUpdate{
 		SrcDC:      uint8(s.cfg.DC),
 		SrcPart:    uint32(s.cfg.Part),

@@ -30,16 +30,26 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/wire"
 )
 
 // loVersion is one version of a key under CC-LO: Lamport timestamp plus
 // source DC for last-writer-wins convergence, plus the set of ROTs this
 // version is invisible to (they read one of its causal dependencies too
 // early; nil when no readers check collected anyone).
+//
+// deps is kept ONLY for locally originated versions: it is what the WAL
+// snapshot serializer emits so a crash-recovered re-enqueue still carries
+// the dependency list the receiving DC's dependency check needs — without
+// it, a local update whose log record was folded into a snapshot would
+// replicate with no deps and skip dependency checks entirely. Replicated
+// versions carry nil (only local writes are ever re-shipped).
 type loVersion struct {
 	value     []byte
 	ts        uint64
 	srcDC     uint8
+	deps      []wire.LoDep
 	invisible map[uint64]orEntry
 }
 

@@ -115,6 +115,17 @@ type Config struct {
 	// flush period (fault tests stretch it to hold replication back while
 	// they crash the origin); 0 uses the core default.
 	RepFlushEvery time.Duration
+
+	// FlushBudget bounds how long the transport's batching engine keeps a
+	// coalesced batch open gathering more frames (the adaptive flush
+	// policy; batches still flush immediately when the send queue goes
+	// idle). 0 applies transport.DefaultFlushBudget; negative selects
+	// greedy drain-until-idle (the pre-engine behavior, for ablations).
+	FlushBudget time.Duration
+	// MaxBatchBytes caps one coalesced transport batch (0 = engine
+	// default). Checker tests crank it up together with a tiny budget to
+	// stress batch-boundary reordering.
+	MaxBatchBytes int
 }
 
 // NoLatency is a latency model for correctness tests: messages still pay
@@ -169,8 +180,11 @@ func Start(cfg Config) (*Cluster, error) {
 	}
 	n := cfg.DCs * cfg.Partitions
 	c := &Cluster{
-		cfg:       cfg,
-		net:       transport.NewLocal(lat),
+		cfg: cfg,
+		net: transport.NewLocalOpts(lat, transport.BatchPolicy{
+			FlushBudget:   transport.ResolveFlushBudget(cfg.FlushBudget),
+			MaxBatchBytes: cfg.MaxBatchBytes,
+		}),
 		ring:      ring.New(cfg.Partitions),
 		logs:      make([]*wal.Log, n),
 		skews:     make([]time.Duration, n),

@@ -20,19 +20,13 @@ const (
 	numBuckets = 64 * subBuckets
 )
 
-// Histogram is a lock-free log-bucketed latency histogram. The zero value
-// is NOT ready; use NewHistogram.
-type Histogram struct {
-	buckets []atomic.Uint64
-	count   atomic.Uint64
-	sum     atomic.Uint64 // nanoseconds
-	max     atomic.Uint64
-}
+// Histogram is a lock-free log-bucketed latency histogram — a
+// heap-allocated StaticHist, kept as a distinct named type for its
+// constructor-based API.
+type Histogram struct{ StaticHist }
 
 // NewHistogram returns an empty histogram.
-func NewHistogram() *Histogram {
-	return &Histogram{buckets: make([]atomic.Uint64, numBuckets)}
-}
+func NewHistogram() *Histogram { return &Histogram{} }
 
 func bucketIndex(v uint64) int {
 	if v < subBuckets {
@@ -54,41 +48,9 @@ func bucketMid(i int) uint64 {
 	return lo + (1 << (exp - subBucketBits) / 2)
 }
 
-// Record adds one latency observation.
-func (h *Histogram) Record(d time.Duration) {
-	if d < 0 {
-		d = 0
-	}
-	v := uint64(d)
-	h.buckets[bucketIndex(v)].Add(1)
-	h.count.Add(1)
-	h.sum.Add(v)
-	for {
-		old := h.max.Load()
-		if v <= old || h.max.CompareAndSwap(old, v) {
-			break
-		}
-	}
-}
-
-// Count returns the number of observations.
-func (h *Histogram) Count() uint64 { return h.count.Load() }
-
-// Mean returns the average observation.
-func (h *Histogram) Mean() time.Duration {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
-	}
-	return time.Duration(h.sum.Load() / n)
-}
-
-// Max returns the largest observation.
-func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
-
-// Percentile returns the p-th percentile (0 < p ≤ 100).
-func (h *Histogram) Percentile(p float64) time.Duration {
-	n := h.count.Load()
+// percentile walks a bucket array for the p-th percentile of n
+// observations, falling back to maxv past the last bucket.
+func percentile(buckets []atomic.Uint64, n uint64, maxv time.Duration, p float64) time.Duration {
 	if n == 0 {
 		return 0
 	}
@@ -97,27 +59,17 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 		rank = n - 1
 	}
 	var seen uint64
-	for i := range h.buckets {
-		seen += h.buckets[i].Load()
+	for i := range buckets {
+		seen += buckets[i].Load()
 		if seen > rank {
 			return time.Duration(bucketMid(i))
 		}
 	}
-	return h.Max()
-}
-
-// Reset zeroes the histogram (used at the warmup/measurement boundary).
-func (h *Histogram) Reset() {
-	for i := range h.buckets {
-		h.buckets[i].Store(0)
-	}
-	h.count.Store(0)
-	h.sum.Store(0)
-	h.max.Store(0)
+	return maxv
 }
 
 // Snapshot copies the histogram into a frozen view for reporting.
-func (h *Histogram) Snapshot() Summary {
+func (h *StaticHist) Snapshot() Summary {
 	return Summary{
 		Count: h.Count(),
 		Mean:  h.Mean(),
@@ -134,4 +86,62 @@ type Summary struct {
 	P50   time.Duration
 	P99   time.Duration
 	Max   time.Duration
+}
+
+// StaticHist is a Histogram variant whose zero value is ready to use: the
+// bucket array is inline rather than heap-allocated, so it can be embedded
+// in always-on stats structs (transport.Stats) that promise a usable zero
+// value. Same bucket layout and precision as Histogram.
+type StaticHist struct {
+	buckets [numBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // nanoseconds
+	max     atomic.Uint64
+}
+
+// Record adds one latency observation.
+func (h *StaticHist) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	v := uint64(d)
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *StaticHist) Count() uint64 { return h.count.Load() }
+
+// Mean returns the average observation.
+func (h *StaticHist) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Max returns the largest observation.
+func (h *StaticHist) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Percentile returns the p-th percentile (0 < p ≤ 100).
+func (h *StaticHist) Percentile(p float64) time.Duration {
+	return percentile(h.buckets[:], h.count.Load(), h.Max(), p)
+}
+
+// Reset zeroes the histogram (used at the warmup/measurement boundary).
+func (h *StaticHist) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
 }

@@ -1,0 +1,267 @@
+package transport
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// countSink records batch sizes. With gate set, every WriteBatch counts
+// its batch and then parks until the test sends one release — making batch
+// boundaries fully deterministic: the test enqueues each burst while the
+// writer is parked, so gather timing can never race frame arrival.
+type countSink struct {
+	gate     chan struct{}
+	frames   atomic.Uint64
+	batches  atomic.Uint64
+	maxBatch atomic.Uint64
+}
+
+func (s *countSink) WriteBatch(frames []*wire.FrameBuf) error {
+	n := uint64(len(frames))
+	for _, f := range frames {
+		wire.PutFrame(f)
+	}
+	s.frames.Add(n)
+	s.batches.Add(1)
+	for {
+		old := s.maxBatch.Load()
+		if n <= old || s.maxBatch.CompareAndSwap(old, n) {
+			break
+		}
+	}
+	if s.gate != nil {
+		<-s.gate
+	}
+	return nil
+}
+
+// testFrame returns a pooled frame holding n payload bytes.
+func testFrame(n int) *wire.FrameBuf {
+	f := wire.GetFrame()
+	for len(f.B) < n {
+		f.B = append(f.B, byte(len(f.B)))
+	}
+	return f
+}
+
+// runGatedLoad drives `rounds` bursts of `burst` frames (frameBytes each)
+// through a Batcher with pol, using the gated sink so every burst is
+// enqueued while the writer is parked mid-flush: the whole burst is a
+// ready backlog when the writer next gathers, so the batch boundaries are
+// decided by the POLICY (byte cap / budget), not by scheduling races.
+func runGatedLoad(t *testing.T, pol BatchPolicy, rounds, burst, frameBytes int) StatsView {
+	t.Helper()
+	sink := &countSink{gate: make(chan struct{})}
+	stats := &Stats{}
+	b := NewBatcher(sink, pol, stats)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		b.Run()
+	}()
+	waitParked := func(batches uint64) {
+		deadline := time.Now().Add(20 * time.Second)
+		for sink.batches.Load() < batches {
+			if time.Now().After(deadline) {
+				t.Fatalf("writer never parked in flush %d", batches)
+			}
+			time.Sleep(10 * time.Microsecond)
+		}
+	}
+	// Bootstrap: one sentinel frame parks the writer in its first flush.
+	if err := b.Enqueue(context.Background(), testFrame(frameBytes)); err != nil {
+		t.Fatal(err)
+	}
+	waitParked(1)
+	total, released := uint64(1), uint64(0)
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < burst; i++ {
+			if err := b.Enqueue(context.Background(), testFrame(frameBytes)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		total += uint64(burst)
+		sink.gate <- struct{}{} // release the parked flush; the writer gathers the burst
+		released++
+		waitParked(released + 1)
+	}
+	// Drain: keep releasing until everything is flushed and nothing parks.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if released < sink.batches.Load() {
+			sink.gate <- struct{}{}
+			released++
+			continue
+		}
+		if sink.frames.Load() == total {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("drained %d/%d frames", sink.frames.Load(), total)
+		}
+		time.Sleep(10 * time.Microsecond)
+	}
+	b.Close()
+	<-done
+	if q := stats.SendQueue.Load(); q != 0 {
+		t.Fatalf("send-queue gauge left at %d after drain", q)
+	}
+	return stats.View()
+}
+
+// TestBatcherGreedyDrainReachable pins that FlushBudget=0 is still the
+// seed's greedy drain-until-idle: a pre-queued backlog is retired in ONE
+// flush, no matter how old its frames are.
+func TestBatcherGreedyDrainReachable(t *testing.T) {
+	stats := &Stats{}
+	sink := &countSink{}
+	b := NewBatcher(sink, BatchPolicy{FlushBudget: 0, QueueLen: 64}, stats)
+	const n = 40
+	for i := 0; i < n; i++ {
+		if err := b.Enqueue(context.Background(), testFrame(64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		b.Run()
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for sink.frames.Load() < n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	b.Close()
+	<-done
+	if sink.frames.Load() != n {
+		t.Fatalf("delivered %d/%d", sink.frames.Load(), n)
+	}
+	if got := sink.batches.Load(); got != 1 {
+		t.Fatalf("greedy drain split a ready backlog into %d flushes, want 1", got)
+	}
+	v := stats.View()
+	if v.Flushes != 1 || v.FramesCoalesced != n-1 {
+		t.Fatalf("stats: flushes=%d coalesced=%d, want 1/%d", v.Flushes, v.FramesCoalesced, n-1)
+	}
+}
+
+// TestBatcherBudgetCutsOpenBatches pins the adaptive half: with a latency
+// budget, a large ready backlog is cut into multiple batches (the budget
+// bounds how long one batch stays open) where greedy drain would retire it
+// in a single flush.
+func TestBatcherBudgetCutsOpenBatches(t *testing.T) {
+	const n = 20000
+	mk := func(budget time.Duration) uint64 {
+		sink := &countSink{}
+		stats := &Stats{}
+		b := NewBatcher(sink, BatchPolicy{FlushBudget: budget, MaxBatchBytes: 1 << 30, QueueLen: n}, stats)
+		for i := 0; i < n; i++ {
+			if err := b.Enqueue(context.Background(), testFrame(8)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			b.Run()
+		}()
+		deadline := time.Now().Add(20 * time.Second)
+		for sink.frames.Load() < n && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		b.Close()
+		<-done
+		if sink.frames.Load() != n {
+			t.Fatalf("delivered %d/%d", sink.frames.Load(), n)
+		}
+		return sink.batches.Load()
+	}
+	if got := mk(0); got != 1 {
+		t.Fatalf("greedy: %d flushes for a ready backlog, want 1", got)
+	}
+	// Gathering 20k frames takes far longer than 50µs (each iteration is a
+	// channel receive plus a clock read), so the budget must cut the
+	// backlog into several batches.
+	if got := mk(50 * time.Microsecond); got < 2 {
+		t.Fatalf("adaptive: budget never cut the open batch (%d flushes)", got)
+	}
+}
+
+// TestBatcherIdleFlushIsImmediate pins that the budget adds no idle
+// latency: a lone frame flushes as soon as the queue goes idle, not after
+// FlushBudget.
+func TestBatcherIdleFlushIsImmediate(t *testing.T) {
+	sink := &countSink{}
+	stats := &Stats{}
+	b := NewBatcher(sink, BatchPolicy{FlushBudget: 5 * time.Second}, stats)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		b.Run()
+	}()
+	start := time.Now()
+	if err := b.Enqueue(context.Background(), testFrame(64)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for sink.frames.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Microsecond)
+	}
+	if sink.frames.Load() == 0 {
+		t.Fatal("lone frame not flushed: idle queue must flush immediately")
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Fatalf("lone frame waited %v; the budget must not delay idle flushes", waited)
+	}
+	b.Close()
+	<-done
+}
+
+// TestBatcherAdaptiveFlushUnderLoad is the loaded-transport acceptance
+// test: bursts of 64×2 KiB frames land as ready backlogs (the gated sink
+// removes scheduling races), and the adaptive policy must (a) keep the p99
+// enqueue→flush delay at or under the configured budget and (b) coalesce
+// at least as many frames per flush as the seed's greedy drain, whose
+// batches the 64 KiB bufio buffer used to cut at 32 frames.
+func TestBatcherAdaptiveFlushUnderLoad(t *testing.T) {
+	const (
+		rounds     = 20
+		burst      = 64
+		frameBytes = 2048
+		budget     = 100 * time.Millisecond
+	)
+	framesPerFlush := func(v StatsView) float64 {
+		if v.Flushes == 0 {
+			return 0
+		}
+		return float64(v.FramesCoalesced+v.Flushes) / float64(v.Flushes)
+	}
+
+	// Seed-equivalent greedy baseline: no budget, batches cut at the old
+	// bufio buffer size (64 KiB / 2 KiB = 32 frames per flush).
+	seed := runGatedLoad(t, BatchPolicy{FlushBudget: 0, MaxBatchBytes: 64 << 10}, rounds, burst, frameBytes)
+	adap := runGatedLoad(t, BatchPolicy{FlushBudget: budget, MaxBatchBytes: 256 << 10}, rounds, burst, frameBytes)
+
+	if adap.FlushP99Delay <= 0 {
+		t.Fatal("FlushP99Delay not recorded")
+	}
+	if adap.FlushP99Delay > budget {
+		t.Fatalf("p99 enqueue→flush delay %v exceeds the %v budget", adap.FlushP99Delay, budget)
+	}
+	if framesPerFlush(adap) < framesPerFlush(seed) {
+		t.Fatalf("adaptive coalescing regressed: %.1f frames/flush < greedy baseline %.1f",
+			framesPerFlush(adap), framesPerFlush(seed))
+	}
+	// The full 128 KiB burst fits one adaptive batch but two seed batches,
+	// so adaptive must come out strictly ahead, not merely equal.
+	if framesPerFlush(adap) < 1.5*framesPerFlush(seed) {
+		t.Fatalf("adaptive coalescing %.1f frames/flush not ahead of the seed's bufio-capped %.1f",
+			framesPerFlush(adap), framesPerFlush(seed))
+	}
+	t.Logf("greedy(seed): %.1f frames/flush p99=%v; adaptive: %.1f frames/flush p99=%v",
+		framesPerFlush(seed), seed.FlushP99Delay, framesPerFlush(adap), adap.FlushP99Delay)
+}

@@ -58,6 +58,13 @@ func (l LatencyModel) Delay(src, dst wire.Addr) time.Duration {
 // wire codec on send and unmarshalled on delivery, so serialization CPU
 // cost is faithfully charged, and delivery is delayed per the LatencyModel.
 //
+// Sends flow through the same batching engine as the TCP transport (see
+// batch.go), one Batcher per (source DC, destination node) link — the
+// simulator's stand-in for a shared egress pipe. A coalesced batch is
+// charged ONE latency sample and its frames arrive together, so the
+// batching behaviour real deployments get from scatter-gather socket
+// writes shows up in simulated latencies and the same Stats columns.
+//
 // Delayed delivery does not use runtime timers: on stock kernels their
 // granularity (≥1 ms on this class of machine) would swamp the sub-ms LAN
 // latencies under study. Instead, sharded delivery wheels block on a
@@ -65,6 +72,7 @@ func (l LatencyModel) Delay(src, dst wire.Addr) time.Duration {
 // giving microsecond-accurate injection (see DESIGN.md).
 type Local struct {
 	latency LatencyModel
+	pol     BatchPolicy
 	stats   Stats
 	wheels  []*wheel
 
@@ -72,6 +80,15 @@ type Local struct {
 	// runtime-adjustable so fault tests can sever and heal the WAN
 	// mid-workload (SetInterDCLoss). Seeded from latency.InterDCLoss.
 	lossBits atomic.Uint64
+
+	// links holds the per-(source DC, destination) batchers, created
+	// lazily on first send and torn down with the network. Lookups on the
+	// send hot path are lock-free (sync.Map); linkMu only serializes
+	// creation and close.
+	linkMu     sync.Mutex
+	links      sync.Map // link key (srcDC<<32|dst) -> *Batcher
+	linkWG     sync.WaitGroup
+	linkClosed bool
 
 	mu     sync.RWMutex
 	nodes  map[wire.Addr]*localNode
@@ -82,9 +99,20 @@ type Local struct {
 // bottleneck at high message rates.
 const numWheels = 4
 
-// NewLocal returns an empty in-process network.
+// NewLocal returns an empty in-process network with the default adaptive
+// batch policy.
 func NewLocal(latency LatencyModel) *Local {
-	l := &Local{latency: latency, nodes: make(map[wire.Addr]*localNode)}
+	return NewLocalOpts(latency, DefaultPolicy())
+}
+
+// NewLocalOpts is NewLocal with an explicit batch policy (cluster.Config
+// wires its flush knobs through here).
+func NewLocalOpts(latency LatencyModel, pol BatchPolicy) *Local {
+	l := &Local{
+		latency: latency,
+		pol:     pol.withDefaults(),
+		nodes:   make(map[wire.Addr]*localNode),
+	}
 	l.lossBits.Store(math.Float64bits(latency.InterDCLoss))
 	for i := 0; i < numWheels; i++ {
 		w := &wheel{net: l, ch: make(chan delivery, 8192), stop: make(chan struct{})}
@@ -92,6 +120,66 @@ func NewLocal(latency LatencyModel) *Local {
 		go w.run()
 	}
 	return l
+}
+
+// link returns (creating if needed) the batcher for the src→dst flight.
+// Links are keyed by source DC, not source node: the latency model only
+// distinguishes DCs, so nodes in one DC share the egress pipe to each
+// destination, which keeps the link table proportional to nodes, not
+// node pairs.
+func (l *Local) link(src, dst wire.Addr) (*Batcher, error) {
+	key := uint64(src.DC())<<32 | uint64(dst)
+	if b, ok := l.links.Load(key); ok {
+		return b.(*Batcher), nil
+	}
+	l.linkMu.Lock()
+	defer l.linkMu.Unlock()
+	if l.linkClosed {
+		return nil, ErrClosed
+	}
+	if b, ok := l.links.Load(key); ok {
+		return b.(*Batcher), nil
+	}
+	b := NewBatcher(&localSink{l: l, src: src, dst: dst}, l.pol, &l.stats)
+	l.links.Store(key, b)
+	l.linkWG.Add(1)
+	go func() {
+		defer l.linkWG.Done()
+		b.Run()
+	}()
+	return b, nil
+}
+
+// localSink delivers one coalesced batch as a single simulated flight: the
+// whole batch is charged one latency sample and its frames arrive
+// together, mirroring how a TCP batch shares one scatter-gather write.
+// Only src's DC matters for the delay (see link).
+type localSink struct {
+	l        *Local
+	src, dst wire.Addr
+}
+
+func (s *localSink) WriteBatch(frames []*wire.FrameBuf) error {
+	if d := s.l.latency.Delay(s.src, s.dst); d > 0 {
+		// The delivery outlives this call and the Batcher reuses its batch
+		// slice, so the wheel gets a copy.
+		batch := make([]*wire.FrameBuf, len(frames))
+		copy(batch, frames)
+		w := s.l.wheels[int(s.dst)%numWheels]
+		select {
+		case w.ch <- delivery{at: time.Now().Add(d), bufs: batch}:
+			return nil
+		case <-w.stop:
+			for _, f := range batch {
+				wire.PutFrame(f)
+			}
+			return ErrClosed
+		}
+	}
+	// Zero delay: dispatchBatch only spawns per-frame goroutines, so it
+	// neither blocks nor retains the slice — no copy, no wrapper goroutine.
+	s.l.dispatchBatch(frames)
+	return nil
 }
 
 // Stats exposes the network's traffic counters.
@@ -139,6 +227,17 @@ func (l *Local) Close() error {
 		delete(l.nodes, a)
 	}
 	l.mu.Unlock()
+	// Stop the link batchers and wait them out BEFORE stopping the wheels:
+	// a final flush must find its wheel alive (frames to already-closed
+	// nodes are dropped at dispatch, as before).
+	l.linkMu.Lock()
+	l.linkClosed = true
+	l.links.Range(func(_, b any) bool {
+		b.(*Batcher).Close()
+		return true
+	})
+	l.linkMu.Unlock()
+	l.linkWG.Wait()
 	for _, w := range l.wheels {
 		close(w.stop)
 	}
@@ -149,6 +248,17 @@ func (l *Local) lookup(addr wire.Addr) *localNode {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	return l.nodes[addr]
+}
+
+// dispatchBatch fans a delivered batch out to per-frame dispatch
+// goroutines: the frames arrive at the same instant (one latency charge),
+// but each handler gets its own goroutine — handlers may block on cluster
+// state another frame of the same batch would satisfy, so sequential
+// in-batch handling could deadlock.
+func (l *Local) dispatchBatch(bufs []*wire.FrameBuf) {
+	for _, f := range bufs {
+		go l.dispatch(f)
+	}
 }
 
 // dispatch routes a marshalled envelope after its simulated flight. It
@@ -174,10 +284,10 @@ func (l *Local) dispatch(f *wire.FrameBuf) {
 	wire.Recycle(env.Msg)
 }
 
-// delivery is one in-flight message.
+// delivery is one in-flight coalesced batch.
 type delivery struct {
-	at  time.Time
-	buf *wire.FrameBuf
+	at   time.Time
+	bufs []*wire.FrameBuf
 }
 
 // deliveryHeap is a min-heap of deliveries by due time.
@@ -235,7 +345,7 @@ func (w *wheel) run() {
 		now := time.Now()
 		for len(w.h) > 0 && !w.h[0].at.After(now) {
 			d := heap.Pop(&w.h).(delivery)
-			go w.net.dispatch(d.buf)
+			w.net.dispatchBatch(d.bufs)
 		}
 		if len(w.h) == 0 {
 			continue
@@ -284,7 +394,7 @@ func (n *localNode) shutdown() {
 
 func (n *localNode) Addr() wire.Addr { return n.addr }
 
-func (n *localNode) send(env *wire.Envelope) error {
+func (n *localNode) send(ctx context.Context, env *wire.Envelope) error {
 	if n.closed.Load() {
 		return ErrClosed
 	}
@@ -294,15 +404,18 @@ func (n *localNode) send(env *wire.Envelope) error {
 	if n.net.dropMsg(env.Src, env.Dst) {
 		n.net.stats.Dropped.Add(1)
 		wire.PutFrame(f) // lost in flight; sender cannot tell
-	} else if d := n.net.latency.Delay(env.Src, env.Dst); d <= 0 {
-		go n.net.dispatch(f)
 	} else {
-		w := n.net.wheels[int(env.Dst)%numWheels]
-		select {
-		case w.ch <- delivery{at: time.Now().Add(d), buf: f}:
-		case <-w.stop:
+		b, err := n.net.link(env.Src, env.Dst)
+		if err != nil {
 			wire.PutFrame(f)
-			return ErrClosed
+			return err
+		}
+		// A full link queue exerts backpressure until ctx is done or the
+		// link (network) closes — one-way Sends carry a Background ctx and
+		// simply block, while a Call's deadline bounds its queueing too,
+		// matching the TCP enqueue semantics.
+		if err := b.Enqueue(ctx, f); err != nil {
+			return err
 		}
 	}
 	// Counted only once the message is committed to the network (or
@@ -313,14 +426,15 @@ func (n *localNode) send(env *wire.Envelope) error {
 	return nil
 }
 
-// Send delivers a one-way message.
+// Send delivers a one-way message. Backpressure from a full link queue
+// blocks until the link or network closes.
 func (n *localNode) Send(dst wire.Addr, m wire.Message) error {
-	return n.send(&wire.Envelope{Src: n.addr, Dst: dst, Msg: m})
+	return n.send(context.Background(), &wire.Envelope{Src: n.addr, Dst: dst, Msg: m})
 }
 
 // Respond answers request reqID at dst.
 func (n *localNode) Respond(dst wire.Addr, reqID uint64, m wire.Message) error {
-	return n.send(&wire.Envelope{Src: n.addr, Dst: dst, ReqID: reqID, Resp: true, Msg: m})
+	return n.send(context.Background(), &wire.Envelope{Src: n.addr, Dst: dst, ReqID: reqID, Resp: true, Msg: m})
 }
 
 // Call sends a request and waits for the matching response.
@@ -329,7 +443,7 @@ func (n *localNode) Call(ctx context.Context, dst wire.Addr, m wire.Message) (wi
 	ch := make(chan *wire.Envelope, 1)
 	n.pending.Store(id, ch)
 	defer n.pending.Delete(id)
-	err := n.send(&wire.Envelope{Src: n.addr, Dst: dst, ReqID: id, Msg: m})
+	err := n.send(ctx, &wire.Envelope{Src: n.addr, Dst: dst, ReqID: id, Msg: m})
 	if err != nil {
 		return nil, err
 	}

@@ -18,12 +18,6 @@ import (
 const maxFrame = 1 << 26 // 64 MiB
 
 const (
-	// sendQueueLen bounds the per-connection send queue. Senders block
-	// (backpressure) once a peer's queue is full.
-	sendQueueLen = 1024
-	// writeBufSize sizes the per-connection buffered writer; a full drain
-	// of coalesced frames is flushed in one Write call.
-	writeBufSize = 64 << 10
 	// readBufSize sizes the per-connection buffered reader.
 	readBufSize = 64 << 10
 	// handlerQueueLen bounds the per-node inbound request queue feeding
@@ -46,6 +40,7 @@ func handlerWorkers() int {
 // request arrived on.
 type TCP struct {
 	stats Stats
+	pol   BatchPolicy
 
 	mu     sync.Mutex
 	dir    map[wire.Addr]string
@@ -54,13 +49,19 @@ type TCP struct {
 }
 
 // NewTCP returns a TCP network with the given address directory
-// (wire address → "host:port").
+// (wire address → "host:port") and the default adaptive batch policy.
 func NewTCP(directory map[wire.Addr]string) *TCP {
+	return NewTCPOpts(directory, DefaultPolicy())
+}
+
+// NewTCPOpts is NewTCP with an explicit batch policy (kvserver wires its
+// -flush-budget/-writev-bytes flags through here).
+func NewTCPOpts(directory map[wire.Addr]string, pol BatchPolicy) *TCP {
 	dir := make(map[wire.Addr]string, len(directory))
 	for a, hp := range directory {
 		dir[a] = hp
 	}
-	return &TCP{dir: dir, nodes: make(map[wire.Addr]*tcpNode)}
+	return &TCP{pol: pol.withDefaults(), dir: dir, nodes: make(map[wire.Addr]*tcpNode)}
 }
 
 // Stats exposes traffic counters.
@@ -119,141 +120,98 @@ func (t *TCP) Close() error {
 	return nil
 }
 
-// tcpConn owns one socket: a writer goroutine drains its bounded send
-// queue, coalescing all immediately available frames into a single buffered
-// flush (one syscall for N frames) instead of syscalling per frame.
+// tcpConn owns one socket. Its send path is one Batcher (the engine shared
+// with the Local simulator) whose sink scatter-gathers each coalesced batch
+// into the socket.
 type tcpConn struct {
-	c     net.Conn
-	sendq chan *wire.FrameBuf
+	c net.Conn
+	b *Batcher
 
-	peer   atomic.Uint32 // learned wire.Addr, 0 until known
-	closed chan struct{}
-	once   sync.Once
+	peer atomic.Uint32 // learned wire.Addr, 0 until known
+	once sync.Once
 }
 
-func newTCPConn(c net.Conn) *tcpConn {
-	return &tcpConn{
-		c:      c,
-		sendq:  make(chan *wire.FrameBuf, sendQueueLen),
-		closed: make(chan struct{}),
-	}
+func newTCPConn(c net.Conn, pol BatchPolicy, stats *Stats) *tcpConn {
+	pol = pol.withDefaults()
+	tc := &tcpConn{c: c}
+	tc.b = NewBatcher(&tcpSink{c: c, stats: stats, writevMin: pol.WritevBytes}, pol, stats)
+	return tc
 }
 
 // close shuts the socket down and releases the writer. Idempotent.
 func (tc *tcpConn) close() {
 	tc.once.Do(func() {
-		close(tc.closed)
+		tc.b.Close()
 		tc.c.Close()
 	})
 }
 
-// enqueue hands a framed envelope to the writer, blocking while the queue
-// is full (backpressure). A blocked enqueue aborts when ctx is done, so a
-// Call deadline is honoured even while a peer's socket is stalled.
-// Ownership of f transfers to the writer on success.
-func (tc *tcpConn) enqueue(ctx context.Context, f *wire.FrameBuf, stats *Stats) error {
-	select {
-	case <-tc.closed:
-		wire.PutFrame(f)
-		return ErrClosed
-	default:
-	}
-	// Count the frame before committing it so the writer's decrement can
-	// never be observed ahead of the increment (a transiently negative
-	// gauge).
-	stats.SendQueue.Add(1)
-	select {
-	case tc.sendq <- f:
-		select {
-		case <-tc.closed:
-			// The conn closed while we were queueing; the writer (and its
-			// teardown drain) may already be gone, stranding f. Sweep the
-			// queue ourselves so no frame or gauge count leaks, and report
-			// the send as failed — the frame may never hit the wire.
-			tc.drain(stats)
-			return ErrClosed
-		default:
+// tcpSink turns one coalesced batch into one scatter-gather socket write.
+// Frames below the writev threshold are copied into a staging buffer whose
+// chunks become iovecs; frames at or above it contribute their own bytes as
+// an iovec directly — AppendEnvelope put the length prefix in the same
+// buffer, so large frames reach the kernel with zero copies. The whole
+// batch then goes out via net.Buffers.WriteTo, which is writev(2) on a
+// *net.TCPConn.
+//
+// Ownership: staged frames are recycled as soon as their bytes are copied;
+// writev frames must outlive the write they used to be insulated from by
+// the bufio copy, so they are held in owned and recycled only after WriteTo
+// returns.
+type tcpSink struct {
+	c         net.Conn
+	stats     *Stats
+	writevMin int
+
+	stage []byte
+	bufs  [][]byte
+	owned []*wire.FrameBuf
+}
+
+func (s *tcpSink) WriteBatch(frames []*wire.FrameBuf) error {
+	// Pre-size the staging buffer so chunk slices recorded in bufs are
+	// never invalidated by a growth reallocation mid-batch.
+	small := 0
+	for _, f := range frames {
+		if len(f.B) < s.writevMin {
+			small += len(f.B)
 		}
-		return nil
-	case <-tc.closed:
-		stats.SendQueue.Add(-1)
-		wire.PutFrame(f)
-		return ErrClosed
-	case <-ctx.Done():
-		stats.SendQueue.Add(-1)
-		wire.PutFrame(f)
-		return ctx.Err()
 	}
-}
-
-// countingWriter counts every Write reaching the socket, so Flushes
-// reflects real write syscalls — including bufio's implicit flushes when a
-// drain overflows its buffer and large frames that bypass it entirely,
-// which an explicit-Flush count would miss.
-type countingWriter struct {
-	c     net.Conn
-	stats *Stats
-}
-
-func (cw *countingWriter) Write(p []byte) (int, error) {
-	cw.stats.Flushes.Add(1)
-	return cw.c.Write(p)
-}
-
-// writeLoop is the per-connection writer: it blocks for the first queued
-// frame, then greedily drains everything else already queued into the
-// buffered writer and flushes once.
-func (tc *tcpConn) writeLoop(n *tcpNode) {
-	defer n.wg.Done()
-	defer func() {
-		n.forget(tc)
-		tc.close()
-		tc.drain(&n.t.stats)
-	}()
-	stats := &n.t.stats
-	bw := bufio.NewWriterSize(&countingWriter{c: tc.c, stats: stats}, writeBufSize)
-	for {
-		var f *wire.FrameBuf
-		select {
-		case f = <-tc.sendq:
-		case <-tc.closed:
-			return
-		}
-		frames := 0
-		for {
-			stats.SendQueue.Add(-1)
-			frames++
-			_, err := bw.Write(f.B)
-			wire.PutFrame(f)
-			if err != nil {
-				return
+	if cap(s.stage) < small {
+		s.stage = make([]byte, 0, small)
+	}
+	stage, bufs := s.stage[:0], s.bufs[:0]
+	chunk := 0 // start of the staging chunk not yet recorded in bufs
+	for _, f := range frames {
+		if len(f.B) >= s.writevMin {
+			if len(stage) > chunk {
+				bufs = append(bufs, stage[chunk:len(stage):len(stage)])
+				chunk = len(stage)
 			}
-			select {
-			case f = <-tc.sendq:
-				continue
-			default:
-			}
-			break
-		}
-		if err := bw.Flush(); err != nil {
-			return
-		}
-		stats.FramesCoalesced.Add(uint64(frames - 1))
-	}
-}
-
-// drain empties the send queue after close so the queue-depth gauge does
-// not count frames that will never be written.
-func (tc *tcpConn) drain(stats *Stats) {
-	for {
-		select {
-		case f := <-tc.sendq:
-			stats.SendQueue.Add(-1)
+			bufs = append(bufs, f.B)
+			s.owned = append(s.owned, f)
+			s.stats.WritevBytes.Add(uint64(len(f.B)))
+		} else {
+			stage = append(stage, f.B...)
 			wire.PutFrame(f)
-		default:
-			return
 		}
 	}
+	if len(stage) > chunk {
+		bufs = append(bufs, stage[chunk:])
+	}
+	var err error
+	if len(bufs) > 0 {
+		nb := net.Buffers(bufs)
+		_, err = nb.WriteTo(s.c)
+	}
+	for i, f := range s.owned {
+		wire.PutFrame(f)
+		s.owned[i] = nil
+	}
+	s.owned = s.owned[:0]
+	clear(bufs) // drop stale references so recycled arrays are collectable
+	s.stage, s.bufs = stage[:0], bufs[:0]
+	return err
 }
 
 // inbound is one request waiting for a handler worker.
@@ -292,7 +250,7 @@ func (n *tcpNode) acceptLoop() {
 		if err != nil {
 			return
 		}
-		n.startConn(newTCPConn(c))
+		n.startConn(newTCPConn(c, n.t.pol, &n.t.stats))
 	}
 }
 
@@ -312,8 +270,17 @@ func (n *tcpNode) startConn(tc *tcpConn) bool {
 	n.wg.Add(2)
 	n.mu.Unlock()
 	go n.readLoop(tc)
-	go tc.writeLoop(n)
+	go n.writeLoop(tc)
 	return true
+}
+
+// writeLoop hosts the conn's batching engine and tears the endpoint down
+// when it stops (socket error or close).
+func (n *tcpNode) writeLoop(tc *tcpConn) {
+	defer n.wg.Done()
+	tc.b.Run()
+	n.forget(tc)
+	tc.close()
 }
 
 // learn records that frames from peer arrive on tc, so responses can flow
@@ -477,7 +444,7 @@ func (n *tcpNode) getConn(ctx context.Context, dst wire.Addr) (*tcpConn, error) 
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %v at %s: %w", dst, hp, err)
 	}
-	tc := newTCPConn(c)
+	tc := newTCPConn(c, n.t.pol, &n.t.stats)
 	tc.peer.Store(uint32(dst))
 	n.mu.Lock()
 	if prev, dup := n.conns[dst]; dup {
@@ -509,7 +476,7 @@ func (n *tcpNode) send(ctx context.Context, env *wire.Envelope) error {
 	// before enqueue (which takes ownership of f) and counted only after
 	// it succeeds, so aborted sends don't inflate the traffic metrics.
 	bytes := uint64(len(f.B) - wire.FrameHdrLen)
-	if err := tc.enqueue(ctx, f, &n.t.stats); err != nil {
+	if err := tc.b.Enqueue(ctx, f); err != nil {
 		return err
 	}
 	n.t.stats.MsgsSent.Add(1)

@@ -1,11 +1,13 @@
 package transport
 
 import (
+	"bytes"
 	"context"
 	"io"
+	"math/rand"
 	"net"
 	"runtime"
-	"sync"
+	"strconv"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -259,10 +261,10 @@ func TestTCPCallDeadlineUnderBackpressure(t *testing.T) {
 		}
 	}()
 	deadline := time.Now().Add(30 * time.Second)
-	for tnet.Stats().SendQueue.Load() < sendQueueLen && time.Now().Before(deadline) {
+	for tnet.Stats().SendQueue.Load() < defaultQueueLen && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
-	if q := tnet.Stats().SendQueue.Load(); q < sendQueueLen {
+	if q := tnet.Stats().SendQueue.Load(); q < defaultQueueLen {
 		t.Fatalf("send queue never filled (depth %d)", q)
 	}
 
@@ -321,15 +323,160 @@ func TestTCPCloseAbortsPendingDial(t *testing.T) {
 	}
 }
 
-// TestTCPCoalescingUnderLoad drives one connection hard enough that the
-// writer goroutine batches queued frames into shared flushes, and checks
-// the new counters observe it.
+// TestTCPCoalescingUnderLoad pins coalescing on a real socket
+// deterministically: the peer accepts but does not read, so the writer
+// blocks in its socket write while the send queue builds a known backlog;
+// once the peer starts draining, that backlog MUST be retired in shared
+// batches, and the counters must observe it.
 func TestTCPCoalescingUnderLoad(t *testing.T) {
-	dir := map[wire.Addr]string{wire.ServerAddr(0, 0): freeAddr(t)}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+
+	dir := map[wire.Addr]string{wire.ServerAddr(0, 0): ln.Addr().String()}
 	tnet := NewTCP(dir)
 	defer tnet.Close()
-	h := &echoHandler{}
-	if _, err := tnet.Attach(wire.ServerAddr(0, 0), h); err != nil {
+	cli, err := tnet.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Enough volume that the un-read peer's kernel buffers (which can
+	// auto-tune to several MB) cannot absorb it all: the send queue MUST
+	// build the asserted backlog.
+	const frames, backlog = 4000, 600
+	payload := &wire.PutReq{Key: "k", Value: make([]byte, 8192)}
+	sendErrs := make(chan error, 1)
+	go func() {
+		for i := 0; i < frames; i++ {
+			if err := cli.Send(wire.ServerAddr(0, 0), payload); err != nil {
+				sendErrs <- err
+				return
+			}
+		}
+		sendErrs <- nil
+	}()
+
+	// Kernel buffers fill, the writer blocks, the queue builds.
+	deadline := time.Now().Add(30 * time.Second)
+	for tnet.Stats().SendQueue.Load() < backlog && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if q := tnet.Stats().SendQueue.Load(); q < backlog {
+		t.Fatalf("send queue built only %d/%d frames", q, backlog)
+	}
+
+	// Unblock: drain the socket; the queued backlog must flush in batches.
+	var peer net.Conn
+	select {
+	case peer = <-accepted:
+	case <-time.After(10 * time.Second):
+		t.Fatal("peer never accepted")
+	}
+	defer peer.Close()
+	go io.Copy(io.Discard, peer)
+
+	if err := <-sendErrs; err != nil {
+		t.Fatal(err)
+	}
+	for tnet.Stats().SendQueue.Load() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if q := tnet.Stats().SendQueue.Load(); q > 0 {
+		t.Fatalf("send queue never drained (%d left)", q)
+	}
+
+	v := tnet.Stats().View()
+	if v.Flushes == 0 {
+		t.Fatal("Flushes = 0; writer never flushed")
+	}
+	// The observed 600-frame backlog alone must have coalesced into
+	// ≤256 KiB batches (32 of these 8 KiB frames each): well over 400
+	// frames shared a flush even if everything else went out solo.
+	if v.FramesCoalesced < 400 {
+		t.Fatalf("FramesCoalesced = %d; a %d-frame backlog was not batched", v.FramesCoalesced, backlog)
+	}
+	if v.Flushes+v.FramesCoalesced < frames {
+		t.Fatalf("flushes %d + coalesced %d < %d frames sent", v.Flushes, v.FramesCoalesced, frames)
+	}
+	if v.SendQueuePeak < backlog {
+		t.Fatalf("SendQueuePeak = %d; gauge not wired", v.SendQueuePeak)
+	}
+	if v.FlushP99Delay == 0 {
+		t.Fatal("FlushP99Delay = 0; delay histogram not wired")
+	}
+	t.Logf("msgs=%d flushes=%d coalesced=%d (%.1f frames/flush) queuePeak=%d p99=%v",
+		v.MsgsSent, v.Flushes, v.FramesCoalesced,
+		float64(v.Flushes+v.FramesCoalesced)/float64(v.Flushes), v.SendQueuePeak, v.FlushP99Delay)
+}
+
+// TestTCPScatterGatherInterleaving is the framing property test for the
+// writev path: pseudorandom small (staged, copied) and large
+// (scatter-gathered, zero-copy) frames interleave on one connection, and
+// every payload must reassemble byte-exactly on the peer — any
+// pooled-buffer reuse before the writev consumed its bytes, or any
+// mis-spliced staging chunk, corrupts a payload. Run under -race in CI.
+func TestTCPScatterGatherInterleaving(t *testing.T) {
+	const (
+		writevMin = 4096
+		msgs      = 400
+	)
+	dir := map[wire.Addr]string{wire.ServerAddr(0, 0): freeAddr(t)}
+	tnet := NewTCPOpts(dir, BatchPolicy{FlushBudget: DefaultFlushBudget, WritevBytes: writevMin})
+	defer tnet.Close()
+
+	// value derives every byte from the key's sequence number, so the
+	// receiver can verify content without assuming arrival order.
+	value := func(seq, size int) []byte {
+		v := make([]byte, size)
+		for i := range v {
+			v[i] = byte(seq*31 + i*7)
+		}
+		return v
+	}
+	sizeOf := func(rng *rand.Rand) int {
+		switch rng.Intn(4) {
+		case 0: // large: writev path, well past the threshold
+			return writevMin + rng.Intn(128<<10)
+		case 1: // boundary straddlers
+			return writevMin - 64 + rng.Intn(128)
+		default: // small: staging path
+			return 16 + rng.Intn(2048)
+		}
+	}
+
+	var (
+		verified atomic.Uint64
+		bad      atomic.Uint64
+	)
+	srv := HandlerFunc(func(n Node, src wire.Addr, reqID uint64, m wire.Message) {
+		pr, ok := m.(*wire.PutReq)
+		if !ok {
+			return
+		}
+		seq, err := strconv.Atoi(pr.Key)
+		if err != nil {
+			bad.Add(1)
+			return
+		}
+		want := value(seq, len(pr.Value))
+		if !bytes.Equal(pr.Value, want) {
+			bad.Add(1)
+			t.Errorf("seq %d: payload of %d bytes corrupted", seq, len(pr.Value))
+			return
+		}
+		verified.Add(1)
+	})
+	if _, err := tnet.Attach(wire.ServerAddr(0, 0), srv); err != nil {
 		t.Fatal(err)
 	}
 	cli, err := tnet.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
@@ -337,48 +484,31 @@ func TestTCPCoalescingUnderLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	const senders, perSender = 8, 400
-	payload := &wire.PutReq{Key: "k", Value: make([]byte, 2048)}
-	var wg sync.WaitGroup
-	for i := 0; i < senders; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := 0; j < perSender; j++ {
-				if err := cli.Send(wire.ServerAddr(0, 0), payload); err != nil {
-					t.Error(err)
-					return
-				}
-			}
-		}()
+	seed := time.Now().UnixNano()
+	t.Logf("seed %d", seed)
+	rng := rand.New(rand.NewSource(seed))
+	sizes := make([]int, msgs)
+	for i := range sizes {
+		sizes[i] = sizeOf(rng)
 	}
-	wg.Wait()
+	for i, size := range sizes {
+		if err := cli.Send(wire.ServerAddr(0, 0), &wire.PutReq{Key: strconv.Itoa(i), Value: value(i, size)}); err != nil {
+			t.Fatal(err)
+		}
+	}
 
-	deadline := time.Now().Add(10 * time.Second)
-	for h.oneways.Load() < senders*perSender && time.Now().Before(deadline) {
+	deadline := time.Now().Add(30 * time.Second)
+	for verified.Load()+bad.Load() < msgs && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
-	if got := h.oneways.Load(); got != senders*perSender {
-		t.Fatalf("delivered %d/%d one-ways", got, senders*perSender)
+	if got := verified.Load(); got != msgs || bad.Load() != 0 {
+		t.Fatalf("verified %d/%d payloads (%d corrupt)", got, msgs, bad.Load())
 	}
-
 	v := tnet.Stats().View()
-	if v.Flushes == 0 {
-		t.Fatal("Flushes = 0; writer never flushed")
+	if v.WritevBytes == 0 {
+		t.Fatal("WritevBytes = 0: no frame took the scatter-gather path")
 	}
-	if v.FramesCoalesced == 0 {
-		t.Fatal("FramesCoalesced = 0 under load; writer never batched")
-	}
-	if v.Flushes+v.FramesCoalesced < uint64(senders*perSender) {
-		t.Fatalf("flushes %d + coalesced %d < %d frames sent",
-			v.Flushes, v.FramesCoalesced, senders*perSender)
-	}
-	if v.SendQueuePeak == 0 {
-		t.Fatal("SendQueuePeak = 0; gauge not wired")
-	}
-	t.Logf("msgs=%d flushes=%d coalesced=%d (%.1f frames/flush) queuePeak=%d",
-		v.MsgsSent, v.Flushes, v.FramesCoalesced,
-		float64(v.Flushes+v.FramesCoalesced)/float64(v.Flushes), v.SendQueuePeak)
+	t.Logf("writev bytes=%d of %d total", v.WritevBytes, v.BytesSent)
 }
 
 // TestTCPReconnectAfterPeerRestart exercises the forget-and-redial path:

@@ -18,6 +18,7 @@ package transport
 import (
 	"context"
 	"errors"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/wire"
@@ -80,27 +81,41 @@ type Network interface {
 
 // Stats counts network traffic. Benchmarks read these to report the
 // communication overhead analyses of Sections 5.4–5.6 and the transport
-// efficiency of the write path (frame coalescing, flush counts, queue
-// depth).
+// efficiency of the write path (frame coalescing, flush counts and
+// latency, queue depth). Both transports feed the batching counters
+// through the shared engine (see batch.go), so the same columns describe
+// simulated and real deployments.
 type Stats struct {
 	MsgsSent  metrics.Counter
 	BytesSent metrics.Counter
 	Dropped   metrics.Counter
 
-	// Flushes counts writes reaching the socket (= write syscalls on TCP,
-	// including bufio's implicit flushes when a drain overflows its
-	// buffer); FramesCoalesced counts frames that joined an earlier
-	// frame's drain batch. Msgs/Flushes and FramesCoalesced/Msgs together
-	// describe how well the writer batches.
+	// Flushes counts batches cut by the batching engine — on TCP one
+	// scatter-gather socket write each (a giant batch may need more than
+	// one writev at the kernel boundary); on Local one delivered batch
+	// with a single latency charge. FramesCoalesced counts frames that
+	// joined an earlier frame's batch. Msgs/Flushes and
+	// FramesCoalesced/Msgs together describe how well the engine batches.
 	Flushes         metrics.Counter
 	FramesCoalesced metrics.Counter
+
+	// FlushDelay is the enqueue→flush latency distribution: how long
+	// frames waited in a send queue plus the batch they joined. Under the
+	// adaptive policy its p99 stays at or under the configured
+	// FlushBudget as long as the sink keeps up with the offered load.
+	FlushDelay metrics.StaticHist
+
+	// WritevBytes counts frame bytes written through the scatter-gather
+	// path — chained as their own writev iovec instead of being copied
+	// into the staging buffer. TCP only; Local has no copy to skip.
+	WritevBytes metrics.Counter
 
 	// HandlerOverflow counts inbound requests that found no idle worker
 	// in the bounded pool and ran on a spilled goroutine instead.
 	HandlerOverflow metrics.Counter
 
-	// SendQueue tracks frames sitting in per-connection send queues
-	// (current level and high-water mark).
+	// SendQueue tracks frames sitting in send queues (current level and
+	// high-water mark).
 	SendQueue metrics.Gauge
 }
 
@@ -110,13 +125,16 @@ func (s *Stats) Snapshot() (msgs, bytes, dropped uint64) {
 	return s.MsgsSent.Load(), s.BytesSent.Load(), s.Dropped.Load()
 }
 
-// StatsView is a frozen copy of every transport counter.
+// StatsView is a frozen copy of every transport counter. FlushP99Delay is
+// a whole-run percentile (like the queue peak), not a window delta.
 type StatsView struct {
 	MsgsSent        uint64
 	BytesSent       uint64
 	Dropped         uint64
 	Flushes         uint64
 	FramesCoalesced uint64
+	FlushP99Delay   time.Duration
+	WritevBytes     uint64
 	HandlerOverflow uint64
 	SendQueueDepth  int64
 	SendQueuePeak   int64
@@ -130,6 +148,8 @@ func (s *Stats) View() StatsView {
 		Dropped:         s.Dropped.Load(),
 		Flushes:         s.Flushes.Load(),
 		FramesCoalesced: s.FramesCoalesced.Load(),
+		FlushP99Delay:   s.FlushDelay.Percentile(99),
+		WritevBytes:     s.WritevBytes.Load(),
 		HandlerOverflow: s.HandlerOverflow.Load(),
 		SendQueueDepth:  s.SendQueue.Load(),
 		SendQueuePeak:   s.SendQueue.HighWater(),
