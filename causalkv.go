@@ -90,6 +90,12 @@ type Options struct {
 	InterDCLatency time.Duration
 	// MaxClockSkew bounds each node's physical clock offset (default 1ms).
 	MaxClockSkew time.Duration
+	// ReaderGCWindow is CC-LO's reader GC window (default 500ms, the
+	// paper's setting): how long a partition remembers which read-only
+	// transactions read which versions, which bounds both the readers-check
+	// cost on writes and the durable footprint of the crash-recovery reader
+	// records. Ignored by the other protocols.
+	ReaderGCWindow time.Duration
 	// DataDir, when non-empty, makes every partition durable: acknowledged
 	// writes are group-committed to a segmented write-ahead log under this
 	// directory before the client sees the ack, and a cluster restarted
@@ -168,6 +174,7 @@ func StartCluster(opts Options) (*Cluster, error) {
 		Partitions:       opts.Partitions,
 		Latency:          &lat,
 		MaxSkew:          opts.MaxClockSkew,
+		ReaderGCWindow:   opts.ReaderGCWindow,
 		DataDir:          opts.DataDir,
 		WALSnapshotEvery: opts.SnapshotEvery,
 		WALSync:          mode,

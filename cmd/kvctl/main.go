@@ -13,6 +13,7 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/cclo"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ring"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -111,6 +113,40 @@ func main() {
 				fmt.Printf("%s = %s (ts %d)\n", kv.Key, kv.Value, kv.TS)
 			}
 		}
+	case "putchain":
+		// One session, sequential puts: each put causally depends on the one
+		// before it (the CC-LO/COPS dependency chain the crash smokes need —
+		// separate kvctl invocations are separate sessions with no deps).
+		if len(args) < 2 {
+			log.Fatal("usage: putchain KEY=VALUE...")
+		}
+		for _, pair := range args[1:] {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok {
+				log.Fatalf("putchain: %q is not KEY=VALUE", pair)
+			}
+			ts, err := cli.Put(ctx, k, []byte(v))
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("OK %s ts=%d\n", k, ts)
+		}
+	case "straddle":
+		// A multi-partition CC-LO ROT played one leg at a time with a pause
+		// between the legs, so a test harness can kill -9 and restart a
+		// partition mid-ROT. Prints each leg's value and epoch vector plus
+		// whether the client fence would retry the ROT.
+		if *protocol != "cclo" {
+			log.Fatal("straddle is a CC-LO command (-protocol cclo)")
+		}
+		if len(args) != 4 {
+			log.Fatal("usage: straddle GAP KEY1 KEY2")
+		}
+		gap, err := time.ParseDuration(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		straddle(net, *dc, topo.Partitions, int(rng.Int31n(20000))+40000, gap, args[2], args[3])
 	case "bench":
 		n := 1000
 		if len(args) == 2 {
@@ -120,6 +156,64 @@ func main() {
 	default:
 		log.Fatalf("unknown command %q", args[0])
 	}
+}
+
+// straddle hand-plays one CC-LO ROT: leg 1 to KEY1's partition, a sleep of
+// gap (the harness's window to kill/restart a partition), then leg 2 to
+// KEY2's partition under the same rot id, retried until the partition is
+// back. Output is grep-friendly for CI smokes.
+func straddle(net transport.Network, dc, parts, id int, gap time.Duration, k1, k2 string) {
+	r := ring.New(parts)
+	p1, p2 := r.Owner(k1), r.Owner(k2)
+	if p1 == p2 {
+		log.Fatalf("straddle: %q and %q are both on partition %d; pick keys on distinct partitions", k1, k2, p1)
+	}
+	node, err := net.Attach(wire.ClientAddr(dc, id), transport.HandlerFunc(
+		func(transport.Node, wire.Addr, uint64, wire.Message) {}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Close()
+	rotID := uint64(node.Addr())<<32 | 1
+
+	leg := func(name string, part int, key string) *wire.LoRotResp {
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			resp, err := node.Call(ctx, wire.ServerAddr(dc, part), &wire.LoRotReq{RotID: rotID, Keys: []string{key}})
+			cancel()
+			if err == nil {
+				rr, ok := resp.(*wire.LoRotResp)
+				if !ok {
+					log.Fatalf("straddle %s: unexpected response %T", name, resp)
+				}
+				return rr
+			}
+			if time.Now().After(deadline) {
+				log.Fatalf("straddle %s: partition %d never answered: %v", name, part, err)
+			}
+			time.Sleep(200 * time.Millisecond)
+		}
+	}
+	show := func(v []byte) string {
+		if v == nil {
+			return "(nil)"
+		}
+		return string(v)
+	}
+	leg1 := leg("leg1", p1, k1)
+	fmt.Printf("leg1 %s=%s epochs=%v\n", k1, show(leg1.Vals[0].Value), leg1.Epochs)
+	time.Sleep(gap)
+	leg2 := leg("leg2", p2, k2)
+	fmt.Printf("leg2 %s=%s epochs=%v\n", k2, show(leg2.Vals[0].Value), leg2.Epochs)
+	fenced := false
+	if p1 < len(leg1.Epochs) && p1 < len(leg2.Epochs) && leg2.Epochs[p1] > leg1.Epochs[p1] {
+		fenced = true
+	}
+	if p2 < len(leg1.Epochs) && p2 < len(leg2.Epochs) && leg1.Epochs[p2] > leg2.Epochs[p2] {
+		fenced = true
+	}
+	fmt.Printf("fenced=%v\n", fenced)
 }
 
 // warmer is implemented by both protocol clients.

@@ -55,6 +55,7 @@ func main() {
 		walSync    = flag.String("wal-sync", "sync", "WAL acknowledgment contract: sync (acked ⇒ fsynced) or async (acked ⇒ written; fsync within -wal-fsync-every)")
 		fsyncEvery = flag.Duration("wal-fsync-every", 0, "async mode's bounded loss window (0 = default 2ms)")
 		repFlush   = flag.Duration("rep-flush-every", 0, "replication flush period for the timestamp-based engine (0 = default 2ms; tests stretch it to hold replication back)")
+		gcWindow   = flag.Duration("reader-gc-window", 0, "CC-LO reader GC window: how long reader records, old-reader entries, and invisibility marks live (0 = default 500ms; crash tests stretch it)")
 		flushBud   = flag.Duration("flush-budget", transport.DefaultFlushBudget, "adaptive flush latency budget: how long the transport may keep a coalesced batch open before flushing (0 = greedy drain-until-idle)")
 		writevMin  = flag.Int("writev-bytes", 0, "frame size at or above which frames skip the copy into the flush buffer and go out via writev scatter-gather (0 = default 16 KiB)")
 	)
@@ -134,7 +135,8 @@ func main() {
 	case *protocol == "cclo":
 		s, err := cclo.NewServer(cclo.Config{
 			DC: *dc, Part: *partition, NumDCs: topo.DCs, NumParts: topo.Partitions,
-			Durable: durable,
+			GCWindow: *gcWindow,
+			Durable:  durable,
 		}, net)
 		if err != nil {
 			log.Fatal(err)

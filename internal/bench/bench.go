@@ -67,6 +67,7 @@ type LoCheckStats struct {
 	AvgPartitions float64 // remote partitions interrogated per check
 	AvgDistinct   float64 // distinct ROT ids collected per check
 	AvgCumulative float64 // ROT ids scanned per check (before dedup)
+	FenceRetries  uint64  // whole-ROT retries forced by the restart-epoch fence (0 unless a partition recovered mid-window)
 }
 
 // TransportStats summarizes write-path efficiency: counter-derived fields
@@ -289,7 +290,7 @@ func Run(sys System, spec RunSpec) (Point, error) {
 func loDelta(a, b cclo.StatsSnapshot) LoCheckStats {
 	checks := b.Checks - a.Checks
 	if checks == 0 {
-		return LoCheckStats{}
+		return LoCheckStats{FenceRetries: b.FenceRetries - a.FenceRetries}
 	}
 	return LoCheckStats{
 		Checks:        checks,
@@ -297,6 +298,7 @@ func loDelta(a, b cclo.StatsSnapshot) LoCheckStats {
 		AvgPartitions: float64(b.PartitionsAsked-a.PartitionsAsked) / float64(checks),
 		AvgDistinct:   float64(b.IDsDistinct-a.IDsDistinct) / float64(checks),
 		AvgCumulative: float64(b.IDsCumulative-a.IDsCumulative) / float64(checks),
+		FenceRetries:  b.FenceRetries - a.FenceRetries,
 	}
 }
 

@@ -167,8 +167,8 @@ func Figure5(o Opts) ([]Series, error) {
 // small multiple of distinct.
 func Figure6(o Opts) (Series, error) {
 	fmt.Fprintf(o.Out, "\n=== Figure 6: ROT ids per readers check (CC-LO, 1 DC) ===\n")
-	fmt.Fprintf(o.Out, "%8s %12s %12s %12s %12s %12s\n",
-		"clients", "checks", "distinct", "cumulative", "keys/chk", "parts/chk")
+	fmt.Fprintf(o.Out, "%8s %12s %12s %12s %12s %12s %8s\n",
+		"clients", "checks", "distinct", "cumulative", "keys/chk", "parts/chk", "fenced")
 	wl := o.defaultWorkload()
 	sys := System{Protocol: cluster.CCLO, DCs: 1, Partitions: o.Partitions, MaxSkew: o.MaxSkew}
 	s, err := Sweep(sys, wl, o.Clients, o.Duration, o.Warmup)
@@ -176,9 +176,9 @@ func Figure6(o Opts) (Series, error) {
 		return s, err
 	}
 	for _, p := range s.Points {
-		fmt.Fprintf(o.Out, "%8d %12d %12.1f %12.1f %12.1f %12.1f\n",
+		fmt.Fprintf(o.Out, "%8d %12d %12.1f %12.1f %12.1f %12.1f %8d\n",
 			p.ClientsPerDC, p.Lo.Checks, p.Lo.AvgDistinct, p.Lo.AvgCumulative,
-			p.Lo.AvgKeys, p.Lo.AvgPartitions)
+			p.Lo.AvgKeys, p.Lo.AvgPartitions, p.Lo.FenceRetries)
 	}
 	return s, nil
 }

@@ -1,0 +1,138 @@
+package cclo
+
+import (
+	"testing"
+	"time"
+)
+
+// mapSizes reads the reader-map sizes of one key under the shard lock.
+func mapSizes(s *loStore, key string) (readers, oldReaders int) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	lk := sh.m[key]
+	if lk == nil {
+		return 0, 0
+	}
+	return len(lk.readers), len(lk.oldReaders)
+}
+
+// TestHotKeyReadersBounded: a hot dependency key under a read-heavy,
+// install-free workload used to grow its readers map without bound — only
+// negative (missing-key) reads size-triggered a sweep. The clock is
+// synthetic, so the test is fully deterministic: 10k distinct ROTs read
+// the key at 10 reads/ms against a 5 ms GC window, and the map must stay
+// near the sweep bound instead of reaching 10k.
+func TestHotKeyReadersBounded(t *testing.T) {
+	s := newLoStore(4, 5*time.Millisecond)
+	t0 := time.Now()
+	s.install("hot", loVersion{value: []byte("v"), ts: 1, srcDC: 0}, nil, t0)
+	for i := 0; i < 10000; i++ {
+		now := t0.Add(time.Duration(i) * 100 * time.Microsecond)
+		s.read("hot", uint64(i+1), uint64(i+1), now)
+	}
+	readers, _ := mapSizes(s, "hot")
+	// In-window entries: 5ms × 10/ms = 50; the sweep triggers at
+	// softReaderBound, so the map can float up to the bound plus one
+	// window's worth of live entries.
+	if readers > softReaderBound+64 {
+		t.Fatalf("readers map grew to %d entries on a hot key (bound %d): sweep never fired", readers, softReaderBound)
+	}
+}
+
+// TestOldReadersSweptOnInstall: installs move current readers into
+// oldReaders; with nothing ever depending on the key no readers check runs
+// and the old code never swept the map. 60 rounds of (10 readers, one
+// install) against a 5 ms window must not retain all 600 entries.
+func TestOldReadersSweptOnInstall(t *testing.T) {
+	s := newLoStore(4, 5*time.Millisecond)
+	t0 := time.Now()
+	s.install("churn", loVersion{value: []byte("v"), ts: 1, srcDC: 0}, nil, t0)
+	id := uint64(1)
+	for round := 0; round < 60; round++ {
+		now := t0.Add(time.Duration(round) * 2 * time.Millisecond)
+		for i := 0; i < 10; i++ {
+			s.read("churn", id, id, now)
+			id++
+		}
+		s.install("churn", loVersion{value: []byte("v"), ts: uint64(round + 2), srcDC: 0}, nil, now)
+	}
+	_, old := mapSizes(s, "churn")
+	if old > softReaderBound+64 {
+		t.Fatalf("oldReaders map grew to %d entries with no readers checks (bound %d): install-path sweep missing", old, softReaderBound)
+	}
+}
+
+// TestProbeHeavyKeySweptOnCollect: a dependency key whose latest version
+// is current never takes the collect path's stale-latest branch, so its
+// reader map used to ride only on read-path sweeps. The collect path must
+// bound it too (satellite: probe-only keys on the collectOldReaders path).
+func TestProbeHeavyKeySweptOnCollect(t *testing.T) {
+	s := newLoStore(4, 5*time.Millisecond)
+	t0 := time.Now()
+	s.install("dep", loVersion{value: []byte("v"), ts: 100, srcDC: 0}, nil, t0)
+	// Pile up readers below the read-path sweep trigger... then age them out
+	// and let a readers check (latest 100 ≥ depTS 50: not collected) sweep.
+	for i := 0; i < softReaderBound; i++ {
+		s.read("dep", uint64(i+1), uint64(i+1), t0)
+	}
+	collected := make(map[uint64]orEntry)
+	s.collectOldReaders("dep", 50, t0.Add(50*time.Millisecond), collected)
+	if len(collected) != 0 {
+		t.Fatalf("collected %d readers for an already-satisfied dependency", len(collected))
+	}
+	readers, _ := mapSizes(s, "dep")
+	if readers != 0 {
+		t.Fatalf("readers map holds %d expired entries after a collect pass", readers)
+	}
+}
+
+// TestAllInvisibleAtCapacityIsNotFound: the trimmed-chain read fallback
+// must key on whether versions were actually dropped, not on chain
+// length. A chain that merely GREW to capacity with every version
+// invisible to a probing ROT answers "not found" (the ROT predates the
+// first version); only after a real trim may the store approximate with
+// the oldest retained version.
+func TestAllInvisibleAtCapacityIsNotFound(t *testing.T) {
+	const rot, cap = uint64(7), 4
+	s := newLoStore(cap, time.Minute)
+	t0 := time.Now()
+	marked := map[uint64]orEntry{rot: {rotID: rot, t: 1}}
+	for i := 1; i <= cap; i++ { // exactly at capacity, never trimmed
+		s.install("k", loVersion{value: []byte{byte(i)}, ts: uint64(i), srcDC: 0}, marked, t0)
+	}
+	if _, _, _, ok := s.read("k", rot, 99, t0); ok {
+		t.Fatal("at-capacity untrimmed chain served a version invisible to the probing ROT")
+	}
+	if s.hasVersion("k", 0, 0) {
+		t.Fatal("hasVersion claimed an uninstalled pre-chain version on an untrimmed chain")
+	}
+	// One more install trims the oldest; now the fallback (and the trimmed
+	// dependency-check shortcut) are legitimate.
+	s.install("k", loVersion{value: []byte{cap + 1}, ts: cap + 1, srcDC: 0}, marked, t0)
+	if _, _, _, ok := s.read("k", rot, 100, t0); !ok {
+		t.Fatal("trimmed chain refused the oldest-retained fallback")
+	}
+	if !s.hasVersion("k", 1, 0) {
+		t.Fatal("hasVersion denied a genuinely trimmed-away version")
+	}
+}
+
+// TestExpiredMarkUnhidesNewVersion pins the GC-window contract the
+// ReaderGCWindow knob exposes: an invisibility mark past the window no
+// longer hides the version from the marked ROT (and is dropped).
+func TestExpiredMarkUnhidesNewVersion(t *testing.T) {
+	const rot = uint64(42)
+	s := newLoStore(4, 10*time.Millisecond)
+	t0 := time.Now()
+	s.install("k", loVersion{value: []byte("v1"), ts: 1, srcDC: 0}, nil, t0)
+	s.install("k", loVersion{value: []byte("v2"), ts: 2, srcDC: 0},
+		map[uint64]orEntry{rot: {rotID: rot, t: 1}}, t0)
+
+	if val, _, _, ok := s.read("k", rot, 10, t0.Add(time.Millisecond)); !ok || string(val) != "v1" {
+		t.Fatalf("in-window read got %q, want the rewind to v1", val)
+	}
+	if val, _, _, ok := s.read("k", rot, 11, t0.Add(20*time.Millisecond)); !ok || string(val) != "v2" {
+		t.Fatalf("post-window read got %q, want v2: an expired reader entry must not keep hiding new versions", val)
+	}
+}

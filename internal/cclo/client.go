@@ -24,9 +24,20 @@ type Client struct {
 	node   transport.Node
 	rotSeq atomic.Uint64
 
+	// fenceRetries counts whole-ROT retries forced by the restart-epoch
+	// fence (bench surfaces it; steady state is zero — the retry round is
+	// paid only when a ROT actually straddles a crash recovery).
+	fenceRetries atomic.Uint64
+
+	// legGate, when non-nil, runs before each ROT leg is sent (tests use it
+	// to hold one leg while a partition is crashed and restarted, making
+	// the straddle deterministic).
+	legGate func(part int)
+
 	mu     sync.Mutex
 	deps   map[string]wire.LoDep // nearest dependencies: key → version identity
 	seenTS uint64                // Lamport high-water mark over everything observed
+	epochs []uint64              // newest known restart epoch per partition
 }
 
 // ClientConfig parameterizes a CC-LO client session.
@@ -130,66 +141,165 @@ func (c *Client) Get(ctx context.Context, key string) ([]byte, error) {
 	return kvs[0].Value, nil
 }
 
+// FenceRetries returns how many whole-ROT retries the restart-epoch fence
+// has forced on this session.
+func (c *Client) FenceRetries() uint64 { return c.fenceRetries.Load() }
+
+// maxFenceRetries bounds epoch-fence retries per ROT: each retry means a
+// partition finished a crash recovery while the ROT was in flight, so more
+// than a few in a row is a cluster in a restart loop, not a race to mask.
+const maxFenceRetries = 3
+
 // ROT executes CC-LO's one-round read-only transaction: one request to
 // each involved partition, no coordinator, no second round, no blocking.
+//
+// Restart-epoch fence: each leg's response carries the serving partition's
+// epoch vector. If some leg returns a NEWER epoch for partition p than p's
+// own leg reported, p completed a crash recovery while this ROT was in
+// flight — the reader records p kept for this ROT's already-served legs
+// (its rewind protection against concurrent dependent writes) died with
+// the crash, and the legs served after the restart may already reflect
+// writes that skipped them. The whole ROT aborts and retries under a fresh
+// id against the new epoch: one extra round, paid only in the
+// crash-recovery corner case, so steady-state reads stay one round
+// (latency optimality intact). Single-partition ROTs are served atomically
+// by one handler and cannot straddle anything; they skip the check.
 func (c *Client) ROT(ctx context.Context, keys []string) ([]wire.KV, error) {
 	if len(keys) == 0 {
 		return nil, nil
 	}
-	rotID := uint64(c.Addr())<<32 | (c.rotSeq.Add(1) & 0xFFFFFFFF)
 	groups := c.ring.Group(keys)
+	for attempt := 0; ; attempt++ {
+		vals, legEpochs, err := c.rotOnce(ctx, groups, len(keys))
+		if err != nil {
+			return nil, err
+		}
+		if !fenceTripped(legEpochs) {
+			// Reads extend the nearest-dependency set and the session's
+			// Lamport high-water mark.
+			c.mu.Lock()
+			for _, kv := range vals {
+				if prev, ok := c.deps[kv.Key]; kv.TS > 0 && (!ok || kv.TS > prev.TS || (kv.TS == prev.TS && kv.Src > prev.Src)) {
+					c.deps[kv.Key] = wire.LoDep{Key: kv.Key, TS: kv.TS, Src: kv.Src}
+				}
+				c.seenTS = max(c.seenTS, kv.TS)
+			}
+			c.mu.Unlock()
+			out := make([]wire.KV, len(keys))
+			for i, k := range keys {
+				if kv, ok := vals[k]; ok {
+					out[i] = kv
+				} else {
+					out[i] = wire.KV{Key: k}
+				}
+			}
+			return out, nil
+		}
+		if attempt >= maxFenceRetries {
+			return nil, fmt.Errorf("cclo: rot: epoch fence tripped %d times: partitions kept restarting", attempt+1)
+		}
+		c.fenceRetries.Add(1)
+	}
+}
+
+// rotOnce runs one ROT attempt: a fresh rot id, one leg per partition, all
+// in parallel. It returns the merged reads and each leg's epoch vector
+// (nil entries for partitions outside the ROT). Session epoch knowledge is
+// merged in even when the attempt will be fenced — the retry runs against
+// the newest epochs.
+func (c *Client) rotOnce(ctx context.Context, groups map[int][]string, nkeys int) (map[string]wire.KV, map[int][]uint64, error) {
+	rotID := uint64(c.Addr())<<32 | (c.rotSeq.Add(1) & 0xFFFFFFFF)
 	c.mu.Lock()
 	seen := c.seenTS
+	known := append([]uint64(nil), c.epochs...)
 	c.mu.Unlock()
 
 	type result struct {
-		vals []wire.KV
-		err  error
+		part   int
+		vals   []wire.KV
+		epochs []uint64
+		err    error
 	}
 	ch := make(chan result, len(groups))
 	for p, ks := range groups {
 		go func(p int, ks []string) {
-			resp, err := c.node.Call(ctx, wire.ServerAddr(c.dc, p), &wire.LoRotReq{RotID: rotID, SeenTS: seen, Keys: ks})
+			if c.legGate != nil {
+				c.legGate(p)
+			}
+			resp, err := c.node.Call(ctx, wire.ServerAddr(c.dc, p), &wire.LoRotReq{RotID: rotID, SeenTS: seen, Epochs: known, Keys: ks})
 			if err != nil {
-				ch <- result{err: err}
+				ch <- result{part: p, err: err}
 				return
 			}
 			rr, ok := resp.(*wire.LoRotResp)
 			if !ok {
-				ch <- result{err: fmt.Errorf("unexpected response %T", resp)}
+				ch <- result{part: p, err: fmt.Errorf("unexpected response %T", resp)}
 				return
 			}
-			ch <- result{vals: rr.Vals}
+			ch <- result{part: p, vals: rr.Vals, epochs: rr.Epochs}
 		}(p, ks)
 	}
-	vals := make(map[string]wire.KV, len(keys))
+	vals := make(map[string]wire.KV, nkeys)
+	legEpochs := make(map[int][]uint64, len(groups))
+	var firstErr error
 	for range groups {
 		r := <-ch
 		if r.err != nil {
-			return nil, fmt.Errorf("cclo: rot: %w", r.err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cclo: rot: %w", r.err)
+			}
+			continue
 		}
+		legEpochs[r.part] = r.epochs
 		for _, kv := range r.vals {
 			vals[kv.Key] = kv
 		}
 	}
-	// Reads extend the nearest-dependency set and the session's Lamport
-	// high-water mark.
+	c.mergeEpochs(legEpochs)
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	return vals, legEpochs, nil
+}
+
+// mergeEpochs folds every leg's vector into the session's known epochs.
+func (c *Client) mergeEpochs(legEpochs map[int][]uint64) {
 	c.mu.Lock()
-	for _, kv := range vals {
-		if prev, ok := c.deps[kv.Key]; kv.TS > 0 && (!ok || kv.TS > prev.TS || (kv.TS == prev.TS && kv.Src > prev.Src)) {
-			c.deps[kv.Key] = wire.LoDep{Key: kv.Key, TS: kv.TS, Src: kv.Src}
+	for _, vec := range legEpochs {
+		if len(vec) > len(c.epochs) {
+			c.epochs = append(c.epochs, make([]uint64, len(vec)-len(c.epochs))...)
 		}
-		c.seenTS = max(c.seenTS, kv.TS)
+		for i, e := range vec {
+			if e > c.epochs[i] {
+				c.epochs[i] = e
+			}
+		}
 	}
 	c.mu.Unlock()
+}
 
-	out := make([]wire.KV, len(keys))
-	for i, k := range keys {
-		if kv, ok := vals[k]; ok {
-			out[i] = kv
-		} else {
-			out[i] = wire.KV{Key: k}
+// fenceTripped reports whether any leg observed a newer restart epoch for
+// a contacted partition than that partition's own leg reported — the
+// signature of a ROT that straddled a crash recovery. Comparisons run only
+// over contacted partitions: a restart elsewhere cannot have destroyed
+// records about THIS rot id, because reads record only where they land.
+func fenceTripped(legEpochs map[int][]uint64) bool {
+	if len(legEpochs) < 2 {
+		return false
+	}
+	for p, own := range legEpochs {
+		if p >= len(own) {
+			continue
+		}
+		self := own[p]
+		for q, other := range legEpochs {
+			if q == p || p >= len(other) {
+				continue
+			}
+			if other[p] > self {
+				return true
+			}
 		}
 	}
-	return out, nil
+	return false
 }

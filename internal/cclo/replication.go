@@ -45,10 +45,11 @@ type loStream struct {
 
 // newLoReplicator builds one stream per remote DC, seeding each with the
 // WAL-recovered local updates (timestamp order) its durable cursor says the
-// DC has not acknowledged. The origin's collected old readers are soft
-// state and not persisted, so re-enqueued updates carry none — the readers
-// they would have protected belonged to ROTs that died with the crash, and
-// the receiver still runs its own DC's readers check.
+// DC has not acknowledged. Re-enqueued updates carry the old readers
+// recovered from their persisted reader records (see wal.RecReaders) —
+// versions whose readers check collected nobody carry none, exactly as
+// their pre-crash enqueue did — and the receiver still merges in its own
+// DC's readers check before installing.
 func newLoReplicator(s *Server, recovered []*wire.LoRepUpdate) *loReplicator {
 	cursors := make(map[int]wal.Cursor)
 	if s.cfg.Durable != nil {

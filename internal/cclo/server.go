@@ -35,10 +35,15 @@ type Config struct {
 	MaxVersions int
 
 	// Durable, when non-nil, makes every install durable before it is
-	// acknowledged (see wal.Durability). The soft reader state (readers,
-	// old-reader records) is deliberately not persisted: it only protects
-	// ROTs in flight at the crash, which fail with the server anyway, and it
-	// expires within GCWindow regardless.
+	// acknowledged (see wal.Durability), and closes CC-LO's crash gap for
+	// ROTs in flight at the crash with two durable fences. Invisibility
+	// marks are persisted as old-reader records in the same append as the
+	// install they protect, so recovery rebuilds per-version rewind state;
+	// and every recovery durably bumps the partition's restart epoch, which
+	// servers gossip along readers checks and clients use to abort-and-retry
+	// a multi-partition ROT that straddled a restart (the reader/old-reader
+	// MAPS stay soft — the epoch fence is what covers their loss). Both
+	// durable footprints are bounded by the GC window.
 	Durable wal.Durability
 }
 
@@ -76,11 +81,14 @@ type Stats struct {
 	ReplicationChecks atomic.Uint64 // readers checks run for replicated updates
 }
 
-// StatsSnapshot is a plain copy of Stats.
+// StatsSnapshot is a plain copy of Stats. FenceRetries is client-side
+// state (see Client.FenceRetries) aggregated in by the cluster layer; a
+// single server's Snapshot always reports it as zero.
 type StatsSnapshot struct {
 	Checks, KeysChecked, PartitionsAsked   uint64
 	IDsCumulative, IDsDistinct, CheckBytes uint64
 	ReplicationChecks                      uint64
+	FenceRetries                           uint64
 }
 
 // Snapshot copies the counters.
@@ -105,6 +113,18 @@ type Server struct {
 	ring  ring.Ring
 	stats Stats
 
+	// epoch is this partition's restart epoch: 0 for in-memory servers
+	// (which cannot restart in place), otherwise bumped durably on every
+	// recovery. Fixed after construction. epochVec is the newest epoch this
+	// server knows per partition of its DC (own entry authoritative);
+	// remote entries advance as readers-check traffic gossips them — the
+	// same causal channel a dependent write must cross before it can skip a
+	// crashed partition's lost reader records, which is what makes the ROT
+	// fence sound (see wire.LoRotResp.Epochs).
+	epoch    uint64
+	epochMu  sync.Mutex
+	epochVec []uint64
+
 	// installMu/installCond wake blocked dependency checks on installs.
 	installMu   sync.Mutex
 	installCond *sync.Cond
@@ -118,11 +138,12 @@ type Server struct {
 func NewServer(cfg Config, net transport.Network) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		clock: hlc.NewLamport(0),
-		store: newLoStore(cfg.MaxVersions, cfg.GCWindow),
-		ring:  ring.New(cfg.NumParts),
-		stop:  make(chan struct{}),
+		cfg:      cfg,
+		clock:    hlc.NewLamport(0),
+		store:    newLoStore(cfg.MaxVersions, cfg.GCWindow),
+		ring:     ring.New(cfg.NumParts),
+		epochVec: make([]uint64, cfg.NumParts),
+		stop:     make(chan struct{}),
 	}
 	s.installCond = sync.NewCond(&s.installMu)
 	var recovered []*wire.LoRepUpdate
@@ -152,17 +173,33 @@ func NewServer(cfg Config, net transport.Network) (*Server, error) {
 	return s, nil
 }
 
-// recover replays the durable log into the store, advances the Lamport
-// clock past every recovered timestamp (so new writes order above
-// acknowledged ones), and registers the snapshot source. It returns the
-// recovered LOCAL updates — dependency lists included, old readers
-// deliberately not (soft state; see newLoReplicator) — in timestamp order
+// recover replays the durable log into the store, rebuilds per-version
+// invisibility marks from persisted old-reader records, durably bumps the
+// partition's restart epoch, advances the Lamport clock past every
+// recovered timestamp (so new writes order above acknowledged ones), and
+// registers the snapshot source. It returns the recovered LOCAL updates —
+// dependency lists and recovered old readers included — in timestamp order
 // for the replicator's re-enqueue.
 func (s *Server) recover() ([]*wire.LoRepUpdate, error) {
 	now := time.Now()
 	var maxTS uint64
 	var local []*wire.LoRepUpdate
+	// verID names a recovered version for mark rebuilding: reader records
+	// may replay before their install (snapshots) or after a duplicate of
+	// it (re-delivered updates), so marks are accumulated here and applied
+	// once the full replay has settled the version chains.
+	type verID struct {
+		key string
+		ts  uint64
+		src uint8
+	}
+	marks := make(map[verID][]wire.ReaderEntry)
 	err := s.cfg.Durable.Replay(func(rec wal.Record) error {
+		if rec.Kind == wal.RecReaders {
+			id := verID{key: rec.Key, ts: rec.TS, src: rec.SrcDC}
+			marks[id] = append(marks[id], rec.Readers...)
+			return nil
+		}
 		// Local versions keep their dependency lists in the store so the
 		// next snapshot re-emits them (see loVersion.deps).
 		var deps []wire.LoDep
@@ -186,10 +223,29 @@ func (s *Server) recover() ([]*wire.LoRepUpdate, error) {
 	if err != nil {
 		return nil, err
 	}
+	for id, entries := range marks {
+		s.store.addMarks(id.key, id.ts, id.src, entries, now)
+	}
+	// Re-enqueued local updates carry their recovered old readers, exactly
+	// as the pre-crash enqueue did: the receiving DC merges them into its
+	// own readers check before installing.
+	for _, u := range local {
+		if entries := marks[verID{key: u.Key, ts: u.TS, src: u.SrcDC}]; len(entries) > 0 {
+			u.OldReaders = entries
+		}
+	}
 	sort.Slice(local, func(i, j int) bool { return local[i].TS < local[j].TS })
 	if maxTS > 0 {
 		s.clock.Update(maxTS)
 	}
+	// Fence this incarnation: the epoch bump must be durable before the
+	// server serves anything, or a second crash could resurrect the old
+	// epoch and hide this restart from straddling ROTs.
+	s.epoch = s.cfg.Durable.Epoch() + 1
+	if err := s.cfg.Durable.SetEpoch(s.epoch); err != nil {
+		return nil, err
+	}
+	s.epochVec[s.cfg.Part] = s.epoch
 	// Snapshot records carry each local version's dependency list (the
 	// store keeps it alongside the version, see loVersion.deps), so a local
 	// update that is BOTH unacked by some DC and already folded into a
@@ -200,6 +256,7 @@ func (s *Server) recover() ([]*wire.LoRepUpdate, error) {
 	// snapshot growth bounded by the unacked window, not the keyspace.
 	s.cfg.Durable.SetSnapshotSource(func(emit func(wal.Record) error) error {
 		frontier := s.ackedFrontier()
+		snapNow := time.Now()
 		var ferr error
 		s.store.forEachLatest(func(key string, v loVersion) {
 			if ferr != nil {
@@ -210,10 +267,45 @@ func (s *Server) recover() ([]*wire.LoRepUpdate, error) {
 				deps = nil
 			}
 			ferr = emit(wal.Record{Key: key, Value: v.value, TS: v.ts, SrcDC: v.srcDC, Deps: deps})
+			// Still-live invisibility marks ride along so truncating the
+			// segment that held the version's old-reader record cannot strip
+			// an in-window ROT of its rewind protection; expired marks are
+			// dropped here, which is what bounds the durable footprint to
+			// the GC window.
+			if ferr == nil {
+				if rs := s.store.marksOf(&v, snapNow); len(rs) > 0 {
+					ferr = emit(wal.Record{Kind: wal.RecReaders, Key: key, TS: v.ts, SrcDC: v.srcDC, Readers: rs})
+				}
+			}
 		})
 		return ferr
 	})
 	return local, nil
+}
+
+// foldEpochs max-merges a peer's epoch vector into this server's view. The
+// own entry is never folded — this partition is the sole authority on its
+// epoch, and it is fixed for the life of the incarnation.
+func (s *Server) foldEpochs(vec []uint64) {
+	if len(vec) == 0 {
+		return
+	}
+	s.epochMu.Lock()
+	for i := 0; i < len(vec) && i < len(s.epochVec); i++ {
+		if i != s.cfg.Part && vec[i] > s.epochVec[i] {
+			s.epochVec[i] = vec[i]
+		}
+	}
+	s.epochMu.Unlock()
+}
+
+// epochsView copies the server's current epoch vector for stamping onto a
+// response.
+func (s *Server) epochsView() []uint64 {
+	s.epochMu.Lock()
+	out := append([]uint64(nil), s.epochVec...)
+	s.epochMu.Unlock()
+	return out
 }
 
 // ackedFrontier returns the timestamp at or below which every remote DC
@@ -305,6 +397,7 @@ func (s *Server) handleRot(src wire.Addr, reqID uint64, m *wire.LoRotReq) {
 	// entry recorded below the session's past would let a later rewind
 	// serve this session versions older than state it already saw.
 	s.clock.Update(m.SeenTS)
+	s.foldEpochs(m.Epochs)
 	now := time.Now()
 	vals := make([]wire.KV, len(m.Keys))
 	for i, k := range m.Keys {
@@ -316,7 +409,11 @@ func (s *Server) handleRot(src wire.Addr, reqID uint64, m *wire.LoRotReq) {
 			vals[i] = wire.KV{Key: k}
 		}
 	}
-	_ = s.node.Respond(src, reqID, &wire.LoRotResp{Vals: vals})
+	// The epoch stamp is taken AFTER the reads: any version these reads
+	// observed was installed before the snapshot, so an epoch its readers
+	// check carried is already folded in — the client's fence can compare
+	// legs without a lost-update window on this side.
+	_ = s.node.Respond(src, reqID, &wire.LoRotResp{Vals: vals, Epochs: s.epochsView()})
 }
 
 // handlePut runs a client PUT: readers check first, then install, then
@@ -350,9 +447,10 @@ func (s *Server) handlePut(src wire.Addr, reqID uint64, m *wire.LoPutReq) {
 	// is persisted with the install so a crash-recovered re-enqueue still
 	// carries it.
 	if s.cfg.Durable != nil {
-		if err := wal.AppendAndSync(s.cfg.Durable, []wal.Record{{
+		recs := installRecords(wal.Record{
 			Key: m.Key, Value: m.Value, TS: ts, SrcDC: uint8(s.cfg.DC), Deps: m.Deps,
-		}}); err != nil {
+		}, collected)
+		if err := wal.AppendAndSync(s.cfg.Durable, recs); err != nil {
 			transport.RespondError(s.node, src, reqID, 500, "cclo: wal: "+err.Error())
 			return
 		}
@@ -368,6 +466,23 @@ func (s *Server) handlePut(src wire.Addr, reqID uint64, m *wire.LoPutReq) {
 		OldReaders: entriesToWire(collected),
 	})
 	_ = s.node.Respond(src, reqID, &wire.LoPutResp{TS: ts})
+}
+
+// installRecords pairs an install record with the old-reader record
+// persisting its invisibility marks (when it has any). The reader record
+// goes FIRST: the two land in one group commit, but a real crash can still
+// tear the batch's unfsynced tail, and a torn reader record behind a
+// surviving install would resurrect the version without its rewind
+// protection — the exact bug this PR closes. Torn the other way round, the
+// version is lost too and the orphaned marks are dropped at recovery.
+func installRecords(install wal.Record, collected map[uint64]orEntry) []wal.Record {
+	if len(collected) == 0 {
+		return []wal.Record{install}
+	}
+	return []wal.Record{
+		{Kind: wal.RecReaders, Key: install.Key, TS: install.TS, SrcDC: install.SrcDC, Readers: entriesToWire(collected)},
+		install,
+	}
 }
 
 // install writes the version and wakes dependency checks.
@@ -410,19 +525,25 @@ func (s *Server) readersCheck(deps []wire.LoDep, replicated bool) (map[uint64]or
 		delete(byPart, s.cfg.Part)
 	}
 
-	// Remote dependencies are interrogated in parallel.
+	// Remote dependencies are interrogated in parallel. Every response
+	// carries the responder's epoch vector, folded into ours before this
+	// check returns — i.e. before the version being checked installs —
+	// which is the propagation that lets ROT legs expose a restart to the
+	// client fence.
 	type answer struct {
 		readers    []wire.ReaderEntry
 		cumulative uint32
 		bytes      int
+		epochs     []uint64
 		err        error
 	}
+	reqEpochs := s.epochsView()
 	ch := make(chan answer, len(byPart))
 	for p, ds := range byPart {
 		go func(p int, ds []wire.LoDep) {
 			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.CallTimeout)
 			defer cancel()
-			resp, err := s.node.Call(ctx, wire.ServerAddr(s.cfg.DC, p), &wire.OldReadersReq{Deps: ds})
+			resp, err := s.node.Call(ctx, wire.ServerAddr(s.cfg.DC, p), &wire.OldReadersReq{Deps: ds, Epochs: reqEpochs})
 			if err != nil {
 				ch <- answer{err: err}
 				return
@@ -432,7 +553,7 @@ func (s *Server) readersCheck(deps []wire.LoDep, replicated bool) (map[uint64]or
 				ch <- answer{err: wire.ErrUnknownType}
 				return
 			}
-			ch <- answer{readers: or.Readers, cumulative: or.Cumulative, bytes: 16 * len(or.Readers)}
+			ch <- answer{readers: or.Readers, cumulative: or.Cumulative, epochs: or.Epochs, bytes: 16 * len(or.Readers)}
 		}(p, ds)
 	}
 	s.stats.PartitionsAsked.Add(uint64(len(byPart)))
@@ -445,6 +566,7 @@ func (s *Server) readersCheck(deps []wire.LoDep, replicated bool) (map[uint64]or
 			}
 			continue
 		}
+		s.foldEpochs(a.epochs)
 		scanned += int(a.cumulative)
 		s.stats.CheckBytes.Add(uint64(a.bytes))
 		for _, r := range a.readers {
@@ -468,6 +590,7 @@ func (s *Server) readersCheck(deps []wire.LoDep, replicated bool) (map[uint64]or
 // handleOldReaders answers a readers check for dependencies on this
 // partition's keys.
 func (s *Server) handleOldReaders(src wire.Addr, reqID uint64, m *wire.OldReadersReq) {
+	s.foldEpochs(m.Epochs)
 	now := time.Now()
 	collected := make(map[uint64]orEntry)
 	scanned := 0
@@ -476,10 +599,13 @@ func (s *Server) handleOldReaders(src wire.Addr, reqID uint64, m *wire.OldReader
 	}
 	collected = filterOnePerClient(collected)
 	// Receiving the check updates our Lamport clock with nothing (the
-	// times flow the other way); the response carries our entries' times.
+	// times flow the other way); the response carries our entries' times
+	// plus our epoch vector (our own entry says which incarnation answered
+	// — the whole point of the fence).
 	_ = s.node.Respond(src, reqID, &wire.OldReadersResp{
 		Readers:    entriesToWire(collected),
 		Cumulative: uint32(scanned),
+		Epochs:     s.epochsView(),
 	})
 }
 
@@ -573,9 +699,10 @@ func (s *Server) handleRepUpdate(src wire.Addr, reqID uint64, m *wire.LoRepUpdat
 	// by the origin.
 	s.clock.Update(max(m.TS, maxT))
 	if s.cfg.Durable != nil {
-		if err := wal.AppendAndSync(s.cfg.Durable, []wal.Record{{
+		recs := installRecords(wal.Record{
 			Key: m.Key, Value: m.Value, TS: m.TS, SrcDC: m.SrcDC,
-		}}); err != nil {
+		}, collected)
+		if err := wal.AppendAndSync(s.cfg.Durable, recs); err != nil {
 			transport.RespondError(s.node, src, reqID, 500, "cclo: wal: "+err.Error())
 			return
 		}

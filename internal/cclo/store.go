@@ -74,6 +74,14 @@ type orEntry struct {
 type loKey struct {
 	versions []loVersion // ascending (ts, srcDC)
 
+	// trimmed records that install() has ever dropped versions off this
+	// chain's old end. It disambiguates "every retained version is
+	// invisible" (see read) and "LWW-below the oldest retained" (see
+	// hasVersion): a chain that merely GREW to capacity without trimming
+	// must not take the trimmed-chain fallbacks — at-capacity and trimmed
+	// are indistinguishable by length alone.
+	trimmed bool
+
 	// readers holds the ROTs that have read the *current* latest version,
 	// with the logical time of the read. They become old readers when a
 	// newer version is installed.
@@ -83,9 +91,34 @@ type loKey struct {
 	// what a readers check on this key returns (filtered by the version
 	// each actually read).
 	oldReaders map[uint64]orEntry
+
+	// readersSweepAt/oldReadersSweepAt throttle the size-triggered sweeps:
+	// a map pinned at the bound by IN-window entries would otherwise be
+	// fully rescanned on every operation, reclaiming nothing.
+	readersSweepAt    time.Time
+	oldReadersSweepAt time.Time
 }
 
 const loShards = 64
+
+// softReaderBound is the map size at which the reader-tracking maps
+// (readers and oldReaders) are swept in place before inserting more. It
+// caps idle growth without a background goroutine: any map at the bound is
+// reduced to the entries still inside the GC window.
+const softReaderBound = 128
+
+// sweepReaders runs the size-triggered sweep of m when it is due: at or
+// above the bound, and not swept within the last quarter GC window. The
+// throttle keeps a genuinely hot map (≥ bound of in-window entries) from
+// paying a full fruitless rescan on every single read under the shard
+// lock. It returns the next due time for the caller to store.
+func (s *loStore) sweepReaders(m map[uint64]orEntry, at time.Time, now time.Time) time.Time {
+	if len(m) < softReaderBound || now.Before(at) {
+		return at
+	}
+	gcSweep(m, s.gcWindow, now)
+	return now.Add(s.gcWindow / 4)
+}
 
 // loStore is the CC-LO partition storage engine.
 type loStore struct {
@@ -160,9 +193,7 @@ func (s *loStore) read(key string, rotID uint64, t uint64, now time.Time) (val [
 		// Keys that are only ever probed have no install or readers check
 		// to GC their entries, so sweep here once the map grows; what
 		// remains is bounded by the probe rate times the GC window.
-		if len(lk.readers) >= 128 {
-			gcSweep(lk.readers, s.gcWindow, now)
-		}
+		lk.readersSweepAt = s.sweepReaders(lk.readers, lk.readersSweepAt, now)
 		lk.readers[rotID] = orEntry{rotID: rotID, t: t, vts: 0, addedAt: now}
 		return nil, 0, 0, false
 	}
@@ -176,18 +207,33 @@ func (s *loStore) read(key string, rotID uint64, t uint64, now time.Time) (val [
 		}
 		if i == len(lk.versions)-1 {
 			// Served the latest: record the read so a future write that
-			// supersedes it can find this ROT among its old readers.
+			// supersedes it can find this ROT among its old readers. A hot
+			// key under a read-heavy, install-free workload accumulates one
+			// entry per ROT with no install or readers check to GC them, so
+			// sweep in-place once the map grows; what survives is bounded by
+			// the read rate times the GC window.
 			if lk.readers == nil {
 				lk.readers = make(map[uint64]orEntry)
 			}
+			lk.readersSweepAt = s.sweepReaders(lk.readers, lk.readersSweepAt, now)
 			lk.readers[rotID] = orEntry{rotID: rotID, t: t, vts: v.ts, addedAt: now}
 		}
 		return v.value, v.ts, v.srcDC, true
 	}
-	// Every retained version is invisible (trimmed chain); fall back to the
-	// oldest retained one.
-	s.approxReads.Add(1)
-	return lk.versions[0].value, lk.versions[0].ts, lk.versions[0].srcDC, true
+	// Every retained version is invisible to this ROT. On a chain that has
+	// actually been trimmed, versions older than the marks were dropped,
+	// so fall back to the oldest retained one (an approximation, counted).
+	// On an untrimmed chain — even one that merely grew to capacity —
+	// nothing was ever dropped: the ROT genuinely predates the key's FIRST
+	// version (it probed the key while missing and a dependent write
+	// collected it), so the only consistent answer is "not found". Serving
+	// versions[0] here was the first-version startup race the checker's
+	// keyspace seeding used to paper over.
+	if lk.trimmed {
+		s.approxReads.Add(1)
+		return lk.versions[0].value, lk.versions[0].ts, lk.versions[0].srcDC, true
+	}
+	return nil, 0, 0, false
 }
 
 // collectOldReaders returns the old readers of key relevant to a dependency
@@ -231,6 +277,11 @@ func (s *loStore) collectOldReaders(key string, depTS uint64, now time.Time, out
 			scanned++
 			merge(out, id, e)
 		}
+	} else {
+		// Not collected, but a probe-heavy dependency key with a current
+		// latest never takes the branch above; keep its reader map bounded
+		// here too.
+		lk.readersSweepAt = s.sweepReaders(lk.readers, lk.readersSweepAt, now)
 	}
 	// Invisibility-derived old readers: every ROT marked on ANY version of
 	// this key missed something in that version's causal past, so it is
@@ -323,13 +374,18 @@ func (s *loStore) install(key string, v loVersion, collected map[uint64]orEntry,
 		if len(lk.versions) > s.maxVersions {
 			drop := len(lk.versions) - s.maxVersions
 			lk.versions = append(lk.versions[:0:0], lk.versions[drop:]...)
+			lk.trimmed = true
 		}
 	}
 	if newest && len(lk.readers) > 0 {
 		// The previous latest version is now superseded: its readers are
-		// old readers from here on.
+		// old readers from here on. An install-heavy key with no readers
+		// checks (nothing ever depends on it) would grow oldReaders without
+		// bound, so apply the same size-triggered sweep the reader map gets.
 		if lk.oldReaders == nil {
 			lk.oldReaders = make(map[uint64]orEntry, len(lk.readers))
+		} else {
+			lk.oldReadersSweepAt = s.sweepReaders(lk.oldReaders, lk.oldReadersSweepAt, now)
 		}
 		for id, e := range lk.readers {
 			e.addedAt = now
@@ -338,6 +394,54 @@ func (s *loStore) install(key string, v loVersion, collected map[uint64]orEntry,
 		clear(lk.readers)
 	}
 	return newest
+}
+
+// addMarks rebuilds invisibility marks on the version of key identified by
+// (ts, src) — WAL recovery replaying persisted old-reader records. Marks
+// land with addedAt = now: the original insertion time did not survive the
+// crash, so the GC window restarts, which only errs toward hiding longer —
+// safe, because marks exist only on versions installed during the marked
+// ROT's lifetime, so extra hiding can never take back state its session
+// already observed. Records whose version is gone (trimmed, superseded out
+// of the snapshot, or torn from the log tail) are dropped.
+func (s *loStore) addMarks(key string, ts uint64, src uint8, entries []wire.ReaderEntry, now time.Time) {
+	if len(entries) == 0 {
+		return
+	}
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	lk := sh.m[key]
+	if lk == nil {
+		return
+	}
+	for i := range lk.versions {
+		v := &lk.versions[i]
+		if v.ts != ts || v.srcDC != src {
+			continue
+		}
+		if v.invisible == nil {
+			v.invisible = make(map[uint64]orEntry, len(entries))
+		}
+		for _, e := range entries {
+			merge(v.invisible, e.RotID, orEntry{rotID: e.RotID, t: e.T, addedAt: now})
+		}
+		return
+	}
+}
+
+// marksOf returns the version's non-expired invisibility marks as wire
+// entries (nil when none); the caller must hold the shard lock — it is the
+// WAL snapshot serializer, which runs inside forEachLatest.
+func (s *loStore) marksOf(v *loVersion, now time.Time) []wire.ReaderEntry {
+	var out []wire.ReaderEntry
+	for id, e := range v.invisible {
+		if s.expired(e, now) {
+			continue
+		}
+		out = append(out, wire.ReaderEntry{RotID: id, T: e.t})
+	}
+	return out
 }
 
 // latest returns the newest version of key.
@@ -370,9 +474,10 @@ func (s *loStore) hasVersion(key string, ts uint64, src uint8) bool {
 		return false
 	}
 	want := loVersion{ts: ts, srcDC: src}
-	if len(lk.versions) >= s.maxVersions && want.before(&lk.versions[0]) {
-		// Only a chain at capacity can have trimmed the asked version; on a
-		// shorter chain "LWW-below the oldest" just means never installed.
+	if lk.trimmed && want.before(&lk.versions[0]) {
+		// Only a chain that actually trimmed can have dropped the asked
+		// version; on an untrimmed chain (even one exactly at capacity)
+		// "LWW-below the oldest" just means never installed.
 		return true
 	}
 	for i := len(lk.versions) - 1; i >= 0 && lk.versions[i].ts >= ts; i-- {

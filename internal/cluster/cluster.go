@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -80,8 +81,11 @@ type Config struct {
 	MaxSkew time.Duration
 	// StabilizeEvery is the stabilization period (default 5 ms, as §5.2).
 	StabilizeEvery time.Duration
-	// GCWindow is CC-LO's reader GC window (default 500 ms, as §5.2).
-	GCWindow time.Duration
+	// ReaderGCWindow is CC-LO's reader GC window (default 500 ms, as §5.2):
+	// how long reader records, old-reader entries, and invisibility marks
+	// live. Crash tests shrink or stretch it to make reader-state expiry
+	// deterministic around a kill/restart.
+	ReaderGCWindow time.Duration
 	// MaxVersions caps per-key version chains.
 	MaxVersions int
 	// Seed randomizes clock skews deterministically.
@@ -161,6 +165,12 @@ type Cluster struct {
 	skews       []time.Duration
 
 	clientSeq []atomic.Int64 // per DC
+
+	// ccloClients tracks CC-LO sessions handed out by NewClient so
+	// CCLOStats can aggregate their client-side epoch-fence retry counters
+	// (closed sessions keep their counts readable).
+	ccloClientMu sync.Mutex
+	ccloClients  []*cclo.Client
 }
 
 // Start builds and starts a cluster.
@@ -278,7 +288,7 @@ func (c *Cluster) startServer(dc, p int) error {
 	case CCLO:
 		s, err := cclo.NewServer(cclo.Config{
 			DC: dc, Part: p, NumDCs: c.cfg.DCs, NumParts: c.cfg.Partitions,
-			GCWindow:    c.cfg.GCWindow,
+			GCWindow:    c.cfg.ReaderGCWindow,
 			MaxVersions: c.cfg.MaxVersions,
 			Durable:     durable,
 		}, c.net)
@@ -476,7 +486,14 @@ func (c *Cluster) NewClient(dc int) (Client, error) {
 	}
 	id := int(c.clientSeq[dc].Add(1))
 	if c.cfg.Protocol == CCLO {
-		return cclo.NewClient(cclo.ClientConfig{DC: dc, ID: id, Ring: c.ring}, c.net)
+		cli, err := cclo.NewClient(cclo.ClientConfig{DC: dc, ID: id, Ring: c.ring}, c.net)
+		if err != nil {
+			return nil, err
+		}
+		c.ccloClientMu.Lock()
+		c.ccloClients = append(c.ccloClients, cli)
+		c.ccloClientMu.Unlock()
+		return cli, nil
 	}
 	if c.cfg.Protocol == COPS {
 		return cops.NewClient(cops.ClientConfig{DC: dc, ID: id, Ring: c.ring}, c.net)
@@ -490,10 +507,14 @@ func (c *Cluster) NewClient(dc int) (Client, error) {
 	}, c.net)
 }
 
-// CCLOStats sums readers-check counters over every CC-LO server.
+// CCLOStats sums readers-check counters over every CC-LO server, plus the
+// epoch-fence retry counters of every CC-LO session this cluster created.
 func (c *Cluster) CCLOStats() cclo.StatsSnapshot {
 	var sum cclo.StatsSnapshot
 	for _, s := range c.ccloServers {
+		if s == nil {
+			continue
+		}
 		snap := s.Stats().Snapshot()
 		sum.Checks += snap.Checks
 		sum.KeysChecked += snap.KeysChecked
@@ -503,6 +524,11 @@ func (c *Cluster) CCLOStats() cclo.StatsSnapshot {
 		sum.CheckBytes += snap.CheckBytes
 		sum.ReplicationChecks += snap.ReplicationChecks
 	}
+	c.ccloClientMu.Lock()
+	for _, cli := range c.ccloClients {
+		sum.FenceRetries += cli.FenceRetries()
+	}
+	c.ccloClientMu.Unlock()
 	return sum
 }
 

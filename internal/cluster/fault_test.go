@@ -1,10 +1,12 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/transport"
 )
@@ -55,6 +57,85 @@ func TestReplicationSurvivesWANLoss(t *testing.T) {
 				t.Fatal("loss injection did not drop anything; test is vacuous")
 			}
 		})
+	}
+}
+
+// TestCCLOSessionGuaranteesAcrossCrashes drives CC-LO sessions through
+// repeated kill -9 + restart cycles of both partitions and holds every
+// recorded operation to the checker's session guarantees: observed writes
+// must never rewind for a session once acknowledged, across however many
+// recoveries happen in between. The long ReaderGCWindow keeps the
+// persisted old-reader records live across each restart (the knob this PR
+// adds for exactly this kind of deterministic crash test).
+func TestCCLOSessionGuaranteesAcrossCrashes(t *testing.T) {
+	c := startCluster(t, Config{
+		Protocol:       CCLO,
+		DCs:            2,
+		Partitions:     2,
+		Latency:        NoLatency(),
+		DataDir:        t.TempDir(),
+		ReaderGCWindow: 30 * time.Second,
+	})
+	h := check.New()
+	kx, ky := "fx", ""
+	for i := 0; ; i++ {
+		ky = fmt.Sprintf("fy%d", i)
+		if c.Ring().Owner(ky) != c.Ring().Owner(kx) {
+			break
+		}
+	}
+	w, err := c.NewClient(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	r, err := c.NewClient(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	wrec, rrec := h.Client("writer"), h.Client("reader")
+
+	op := func(ctx context.Context, round int) {
+		xv := fmt.Sprintf("x-%d", round)
+		yv := fmt.Sprintf("y-%d", round)
+		if ts, err := w.Put(ctx, kx, []byte(xv)); err == nil {
+			wrec.Put(kx, xv, ts)
+		}
+		if ts, err := w.Put(ctx, ky, []byte(yv)); err == nil {
+			wrec.Put(ky, yv, ts)
+		}
+		if kvs, err := r.ROT(ctx, []string{kx, ky}); err == nil {
+			reads := make([]check.Read, len(kvs))
+			for i, kv := range kvs {
+				reads[i] = check.Read{Key: kv.Key, Val: string(kv.Value), TS: kv.TS}
+			}
+			rrec.ReadTx(reads)
+		}
+	}
+	ctx := testCtx(t)
+	for round := 1; round <= 12; round++ {
+		op(ctx, round)
+		if round%4 == 0 {
+			// Alternate which partition dies; both reads and the readers
+			// checks between kx and ky cross the crashed node.
+			p := (round / 4) % 2
+			if err := c.CrashPartition(0, p); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.RestartPartition(0, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := h.Err(); err != nil {
+		for _, v := range h.Violations() {
+			t.Error(v)
+		}
+		t.FailNow()
+	}
+	if puts, reads := h.Ops(); puts == 0 || reads == 0 {
+		t.Fatalf("vacuous run: %d puts, %d reads", puts, reads)
 	}
 }
 

@@ -35,6 +35,11 @@ type Stats struct {
 	// CursorsRecovered counts cursor records folded back in at recovery.
 	CursorAppends    metrics.Counter
 	CursorsRecovered metrics.Counter
+
+	// ReaderRecords counts CC-LO old-reader records persisted (a subset of
+	// Appends): install-path metadata, so exactly-once assertions can
+	// subtract them from the append count.
+	ReaderRecords metrics.Counter
 }
 
 // StatsView is a frozen copy of every WAL counter.
@@ -53,6 +58,7 @@ type StatsView struct {
 	TornTails        uint64
 	CursorAppends    uint64
 	CursorsRecovered uint64
+	ReaderRecords    uint64
 }
 
 // View returns a frozen copy of all counters.
@@ -72,6 +78,7 @@ func (s *Stats) View() StatsView {
 		TornTails:        s.TornTails.Load(),
 		CursorAppends:    s.CursorAppends.Load(),
 		CursorsRecovered: s.CursorsRecovered.Load(),
+		ReaderRecords:    s.ReaderRecords.Load(),
 	}
 }
 
@@ -101,4 +108,5 @@ func (v *StatsView) Merge(o StatsView) {
 	v.TornTails += o.TornTails
 	v.CursorAppends += o.CursorAppends
 	v.CursorsRecovered += o.CursorsRecovered
+	v.ReaderRecords += o.ReaderRecords
 }

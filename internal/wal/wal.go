@@ -76,6 +76,19 @@ const (
 	// RecCursor is a replication-cursor update: SrcDC holds the destination
 	// DC, Seq the acknowledged stream sequence, TS the acknowledged HighTS.
 	RecCursor uint8 = 1
+	// RecEpoch is the partition's restart epoch: Seq holds the epoch value.
+	// The epoch bumps once per recovery (see SetEpoch) and fences CC-LO
+	// read-only transactions across restarts: a ROT that observes two
+	// incarnations of a partition cannot rely on the soft reader state the
+	// crash destroyed, so it retries.
+	RecEpoch uint8 = 2
+	// RecReaders is an old-reader record: the invisibility marks of the
+	// version identified by (Key, TS, SrcDC). Key/TS/SrcDC name the version
+	// and Readers lists the ROTs it is hidden from. Persisting the marks is
+	// what lets recovery rebuild rewind protection for ROTs that were in
+	// flight at the crash — the one piece of reader state epoch fencing
+	// alone cannot reconstruct.
+	RecReaders uint8 = 3
 )
 
 // Record is one durable log entry. Installs carry the union of the version
@@ -83,14 +96,15 @@ const (
 // dependency vector (DV), COPS' nearest-dependency list (Deps), or neither
 // (CC-LO). Cursor records reuse SrcDC/Seq/TS as documented on RecCursor.
 type Record struct {
-	Kind  uint8
-	Key   string
-	Value []byte
-	TS    uint64
-	SrcDC uint8
-	Seq   uint64       // cursor records: acknowledged stream sequence
-	DV    vclock.Vec   // timestamp-based engine; nil otherwise
-	Deps  []wire.LoDep // COPS; nil otherwise
+	Kind    uint8
+	Key     string
+	Value   []byte
+	TS      uint64
+	SrcDC   uint8
+	Seq     uint64             // cursor records: acknowledged stream sequence; epoch records: the epoch
+	DV      vclock.Vec         // timestamp-based engine; nil otherwise
+	Deps    []wire.LoDep       // COPS; nil otherwise
+	Readers []wire.ReaderEntry // reader records: the version's invisibility marks
 }
 
 // Cursor is one stream's durable replication frontier: the receiver in
@@ -134,6 +148,15 @@ type Durability interface {
 	// per destination DC, sorted by DC. Recovery fills it during Replay,
 	// so call Replay first; it is stable to read before serving starts.
 	Cursors() []Cursor
+	// Epoch returns the current restart epoch (0 before any SetEpoch).
+	// Recovery fills it during Replay, so call Replay first.
+	Epoch() uint64
+	// SetEpoch durably records a new restart epoch, waiting for the real
+	// fsync regardless of SyncMode: an epoch the next crash could take back
+	// would let two distinct incarnations share one epoch, and the fence
+	// would miss restarts between them. Call it once, after Replay and
+	// before serving.
+	SetEpoch(e uint64) error
 	// Replay streams every recovered install — newest valid snapshot first,
 	// then the log tail — in apply order. Cursor records are consumed into
 	// the cursor table and not passed to apply. Call it once, before
@@ -212,10 +235,16 @@ const (
 )
 
 var (
-	// Format 02: records gained a Kind byte (installs vs replication
-	// cursors); 01 files fail the magic check rather than misparse.
-	segMagic  = [8]byte{'C', 'K', 'V', 'W', 'A', 'L', '0', '2'}
-	snapMagic = [8]byte{'C', 'K', 'V', 'S', 'N', 'P', '0', '2'}
+	// Format 03: two new record kinds (restart epochs and old-reader
+	// records). Existing kinds encode byte-identically to format 02, so
+	// replay accepts 02 files written by older builds (prevMagic below);
+	// new files are always written with the current magic. Format 01
+	// predates the Kind byte and still fails the check rather than
+	// misparse.
+	segMagic      = [8]byte{'C', 'K', 'V', 'W', 'A', 'L', '0', '3'}
+	snapMagic     = [8]byte{'C', 'K', 'V', 'S', 'N', 'P', '0', '3'}
+	prevSegMagic  = [8]byte{'C', 'K', 'V', 'W', 'A', 'L', '0', '2'}
+	prevSnapMagic = [8]byte{'C', 'K', 'V', 'S', 'N', 'P', '0', '2'}
 
 	crcTable = crc32.MakeTable(crc32.Castagnoli)
 )
@@ -269,6 +298,10 @@ type Log struct {
 	cursorMu sync.Mutex
 	cursors  map[uint8]Cursor
 
+	// epoch is the partition's restart epoch: recovered by Replay (max over
+	// epoch records), advanced by SetEpoch.
+	epoch atomic.Uint64
+
 	snapMu sync.Mutex // serializes Snapshot runs
 	srcMu  sync.Mutex
 	src    SnapshotSource
@@ -280,11 +313,16 @@ type Log struct {
 // result; rotated receives the new active sequence before done on success.
 // synced, when non-nil, fires once the records' covering fsync completes.
 type commitReq struct {
-	buf     *wire.FrameBuf
-	recs    int
-	synced  func(error)
-	done    chan error
-	rotated chan uint64
+	buf        *wire.FrameBuf
+	recs       int
+	readerRecs int // RecReaders among recs (metadata, counted separately)
+	// forceSync makes the committer fsync this batch immediately even under
+	// SyncBackground (SetEpoch's recovery-time contract must not wait out
+	// the background timer). The batch fsync covers every request in it.
+	forceSync bool
+	synced    func(error)
+	done      chan error
+	rotated   chan uint64
 }
 
 // Open opens (or creates) the log at opts.Dir, scans it for recovery, and
@@ -358,7 +396,7 @@ func (l *Log) scan() (uint64, error) {
 	// so this is a can't-happen guard, not an expected path).
 	sort.Slice(snaps, func(i, j int) bool { return snaps[i].seq > snaps[j].seq })
 	for _, s := range snaps {
-		if checkHeader(s.path, snapMagic, s.seq) == nil {
+		if checkHeader(s.path, [][8]byte{snapMagic, prevSnapMagic}, s.seq) == nil {
 			l.snapPath, l.snapCut = s.path, s.seq
 			break
 		}
@@ -374,8 +412,10 @@ func (l *Log) scan() (uint64, error) {
 	return maxSeq, nil
 }
 
-// checkHeader validates a file's magic and sequence field.
-func checkHeader(path string, magic [8]byte, want uint64) error {
+// checkHeader validates a file's magic and sequence field. Each accepted
+// magic names a format this build can replay: the current one plus the
+// previous, whose record encodings are a strict subset.
+func checkHeader(path string, magics [][8]byte, want uint64) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -385,7 +425,14 @@ func checkHeader(path string, magic [8]byte, want uint64) error {
 	if _, err := io.ReadFull(f, hdr[:]); err != nil {
 		return err
 	}
-	if [8]byte(hdr[:8]) != magic {
+	ok := false
+	for _, m := range magics {
+		if [8]byte(hdr[:8]) == m {
+			ok = true
+			break
+		}
+	}
+	if !ok {
 		return fmt.Errorf("wal: %s: bad magic", path)
 	}
 	if got := binary.LittleEndian.Uint64(hdr[8:]); got != want {
@@ -455,10 +502,14 @@ func (l *Log) AppendSynced(recs []Record, synced func(error)) error {
 		return nil
 	}
 	f := wire.GetFrame()
+	readerRecs := 0
 	for i := range recs {
 		encodeRecord(&f.Buffer, &recs[i])
+		if recs[i].Kind == RecReaders {
+			readerRecs++
+		}
 	}
-	req := &commitReq{buf: f, recs: len(recs), synced: synced, done: make(chan error, 1)}
+	req := &commitReq{buf: f, recs: len(recs), readerRecs: readerRecs, synced: synced, done: make(chan error, 1)}
 	select {
 	case l.appendCh <- req:
 	case <-l.stop:
@@ -493,6 +544,34 @@ func (l *Log) AppendCursor(c Cursor) error {
 	l.cursorMu.Unlock()
 	l.stats.CursorAppends.Add(1)
 	return l.Append(Record{Kind: RecCursor, SrcDC: c.DstDC, Seq: c.Seq, TS: c.HighTS})
+}
+
+// Epoch returns the current restart epoch (0 before any SetEpoch).
+func (l *Log) Epoch() uint64 { return l.epoch.Load() }
+
+// SetEpoch durably records a new restart epoch. The record's batch is
+// fsynced immediately regardless of SyncMode (see Durability.SetEpoch): an
+// epoch a crash could take back would let two incarnations share one epoch
+// and blind the ROT fence to restarts between them — and recovery must not
+// sit out a background-fsync window to get that guarantee.
+func (l *Log) SetEpoch(e uint64) error {
+	f := wire.GetFrame()
+	r := Record{Kind: RecEpoch, Seq: e}
+	encodeRecord(&f.Buffer, &r)
+	req := &commitReq{buf: f, recs: 1, forceSync: true, done: make(chan error, 1)}
+	select {
+	case l.appendCh <- req:
+	case <-l.stop:
+		wire.PutFrame(f)
+		return ErrClosed
+	}
+	if err := l.wait(req); err != nil {
+		return err
+	}
+	if cur := l.epoch.Load(); e > cur {
+		l.epoch.Store(e)
+	}
+	return nil
 }
 
 // Cursors returns the current cursor table, sorted by destination DC.
@@ -612,19 +691,23 @@ func (l *Log) commit(batch []*commitReq) {
 	if err == nil && l.activeSize >= l.opts.SegmentBytes {
 		err = l.rotateSegment()
 	}
-	recs, bytes := 0, 0
+	recs, readerRecs, bytes := 0, 0, 0
+	force := false
 	for _, r := range batch {
 		if err == nil {
 			var n int
 			n, err = l.active.Write(r.buf.B)
 			l.activeSize += int64(n)
 			recs += r.recs
+			readerRecs += r.readerRecs
 			bytes += n
 		}
+		force = force || r.forceSync
 		wire.PutFrame(r.buf)
 		r.buf = nil
 	}
-	if err == nil && l.opts.Sync == SyncAlways {
+	synced := l.opts.Sync == SyncAlways || force
+	if err == nil && synced {
 		err = l.fsync()
 	}
 	if err != nil && l.broken == nil {
@@ -632,6 +715,7 @@ func (l *Log) commit(batch []*commitReq) {
 	}
 	if err == nil {
 		l.stats.Appends.Add(uint64(recs))
+		l.stats.ReaderRecords.Add(uint64(readerRecs))
 		l.stats.AppendBytes.Add(uint64(bytes))
 		// Pulse the gauge by the batch size so its high-water mark records
 		// the largest group commit (committer-only, so pulses never overlap).
@@ -640,7 +724,7 @@ func (l *Log) commit(batch []*commitReq) {
 	}
 	for _, r := range batch {
 		if r.synced != nil {
-			if err != nil || l.opts.Sync == SyncAlways {
+			if err != nil || synced {
 				// Failure, or the batch fsync above already covered it.
 				r.synced(err)
 			} else {
@@ -774,7 +858,7 @@ func (l *Log) Replay(apply func(Record) error) error {
 	start := time.Now()
 	defer func() { l.stats.RecoveryNanos.Add(uint64(time.Since(start))) }()
 	if l.snapPath != "" {
-		if err := l.replayFile(l.snapPath, snapMagic, l.snapCut, false, apply); err != nil {
+		if err := l.replayFile(l.snapPath, [][8]byte{snapMagic, prevSnapMagic}, l.snapCut, false, apply); err != nil {
 			return err
 		}
 	}
@@ -782,7 +866,7 @@ func (l *Log) Replay(apply func(Record) error) error {
 		final := i == len(l.segPaths)-1
 		base := filepath.Base(p)
 		seq, _ := strconv.ParseUint(base[4:len(base)-4], 10, 64)
-		if err := l.replayFile(p, segMagic, seq, final, apply); err != nil {
+		if err := l.replayFile(p, [][8]byte{segMagic, prevSegMagic}, seq, final, apply); err != nil {
 			return err
 		}
 	}
@@ -791,8 +875,8 @@ func (l *Log) Replay(apply func(Record) error) error {
 
 // replayFile replays one segment or snapshot. tolerateTail permits a
 // truncated or corrupt trailing record (the final segment only).
-func (l *Log) replayFile(path string, magic [8]byte, seq uint64, tolerateTail bool, apply func(Record) error) error {
-	if err := checkHeader(path, magic, seq); err != nil {
+func (l *Log) replayFile(path string, magics [][8]byte, seq uint64, tolerateTail bool, apply func(Record) error) error {
+	if err := checkHeader(path, magics, seq); err != nil {
 		return err
 	}
 	f, err := os.Open(path)
@@ -850,6 +934,14 @@ func (l *Log) replayFile(path string, magic [8]byte, seq uint64, tolerateTail bo
 			}
 			l.cursorMu.Unlock()
 			l.stats.CursorsRecovered.Add(1)
+			continue
+		}
+		if rec.Kind == RecEpoch {
+			// Restart epochs are log-owned state too: fold the max (replay
+			// is single-goroutine, so Load+Store does not race).
+			if rec.Seq > l.epoch.Load() {
+				l.epoch.Store(rec.Seq)
+			}
 			continue
 		}
 		if err := apply(rec); err != nil {
@@ -942,6 +1034,18 @@ func (l *Log) Snapshot() error {
 				}
 			}
 		}
+		if err == nil {
+			// Same story for the restart epoch: its record may live only in
+			// a sealed segment the snapshot is about to truncate.
+			if e := l.epoch.Load(); e > 0 {
+				frame.B = frame.B[:0]
+				encodeRecord(&frame.Buffer, &Record{Kind: RecEpoch, Seq: e})
+				recs++
+				if _, werr := bw.Write(frame.B); werr != nil {
+					err = werr
+				}
+			}
+		}
 		wire.PutFrame(frame)
 	}
 	if err == nil {
@@ -1009,11 +1113,23 @@ func encodeRecord(b *wire.Buffer, rec *Record) {
 	off := len(b.B)
 	b.B = append(b.B, 0, 0, 0, 0, 0, 0, 0, 0)
 	b.U8(rec.Kind)
-	if rec.Kind == RecCursor {
+	switch rec.Kind {
+	case RecCursor:
 		b.U8(rec.SrcDC)
 		b.U64(rec.Seq)
 		b.U64(rec.TS)
-	} else {
+	case RecEpoch:
+		b.U64(rec.Seq)
+	case RecReaders:
+		b.String(rec.Key)
+		b.U64(rec.TS)
+		b.U8(rec.SrcDC)
+		b.Uvarint(uint64(len(rec.Readers)))
+		for i := range rec.Readers {
+			b.U64(rec.Readers[i].RotID)
+			b.U64(rec.Readers[i].T)
+		}
+	default:
 		b.String(rec.Key)
 		b.Bytes(rec.Value)
 		b.U64(rec.TS)
@@ -1038,13 +1154,25 @@ func decodeRecord(body []byte) (Record, error) {
 	switch kind {
 	case RecCursor:
 		rec := Record{Kind: kind, SrcDC: r.U8(), Seq: r.U64(), TS: r.U64()}
-		if r.Err() != nil {
-			return Record{}, r.Err()
+		return rec, finish(r)
+	case RecEpoch:
+		rec := Record{Kind: kind, Seq: r.U64()}
+		return rec, finish(r)
+	case RecReaders:
+		rec := Record{Kind: kind, Key: r.String(), TS: r.U64(), SrcDC: r.U8()}
+		n := r.Uvarint()
+		// Each entry is exactly 16 wire bytes; a count the body cannot hold
+		// is corruption, caught before the preallocation can balloon.
+		if n > uint64(r.Remaining())/16 {
+			return Record{}, fmt.Errorf("readers length %d", n)
 		}
-		if r.Remaining() != 0 {
-			return Record{}, fmt.Errorf("%d trailing bytes", r.Remaining())
+		if n > 0 && r.Err() == nil {
+			rec.Readers = make([]wire.ReaderEntry, 0, n)
+			for i := uint64(0); i < n && r.Err() == nil; i++ {
+				rec.Readers = append(rec.Readers, wire.ReaderEntry{RotID: r.U64(), T: r.U64()})
+			}
 		}
-		return rec, nil
+		return rec, finish(r)
 	case RecInstall:
 	default:
 		return Record{}, fmt.Errorf("unknown record kind %d", kind)
@@ -1056,8 +1184,11 @@ func decodeRecord(body []byte) (Record, error) {
 		SrcDC: r.U8(),
 		DV:    r.Vec(),
 	}
+	// A dep is at least 10 wire bytes (1-byte key length + u64 + u8); a
+	// count the body cannot hold is corruption, caught before the
+	// preallocation can balloon.
 	n := r.Uvarint()
-	if n > maxRecordLen {
+	if n > uint64(r.Remaining())/10 {
 		return Record{}, fmt.Errorf("deps length %d", n)
 	}
 	if n > 0 && r.Err() == nil {
@@ -1066,11 +1197,19 @@ func decodeRecord(body []byte) (Record, error) {
 			rec.Deps = append(rec.Deps, wire.LoDep{Key: r.String(), TS: r.U64(), Src: r.U8()})
 		}
 	}
-	if r.Err() != nil {
-		return Record{}, r.Err()
-	}
-	if r.Remaining() != 0 {
-		return Record{}, fmt.Errorf("%d trailing bytes", r.Remaining())
+	if err := finish(r); err != nil {
+		return Record{}, err
 	}
 	return rec, nil
+}
+
+// finish reports a decode error or undrained trailing bytes.
+func finish(r *wire.Reader) error {
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if r.Remaining() != 0 {
+		return fmt.Errorf("%d trailing bytes", r.Remaining())
+	}
+	return nil
 }

@@ -513,6 +513,36 @@ func decodeDepsInto(dst []LoDep, r *Reader) []LoDep {
 	return dst
 }
 
+// Epoch vectors: one restart epoch per partition of the serving DC, index
+// = partition. A partition's epoch bumps once per crash recovery; servers
+// gossip the newest epochs they have heard along readers-check and ROT
+// traffic, which is exactly the causal channel a dependent write must have
+// used before it could endanger a ROT whose reader records the crash
+// destroyed. Clients cross-compare the vectors of a multi-partition ROT's
+// legs to detect a restart the ROT straddled.
+
+func encodeEpochs(b *Buffer, es []uint64) {
+	b.Uvarint(uint64(len(es)))
+	for _, e := range es {
+		b.U64(e)
+	}
+}
+
+// decodeEpochsInto appends the decoded epochs to dst[:0], reusing its
+// backing array.
+func decodeEpochsInto(dst []uint64, r *Reader) []uint64 {
+	dst = dst[:0]
+	n := r.Uvarint()
+	if n > maxFieldLen {
+		r.fail(ErrTooLarge)
+		return nil
+	}
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		dst = append(dst, r.U64())
+	}
+	return dst
+}
+
 // Reader identifies a ROT that has read a (possibly by now old) version,
 // together with the Lamport time of that read. These are the "old readers"
 // whose communication Section 6 proves is inherent to latency optimality.
@@ -591,6 +621,10 @@ type LoRotReq struct {
 	// rewind a later dependent write triggers can then never serve this
 	// session something older than its own past.
 	SeenTS uint64
+	// Epochs is the client's current view of the DC's per-partition restart
+	// epochs (possibly empty); the serving partition folds it into its own
+	// vector, so fence knowledge gossips both ways.
+	Epochs []uint64
 	Keys   []string
 }
 
@@ -598,60 +632,94 @@ func (*LoRotReq) Type() uint16 { return TLoRotReq }
 func (m *LoRotReq) Encode(b *Buffer) {
 	b.U64(m.RotID)
 	b.U64(m.SeenTS)
+	encodeEpochs(b, m.Epochs)
 	encodeStrings(b, m.Keys)
 }
 func (m *LoRotReq) Decode(r *Reader) {
 	m.RotID = r.U64()
 	m.SeenTS = r.U64()
+	m.Epochs = decodeEpochsInto(m.Epochs, r)
 	m.Keys = decodeStringsInto(m.Keys, r)
 }
 
-// Reset recycles the Keys container (the read path copies string headers
-// into its synchronously encoded response).
+// Reset recycles the Keys and Epochs containers (the read path copies
+// string headers into its synchronously encoded response and folds the
+// epochs before returning).
 func (m *LoRotReq) Reset() {
 	clear(m.Keys)
-	*m = LoRotReq{Keys: m.Keys[:0]}
+	*m = LoRotReq{Keys: m.Keys[:0], Epochs: m.Epochs[:0]}
 }
 
-// LoRotResp carries CC-LO read results.
-type LoRotResp struct{ Vals []KV }
+// LoRotResp carries CC-LO read results plus the serving partition's epoch
+// vector (Epochs[p] is its newest known restart epoch of partition p; its
+// own entry is authoritative). The client's fence cross-compares the
+// vectors of a multi-partition ROT's legs: a leg that knows a newer epoch
+// of partition p than p's own leg reported proves p restarted while the
+// ROT was in flight, so its reader records — the ROT's rewind protection —
+// may be gone and the ROT retries.
+type LoRotResp struct {
+	Vals   []KV
+	Epochs []uint64
+}
 
-func (*LoRotResp) Type() uint16       { return TLoRotResp }
-func (m *LoRotResp) Encode(b *Buffer) { encodeKVs(b, m.Vals) }
-func (m *LoRotResp) Decode(r *Reader) { m.Vals = decodeKVs(r) }
+func (*LoRotResp) Type() uint16 { return TLoRotResp }
+func (m *LoRotResp) Encode(b *Buffer) {
+	encodeKVs(b, m.Vals)
+	encodeEpochs(b, m.Epochs)
+}
+func (m *LoRotResp) Decode(r *Reader) {
+	m.Vals = decodeKVs(r)
+	m.Epochs = decodeEpochsInto(nil, r)
+}
 
 // OldReadersReq is the readers check: it asks a partition for the old
-// readers of each listed dependency.
+// readers of each listed dependency. Epochs carries the requester's epoch
+// vector so restart knowledge propagates along the check.
 type OldReadersReq struct {
-	Deps []LoDep
+	Deps   []LoDep
+	Epochs []uint64
 }
 
-func (*OldReadersReq) Type() uint16       { return TOldReadersReq }
-func (m *OldReadersReq) Encode(b *Buffer) { encodeDeps(b, m.Deps) }
-func (m *OldReadersReq) Decode(r *Reader) { m.Deps = decodeDepsInto(m.Deps, r) }
+func (*OldReadersReq) Type() uint16 { return TOldReadersReq }
+func (m *OldReadersReq) Encode(b *Buffer) {
+	encodeDeps(b, m.Deps)
+	encodeEpochs(b, m.Epochs)
+}
+func (m *OldReadersReq) Decode(r *Reader) {
+	m.Deps = decodeDepsInto(m.Deps, r)
+	m.Epochs = decodeEpochsInto(m.Epochs, r)
+}
 
-// Reset recycles the Deps container (the readers check only scans it).
+// Reset recycles the Deps and Epochs containers (the readers check only
+// scans them).
 func (m *OldReadersReq) Reset() {
 	clear(m.Deps)
-	*m = OldReadersReq{Deps: m.Deps[:0]}
+	*m = OldReadersReq{Deps: m.Deps[:0], Epochs: m.Epochs[:0]}
 }
 
 // OldReadersResp returns the collected old readers. Cumulative counts the
 // entries before the at-most-one-per-client filter so benchmarks can report
-// both series of Figure 6.
+// both series of Figure 6. Epochs is the responder's epoch vector: the
+// requester folds it into its own BEFORE installing the version being
+// checked, which is what makes a restarted partition's new epoch reach
+// every version that could have skipped its lost reader records — and from
+// there, any ROT leg that serves such a version.
 type OldReadersResp struct {
 	Readers    []ReaderEntry
 	Cumulative uint32
+	Epochs     []uint64
 }
 
 func (*OldReadersResp) Type() uint16 { return TOldReadersResp }
 func (m *OldReadersResp) Encode(b *Buffer) {
 	encodeReaders(b, m.Readers)
 	b.U32(m.Cumulative)
+	encodeEpochs(b, m.Epochs)
 }
 func (m *OldReadersResp) Decode(r *Reader) {
 	m.Readers = decodeReaders(r)
 	m.Cumulative = r.U32()
+	m.Epochs = decodeEpochsInto(nil, r)
 }
 
 // LoRepUpdate replicates one CC-LO version with its dependency list and the

@@ -142,10 +142,10 @@ func sampleMessages(r *rand.Rand) []Message {
 		&GSSBcast{GSS: vec()},
 		&LoPutReq{Key: "lk", Value: val, Deps: deps},
 		&LoPutResp{TS: 77},
-		&LoRotReq{RotID: 1<<33 | 4, Keys: []string{"m", "n"}},
-		&LoRotResp{Vals: kvs},
-		&OldReadersReq{Deps: deps},
-		&OldReadersResp{Readers: readers, Cumulative: 42},
+		&LoRotReq{RotID: 1<<33 | 4, Epochs: []uint64{2, 0, 7}, Keys: []string{"m", "n"}},
+		&LoRotResp{Vals: kvs, Epochs: []uint64{3, 1}},
+		&OldReadersReq{Deps: deps, Epochs: []uint64{0, 5}},
+		&OldReadersResp{Readers: readers, Cumulative: 42, Epochs: []uint64{1, 1, 4}},
 		&LoRepUpdate{
 			Seq: 1, SrcDC: 1, SrcPart: 3, Key: "rk", Value: val, TS: 10,
 			Deps: deps, OldReaders: readers,
