@@ -96,6 +96,12 @@ type Options struct {
 	// cost on writes and the durable footprint of the crash-recovery reader
 	// records. Ignored by the other protocols.
 	ReaderGCWindow time.Duration
+	// StoreShards sets each partition store's shard count — the concurrency
+	// grain of the multi-version storage engine. 0 (the default) auto-sizes
+	// from GOMAXPROCS; explicit values are rounded up to a power of two.
+	// Reads never take a shard lock either way; shards bound write
+	// contention.
+	StoreShards int
 	// DataDir, when non-empty, makes every partition durable: acknowledged
 	// writes are group-committed to a segmented write-ahead log under this
 	// directory before the client sees the ack, and a cluster restarted
@@ -175,6 +181,7 @@ func StartCluster(opts Options) (*Cluster, error) {
 		Latency:          &lat,
 		MaxSkew:          opts.MaxClockSkew,
 		ReaderGCWindow:   opts.ReaderGCWindow,
+		StoreShards:      opts.StoreShards,
 		DataDir:          opts.DataDir,
 		WALSnapshotEvery: opts.SnapshotEvery,
 		WALSync:          mode,

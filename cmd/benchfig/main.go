@@ -14,7 +14,8 @@
 //	benchfig -fig table2       # Table 2 (systems characterization)
 //	benchfig -fig wal          # durability: WAL off vs sync vs async
 //	benchfig -fig transport    # batching engine: greedy vs adaptive flush
-//	benchfig -fig all          # everything
+//	benchfig -fig store        # storage engine vs pre-refactor baseline (10M keys)
+//	benchfig -fig all          # everything except -fig store
 //
 // Scale knobs: -partitions, -keys, -clients, -duration, -warmup, -paper.
 // With -json FILE, the measured series of the run are additionally written
@@ -45,6 +46,9 @@ func main() {
 		skew       = flag.Duration("skew", time.Millisecond, "max physical clock skew")
 		paper      = flag.Bool("paper", false, "use paper-scale parameters (hours of runtime)")
 		jsonOut    = flag.String("json", "", "also write the measured series as JSON to this file")
+		storeKeys  = flag.Int("store-keys", 10_000_000, "-fig store: key count")
+		storeSh    = flag.Int("store-shards", 0, "-fig store: engine shard count (0 = auto from GOMAXPROCS)")
+		storeWk    = flag.Int("store-workers", 0, "-fig store: worker goroutines per phase (0 = auto)")
 	)
 	flag.Parse()
 
@@ -157,6 +161,15 @@ func main() {
 	if want("wal") {
 		run("wal sync modes", func() error {
 			series, err := bench.FigureWAL(o, "")
+			collected = append(collected, series...)
+			return err
+		})
+	}
+	// The store figure is opt-in only (not part of "all"): at its default
+	// 10M-key scale it is a memory benchmark, not a protocol figure.
+	if *fig == "store" {
+		run("store engine", func() error {
+			series, err := bench.FigureStore(*storeKeys, *storeSh, *storeWk, os.Stdout)
 			collected = append(collected, series...)
 			return err
 		})

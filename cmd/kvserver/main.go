@@ -38,6 +38,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/cops"
 	"repro/internal/core"
+	"repro/internal/store"
 	"repro/internal/transport"
 	"repro/internal/wal"
 )
@@ -58,10 +59,14 @@ func main() {
 		gcWindow   = flag.Duration("reader-gc-window", 0, "CC-LO reader GC window: how long reader records, old-reader entries, and invisibility marks live (0 = default 500ms; crash tests stretch it)")
 		flushBud   = flag.Duration("flush-budget", transport.DefaultFlushBudget, "adaptive flush latency budget: how long the transport may keep a coalesced batch open before flushing (0 = greedy drain-until-idle)")
 		writevMin  = flag.Int("writev-bytes", 0, "frame size at or above which frames skip the copy into the flush buffer and go out via writev scatter-gather (0 = default 16 KiB)")
+		shards     = flag.Int("store-shards", 0, "storage engine shard count — the write-concurrency grain; reads are lock-free regardless (0 = auto-size from GOMAXPROCS; rounded up to a power of two)")
 	)
 	flag.Parse()
 	if *topoPath == "" {
 		log.Fatal("kvserver: -topology is required")
+	}
+	if *shards < 0 || *shards > store.MaxShards {
+		log.Fatalf("kvserver: -store-shards %d out of range [0, %d]", *shards, store.MaxShards)
 	}
 	f, err := os.Open(*topoPath)
 	if err != nil {
@@ -124,7 +129,8 @@ func main() {
 	case *protocol == "cops":
 		s, err := cops.NewServer(cops.Config{
 			DC: *dc, Part: *partition, NumDCs: topo.DCs, NumParts: topo.Partitions,
-			Durable: durable,
+			StoreShards: *shards,
+			Durable:     durable,
 		}, net)
 		if err != nil {
 			log.Fatal(err)
@@ -135,8 +141,9 @@ func main() {
 	case *protocol == "cclo":
 		s, err := cclo.NewServer(cclo.Config{
 			DC: *dc, Part: *partition, NumDCs: topo.DCs, NumParts: topo.Partitions,
-			GCWindow: *gcWindow,
-			Durable:  durable,
+			GCWindow:    *gcWindow,
+			StoreShards: *shards,
+			Durable:     durable,
 		}, net)
 		if err != nil {
 			log.Fatal(err)
@@ -153,6 +160,7 @@ func main() {
 			DC: *dc, Part: *partition, NumDCs: topo.DCs, NumParts: topo.Partitions,
 			Clock:         clock,
 			RepFlushEvery: *repFlush,
+			StoreShards:   *shards,
 			Durable:       durable,
 		}, net)
 		if err != nil {

@@ -161,6 +161,9 @@ type Point struct {
 	BytesPerSec  float64
 	Transport    TransportStats
 	WAL          WALStats
+	// Store is set only by FigureStore (the storage-engine figure); nil
+	// for the load-point figures.
+	Store *StoreStats `json:",omitempty"`
 }
 
 // Run measures one load point.

@@ -7,14 +7,7 @@ import (
 
 // mapSizes reads the reader-map sizes of one key under the shard lock.
 func mapSizes(s *loStore, key string) (readers, oldReaders int) {
-	sh := s.shard(key)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	lk := sh.m[key]
-	if lk == nil {
-		return 0, 0
-	}
-	return len(lk.readers), len(lk.oldReaders)
+	return s.readerSizes(key)
 }
 
 // TestHotKeyReadersBounded: a hot dependency key under a read-heavy,
@@ -24,7 +17,7 @@ func mapSizes(s *loStore, key string) (readers, oldReaders int) {
 // the key at 10 reads/ms against a 5 ms GC window, and the map must stay
 // near the sweep bound instead of reaching 10k.
 func TestHotKeyReadersBounded(t *testing.T) {
-	s := newLoStore(4, 5*time.Millisecond)
+	s := newLoStore(4, 1, 5*time.Millisecond)
 	t0 := time.Now()
 	s.install("hot", loVersion{value: []byte("v"), ts: 1, srcDC: 0}, nil, t0)
 	for i := 0; i < 10000; i++ {
@@ -45,7 +38,7 @@ func TestHotKeyReadersBounded(t *testing.T) {
 // and the old code never swept the map. 60 rounds of (10 readers, one
 // install) against a 5 ms window must not retain all 600 entries.
 func TestOldReadersSweptOnInstall(t *testing.T) {
-	s := newLoStore(4, 5*time.Millisecond)
+	s := newLoStore(4, 1, 5*time.Millisecond)
 	t0 := time.Now()
 	s.install("churn", loVersion{value: []byte("v"), ts: 1, srcDC: 0}, nil, t0)
 	id := uint64(1)
@@ -68,7 +61,7 @@ func TestOldReadersSweptOnInstall(t *testing.T) {
 // reader map used to ride only on read-path sweeps. The collect path must
 // bound it too (satellite: probe-only keys on the collectOldReaders path).
 func TestProbeHeavyKeySweptOnCollect(t *testing.T) {
-	s := newLoStore(4, 5*time.Millisecond)
+	s := newLoStore(4, 1, 5*time.Millisecond)
 	t0 := time.Now()
 	s.install("dep", loVersion{value: []byte("v"), ts: 100, srcDC: 0}, nil, t0)
 	// Pile up readers below the read-path sweep trigger... then age them out
@@ -95,7 +88,7 @@ func TestProbeHeavyKeySweptOnCollect(t *testing.T) {
 // the oldest retained version.
 func TestAllInvisibleAtCapacityIsNotFound(t *testing.T) {
 	const rot, cap = uint64(7), 4
-	s := newLoStore(cap, time.Minute)
+	s := newLoStore(cap, 1, time.Minute)
 	t0 := time.Now()
 	marked := map[uint64]orEntry{rot: {rotID: rot, t: 1}}
 	for i := 1; i <= cap; i++ { // exactly at capacity, never trimmed
@@ -123,7 +116,7 @@ func TestAllInvisibleAtCapacityIsNotFound(t *testing.T) {
 // longer hides the version from the marked ROT (and is dropped).
 func TestExpiredMarkUnhidesNewVersion(t *testing.T) {
 	const rot = uint64(42)
-	s := newLoStore(4, 10*time.Millisecond)
+	s := newLoStore(4, 1, 10*time.Millisecond)
 	t0 := time.Now()
 	s.install("k", loVersion{value: []byte("v1"), ts: 1, srcDC: 0}, nil, t0)
 	s.install("k", loVersion{value: []byte("v2"), ts: 2, srcDC: 0},

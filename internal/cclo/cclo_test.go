@@ -347,7 +347,7 @@ func TestDepCheckBlocksUntilInstalled(t *testing.T) {
 }
 
 func TestLWWConvergenceOrder(t *testing.T) {
-	s := newLoStore(0, time.Second)
+	s := newLoStore(0, 1, time.Second)
 	now := time.Now()
 	s.install("k", loVersion{value: []byte("a"), ts: 5, srcDC: 0}, nil, now)
 	s.install("k", loVersion{value: []byte("b"), ts: 5, srcDC: 1}, nil, now)
@@ -357,7 +357,7 @@ func TestLWWConvergenceOrder(t *testing.T) {
 		t.Fatalf("latest = %+v, want ts 5 dc 1", v)
 	}
 	// Same set, different order, same winner.
-	s2 := newLoStore(0, time.Second)
+	s2 := newLoStore(0, 1, time.Second)
 	s2.install("k", loVersion{value: []byte("c"), ts: 3, srcDC: 1}, nil, now)
 	s2.install("k", loVersion{value: []byte("b"), ts: 5, srcDC: 1}, nil, now)
 	s2.install("k", loVersion{value: []byte("a"), ts: 5, srcDC: 0}, nil, now)
@@ -368,7 +368,7 @@ func TestLWWConvergenceOrder(t *testing.T) {
 }
 
 func TestHasVersion(t *testing.T) {
-	s := newLoStore(0, time.Second)
+	s := newLoStore(0, 1, time.Second)
 	if s.hasVersion("k", 1, 0) {
 		t.Fatal("empty store claims version")
 	}
@@ -387,7 +387,7 @@ func TestHasVersion(t *testing.T) {
 	}
 	// A trimmed chain whose oldest retained version is LWW-above the asked
 	// identity proves the version was installed and compacted away.
-	s2 := newLoStore(2, time.Second)
+	s2 := newLoStore(2, 1, time.Second)
 	now := time.Now()
 	for ts := uint64(1); ts <= 5; ts++ {
 		s2.install("k", loVersion{ts: ts}, nil, now)
@@ -403,7 +403,7 @@ func TestHasVersion(t *testing.T) {
 // to old readers, so readers checks missed them and ROTs could observe
 // causally inconsistent snapshots.
 func TestReadersMoveOnFullChain(t *testing.T) {
-	s := newLoStore(4, time.Minute) // tiny cap
+	s := newLoStore(4, 1, time.Minute) // tiny cap
 	now := time.Now()
 	for ts := uint64(1); ts <= 10; ts++ {
 		s.install("k", loVersion{ts: ts}, nil, now)
@@ -422,7 +422,7 @@ func TestReadersMoveOnFullChain(t *testing.T) {
 }
 
 func BenchmarkStoreRead(b *testing.B) {
-	s := newLoStore(0, time.Minute)
+	s := newLoStore(0, 1, time.Minute)
 	now := time.Now()
 	s.install("k", loVersion{value: make([]byte, 8), ts: 1}, nil, now)
 	b.ResetTimer()
@@ -435,7 +435,7 @@ func BenchmarkStoreRead(b *testing.B) {
 // realistic number of old readers (≈ the per-client linear growth of
 // Figure 6 at 256 clients).
 func BenchmarkCollectOldReaders(b *testing.B) {
-	s := newLoStore(0, time.Minute)
+	s := newLoStore(0, 1, time.Minute)
 	now := time.Now()
 	s.install("k", loVersion{ts: 1}, nil, now)
 	for c := uint64(0); c < 256; c++ {

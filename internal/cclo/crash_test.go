@@ -270,11 +270,8 @@ func TestClientFenceRetriesTransparently(t *testing.T) {
 
 	// Wait for leg p0 to be served: its reader record appears in p0's store.
 	waitFor(t, func() bool {
-		sh := rig.srvs[0].store.shard(rig.kx)
-		sh.mu.Lock()
-		defer sh.mu.Unlock()
-		lk := sh.m[rig.kx]
-		return lk != nil && len(lk.readers) > 0
+		readers, _ := rig.srvs[0].store.readerSizes(rig.kx)
+		return readers > 0
 	})
 
 	rig.crashRestart(0)

@@ -97,3 +97,78 @@ func TestRecoverAfterSnapshotKeepsDeps(t *testing.T) {
 		t.Fatalf("re-enqueued deps = %+v, want k1@%d from DC0", k2.Deps, ts1)
 	}
 }
+
+// TestSnapshotKeepsMarksOnNonLatestVersions closes the gap PR 5 named: the
+// snapshot serializer only emitted each key's LATEST version and its marks,
+// so compaction dropped both the invisibility marks on non-latest versions
+// and the older versions a rewound ROT must be served. After a snapshot +
+// crash, an in-window ROT hidden from every newer version of a key used to
+// get "not found" (its rewind target was gone) — the Figure 1 anomaly
+// reappearing across a recovery. Marked keys now emit their whole retained
+// chain plus per-version reader records; this test fails on the old
+// serializer.
+func TestSnapshotKeepsMarksOnNonLatestVersions(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *wal.Log {
+		l, err := wal.Open(wal.Options{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	net := transport.NewLocal(transport.LatencyModel{})
+	defer net.Close()
+
+	// Long GC window so the marks are still in-window across the crash.
+	cfg := Config{DC: 0, Part: 0, NumDCs: 1, NumParts: 1, GCWindow: 30 * time.Second}
+	log1 := open()
+	cfg.Durable = log1
+	srv1, err := NewServer(cfg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1.Start()
+
+	// A ROT read k@ts1; two dependent writes superseded it, each marked
+	// invisible to the ROT by its readers check. ts1 is the one version the
+	// ROT can consistently be served, and it is NOT the latest.
+	const rot = uint64(77)
+	now := time.Now()
+	marked := map[uint64]orEntry{rot: {rotID: rot, t: 5}}
+	srv1.store.install("k", loVersion{value: []byte("v1"), ts: 1, srcDC: 0}, nil, now)
+	srv1.store.install("k", loVersion{value: []byte("v2"), ts: 2, srcDC: 0}, marked, now)
+	srv1.store.install("k", loVersion{value: []byte("v3"), ts: 3, srcDC: 0}, marked, now)
+
+	// Compact everything into a snapshot, then crash.
+	if err := log1.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	srv1.Close()
+	if err := log1.Crash(); err != nil {
+		t.Fatal(err)
+	}
+
+	log2 := open()
+	defer log2.Close()
+	cfg.Durable = log2
+	srv2, err := NewServer(cfg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2.Start()
+	defer srv2.Close()
+
+	// The recovered chain must hold all three versions with the marks back
+	// on v2 and v3, so the straddling ROT is still rewound to v1.
+	val, ts, _, ok := srv2.store.read("k", rot, 6, time.Now())
+	if !ok {
+		t.Fatal("rewound ROT got 'not found' after snapshot compaction: its rewind target was dropped")
+	}
+	if string(val) != "v1" || ts != 1 {
+		t.Fatalf("rewound ROT read %q@%d, want v1@1: marks on non-latest versions were lost", val, ts)
+	}
+	// A fresh ROT still sees the latest.
+	if val, _, _, ok := srv2.store.read("k", 999, 7, time.Now()); !ok || string(val) != "v3" {
+		t.Fatalf("fresh ROT read %q, want v3", val)
+	}
+}

@@ -33,6 +33,9 @@ type Config struct {
 	RepRetryTimeout time.Duration
 	// MaxVersions caps per-key version chains.
 	MaxVersions int
+	// StoreShards is the storage engine shard count (0 = auto from
+	// GOMAXPROCS; see internal/store).
+	StoreShards int
 
 	// Durable, when non-nil, makes every install durable before it is
 	// acknowledged (see wal.Durability), and closes CC-LO's crash gap for
@@ -140,7 +143,7 @@ func NewServer(cfg Config, net transport.Network) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		clock:    hlc.NewLamport(0),
-		store:    newLoStore(cfg.MaxVersions, cfg.GCWindow),
+		store:    newLoStore(cfg.MaxVersions, cfg.StoreShards, cfg.GCWindow),
 		ring:     ring.New(cfg.NumParts),
 		epochVec: make([]uint64, cfg.NumParts),
 		stop:     make(chan struct{}),
@@ -254,27 +257,45 @@ func (s *Server) recover() ([]*wire.LoRepUpdate, error) {
 	// compacted its log. Versions at or below every stream's durable ack
 	// frontier are never re-enqueued, so their deps are omitted to keep
 	// snapshot growth bounded by the unacked window, not the keyspace.
+	// The source iterates the store lock-free (chains are immutable
+	// snapshots), so emission — disk I/O — no longer stalls writers; only
+	// the per-key mark collection briefly takes the shard lock.
 	s.cfg.Durable.SetSnapshotSource(func(emit func(wal.Record) error) error {
 		frontier := s.ackedFrontier()
 		snapNow := time.Now()
 		var ferr error
-		s.store.forEachLatest(func(key string, v loVersion) {
+		s.store.forEachChain(func(key string, c *loChain) {
 			if ferr != nil {
 				return
 			}
-			deps := v.deps
-			if v.ts <= frontier {
-				deps = nil
-			}
-			ferr = emit(wal.Record{Key: key, Value: v.value, TS: v.ts, SrcDC: v.srcDC, Deps: deps})
 			// Still-live invisibility marks ride along so truncating the
-			// segment that held the version's old-reader record cannot strip
+			// segment that held a version's old-reader record cannot strip
 			// an in-window ROT of its rewind protection; expired marks are
 			// dropped here, which is what bounds the durable footprint to
-			// the GC window.
-			if ferr == nil {
-				if rs := s.store.marksOf(&v, snapNow); len(rs) > 0 {
-					ferr = emit(wal.Record{Kind: wal.RecReaders, Key: key, TS: v.ts, SrcDC: v.srcDC, Readers: rs})
+			// the GC window. Marks live on NON-latest versions too (the
+			// rewound ROT's targets), so a key carrying any in-window mark
+			// emits its whole retained chain — marks are useless without
+			// the versions they hide and the versions they rewind to — while
+			// unmarked keys emit only their latest, keeping snapshot growth
+			// bounded by the keyspace plus the GC window's marked chains.
+			marked := s.store.markedVersions(key, snapNow)
+			vs := c.Versions
+			if len(marked) == 0 {
+				vs = vs[len(vs)-1:]
+			}
+			for i := range vs {
+				v := &vs[i]
+				deps := v.Extra.deps
+				if v.TS <= frontier {
+					deps = nil
+				}
+				if ferr = emit(wal.Record{Key: key, Value: v.Value, TS: v.TS, SrcDC: v.Src, Deps: deps}); ferr != nil {
+					return
+				}
+			}
+			for _, m := range marked {
+				if ferr = emit(wal.Record{Kind: wal.RecReaders, Key: key, TS: m.ts, SrcDC: m.src, Readers: m.entries}); ferr != nil {
+					return
 				}
 			}
 		})

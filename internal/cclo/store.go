@@ -26,38 +26,36 @@
 package cclo
 
 import (
-	"hash/maphash"
-	"sync"
 	"sync/atomic"
 	"time"
 
+	storeeng "repro/internal/store"
 	"repro/internal/wire"
 )
 
-// loVersion is one version of a key under CC-LO: Lamport timestamp plus
-// source DC for last-writer-wins convergence, plus the set of ROTs this
-// version is invisible to (they read one of its causal dependencies too
-// early; nil when no readers check collected anyone).
+// loExtra is the per-version payload CC-LO attaches to the shared engine's
+// versions: the dependency list (locally originated versions only — it is
+// what the WAL snapshot serializer emits so a crash-recovered re-enqueue
+// still carries the deps the receiving DC's dependency check needs) and the
+// set of ROTs the version is invisible to.
 //
-// deps is kept ONLY for locally originated versions: it is what the WAL
-// snapshot serializer emits so a crash-recovered re-enqueue still carries
-// the dependency list the receiving DC's dependency check needs — without
-// it, a local update whose log record was folded into a snapshot would
-// replicate with no deps and skip dependency checks entirely. Replicated
-// versions carry nil (only local writes are ever re-shipped).
-type loVersion struct {
-	value     []byte
-	ts        uint64
-	srcDC     uint8
+// Mutation rules (see internal/store): the invisible MAP INTERIOR may be
+// mutated under the shard lock — lock-free readers (latest, hasVersion,
+// forEachLatest) never look inside it — but the invisible FIELD of a
+// published version must never be reassigned; when it is nil and marks must
+// land, the chain is republished via SetExtra.
+type loExtra struct {
 	deps      []wire.LoDep
 	invisible map[uint64]orEntry
 }
 
-func (v *loVersion) before(o *loVersion) bool {
-	if v.ts != o.ts {
-		return v.ts < o.ts
-	}
-	return v.srcDC < o.srcDC
+// loVersion is one version of a key under CC-LO as the adapter's callers see
+// it: Lamport timestamp plus source DC for last-writer-wins convergence.
+type loVersion struct {
+	value []byte
+	ts    uint64
+	srcDC uint8
+	deps  []wire.LoDep
 }
 
 // orEntry is one old reader of a key: the ROT id, the logical time of its
@@ -70,18 +68,9 @@ type orEntry struct {
 	addedAt time.Time
 }
 
-// loKey is the per-key state.
-type loKey struct {
-	versions []loVersion // ascending (ts, srcDC)
-
-	// trimmed records that install() has ever dropped versions off this
-	// chain's old end. It disambiguates "every retained version is
-	// invisible" (see read) and "LWW-below the oldest retained" (see
-	// hasVersion): a chain that merely GREW to capacity without trimming
-	// must not take the trimmed-chain fallbacks — at-capacity and trimmed
-	// are indistinguishable by length alone.
-	trimmed bool
-
+// loAux is the per-key reader state, read and written only under the shard
+// lock (it is the aux slot of the shared engine's key entry).
+type loAux struct {
 	// readers holds the ROTs that have read the *current* latest version,
 	// with the logical time of the read. They become old readers when a
 	// newer version is installed.
@@ -99,7 +88,13 @@ type loKey struct {
 	oldReadersSweepAt time.Time
 }
 
-const loShards = 64
+// Shorthand for the engine instantiation backing CC-LO.
+type (
+	loEngine = storeeng.Engine[loExtra, loAux]
+	loChain  = storeeng.Chain[loExtra]
+	loEngVer = storeeng.Version[loExtra]
+	loKeyRef = storeeng.Key[loExtra, loAux]
+)
 
 // softReaderBound is the map size at which the reader-tracking maps
 // (readers and oldReaders) are swept in place before inserting more. It
@@ -120,47 +115,25 @@ func (s *loStore) sweepReaders(m map[uint64]orEntry, at time.Time, now time.Time
 	return now.Add(s.gcWindow / 4)
 }
 
-// loStore is the CC-LO partition storage engine.
+// loStore is the CC-LO partition storage: a thin adapter over the shared
+// engine (internal/store). read/collectOldReaders/install/addMarks mutate
+// reader state and run under the per-shard write lock; latest, hasVersion
+// and forEachLatest are lock-free.
 type loStore struct {
-	shards      [loShards]loShard
-	maxVersions int
-	gcWindow    time.Duration
-	seed        maphash.Seed
+	eng      *loEngine
+	gcWindow time.Duration
 
 	approxReads atomic.Uint64
 }
 
-type loShard struct {
-	mu sync.Mutex
-	m  map[string]*loKey
-}
-
-func newLoStore(maxVersions int, gcWindow time.Duration) *loStore {
-	if maxVersions <= 0 {
-		maxVersions = 64
-	}
+func newLoStore(maxVersions, shards int, gcWindow time.Duration) *loStore {
 	if gcWindow <= 0 {
 		gcWindow = 500 * time.Millisecond
 	}
-	s := &loStore{maxVersions: maxVersions, gcWindow: gcWindow, seed: maphash.MakeSeed()}
-	for i := range s.shards {
-		s.shards[i].m = make(map[string]*loKey)
+	return &loStore{
+		eng:      storeeng.New[loExtra, loAux](maxVersions, shards),
+		gcWindow: gcWindow,
 	}
-	return s
-}
-
-func (s *loStore) shard(key string) *loShard {
-	return &s.shards[maphash.String(s.seed, key)%loShards]
-}
-
-func (s *loStore) get(key string, create bool) (*loShard, *loKey) {
-	sh := s.shard(key)
-	lk := sh.m[key]
-	if lk == nil && create {
-		lk = &loKey{}
-		sh.m[key] = lk
-	}
-	return sh, lk
 }
 
 // expired reports whether e is past the GC window.
@@ -172,68 +145,66 @@ func (s *loStore) expired(e orEntry, now time.Time) bool {
 // to rotID. It records rotID as a reader of the version it was served at
 // logical time t. ok is false if the key does not exist.
 func (s *loStore) read(key string, rotID uint64, t uint64, now time.Time) (val []byte, ts uint64, src uint8, ok bool) {
-	sh := s.shard(key)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	lk := sh.m[key]
-	if lk == nil || len(lk.versions) == 0 {
-		// Record the negative read. "No version" is an observation too:
-		// when the key's first version arrives, this ROT must surface as
-		// its old reader (vts 0), or a write depending on that version
-		// could become readable next to this ROT's "not found" — the
-		// Figure 1 anomaly with a missing key in the role of the stale
-		// permissions.
-		if lk == nil {
-			lk = &loKey{}
-			sh.m[key] = lk
-		}
-		if lk.readers == nil {
-			lk.readers = make(map[uint64]orEntry)
-		}
-		// Keys that are only ever probed have no install or readers check
-		// to GC their entries, so sweep here once the map grows; what
-		// remains is bounded by the probe rate times the GC window.
-		lk.readersSweepAt = s.sweepReaders(lk.readers, lk.readersSweepAt, now)
-		lk.readers[rotID] = orEntry{rotID: rotID, t: t, vts: 0, addedAt: now}
-		return nil, 0, 0, false
-	}
-	for i := len(lk.versions) - 1; i >= 0; i-- {
-		v := &lk.versions[i]
-		if e, hidden := v.invisible[rotID]; hidden {
-			if !s.expired(e, now) {
-				continue
+	s.eng.Update(key, true, func(k *loKeyRef) {
+		aux := k.Aux()
+		c := k.Chain()
+		if c.Len() == 0 {
+			// Record the negative read. "No version" is an observation too:
+			// when the key's first version arrives, this ROT must surface as
+			// its old reader (vts 0), or a write depending on that version
+			// could become readable next to this ROT's "not found" — the
+			// Figure 1 anomaly with a missing key in the role of the stale
+			// permissions.
+			if aux.readers == nil {
+				aux.readers = make(map[uint64]orEntry)
 			}
-			delete(v.invisible, rotID)
+			// Keys that are only ever probed have no install or readers check
+			// to GC their entries, so sweep here once the map grows; what
+			// remains is bounded by the probe rate times the GC window.
+			aux.readersSweepAt = s.sweepReaders(aux.readers, aux.readersSweepAt, now)
+			aux.readers[rotID] = orEntry{rotID: rotID, t: t, vts: 0, addedAt: now}
+			return
 		}
-		if i == len(lk.versions)-1 {
-			// Served the latest: record the read so a future write that
-			// supersedes it can find this ROT among its old readers. A hot
-			// key under a read-heavy, install-free workload accumulates one
-			// entry per ROT with no install or readers check to GC them, so
-			// sweep in-place once the map grows; what survives is bounded by
-			// the read rate times the GC window.
-			if lk.readers == nil {
-				lk.readers = make(map[uint64]orEntry)
+		vs := c.Versions
+		for i := len(vs) - 1; i >= 0; i-- {
+			v := &vs[i]
+			if e, hidden := v.Extra.invisible[rotID]; hidden {
+				if !s.expired(e, now) {
+					continue
+				}
+				delete(v.Extra.invisible, rotID)
 			}
-			lk.readersSweepAt = s.sweepReaders(lk.readers, lk.readersSweepAt, now)
-			lk.readers[rotID] = orEntry{rotID: rotID, t: t, vts: v.ts, addedAt: now}
+			if i == len(vs)-1 {
+				// Served the latest: record the read so a future write that
+				// supersedes it can find this ROT among its old readers. A hot
+				// key under a read-heavy, install-free workload accumulates one
+				// entry per ROT with no install or readers check to GC them, so
+				// sweep in-place once the map grows; what survives is bounded by
+				// the read rate times the GC window.
+				if aux.readers == nil {
+					aux.readers = make(map[uint64]orEntry)
+				}
+				aux.readersSweepAt = s.sweepReaders(aux.readers, aux.readersSweepAt, now)
+				aux.readers[rotID] = orEntry{rotID: rotID, t: t, vts: v.TS, addedAt: now}
+			}
+			val, ts, src, ok = v.Value, v.TS, v.Src, true
+			return
 		}
-		return v.value, v.ts, v.srcDC, true
-	}
-	// Every retained version is invisible to this ROT. On a chain that has
-	// actually been trimmed, versions older than the marks were dropped,
-	// so fall back to the oldest retained one (an approximation, counted).
-	// On an untrimmed chain — even one that merely grew to capacity —
-	// nothing was ever dropped: the ROT genuinely predates the key's FIRST
-	// version (it probed the key while missing and a dependent write
-	// collected it), so the only consistent answer is "not found". Serving
-	// versions[0] here was the first-version startup race the checker's
-	// keyspace seeding used to paper over.
-	if lk.trimmed {
-		s.approxReads.Add(1)
-		return lk.versions[0].value, lk.versions[0].ts, lk.versions[0].srcDC, true
-	}
-	return nil, 0, 0, false
+		// Every retained version is invisible to this ROT. On a chain that has
+		// actually been trimmed, versions older than the marks were dropped,
+		// so fall back to the oldest retained one (an approximation, counted).
+		// On an untrimmed chain — even one that merely grew to capacity —
+		// nothing was ever dropped: the ROT genuinely predates the key's FIRST
+		// version (it probed the key while missing and a dependent write
+		// collected it), so the only consistent answer is "not found". Serving
+		// versions[0] here was the first-version startup race the checker's
+		// keyspace seeding used to paper over.
+		if c.Trimmed {
+			s.approxReads.Add(1)
+			val, ts, src, ok = vs[0].Value, vs[0].TS, vs[0].Src, true
+		}
+	})
+	return val, ts, src, ok
 }
 
 // collectOldReaders returns the old readers of key relevant to a dependency
@@ -253,58 +224,57 @@ func (s *loStore) read(key string, rotID uint64, t uint64, now time.Time) (val [
 //
 // Expired entries are dropped. The result maps ROT id → entry.
 func (s *loStore) collectOldReaders(key string, depTS uint64, now time.Time, out map[uint64]orEntry) (scanned int) {
-	sh := s.shard(key)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	lk := sh.m[key]
-	if lk == nil {
-		return 0
-	}
-	gcSweep(lk.oldReaders, s.gcWindow, now)
-	for id, e := range lk.oldReaders {
-		scanned++
-		if e.vts < depTS {
-			merge(out, id, e)
-		}
-	}
-	latestTS := uint64(0)
-	if len(lk.versions) > 0 {
-		latestTS = lk.versions[len(lk.versions)-1].ts
-	}
-	if latestTS < depTS {
-		gcSweep(lk.readers, s.gcWindow, now)
-		for id, e := range lk.readers {
+	s.eng.Update(key, false, func(k *loKeyRef) {
+		aux := k.Aux()
+		gcSweep(aux.oldReaders, s.gcWindow, now)
+		for id, e := range aux.oldReaders {
 			scanned++
-			merge(out, id, e)
-		}
-	} else {
-		// Not collected, but a probe-heavy dependency key with a current
-		// latest never takes the branch above; keep its reader map bounded
-		// here too.
-		lk.readersSweepAt = s.sweepReaders(lk.readers, lk.readersSweepAt, now)
-	}
-	// Invisibility-derived old readers: every ROT marked on ANY version of
-	// this key missed something in that version's causal past, so it is
-	// conservatively treated as an old reader of the dependency too. The
-	// conservatism is what keeps transitive propagation unbroken — a
-	// concurrent newer version can mask a ROT's miss timestamp-wise
-	// without covering the missed version's causal past on OTHER keys —
-	// and it is session-safe: marks only ever exist on versions installed
-	// during the marked ROT's own lifetime, so the extra hiding can never
-	// take back state its session observed before. Chains are bounded by
-	// maxVersions and marks are GC-swept, so this walk is small — and it
-	// is write-path cost, which is exactly where CC-LO pays (§3).
-	for i := range lk.versions {
-		inv := lk.versions[i].invisible
-		for id, e := range inv {
-			if s.expired(e, now) {
-				delete(inv, id)
-				continue
+			if e.vts < depTS {
+				merge(out, id, e)
 			}
-			scanned++
-			merge(out, id, e)
 		}
-	}
+		c := k.Chain()
+		latestTS := uint64(0)
+		if l := c.Latest(); l != nil {
+			latestTS = l.TS
+		}
+		if latestTS < depTS {
+			gcSweep(aux.readers, s.gcWindow, now)
+			for id, e := range aux.readers {
+				scanned++
+				merge(out, id, e)
+			}
+		} else {
+			// Not collected, but a probe-heavy dependency key with a current
+			// latest never takes the branch above; keep its reader map bounded
+			// here too.
+			aux.readersSweepAt = s.sweepReaders(aux.readers, aux.readersSweepAt, now)
+		}
+		// Invisibility-derived old readers: every ROT marked on ANY version of
+		// this key missed something in that version's causal past, so it is
+		// conservatively treated as an old reader of the dependency too. The
+		// conservatism is what keeps transitive propagation unbroken — a
+		// concurrent newer version can mask a ROT's miss timestamp-wise
+		// without covering the missed version's causal past on OTHER keys —
+		// and it is session-safe: marks only ever exist on versions installed
+		// during the marked ROT's own lifetime, so the extra hiding can never
+		// take back state its session observed before. Chains are bounded by
+		// maxVersions and marks are GC-swept, so this walk is small — and it
+		// is write-path cost, which is exactly where CC-LO pays (§3).
+		if c != nil {
+			for i := range c.Versions {
+				inv := c.Versions[i].Extra.invisible
+				for id, e := range inv {
+					if s.expired(e, now) {
+						delete(inv, id)
+						continue
+					}
+					scanned++
+					merge(out, id, e)
+				}
+			}
+		}
+	})
 	return scanned
 }
 
@@ -328,71 +298,58 @@ func gcSweep(m map[uint64]orEntry, window time.Duration, now time.Time) {
 // readers of the PUT's dependencies. It returns true if the version is now
 // the latest.
 func (s *loStore) install(key string, v loVersion, collected map[uint64]orEntry, now time.Time) bool {
-	sh := s.shard(key)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	lk := sh.m[key]
-	if lk == nil {
-		lk = &loKey{}
-		sh.m[key] = lk
-	}
-	i := len(lk.versions)
-	for i > 0 && v.before(&lk.versions[i-1]) {
-		i--
-	}
-	dup := i > 0 && lk.versions[i-1].ts == v.ts && lk.versions[i-1].srcDC == v.srcDC
-	if dup && len(collected) > 0 {
-		// A re-delivered update (lost ack, or a retry against a recovered
-		// replica) arrives with freshly collected old readers; the marks
-		// must land on the existing version or the retry's readers check
-		// was for nothing and a rewound ROT could see the version anyway.
-		ex := &lk.versions[i-1]
-		if ex.invisible == nil {
-			ex.invisible = make(map[uint64]orEntry, len(collected))
-		}
-		for id, e := range collected {
-			e.addedAt = now
-			merge(ex.invisible, id, e)
-		}
-	}
 	newest := false
-	if !dup {
+	s.eng.Update(key, true, func(k *loKeyRef) {
+		ev := loEngVer{Value: v.value, TS: v.ts, Src: v.srcDC, Extra: loExtra{deps: v.deps}}
 		if len(collected) > 0 {
-			v.invisible = make(map[uint64]orEntry, len(collected))
+			inv := make(map[uint64]orEntry, len(collected))
 			for id, e := range collected {
 				e.addedAt = now
-				v.invisible[id] = e
+				inv[id] = e
 			}
+			ev.Extra.invisible = inv
 		}
-		lk.versions = append(lk.versions, loVersion{})
-		copy(lk.versions[i+1:], lk.versions[i:])
-		lk.versions[i] = v
-		// Decide "newest" before trimming: trimming shortens the slice and
-		// would misclassify every install on a full chain, silently
-		// skipping the readers → old-readers move for hot keys.
-		newest = i == len(lk.versions)-1
-		if len(lk.versions) > s.maxVersions {
-			drop := len(lk.versions) - s.maxVersions
-			lk.versions = append(lk.versions[:0:0], lk.versions[drop:]...)
-			lk.trimmed = true
+		idx, isNewest, dup := k.Install(ev)
+		if dup {
+			if len(collected) > 0 {
+				// A re-delivered update (lost ack, or a retry against a
+				// recovered replica) arrives with freshly collected old
+				// readers; the marks must land on the existing version or the
+				// retry's readers check was for nothing and a rewound ROT
+				// could see the version anyway.
+				ex := &k.Chain().Versions[idx]
+				if ex.Extra.invisible == nil {
+					// The published version has no mark map to grow in place;
+					// republish the chain with one (never assign the field).
+					k.SetExtra(idx, loExtra{deps: ex.Extra.deps, invisible: ev.Extra.invisible})
+				} else {
+					for id, e := range collected {
+						e.addedAt = now
+						merge(ex.Extra.invisible, id, e)
+					}
+				}
+			}
+			return
 		}
-	}
-	if newest && len(lk.readers) > 0 {
-		// The previous latest version is now superseded: its readers are
-		// old readers from here on. An install-heavy key with no readers
-		// checks (nothing ever depends on it) would grow oldReaders without
-		// bound, so apply the same size-triggered sweep the reader map gets.
-		if lk.oldReaders == nil {
-			lk.oldReaders = make(map[uint64]orEntry, len(lk.readers))
-		} else {
-			lk.oldReadersSweepAt = s.sweepReaders(lk.oldReaders, lk.oldReadersSweepAt, now)
+		newest = isNewest
+		aux := k.Aux()
+		if newest && len(aux.readers) > 0 {
+			// The previous latest version is now superseded: its readers are
+			// old readers from here on. An install-heavy key with no readers
+			// checks (nothing ever depends on it) would grow oldReaders without
+			// bound, so apply the same size-triggered sweep the reader map gets.
+			if aux.oldReaders == nil {
+				aux.oldReaders = make(map[uint64]orEntry, len(aux.readers))
+			} else {
+				aux.oldReadersSweepAt = s.sweepReaders(aux.oldReaders, aux.oldReadersSweepAt, now)
+			}
+			for id, e := range aux.readers {
+				e.addedAt = now
+				merge(aux.oldReaders, id, e)
+			}
+			clear(aux.readers)
 		}
-		for id, e := range lk.readers {
-			e.addedAt = now
-			merge(lk.oldReaders, id, e)
-		}
-		clear(lk.readers)
-	}
+	})
 	return newest
 }
 
@@ -408,52 +365,71 @@ func (s *loStore) addMarks(key string, ts uint64, src uint8, entries []wire.Read
 	if len(entries) == 0 {
 		return
 	}
-	sh := s.shard(key)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	lk := sh.m[key]
-	if lk == nil {
-		return
-	}
-	for i := range lk.versions {
-		v := &lk.versions[i]
-		if v.ts != ts || v.srcDC != src {
-			continue
+	s.eng.Update(key, false, func(k *loKeyRef) {
+		c := k.Chain()
+		idx := c.Find(ts, src)
+		if idx < 0 {
+			return
 		}
-		if v.invisible == nil {
-			v.invisible = make(map[uint64]orEntry, len(entries))
+		v := &c.Versions[idx]
+		if v.Extra.invisible == nil {
+			inv := make(map[uint64]orEntry, len(entries))
+			for _, e := range entries {
+				merge(inv, e.RotID, orEntry{rotID: e.RotID, t: e.T, addedAt: now})
+			}
+			k.SetExtra(idx, loExtra{deps: v.Extra.deps, invisible: inv})
+			return
 		}
 		for _, e := range entries {
-			merge(v.invisible, e.RotID, orEntry{rotID: e.RotID, t: e.T, addedAt: now})
+			merge(v.Extra.invisible, e.RotID, orEntry{rotID: e.RotID, t: e.T, addedAt: now})
 		}
-		return
-	}
+	})
 }
 
-// marksOf returns the version's non-expired invisibility marks as wire
-// entries (nil when none); the caller must hold the shard lock — it is the
-// WAL snapshot serializer, which runs inside forEachLatest.
-func (s *loStore) marksOf(v *loVersion, now time.Time) []wire.ReaderEntry {
-	var out []wire.ReaderEntry
-	for id, e := range v.invisible {
-		if s.expired(e, now) {
-			continue
+// versionMarks is one retained version's identity and its non-expired
+// invisibility marks, as collected for WAL snapshot emission.
+type versionMarks struct {
+	ts      uint64
+	src     uint8
+	entries []wire.ReaderEntry
+}
+
+// markedVersions returns, for every retained version of key carrying at
+// least one non-expired invisibility mark, the version identity and its
+// marks (oldest first; nil when none). It takes the shard lock briefly —
+// mark maps are interior-mutable state — so the WAL snapshot serializer can
+// collect marks per key and emit them with no lock held.
+func (s *loStore) markedVersions(key string, now time.Time) []versionMarks {
+	var out []versionMarks
+	s.eng.Update(key, false, func(k *loKeyRef) {
+		c := k.Chain()
+		if c == nil {
+			return
 		}
-		out = append(out, wire.ReaderEntry{RotID: id, T: e.t})
-	}
+		for i := range c.Versions {
+			v := &c.Versions[i]
+			var rs []wire.ReaderEntry
+			for id, e := range v.Extra.invisible {
+				if s.expired(e, now) {
+					continue
+				}
+				rs = append(rs, wire.ReaderEntry{RotID: id, T: e.t})
+			}
+			if len(rs) > 0 {
+				out = append(out, versionMarks{ts: v.TS, src: v.Src, entries: rs})
+			}
+		}
+	})
 	return out
 }
 
-// latest returns the newest version of key.
+// latest returns the newest version of key. Lock-free.
 func (s *loStore) latest(key string) (loVersion, bool) {
-	sh := s.shard(key)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	lk := sh.m[key]
-	if lk == nil || len(lk.versions) == 0 {
+	v := s.eng.Latest(key)
+	if v == nil {
 		return loVersion{}, false
 	}
-	return lk.versions[len(lk.versions)-1], true
+	return loVersion{value: v.Value, ts: v.TS, srcDC: v.Src, deps: v.Extra.deps}, true
 }
 
 // hasVersion reports whether the version of key identified by (ts, src)
@@ -464,40 +440,44 @@ func (s *loStore) latest(key string) (loVersion, bool) {
 // consistently be served has arrived — and a same-timestamp version from a
 // DIFFERENT DC is a different version entirely (Lamport timestamps collide
 // across DCs). A chain whose oldest retained version is already LWW-above
-// (ts, src) proves the version was installed and trimmed.
+// (ts, src) proves the version was installed and trimmed. Lock-free.
 func (s *loStore) hasVersion(key string, ts uint64, src uint8) bool {
-	sh := s.shard(key)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	lk := sh.m[key]
-	if lk == nil || len(lk.versions) == 0 {
+	c := s.eng.View(key)
+	if c.Len() == 0 {
 		return false
 	}
-	want := loVersion{ts: ts, srcDC: src}
-	if lk.trimmed && want.before(&lk.versions[0]) {
+	want := loEngVer{TS: ts, Src: src}
+	if c.Trimmed && want.Before(&c.Versions[0]) {
 		// Only a chain that actually trimmed can have dropped the asked
 		// version; on an untrimmed chain (even one exactly at capacity)
 		// "LWW-below the oldest" just means never installed.
 		return true
 	}
-	for i := len(lk.versions) - 1; i >= 0 && lk.versions[i].ts >= ts; i-- {
-		if lk.versions[i].ts == ts && lk.versions[i].srcDC == src {
-			return true
-		}
-	}
-	return false
+	return c.Find(ts, src) >= 0
+}
+
+// forEachChain visits every key's retained chain (lock-free; chains are
+// immutable snapshots, so fn may block without stalling writers).
+func (s *loStore) forEachChain(fn func(key string, c *loChain)) {
+	s.eng.ForEach(func(key string, c *loChain) bool {
+		fn(key, c)
+		return true
+	})
 }
 
 // forEachLatest visits every key's newest version (tests, convergence).
+// Lock-free.
 func (s *loStore) forEachLatest(fn func(key string, v loVersion)) {
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		for k, lk := range sh.m {
-			if len(lk.versions) > 0 {
-				fn(k, lk.versions[len(lk.versions)-1])
-			}
-		}
-		sh.mu.Unlock()
-	}
+	s.forEachChain(func(key string, c *loChain) {
+		l := c.Latest()
+		fn(key, loVersion{value: l.Value, ts: l.TS, srcDC: l.Src, deps: l.Extra.deps})
+	})
+}
+
+// readerSizes reports the sizes of key's reader-tracking maps (tests).
+func (s *loStore) readerSizes(key string) (readers, oldReaders int) {
+	s.eng.Update(key, false, func(k *loKeyRef) {
+		readers, oldReaders = len(k.Aux().readers), len(k.Aux().oldReaders)
+	})
+	return readers, oldReaders
 }

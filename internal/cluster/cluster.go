@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mvstore"
 	"repro/internal/ring"
+	"repro/internal/store"
 	"repro/internal/transport"
 	"repro/internal/vclock"
 	"repro/internal/wal"
@@ -88,6 +89,10 @@ type Config struct {
 	ReaderGCWindow time.Duration
 	// MaxVersions caps per-key version chains.
 	MaxVersions int
+	// StoreShards sets every partition store's shard count (0 = auto-size
+	// from GOMAXPROCS; values are rounded up to a power of two and capped at
+	// store.MaxShards).
+	StoreShards int
 	// Seed randomizes clock skews deterministically.
 	Seed int64
 	// ClockOverride forces a clock mode for the timestamp-based protocols
@@ -184,6 +189,9 @@ func Start(cfg Config) (*Cluster, error) {
 	if cfg.MaxSkew == 0 {
 		cfg.MaxSkew = time.Millisecond
 	}
+	if cfg.StoreShards < 0 || cfg.StoreShards > store.MaxShards {
+		return nil, fmt.Errorf("cluster: StoreShards %d out of range [0, %d]", cfg.StoreShards, store.MaxShards)
+	}
 	lat := transport.DefaultLatency()
 	if cfg.Latency != nil {
 		lat = *cfg.Latency
@@ -278,6 +286,7 @@ func (c *Cluster) startServer(dc, p int) error {
 		s, err := cops.NewServer(cops.Config{
 			DC: dc, Part: p, NumDCs: c.cfg.DCs, NumParts: c.cfg.Partitions,
 			MaxVersions: c.cfg.MaxVersions,
+			StoreShards: c.cfg.StoreShards,
 			Durable:     durable,
 		}, c.net)
 		if err != nil {
@@ -290,6 +299,7 @@ func (c *Cluster) startServer(dc, p int) error {
 			DC: dc, Part: p, NumDCs: c.cfg.DCs, NumParts: c.cfg.Partitions,
 			GCWindow:    c.cfg.ReaderGCWindow,
 			MaxVersions: c.cfg.MaxVersions,
+			StoreShards: c.cfg.StoreShards,
 			Durable:     durable,
 		}, c.net)
 		if err != nil {
@@ -312,6 +322,7 @@ func (c *Cluster) startServer(dc, p int) error {
 			StabilizeEvery: c.cfg.StabilizeEvery,
 			RepFlushEvery:  c.cfg.RepFlushEvery,
 			MaxVersions:    c.cfg.MaxVersions,
+			StoreShards:    c.cfg.StoreShards,
 			Durable:        durable,
 		}, c.net)
 		if err != nil {

@@ -6,11 +6,36 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/wal"
 )
+
+// walSegments lists the (dc,p) partition's WAL segment file names, oldest
+// first, and the newest one's sequence number.
+func walSegments(t *testing.T, c *Cluster, dc, p int) (segs []string, newestSeq uint64) {
+	t.Helper()
+	entries, err := os.ReadDir(c.WALDir(dc, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "seg-") && strings.HasSuffix(e.Name(), ".wal") {
+			segs = append(segs, e.Name())
+		}
+	}
+	if len(segs) == 0 {
+		t.Fatalf("no WAL segments in %s", c.WALDir(dc, p))
+	}
+	sort.Strings(segs)
+	if _, err := fmt.Sscanf(segs[len(segs)-1], "seg-%d.wal", &newestSeq); err != nil {
+		t.Fatal(err)
+	}
+	return segs, newestSeq
+}
 
 // waitRemote polls until key is visible in dc with value want.
 func waitRemote(t *testing.T, cli Client, ctx context.Context, key string, want []byte) {
@@ -240,6 +265,113 @@ func TestCrashMatrixMidSnapshot(t *testing.T) {
 	}
 	if _, err := os.Stat(filepath.Join(dir, "snap-0000000000000099.snap.tmp")); !os.IsNotExist(err) {
 		t.Fatal("abandoned snapshot temp file not cleaned up")
+	}
+}
+
+// TestCrashMatrixMidRotateTornHeader: a kill -9 during segment rotation —
+// after the new segment file was created but before its header's fsync —
+// leaves a next-sequence segment with a short or garbled header. The header
+// is synced before any record can land in a segment, so the debris provably
+// holds nothing acknowledged; recovery must discard it and replay every
+// acknowledged write, for all three protocol families.
+func TestCrashMatrixMidRotateTornHeader(t *testing.T) {
+	for _, proto := range []Protocol{Contrarian, CCLO, COPS} {
+		t.Run(proto.String(), func(t *testing.T) {
+			t.Parallel()
+			c := startCluster(t, Config{
+				Protocol:        proto,
+				DCs:             1,
+				Partitions:      1,
+				Latency:         NoLatency(),
+				DataDir:         t.TempDir(),
+				WALSegmentBytes: 1024, // force real rotations before the crash
+			})
+			ctx := testCtx(t)
+			w, err := c.NewClient(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer w.Close()
+			const keys = 30
+			for i := 0; i < keys; i++ {
+				if _, err := w.Put(ctx, fmt.Sprintf("rot-%02d", i), seqVal(uint64(i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := c.CrashPartition(0, 0); err != nil {
+				t.Fatal(err)
+			}
+			// Manufacture the mid-rotate debris: the next segment in sequence,
+			// its header torn three bytes in.
+			_, seq := walSegments(t, c, 0, 0)
+			torn := filepath.Join(c.WALDir(0, 0), fmt.Sprintf("seg-%016d.wal", seq+1))
+			if err := os.WriteFile(torn, []byte{0x43, 0x4b, 0x56}, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.RestartPartition(0, 0); err != nil {
+				t.Fatalf("recovery refused mid-rotate debris: %v", err)
+			}
+			for i := 0; i < keys; i++ {
+				got, err := w.Get(ctx, fmt.Sprintf("rot-%02d", i))
+				if err != nil || seqOf(got) != uint64(i) {
+					t.Fatalf("rot-%02d after mid-rotate crash: %q %v", i, got, err)
+				}
+			}
+			if v := c.WALViewOf(0, 0); v.TornSegments != 1 {
+				t.Fatalf("TornSegments = %d, want 1", v.TornSegments)
+			}
+			// Still live: the reopened log accepts and recovers new writes.
+			if _, err := w.Put(ctx, "rot-after", seqVal(99)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestCrashMatrixTornSealedSegmentFailsLoudly is the other half of the
+// mid-rotate contract: a torn record at the END of a SEALED (non-final)
+// segment means acknowledged records once followed it — rotation seals a
+// segment only after its last record's fsync — so data is gone and recovery
+// must refuse to start, not silently skip the damage.
+func TestCrashMatrixTornSealedSegmentFailsLoudly(t *testing.T) {
+	c := startCluster(t, Config{
+		Protocol:        Contrarian,
+		DCs:             1,
+		Partitions:      1,
+		Latency:         NoLatency(),
+		DataDir:         t.TempDir(),
+		WALSegmentBytes: 1024,
+	})
+	ctx := testCtx(t)
+	w, err := c.NewClient(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i := 0; i < 30; i++ {
+		if _, err := w.Put(ctx, fmt.Sprintf("seal-%02d", i), seqVal(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.CrashPartition(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := walSegments(t, c, 0, 0)
+	if len(segs) < 2 {
+		t.Fatalf("need a sealed segment; rotation produced only %d", len(segs))
+	}
+	// A torn record at the seal of the FIRST (oldest) segment: records in
+	// later segments durably followed it.
+	f, err := os.OpenFile(filepath.Join(c.WALDir(0, 0), segs[0]), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x90, 1, 0, 0, 0xde, 0xad, 0xbe, 0xef, 't', 'o', 'r', 'n'}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := c.RestartPartition(0, 0); err == nil {
+		t.Fatal("recovery silently skipped a torn record inside a sealed segment: acknowledged writes were lost without a report")
 	}
 }
 

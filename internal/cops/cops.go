@@ -19,13 +19,13 @@ package cops
 import (
 	"context"
 	"fmt"
-	"hash/maphash"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/hlc"
 	"repro/internal/ring"
+	storeeng "repro/internal/store"
 	"repro/internal/transport"
 	"repro/internal/wal"
 	"repro/internal/wire"
@@ -46,6 +46,9 @@ type Config struct {
 	RepWindow int
 	// MaxVersions caps per-key version chains.
 	MaxVersions int
+	// StoreShards is the storage engine shard count (0 = auto from
+	// GOMAXPROCS; see internal/store).
+	StoreShards int
 
 	// Durable, when non-nil, makes every install — with its dependency
 	// list, which COPS needs to recompute causal cuts — durable before it
@@ -90,91 +93,57 @@ func (v *version) before(o *version) bool {
 	return v.srcDC < o.srcDC
 }
 
-const nShards = 64
-
 // store is the COPS partition storage: version chains with dependency
-// lists, supporting latest reads and exact-version fetches.
+// lists, supporting latest reads and exact-version fetches. It is a thin
+// adapter over the shared engine (internal/store) with deps as the
+// per-version payload; latest/at/hasVersion/forEachLatest are lock-free.
 type store struct {
-	shards      [nShards]shard
-	maxVersions int
-	seed        maphash.Seed
+	eng *storeeng.Engine[[]wire.LoDep, struct{}]
 }
 
-type shard struct {
-	mu sync.Mutex
-	m  map[string][]version
+func newStore(maxVersions, shards int) *store {
+	return &store{eng: storeeng.New[[]wire.LoDep, struct{}](maxVersions, shards)}
 }
 
-func newStore(maxVersions int) *store {
-	if maxVersions <= 0 {
-		maxVersions = 64
-	}
-	s := &store{maxVersions: maxVersions, seed: maphash.MakeSeed()}
-	for i := range s.shards {
-		s.shards[i].m = make(map[string][]version)
-	}
-	return s
-}
-
-func (s *store) shard(key string) *shard {
-	return &s.shards[maphash.String(s.seed, key)%nShards]
+func fromEngine(ev *storeeng.Version[[]wire.LoDep]) version {
+	return version{value: ev.Value, ts: ev.TS, srcDC: ev.Src, deps: ev.Extra}
 }
 
 func (s *store) install(key string, v version) {
-	sh := s.shard(key)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	chain := sh.m[key]
-	i := len(chain)
-	for i > 0 && v.before(&chain[i-1]) {
-		i--
-	}
-	if i > 0 && chain[i-1].ts == v.ts && chain[i-1].srcDC == v.srcDC {
-		return // duplicate
-	}
-	chain = append(chain, version{})
-	copy(chain[i+1:], chain[i:])
-	chain[i] = v
-	if len(chain) > s.maxVersions {
-		chain = append(chain[:0:0], chain[len(chain)-s.maxVersions:]...)
-	}
-	sh.m[key] = chain
+	s.eng.Install(key, storeeng.Version[[]wire.LoDep]{Value: v.value, TS: v.ts, Src: v.srcDC, Extra: v.deps})
 }
 
 func (s *store) latest(key string) (version, bool) {
-	sh := s.shard(key)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	chain := sh.m[key]
-	if len(chain) == 0 {
+	ev := s.eng.Latest(key)
+	if ev == nil {
 		return version{}, false
 	}
-	return chain[len(chain)-1], true
+	return fromEngine(ev), true
 }
 
 // at returns the version of key identified by (ts, src); if it was
 // trimmed, the oldest retained version above it stands in.
 func (s *store) at(key string, ts uint64, src uint8) (version, bool) {
-	sh := s.shard(key)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	chain := sh.m[key]
-	want := version{ts: ts, srcDC: src}
+	var chain []storeeng.Version[[]wire.LoDep]
+	if c := s.eng.View(key); c != nil {
+		chain = c.Versions
+	}
+	want := storeeng.Version[[]wire.LoDep]{TS: ts, Src: src}
 	for i := len(chain) - 1; i >= 0; i-- {
-		if chain[i].ts == ts && chain[i].srcDC == src {
-			return chain[i], true
+		if chain[i].TS == ts && chain[i].Src == src {
+			return fromEngine(&chain[i]), true
 		}
-		if chain[i].before(&want) {
+		if chain[i].Before(&want) {
 			// Exact version gone (trimmed); the next retained one above it
 			// is the closest safe answer.
 			if i+1 < len(chain) {
-				return chain[i+1], true
+				return fromEngine(&chain[i+1]), true
 			}
 			return version{}, false
 		}
 	}
 	if len(chain) > 0 {
-		return chain[0], true
+		return fromEngine(&chain[0]), true
 	}
 	return version{}, false
 }
@@ -184,40 +153,26 @@ func (s *store) at(key string, ts uint64, src uint8) (version, bool) {
 // timestamp": Lamport timestamps collide across DCs, and a same-timestamp
 // version from another DC satisfying the check would break the causal
 // install order. A chain whose oldest retained version is LWW-above the
-// identity proves it was installed and trimmed.
+// identity proves it was installed and trimmed — the engine's Trimmed flag
+// records that precisely (the old at-capacity heuristic answered true for a
+// full chain that had never dropped anything; see TestHasVersionAtCapacity).
 func (s *store) hasVersion(key string, ts uint64, src uint8) bool {
-	sh := s.shard(key)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	chain := sh.m[key]
-	if len(chain) == 0 {
+	c := s.eng.View(key)
+	if c.Len() == 0 {
 		return false
 	}
-	want := version{ts: ts, srcDC: src}
-	if len(chain) >= s.maxVersions && want.before(&chain[0]) {
-		// Only a chain at capacity can have trimmed the asked version; on a
-		// shorter chain "LWW-below the oldest" just means never installed.
+	want := storeeng.Version[[]wire.LoDep]{TS: ts, Src: src}
+	if c.Trimmed && want.Before(&c.Versions[0]) {
 		return true
 	}
-	for i := len(chain) - 1; i >= 0 && chain[i].ts >= ts; i-- {
-		if chain[i].ts == ts && chain[i].srcDC == src {
-			return true
-		}
-	}
-	return false
+	return c.Find(ts, src) >= 0
 }
 
 func (s *store) forEachLatest(fn func(key string, v version)) {
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		for k, chain := range sh.m {
-			if len(chain) > 0 {
-				fn(k, chain[len(chain)-1])
-			}
-		}
-		sh.mu.Unlock()
-	}
+	s.eng.ForEach(func(key string, c *storeeng.Chain[[]wire.LoDep]) bool {
+		fn(key, fromEngine(c.Latest()))
+		return true
+	})
 }
 
 // Server is one COPS partition replica.
@@ -241,7 +196,7 @@ func NewServer(cfg Config, net transport.Network) (*Server, error) {
 	s := &Server{
 		cfg:   cfg,
 		clock: hlc.NewLamport(0),
-		store: newStore(cfg.MaxVersions),
+		store: newStore(cfg.MaxVersions, cfg.StoreShards),
 		ring:  ring.New(cfg.NumParts),
 		stop:  make(chan struct{}),
 	}
@@ -349,12 +304,10 @@ func (s *Server) ForEachLatest(fn func(key string, value []byte, ts uint64, srcD
 // VersionsOf returns the identities of key's retained version chain, oldest
 // first (tests and fault diagnostics).
 func (s *Server) VersionsOf(key string) []wire.LoDep {
-	sh := s.store.shard(key)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	out := make([]wire.LoDep, 0, len(sh.m[key]))
-	for _, v := range sh.m[key] {
-		out = append(out, wire.LoDep{Key: key, TS: v.ts, Src: v.srcDC})
+	c := s.store.eng.View(key)
+	out := make([]wire.LoDep, 0, c.Len())
+	for i := range c.Len() {
+		out = append(out, wire.LoDep{Key: key, TS: c.Versions[i].TS, Src: c.Versions[i].Src})
 	}
 	return out
 }

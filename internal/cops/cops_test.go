@@ -149,7 +149,7 @@ func TestSecondRoundClosesTheGap(t *testing.T) {
 }
 
 func TestStoreAtExactAndFallback(t *testing.T) {
-	s := newStore(4)
+	s := newStore(4, 1)
 	for ts := uint64(1); ts <= 10; ts++ {
 		s.install("k", version{value: []byte{byte(ts)}, ts: ts})
 	}
@@ -167,7 +167,7 @@ func TestStoreAtExactAndFallback(t *testing.T) {
 }
 
 func TestStoreDuplicateInstall(t *testing.T) {
-	s := newStore(0)
+	s := newStore(0, 1)
 	s.install("k", version{ts: 5, srcDC: 1})
 	s.install("k", version{ts: 5, srcDC: 1})
 	v, _ := s.latest("k")

@@ -73,6 +73,9 @@ type Config struct {
 	RepRetryTimeout time.Duration
 	// MaxVersions caps per-key version chains (0 = default).
 	MaxVersions int
+	// StoreShards sets the store's shard count (0 = auto-size from
+	// GOMAXPROCS; values are rounded up to a power of two).
+	StoreShards int
 
 	// Durable, when non-nil, makes every install durable before it is
 	// acknowledged: NewServer replays the recovered state into the store and

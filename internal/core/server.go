@@ -132,7 +132,7 @@ func NewServer(cfg Config, net transport.Network) (*Server, error) {
 	s := &Server{
 		cfg:   cfg,
 		clock: cfg.newClock(),
-		store: mvstore.New(cfg.MaxVersions),
+		store: mvstore.NewSharded(cfg.MaxVersions, cfg.StoreShards),
 		vv:    vclock.New(cfg.NumDCs),
 		gss:   vclock.New(cfg.NumDCs),
 		stop:  make(chan struct{}),

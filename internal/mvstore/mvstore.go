@@ -1,5 +1,8 @@
-// Package mvstore implements the per-partition multi-version storage engine
-// used by the timestamp-based protocols (Contrarian, Cure).
+// Package mvstore implements the per-partition multi-version storage used
+// by the timestamp-based protocols (Contrarian, Cure). It is a thin adapter
+// over the shared engine in internal/store: version chains, sharding,
+// trimming, and lock-free reads live there; this package contributes the
+// dependency-vector payload and the snapshot-visibility rule.
 //
 // Each key holds a short chain of versions totally ordered by (TS, SrcDC) —
 // the last-writer-wins rule of Section 2.2 that guarantees convergence.
@@ -14,10 +17,9 @@
 package mvstore
 
 import (
-	"hash/maphash"
-	"sync"
 	"sync/atomic"
 
+	"repro/internal/store"
 	"repro/internal/vclock"
 )
 
@@ -37,49 +39,33 @@ func (v *Version) Before(o *Version) bool {
 	return v.SrcDC < o.SrcDC
 }
 
-const nShards = 64
-
 // Store is a sharded multi-version key-value map. All methods are safe for
-// concurrent use.
+// concurrent use; reads and iteration are lock-free (see internal/store).
 type Store struct {
-	shards      [nShards]shard
-	maxVersions int
-	seed        maphash.Seed
+	eng *store.Engine[vclock.Vec, struct{}]
 
 	approxReads atomic.Uint64 // snapshot reads served past a trimmed chain
 }
 
-type shard struct {
-	mu sync.RWMutex
-	m  map[string]*chain
-}
-
-type chain struct {
-	versions []Version // ascending by (TS, SrcDC)
-	trimmed  bool      // true once old versions have been discarded
-}
-
-// DefaultMaxVersions caps per-key chains. The GSS lags by roughly one
-// stabilization interval (5 ms), so even a key written continuously needs
-// only (write rate × lag) retained versions; 64 is far above that at our
-// scales.
-const DefaultMaxVersions = 64
+// DefaultMaxVersions caps per-key chains; see store.DefaultMaxVersions.
+const DefaultMaxVersions = store.DefaultMaxVersions
 
 // New returns an empty store keeping at most maxVersions versions per key
-// (0 means DefaultMaxVersions).
-func New(maxVersions int) *Store {
-	if maxVersions <= 0 {
-		maxVersions = DefaultMaxVersions
-	}
-	s := &Store{maxVersions: maxVersions, seed: maphash.MakeSeed()}
-	for i := range s.shards {
-		s.shards[i].m = make(map[string]*chain)
-	}
-	return s
+// (0 means DefaultMaxVersions) with the default shard count.
+func New(maxVersions int) *Store { return NewSharded(maxVersions, 0) }
+
+// NewSharded is New with an explicit shard count (0 = auto from
+// GOMAXPROCS).
+func NewSharded(maxVersions, shards int) *Store {
+	return &Store{eng: store.New[vclock.Vec, struct{}](maxVersions, shards)}
 }
 
-func (s *Store) shard(key string) *shard {
-	return &s.shards[maphash.String(s.seed, key)%nShards]
+func toEngine(v Version) store.Version[vclock.Vec] {
+	return store.Version[vclock.Vec]{Value: v.Value, TS: v.TS, Src: v.SrcDC, Extra: v.DV}
+}
+
+func fromEngine(ev *store.Version[vclock.Vec]) Version {
+	return Version{Value: ev.Value, TS: ev.TS, SrcDC: ev.Src, DV: ev.Extra}
 }
 
 // ApproxReads returns how many snapshot reads were answered with the oldest
@@ -90,107 +76,61 @@ func (s *Store) ApproxReads() uint64 { return s.approxReads.Load() }
 // Duplicate (TS, SrcDC) installs are idempotent. It returns true if v is
 // now the newest version of key.
 func (s *Store) Install(key string, v Version) bool {
-	sh := s.shard(key)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	c := sh.m[key]
-	if c == nil {
-		c = &chain{}
-		sh.m[key] = c
-	}
-	// Find insertion point from the tail: installs are usually the newest.
-	i := len(c.versions)
-	for i > 0 && v.Before(&c.versions[i-1]) {
-		i--
-	}
-	if i > 0 && c.versions[i-1].TS == v.TS && c.versions[i-1].SrcDC == v.SrcDC {
-		return i == len(c.versions) // duplicate
-	}
-	c.versions = append(c.versions, Version{})
-	copy(c.versions[i+1:], c.versions[i:])
-	c.versions[i] = v
-	// Decide "newest" before trimming shortens the slice.
-	newest := i == len(c.versions)-1
-	if len(c.versions) > s.maxVersions {
-		drop := len(c.versions) - s.maxVersions
-		c.versions = append(c.versions[:0:0], c.versions[drop:]...)
-		c.trimmed = true
-	}
-	return newest
+	return s.eng.Install(key, toEngine(v))
 }
 
-// ReadLatest returns the newest version of key.
+// ReadLatest returns the newest version of key. Lock-free.
 func (s *Store) ReadLatest(key string) (Version, bool) {
-	sh := s.shard(key)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	c := sh.m[key]
-	if c == nil || len(c.versions) == 0 {
+	ev := s.eng.Latest(key)
+	if ev == nil {
 		return Version{}, false
 	}
-	return c.versions[len(c.versions)-1], true
+	return fromEngine(ev), true
 }
 
 // ReadAtSnapshot returns the freshest version of key whose dependency
 // vector is entry-wise ≤ sv. If the key has no version inside the snapshot
-// it returns false — the key does not exist yet in this snapshot.
+// it returns false — the key does not exist yet in this snapshot. Lock-free.
 func (s *Store) ReadAtSnapshot(key string, sv vclock.Vec) (Version, bool) {
-	sh := s.shard(key)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	c := sh.m[key]
-	if c == nil || len(c.versions) == 0 {
+	ref := s.eng.Ref(key)
+	// Fast path: the newest version is usually inside the snapshot (the GSS
+	// lags writes by only a stabilization interval), and checking it through
+	// the cached latest pointer skips the chain-header load.
+	if v := ref.Latest(); v != nil && v.Extra.LEQ(sv) {
+		return fromEngine(v), true
+	}
+	c := ref.View()
+	if c.Len() == 0 {
 		return Version{}, false
 	}
-	for i := len(c.versions) - 1; i >= 0; i-- {
-		if c.versions[i].DV.LEQ(sv) {
-			return c.versions[i], true
+	for i := len(c.Versions) - 1; i >= 0; i-- {
+		if c.Versions[i].Extra.LEQ(sv) {
+			return fromEngine(&c.Versions[i]), true
 		}
 	}
-	if c.trimmed {
+	if c.Trimmed {
 		// The exact version was discarded; serve the oldest retained one
 		// rather than blocking. Counted so experiments can prove this is
 		// vanishingly rare.
 		s.approxReads.Add(1)
-		return c.versions[0], true
+		return fromEngine(&c.Versions[0]), true
 	}
 	return Version{}, false
 }
 
 // Keys returns the number of keys present.
-func (s *Store) Keys() int {
-	n := 0
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		n += len(sh.m)
-		sh.mu.RUnlock()
-	}
-	return n
-}
+func (s *Store) Keys() int { return s.eng.Keys() }
 
-// ForEachLatest calls fn with every key's newest version. Used by tests to
-// check replica convergence; fn must not call back into the store.
+// ForEachLatest calls fn with every key's newest version. Iteration is
+// lock-free over immutable chain snapshots, so fn may block (e.g. on disk
+// I/O during WAL snapshot emission) without stalling writers, and may call
+// back into the store.
 func (s *Store) ForEachLatest(fn func(key string, v Version)) {
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		for k, c := range sh.m {
-			if len(c.versions) > 0 {
-				fn(k, c.versions[len(c.versions)-1])
-			}
-		}
-		sh.mu.RUnlock()
-	}
+	s.eng.ForEach(func(key string, c *store.Chain[vclock.Vec]) bool {
+		fn(key, fromEngine(c.Latest()))
+		return true
+	})
 }
 
 // ChainLen returns the number of retained versions of key.
-func (s *Store) ChainLen(key string) int {
-	sh := s.shard(key)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	if c := sh.m[key]; c != nil {
-		return len(c.versions)
-	}
-	return 0
-}
+func (s *Store) ChainLen(key string) int { return s.eng.View(key).Len() }

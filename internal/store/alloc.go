@@ -1,0 +1,83 @@
+package store
+
+// Bump allocators for version chains and value bytes. Both hand out slices
+// of large chunks and NEVER reuse memory: published chains may be held by
+// lock-free readers for an unbounded time, so freeing or recycling would
+// require epoch-based reclamation. Go's GC already is one — a chunk is
+// reclaimed as soon as no live chain references it — so the allocators only
+// exist to collapse millions of tiny heap objects into a few large ones,
+// which is what cuts GC mark cost and pause time at production key counts.
+//
+// The trade-off is transient over-retention: a cold, never-rewritten chain
+// pins its whole chunk, including bytes that belonged to since-republished
+// neighbors. That waste is bounded by one chunk per cold write epoch and
+// shows up in the RSS column of `benchfig -fig store`, which is how we keep
+// it honest.
+
+// arenaChunk is the value-arena chunk size. Values larger than a quarter
+// chunk get a private allocation so one big value cannot pin a mostly-dead
+// chunk.
+const arenaChunk = 64 << 10
+
+// arena is a bump allocator for value bytes. Not safe for concurrent use;
+// callers hold the shard lock.
+type arena struct {
+	buf []byte
+}
+
+// copy returns a stable copy of b backed by the arena.
+func (a *arena) copy(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	if len(b) > arenaChunk/4 {
+		return append([]byte(nil), b...)
+	}
+	if len(a.buf)+len(b) > cap(a.buf) {
+		a.buf = make([]byte, 0, arenaChunk)
+	}
+	off := len(a.buf)
+	a.buf = append(a.buf, b...)
+	// Full slice expression: cap == len, so a later bump can never alias.
+	return a.buf[off:len(a.buf):len(a.buf)]
+}
+
+// slabChunk is the number of T per slab chunk. Allocations larger than a
+// quarter chunk get a private slice.
+const slabChunk = 512
+
+// slab is a bump allocator for []T (version slices, chain headers). Not safe
+// for concurrent use; callers hold the shard lock.
+type slab[T any] struct {
+	buf  []T
+	next int
+}
+
+// alloc returns a zeroed []T of length and capacity n.
+func (s *slab[T]) alloc(n int) []T {
+	if n == 0 {
+		return nil
+	}
+	if n > slabChunk/4 {
+		return make([]T, n)
+	}
+	if s.next+n > len(s.buf) {
+		s.buf = make([]T, slabChunk)
+		s.next = 0
+	}
+	out := s.buf[s.next : s.next+n : s.next+n]
+	s.next += n
+	return out
+}
+
+// one returns a pointer to one zeroed T (chain headers, key entries) —
+// alloc(1) without the slice header.
+func (s *slab[T]) one() *T {
+	if s.next >= len(s.buf) {
+		s.buf = make([]T, slabChunk)
+		s.next = 0
+	}
+	p := &s.buf[s.next]
+	s.next++
+	return p
+}

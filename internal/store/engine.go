@@ -1,0 +1,491 @@
+// Package store is the sharded multi-version storage engine shared by all
+// three protocol families (Contrarian/Cure core, CC-LO, COPS).
+//
+// Each key holds a short chain of versions totally ordered by (TS, Src) —
+// the last-writer-wins rule of Section 2.2. The families differ only in the
+// per-version payload they attach (a dependency vector, dependency lists,
+// invisibility marks) and in per-key bookkeeping (CC-LO's reader records),
+// so the engine is generic over both: Engine[X, A] stores Version[X] chains
+// plus one aux value A per key.
+//
+// Concurrency model:
+//
+//   - Chains are immutable. Writers build a new Chain and publish it through
+//     an atomic.Pointer, so latest-reads, exact-version lookups, and
+//     full-store iteration (ForEach) are lock-free and never block on — or
+//     are blocked by — writers. In particular WAL snapshot emission iterates
+//     the store while installs proceed at full speed.
+//   - The key→entry index is a per-shard open-addressing table with
+//     set-once slots: keys are never deleted, so a slot, once published by
+//     an atomic store, never changes, and readers probe with plain atomic
+//     loads — one hash, no locks, no retries. Growing republishes a larger
+//     table through an atomic pointer; readers holding the old table still
+//     see every key inserted before the swap. The per-shard mutex serializes
+//     writers (same key ⇒ same shard ⇒ serialized) and owns the shard's
+//     allocators; readers never touch it.
+//   - Published versions are never written in place. Adapters that must
+//     change a version's Extra republish the chain (Key.SetExtra). The one
+//     sanctioned exception: mutating the *interior* of a reference type held
+//     by Extra (e.g. inserting into a map) under the shard lock is safe as
+//     long as no lock-free reader dereferences that interior state, because
+//     readers copying the version struct only read the field's pointer word.
+//
+// Memory model: values are copied into per-shard bump arenas; version
+// slices, chain headers, and key entries come from per-shard slabs
+// (alloc.go). None of it is ever reused —
+// lock-free readers have unbounded lifetime, so reclamation is left to the
+// GC, which frees a chunk once every chain referencing it has been
+// republished past it. The point of the arenas is to collapse millions of
+// tiny heap objects into a few large ones, which is what cuts GC mark cost
+// and pause times at 10M+ keys (benchfig -fig store).
+package store
+
+import (
+	"hash/maphash"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Version is one immutable version of an item. X is the family-specific
+// payload (dependency vector, dep list + marks, ...).
+type Version[X any] struct {
+	Value []byte
+	TS    uint64 // timestamp assigned at the source DC
+	Src   uint8  // source DC id
+	Extra X
+}
+
+// Before reports whether v precedes o in the total last-writer-wins order.
+func (v *Version[X]) Before(o *Version[X]) bool {
+	if v.TS != o.TS {
+		return v.TS < o.TS
+	}
+	return v.Src < o.Src
+}
+
+// Chain is one key's published version chain. It is immutable: neither the
+// slice nor any version in it may be written after publication.
+type Chain[X any] struct {
+	Versions []Version[X] // ascending by (TS, Src)
+	Trimmed  bool         // true once old versions have been discarded
+}
+
+// Len returns the number of retained versions. Safe on a nil chain.
+func (c *Chain[X]) Len() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.Versions)
+}
+
+// Latest returns the newest version, or nil if the chain is empty or nil.
+func (c *Chain[X]) Latest() *Version[X] {
+	if c == nil || len(c.Versions) == 0 {
+		return nil
+	}
+	return &c.Versions[len(c.Versions)-1]
+}
+
+// Find returns the index of the version with identity (ts, src), or -1.
+// Chains are short, so it scans from the tail (lookups are usually recent).
+func (c *Chain[X]) Find(ts uint64, src uint8) int {
+	if c == nil {
+		return -1
+	}
+	for i := len(c.Versions) - 1; i >= 0; i-- {
+		v := &c.Versions[i]
+		if v.TS == ts && v.Src == src {
+			return i
+		}
+		if v.TS < ts {
+			break
+		}
+	}
+	return -1
+}
+
+type entry[X, A any] struct {
+	key  string
+	hash uint64 // maphash of key; compared before the string on probes
+	// chain is the key's published version chain; latest caches a pointer
+	// to its newest version so latest-reads skip the chain-header hop (one
+	// fewer dependent cache miss on the hottest read path). Both are
+	// republished together under the shard lock; a reader may observe one
+	// a publication ahead of the other, and either is a state that existed
+	// during the read.
+	chain  atomic.Pointer[Chain[X]]
+	latest atomic.Pointer[Version[X]]
+	aux    A // per-key family state; read and written only under the shard lock
+}
+
+// table is a shard's open-addressing key index. Slots are set-once (the
+// engine never deletes keys): writers publish an entry with an atomic store
+// under the shard lock, readers probe with atomic loads and no lock. The
+// writer keeps occupancy under 3/4, so every probe terminates at an entry or
+// an empty slot. len(slots) is a power of two.
+type table[X, A any] struct {
+	slots []atomic.Pointer[entry[X, A]]
+	mask  uint64
+}
+
+// slot returns the probe start for hash h. The low 16 bits picked the shard
+// (MaxShards), so the probe uses the remaining, independent bits.
+func (t *table[X, A]) slot(h uint64) uint64 { return (h >> 16) & t.mask }
+
+// probeEmpty returns the first free slot for hash h. Callers hold the shard
+// lock and have ensured the key is absent.
+func (t *table[X, A]) probeEmpty(h uint64) uint64 {
+	i := t.slot(h)
+	for t.slots[i].Load() != nil {
+		i = (i + 1) & t.mask
+	}
+	return i
+}
+
+// initialTableSlots sizes a fresh shard's table.
+const initialTableSlots = 16
+
+func newTable[X, A any](n int) *table[X, A] {
+	return &table[X, A]{
+		slots: make([]atomic.Pointer[entry[X, A]], n),
+		mask:  uint64(n - 1),
+	}
+}
+
+type shard[X, A any] struct {
+	tab     atomic.Pointer[table[X, A]]
+	used    int        // occupied slots; written under mu
+	mu      sync.Mutex // serializes writers; readers never take it
+	arena   arena
+	slab    slab[Version[X]]
+	chains  slab[Chain[X]]    // chain headers, one republished per install
+	entries slab[entry[X, A]] // one per key, permanent
+}
+
+// grow republishes the shard's table at twice the size. Entries move by
+// pointer; readers still holding the old table see every key inserted
+// before the swap, which is all of them (the caller holds the shard lock).
+func (sh *shard[X, A]) grow(old *table[X, A]) *table[X, A] {
+	nt := newTable[X, A](2 * len(old.slots))
+	for i := range old.slots {
+		if en := old.slots[i].Load(); en != nil {
+			nt.slots[nt.probeEmpty(en.hash)].Store(en)
+		}
+	}
+	sh.tab.Store(nt)
+	return nt
+}
+
+// Engine is a sharded multi-version key→chain map. All methods are safe for
+// concurrent use.
+type Engine[X, A any] struct {
+	keys   atomic.Int64
+	shards []shard[X, A]
+	mask   uint64
+	max    int // per-key version cap
+	seed   maphash.Seed
+}
+
+// DefaultMaxVersions caps per-key chains. The GSS lags by roughly one
+// stabilization interval (5 ms), so even a key written continuously needs
+// only (write rate × lag) retained versions; 64 is far above that at our
+// scales.
+const DefaultMaxVersions = 64
+
+// DefaultShards derives the shard count from GOMAXPROCS: enough shards that
+// writers rarely collide (16× the parallelism), clamped to [16, 1024] and
+// rounded up to a power of two so shard selection is a mask.
+func DefaultShards() int {
+	n := runtime.GOMAXPROCS(0) * 16
+	if n < 16 {
+		n = 16
+	}
+	if n > 1024 {
+		n = 1024
+	}
+	return ceilPow2(n)
+}
+
+// MaxShards bounds operator-supplied shard counts.
+const MaxShards = 1 << 16
+
+func ceilPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// New returns an empty engine keeping at most maxVersions versions per key
+// (0 means DefaultMaxVersions) across `shards` shards (0 means
+// DefaultShards; rounded up to a power of two, capped at MaxShards).
+func New[X, A any](maxVersions, shards int) *Engine[X, A] {
+	if maxVersions <= 0 {
+		maxVersions = DefaultMaxVersions
+	}
+	if shards <= 0 {
+		shards = DefaultShards()
+	}
+	shards = ceilPow2(shards)
+	if shards > MaxShards {
+		shards = MaxShards
+	}
+	e := &Engine[X, A]{
+		shards: make([]shard[X, A], shards),
+		mask:   uint64(shards - 1),
+		max:    maxVersions,
+		seed:   maphash.MakeSeed(),
+	}
+	for i := range e.shards {
+		e.shards[i].tab.Store(newTable[X, A](initialTableSlots))
+	}
+	return e
+}
+
+// find returns key's entry (h is its maphash) or nil, lock-free.
+func (e *Engine[X, A]) find(h uint64, key string) *entry[X, A] {
+	t := e.shards[h&e.mask].tab.Load()
+	for i := t.slot(h); ; i = (i + 1) & t.mask {
+		en := t.slots[i].Load()
+		if en == nil {
+			return nil
+		}
+		if en.hash == h && en.key == key {
+			return en
+		}
+	}
+}
+
+// NumShards returns the shard count in use.
+func (e *Engine[X, A]) NumShards() int { return len(e.shards) }
+
+// MaxVersions returns the per-key chain cap.
+func (e *Engine[X, A]) MaxVersions() int { return e.max }
+
+// View returns key's current chain without locking, or nil if the key has
+// never been written. The chain is an immutable snapshot: it remains valid
+// (and frozen) indefinitely, however long the caller holds it.
+func (e *Engine[X, A]) View(key string) *Chain[X] {
+	if en := e.find(maphash.String(e.seed, key), key); en != nil {
+		return en.chain.Load()
+	}
+	return nil
+}
+
+// Latest returns key's newest version without locking, or nil.
+func (e *Engine[X, A]) Latest(key string) *Version[X] {
+	if en := e.find(maphash.String(e.seed, key), key); en != nil {
+		return en.latest.Load()
+	}
+	return nil
+}
+
+// Ref is a lock-free handle to one key's published state: one index probe,
+// then as many Latest/View loads as the caller needs. The zero Ref (from a
+// key that was never written) returns nil from both.
+type Ref[X, A any] struct{ en *entry[X, A] }
+
+// Ref returns a handle to key's state, without locking.
+func (e *Engine[X, A]) Ref(key string) Ref[X, A] {
+	return Ref[X, A]{e.find(maphash.String(e.seed, key), key)}
+}
+
+// Latest returns the newest version, or nil.
+func (r Ref[X, A]) Latest() *Version[X] {
+	if r.en == nil {
+		return nil
+	}
+	return r.en.latest.Load()
+}
+
+// View returns the current chain, or nil.
+func (r Ref[X, A]) View() *Chain[X] {
+	if r.en == nil {
+		return nil
+	}
+	return r.en.chain.Load()
+}
+
+// Keys returns the number of keys present (including keys that hold aux
+// state but no versions yet).
+func (e *Engine[X, A]) Keys() int { return int(e.keys.Load()) }
+
+// ForEach calls fn with every key's current chain, skipping keys with no
+// versions, until fn returns false. Iteration is lock-free: fn observes
+// immutable chain snapshots while writers proceed concurrently, so fn may
+// block for as long as it likes (e.g. on disk I/O during WAL snapshot
+// emission) without stalling installs. Keys written mid-iteration may or may
+// not be observed; a key is never observed twice (each shard's table holds
+// it in exactly one slot, and shards partition the key space).
+func (e *Engine[X, A]) ForEach(fn func(key string, c *Chain[X]) bool) {
+	for s := range e.shards {
+		t := e.shards[s].tab.Load()
+		for i := range t.slots {
+			en := t.slots[i].Load()
+			if en == nil {
+				continue
+			}
+			c := en.chain.Load()
+			if c == nil || len(c.Versions) == 0 {
+				continue
+			}
+			if !fn(en.key, c) {
+				return
+			}
+		}
+	}
+}
+
+// Key is the locked view of one key's state, valid only inside an Update
+// callback.
+type Key[X, A any] struct {
+	e  *Engine[X, A]
+	sh *shard[X, A]
+	en *entry[X, A]
+}
+
+// Chain returns the key's current chain (nil if never written). The returned
+// chain is immutable and stays valid after the lock is released.
+func (k *Key[X, A]) Chain() *Chain[X] { return k.en.chain.Load() }
+
+// Aux returns the key's aux state. It must not be retained or dereferenced
+// after the Update callback returns.
+func (k *Key[X, A]) Aux() *A { return &k.en.aux }
+
+// Install inserts v into the chain, keeping it ordered by (TS, Src) and
+// capped at the engine's MaxVersions. v.Value is copied into the shard
+// arena; the caller's slice is not retained.
+//
+// It returns the index of v in the resulting chain (-1 if the chain was at
+// capacity and v, being oldest, was immediately discarded), whether v is now
+// the newest version, and whether an identical (TS, Src) version already
+// existed — in which case the chain is unchanged, idx points at the existing
+// version, and newest reports whether that version is the newest.
+func (k *Key[X, A]) Install(v Version[X]) (idx int, newest, dup bool) {
+	return k.e.installLocked(k.sh, k.en, v)
+}
+
+// installLocked is the install core; the caller holds sh.mu and en belongs
+// to sh.
+func (e *Engine[X, A]) installLocked(sh *shard[X, A], en *entry[X, A], v Version[X]) (idx int, newest, dup bool) {
+	old := en.chain.Load()
+	var vs []Version[X]
+	trimmed := false
+	if old != nil {
+		vs, trimmed = old.Versions, old.Trimmed
+	}
+	// Find the insertion point from the tail: installs are usually newest.
+	i := len(vs)
+	for i > 0 && v.Before(&vs[i-1]) {
+		i--
+	}
+	if i > 0 && vs[i-1].TS == v.TS && vs[i-1].Src == v.Src {
+		return i - 1, i == len(vs), true
+	}
+	v.Value = sh.arena.copy(v.Value)
+	n := len(vs) + 1
+	drop := 0
+	if n > e.max {
+		drop = n - e.max
+	}
+	nvs := sh.slab.alloc(n - drop)
+	for d, s := 0, drop; s < n; d, s = d+1, s+1 {
+		switch {
+		case s < i:
+			nvs[d] = vs[s]
+		case s == i:
+			nvs[d] = v
+		default:
+			nvs[d] = vs[s-1]
+		}
+	}
+	nc := sh.chains.one()
+	nc.Versions, nc.Trimmed = nvs, trimmed || drop > 0
+	en.chain.Store(nc)
+	en.latest.Store(&nvs[len(nvs)-1])
+	idx = i - drop
+	if idx < 0 {
+		idx = -1 // at capacity and older than everything retained
+	}
+	return idx, i == n-1, false
+}
+
+// SetExtra republishes the chain with version idx's Extra replaced by x.
+// This is the only sound way to change a field of a published version:
+// assigning through Chain().Versions[idx].Extra would race with lock-free
+// readers copying the version struct.
+func (k *Key[X, A]) SetExtra(idx int, x X) {
+	old := k.en.chain.Load()
+	nvs := k.sh.slab.alloc(len(old.Versions))
+	copy(nvs, old.Versions)
+	nvs[idx].Extra = x
+	nc := k.sh.chains.one()
+	nc.Versions, nc.Trimmed = nvs, old.Trimmed
+	k.en.chain.Store(nc)
+	k.en.latest.Store(&nvs[len(nvs)-1])
+}
+
+// entryLocked returns key's entry, creating it (empty chain, zero aux) when
+// create is set. The caller holds sh.mu; a same-key writer therefore holds
+// the same lock, so the probe-then-publish pair cannot double-create.
+func (e *Engine[X, A]) entryLocked(sh *shard[X, A], h uint64, key string, create bool) *entry[X, A] {
+	t := sh.tab.Load()
+	i := t.slot(h)
+	for {
+		en := t.slots[i].Load()
+		if en == nil {
+			break
+		}
+		if en.hash == h && en.key == key {
+			return en
+		}
+		i = (i + 1) & t.mask
+	}
+	if !create {
+		return nil
+	}
+	en := sh.entries.one()
+	en.key, en.hash = key, h
+	if (sh.used+1)*4 > len(t.slots)*3 {
+		t = sh.grow(t)
+		i = t.probeEmpty(h)
+	}
+	t.slots[i].Store(en)
+	sh.used++
+	e.keys.Add(1)
+	return en
+}
+
+// Update runs fn with key's state locked against concurrent writers on the
+// same shard. If create is false and the key has never been seen, fn is not
+// called and Update returns false. With create true the key's entry (empty
+// chain, zero aux) is created on demand.
+func (e *Engine[X, A]) Update(key string, create bool, fn func(k *Key[X, A])) bool {
+	h := maphash.String(e.seed, key)
+	sh := &e.shards[h&e.mask]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	en := e.entryLocked(sh, h, key, create)
+	if en == nil {
+		return false
+	}
+	fn(&Key[X, A]{e: e, sh: sh, en: en})
+	return true
+}
+
+// Install inserts version v of key and reports whether v is now the newest
+// version of key (duplicates report the existing version's position, so a
+// re-install of the current newest version still reports true). Equivalent
+// to Update+Key.Install but allocation-free on the call itself — the install
+// fast path skips the callback machinery.
+func (e *Engine[X, A]) Install(key string, v Version[X]) (newest bool) {
+	h := maphash.String(e.seed, key)
+	sh := &e.shards[h&e.mask]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	en := e.entryLocked(sh, h, key, true)
+	_, newest, _ = e.installLocked(sh, en, v)
+	return
+}

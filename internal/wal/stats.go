@@ -25,11 +25,14 @@ type Stats struct {
 	Truncated       metrics.Counter
 
 	// RecoveredRecords counts install records replayed at Open-time
-	// recovery, RecoveryNanos the time Replay spent, and TornTails the torn
-	// final records recovery tolerated.
+	// recovery, RecoveryNanos the time Replay spent, TornTails the torn
+	// final records recovery tolerated, and TornSegments the torn-header
+	// final segments (a crash mid-rotation, before the new segment's header
+	// fsync) recovery discarded.
 	RecoveredRecords metrics.Counter
 	RecoveryNanos    metrics.Counter
 	TornTails        metrics.Counter
+	TornSegments     metrics.Counter
 
 	// CursorAppends counts replication-cursor updates persisted;
 	// CursorsRecovered counts cursor records folded back in at recovery.
@@ -56,6 +59,7 @@ type StatsView struct {
 	RecoveredRecords uint64
 	RecoveryNanos    uint64
 	TornTails        uint64
+	TornSegments     uint64
 	CursorAppends    uint64
 	CursorsRecovered uint64
 	ReaderRecords    uint64
@@ -76,6 +80,7 @@ func (s *Stats) View() StatsView {
 		RecoveredRecords: s.RecoveredRecords.Load(),
 		RecoveryNanos:    s.RecoveryNanos.Load(),
 		TornTails:        s.TornTails.Load(),
+		TornSegments:     s.TornSegments.Load(),
 		CursorAppends:    s.CursorAppends.Load(),
 		CursorsRecovered: s.CursorsRecovered.Load(),
 		ReaderRecords:    s.ReaderRecords.Load(),
@@ -106,6 +111,7 @@ func (v *StatsView) Merge(o StatsView) {
 	v.RecoveredRecords += o.RecoveredRecords
 	v.RecoveryNanos += o.RecoveryNanos
 	v.TornTails += o.TornTails
+	v.TornSegments += o.TornSegments
 	v.CursorAppends += o.CursorAppends
 	v.CursorsRecovered += o.CursorsRecovered
 	v.ReaderRecords += o.ReaderRecords

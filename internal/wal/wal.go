@@ -402,6 +402,32 @@ func (l *Log) scan() (uint64, error) {
 		}
 	}
 	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	// A crash during rotation can leave the NEWEST segment with a torn
+	// header: openSegment writes header+fsync before the first append, so a
+	// header-or-shorter file with a bad header provably holds no durable
+	// record — discard it. The size guard matters: bytes PAST the header
+	// mean appends once succeeded, so the header was once valid and its
+	// damage is real corruption that recovery must refuse (replay fails
+	// loudly), never debris to sweep. Deletion (not mere tolerance) also
+	// matters: after this restart the file would no longer be final.
+	if n := len(segs); n > 0 {
+		last := segs[n-1]
+		st, err := os.Stat(last.path)
+		if err != nil {
+			return 0, fmt.Errorf("wal: %w", err)
+		}
+		if st.Size() <= fileHdrLen &&
+			checkHeader(last.path, [][8]byte{segMagic, prevSegMagic}, last.seq) != nil {
+			if err := os.Remove(last.path); err != nil {
+				return 0, fmt.Errorf("wal: %w", err)
+			}
+			if err := syncDir(l.opts.Dir); err != nil {
+				return 0, err
+			}
+			segs = segs[:n-1]
+			l.stats.TornSegments.Add(1)
+		}
+	}
 	var maxSeq uint64
 	for _, s := range segs {
 		maxSeq = s.seq

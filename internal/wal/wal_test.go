@@ -180,6 +180,120 @@ func TestTornFinalRecordTolerated(t *testing.T) {
 	}
 }
 
+// TestTornHeaderFinalSegmentDiscarded simulates a crash mid-rotation: the
+// new active segment's header was being written when the machine died, so
+// the newest file on disk has a short or garbled header. openSegment fsyncs
+// the header before the first append ever lands, so such a segment provably
+// holds no durable record — recovery must delete it and carry on, for each
+// of the ways the tear can look.
+func TestTornHeaderFinalSegmentDiscarded(t *testing.T) {
+	badMagic := make([]byte, fileHdrLen)
+	copy(badMagic, "NOTAWAL0")
+	tears := map[string][]byte{
+		"short-header": {0x43, 0x4b, 0x56}, // first bytes of the magic, then the crash
+		"empty-file":   {},
+		"bad-magic":    badMagic,
+	}
+	for name, junk := range tears {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			l := mustOpen(t, Options{Dir: dir})
+			const n = 25
+			for i := 0; i < n; i++ {
+				if err := l.Append(rec(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			l.Close()
+
+			// Manufacture the mid-rotate debris: a next-sequence segment
+			// whose header never finished.
+			prev := newestSegment(t, dir)
+			var seq uint64
+			if _, err := fmt.Sscanf(filepath.Base(prev), "seg-%d.wal", &seq); err != nil {
+				t.Fatal(err)
+			}
+			torn := filepath.Join(dir, segName(seq+1))
+			if err := os.WriteFile(torn, junk, 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			l2 := mustOpen(t, Options{Dir: dir})
+			got := replayAll(t, l2)
+			if len(got) != n {
+				t.Fatalf("replayed %d records after torn-header segment, want %d", len(got), n)
+			}
+			if v := l2.Stats().View(); v.TornSegments != 1 {
+				t.Fatalf("TornSegments = %d, want 1", v.TornSegments)
+			}
+			// The debris was deleted; the same sequence number is then
+			// reused for the fresh active segment, so the path exists again
+			// but now with a fully synced header.
+			if err := checkHeader(torn, [][8]byte{segMagic}, seq+1); err != nil {
+				t.Fatalf("active segment after torn-header recovery: %v", err)
+			}
+			// The log must keep working after discarding the debris.
+			if err := l2.Append(rec(n)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestTornHeaderMidStreamRejected: a bad header on a NON-final segment is
+// not rotation debris — records were durably appended after it, so the
+// segment was once valid and its loss is real corruption. Recovery must
+// fail loudly, not skip it.
+func TestTornHeaderMidStreamRejected(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, Options{Dir: dir})
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := l.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	// Garble the (only) sealed segment's magic, then add a structurally
+	// valid empty segment after it so the damaged one is mid-stream.
+	seg := newestSegment(t, dir)
+	var seq uint64
+	if _, err := fmt.Sscanf(filepath.Base(seg), "seg-%d.wal", &seq); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(data[:8], "NOTAWAL0")
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	next := make([]byte, fileHdrLen)
+	copy(next[:8], segMagic[:])
+	for i, b := range u64le(seq + 1) {
+		next[8+i] = b
+	}
+	if err := os.WriteFile(filepath.Join(dir, segName(seq+1)), next, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := mustOpen(t, Options{Dir: dir})
+	if err := l2.Replay(func(Record) error { return nil }); err == nil {
+		t.Fatal("mid-stream torn header silently skipped: durable records were lost without a report")
+	}
+}
+
+// u64le is a test helper: seq encoded the way segment headers store it.
+func u64le(v uint64) [8]byte {
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+	return b
+}
+
 // TestCorruptMidSegmentRejected: damage before the final segment's tail is
 // unrecoverable data loss and must be reported, not skipped.
 func TestCorruptMidSegmentRejected(t *testing.T) {
