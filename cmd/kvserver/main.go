@@ -22,6 +22,11 @@
 // before the client sees the ack, and a restarted server (even after kill
 // -9) recovers it — including tolerating the torn final record a crash
 // mid-commit can leave.
+//
+// With -obs-addr the process serves its observability surface on a separate
+// HTTP listener: /metrics (Prometheus text format), /statusz (JSON
+// identity+uptime), /debug/pprof (standard profiles), and /debug/slowops
+// (the ring of handler executions slower than -slow-op).
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -38,6 +44,8 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/cops"
 	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/transport"
 	"repro/internal/wal"
@@ -60,6 +68,8 @@ func main() {
 		flushBud   = flag.Duration("flush-budget", transport.DefaultFlushBudget, "adaptive flush latency budget: how long the transport may keep a coalesced batch open before flushing (0 = greedy drain-until-idle)")
 		writevMin  = flag.Int("writev-bytes", 0, "frame size at or above which frames skip the copy into the flush buffer and go out via writev scatter-gather (0 = default 16 KiB)")
 		shards     = flag.Int("store-shards", 0, "storage engine shard count — the write-concurrency grain; reads are lock-free regardless (0 = auto-size from GOMAXPROCS; rounded up to a power of two)")
+		obsAddr    = flag.String("obs-addr", "", "observability HTTP listener: /metrics (Prometheus text), /statusz, /debug/pprof, /debug/slowops (empty = disabled)")
+		slowOp     = flag.Duration("slow-op", 25*time.Millisecond, "slow-op trace threshold: handler executions at or above it are kept in the /debug/slowops ring")
 	)
 	flag.Parse()
 	if *topoPath == "" {
@@ -93,6 +103,19 @@ func main() {
 	})
 	defer net.Close()
 
+	// Observability: one registry + slow-op ring per process, served from a
+	// dedicated listener so scrapes never contend with protocol traffic.
+	started := time.Now()
+	var (
+		reg  *metrics.Registry
+		ring *metrics.SlowRing
+	)
+	if *obsAddr != "" {
+		reg = metrics.NewRegistry()
+		ring = metrics.NewSlowRing(1024, *slowOp)
+		net.Stats().Register(reg)
+	}
+
 	// Durability: one WAL per partition process. Opened before the server
 	// so construction replays the recovered state, closed after it so the
 	// final appends are flushed on graceful shutdown.
@@ -116,6 +139,13 @@ func main() {
 		walLog, durable = l, l
 	}
 
+	// Per-process metric labels: the family plus this server's coordinates.
+	labels := []metrics.Label{
+		{Name: "family", Value: *protocol},
+		{Name: "dc", Value: strconv.Itoa(*dc)},
+		{Name: "partition", Value: strconv.Itoa(*partition)},
+	}
+
 	var closer interface{ Close() error }
 	switch {
 	case *stabilizer:
@@ -131,9 +161,13 @@ func main() {
 			DC: *dc, Part: *partition, NumDCs: topo.DCs, NumParts: topo.Partitions,
 			StoreShards: *shards,
 			Durable:     durable,
+			Slow:        ring,
 		}, net)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if reg != nil {
+			s.RegisterMetrics(reg, labels...)
 		}
 		s.Start()
 		closer = s
@@ -144,9 +178,13 @@ func main() {
 			GCWindow:    *gcWindow,
 			StoreShards: *shards,
 			Durable:     durable,
+			Slow:        ring,
 		}, net)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if reg != nil {
+			s.RegisterMetrics(reg, labels...)
 		}
 		s.Start()
 		closer = s
@@ -162,15 +200,53 @@ func main() {
 			RepFlushEvery: *repFlush,
 			StoreShards:   *shards,
 			Durable:       durable,
+			Slow:          ring,
 		}, net)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if reg != nil {
+			s.RegisterMetrics(reg, labels...)
 		}
 		s.Start()
 		closer = s
 		log.Printf("%s partition dc%d/p%d up", *protocol, *dc, *partition)
 	default:
 		log.Fatalf("kvserver: unknown protocol %q", *protocol)
+	}
+
+	if reg != nil && walLog != nil {
+		walLog.Stats().Register(reg, labels...)
+	}
+	if *obsAddr != "" {
+		srv := obs.New(obs.Config{
+			Registry: reg,
+			Slow:     ring,
+			Status: func() obs.Status {
+				extra := map[string]string{"topology": *topoPath, "wal": "off"}
+				if walLog != nil {
+					extra["wal"] = *walSync
+					extra["epoch"] = strconv.FormatUint(walLog.Epoch(), 10)
+				}
+				if *stabilizer {
+					extra["role"] = "stabilizer"
+				}
+				return obs.Status{
+					Protocol:  *protocol,
+					DC:        *dc,
+					Partition: *partition,
+					NumDCs:    topo.DCs,
+					NumParts:  topo.Partitions,
+					StartedAt: started,
+					Extra:     extra,
+				}
+			},
+		})
+		if err := srv.Listen(*obsAddr); err != nil {
+			log.Fatalf("kvserver: obs listener: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("observability surface on http://%s (/metrics /statusz /debug/pprof /debug/slowops)", srv.Addr())
 	}
 
 	if walLog != nil {

@@ -57,6 +57,14 @@ type RunSpec struct {
 	ClientsPerDC int
 	Duration     time.Duration // measurement window
 	Warmup       time.Duration // discarded leading window
+	// Registry, when non-nil, has the whole cluster's metric series
+	// registered into it right after Start — so a caller serving an obs
+	// surface (benchfig -obs-addr) can watch the run live. Registration
+	// adds no locks to any hot path; a nil Registry costs nothing.
+	Registry *metrics.Registry
+	// Slow, when non-nil, is handed to every partition server as its
+	// slow-op trace ring.
+	Slow *metrics.SlowRing
 }
 
 // LoCheckStats summarizes readers-check overhead per check (Figure 6 and
@@ -178,12 +186,16 @@ func Run(sys System, spec RunSpec) (Point, error) {
 		DataDir:     sys.DataDir,
 		WALSync:     sys.WALSync,
 		FlushBudget: sys.FlushBudget,
+		Slow:        spec.Slow,
 	}
 	c, err := cluster.Start(cfg)
 	if err != nil {
 		return Point{}, err
 	}
 	defer c.Close()
+	if spec.Registry != nil {
+		c.RegisterMetrics(spec.Registry)
+	}
 
 	wl := spec.Workload
 	wl.Partitions = sys.Partitions

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/metrics"
 	"repro/internal/workload"
 )
 
@@ -224,5 +225,57 @@ func TestPlotSeriesEmpty(t *testing.T) {
 	PlotSeries(&sb, "empty", []Series{{Label: "none"}})
 	if !strings.Contains(sb.String(), "no data") {
 		t.Fatalf("empty plot output: %q", sb.String())
+	}
+}
+
+// TestRunWithRegistryExposesClusterSeries is the in-process version of the
+// CI observability smoke: a small durable 2-DC run with a registry attached
+// must expose every layer — transport, WAL, store, per-op histograms, and a
+// replication-lag gauge — in one Prometheus-parseable scrape, and a
+// zero-threshold slow-op ring must have captured traffic.
+func TestRunWithRegistryExposesClusterSeries(t *testing.T) {
+	o := tinyOpts()
+	wl := workload.Default(2, o.KeysPerPartition)
+	wl.WriteRatio = 0.2
+	reg := metrics.NewRegistry()
+	ring := metrics.NewSlowRing(64, 0)
+	p, err := Run(System{
+		Protocol: cluster.Contrarian, DCs: 2, Partitions: 2,
+		Latency: cluster.NoLatency(),
+		DataDir: t.TempDir(),
+	}, RunSpec{
+		Workload: wl, ClientsPerDC: 4,
+		Duration: o.Duration, Warmup: o.Warmup,
+		Registry: reg, Slow: ring,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Throughput <= 0 {
+		t.Fatalf("no throughput: %+v", p)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	exp := sb.String()
+	for _, want := range []string{
+		"kv_transport_msgs_sent_total",
+		"kv_wal_fsync_delay_seconds_bucket",
+		"kv_store_keys{",
+		`kv_server_op_seconds_count{`,
+		`op="put"`,
+		"kv_replication_last_update_age_seconds{",
+	} {
+		if !strings.Contains(exp, want) {
+			t.Fatalf("scrape missing %q; exposition:\n%.2000s", want, exp)
+		}
+	}
+	if ring.Len() == 0 {
+		t.Fatal("zero-threshold slow-op ring captured nothing")
+	}
+	ops := ring.Snapshot()
+	if len(ops) == 0 || ops[0].Total <= 0 {
+		t.Fatalf("bad slow-op snapshot: %+v", ops)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/hlc"
+	"repro/internal/metrics"
 	"repro/internal/ring"
 	"repro/internal/transport"
 	"repro/internal/wal"
@@ -48,6 +49,11 @@ type Config struct {
 	// MAPS stay soft — the epoch fence is what covers their loss). Both
 	// durable footprints are bounded by the GC window.
 	Durable wal.Durability
+
+	// Slow, when non-nil, receives a trace record for every handler
+	// invocation that exceeds the ring's threshold (shared process-wide;
+	// see metrics.SlowRing). Nil disables capture at zero cost.
+	Slow *metrics.SlowRing
 }
 
 func (c Config) withDefaults() Config {
@@ -133,6 +139,14 @@ type Server struct {
 	installCond *sync.Cond
 	installGen  uint64
 
+	// Observability (obs.go): per-op latency histograms, the process-wide
+	// slow-op trace ring (nil-safe), per-peer last-replication receipt
+	// stamps, and the server's start time as their pre-first-update floor.
+	ops     metrics.OpHists
+	slow    *metrics.SlowRing
+	lastRep []atomic.Int64 // unix nanos, indexed by source DC
+	started int64          // unix nanos at construction
+
 	repl *loReplicator
 	stop chan struct{}
 }
@@ -148,6 +162,9 @@ func NewServer(cfg Config, net transport.Network) (*Server, error) {
 		epochVec: make([]uint64, cfg.NumParts),
 		stop:     make(chan struct{}),
 	}
+	s.slow = cfg.Slow
+	s.lastRep = make([]atomic.Int64, cfg.NumDCs)
+	s.started = time.Now().UnixNano()
 	s.installCond = sync.NewCond(&s.installMu)
 	var recovered []*wire.LoRepUpdate
 	if cfg.Durable != nil {
@@ -412,6 +429,22 @@ func (s *Server) Handle(n transport.Node, src wire.Addr, reqID uint64, m wire.Me
 // handleRot serves CC-LO's one-round read: latest version, or — for a
 // recorded old reader — the newest version older than its recorded time.
 func (s *Server) handleRot(src wire.Addr, reqID uint64, m *wire.LoRotReq) {
+	start := time.Now()
+	defer func() {
+		total := time.Since(start)
+		s.ops.ReadHist(len(m.Keys)).Record(total)
+		var kh uint64
+		if len(m.Keys) > 0 {
+			kh = metrics.KeyHash(m.Keys[0])
+		}
+		op := "rot"
+		if len(m.Keys) == 1 {
+			op = "get"
+		}
+		s.slow.Record(metrics.SlowOp{
+			Start: start.UnixNano(), Op: op, KeyHash: kh, Total: total,
+		})
+	}()
 	// Fold the session's high-water mark into this partition's clock
 	// before assigning read times: per-partition Lamport clocks know
 	// nothing of what a session observed elsewhere, and an old-reader
@@ -440,7 +473,18 @@ func (s *Server) handleRot(src wire.Addr, reqID uint64, m *wire.LoRotReq) {
 // handlePut runs a client PUT: readers check first, then install, then
 // replicate (Figure 2's write path).
 func (s *Server) handlePut(src wire.Addr, reqID uint64, m *wire.LoPutReq) {
+	start := time.Now()
+	var checkDur, fsyncDur time.Duration
+	defer func() {
+		total := time.Since(start)
+		s.ops.Put.Record(total)
+		s.slow.Record(metrics.SlowOp{
+			Start: start.UnixNano(), Op: "put", KeyHash: metrics.KeyHash(m.Key),
+			Total: total, Queue: checkDur, Fsync: fsyncDur,
+		})
+	}()
 	collected, maxT, err := s.readersCheck(m.Deps, false)
+	checkDur = time.Since(start)
 	if err != nil {
 		transport.RespondError(s.node, src, reqID, 500, "cclo: readers check: "+err.Error())
 		return
@@ -471,7 +515,10 @@ func (s *Server) handlePut(src wire.Addr, reqID uint64, m *wire.LoPutReq) {
 		recs := installRecords(wal.Record{
 			Key: m.Key, Value: m.Value, TS: ts, SrcDC: uint8(s.cfg.DC), Deps: m.Deps,
 		}, collected)
-		if err := wal.AppendAndSync(s.cfg.Durable, recs); err != nil {
+		fs := time.Now()
+		err := wal.AppendAndSync(s.cfg.Durable, recs)
+		fsyncDur = time.Since(fs)
+		if err != nil {
 			transport.RespondError(s.node, src, reqID, 500, "cclo: wal: "+err.Error())
 			return
 		}
@@ -665,6 +712,17 @@ func (s *Server) waitForVersion(key string, ts uint64, src uint8) bool {
 // readers check in this DC, then install (§3, "Challenges of
 // geo-replication"; the two checks are the combined protocol).
 func (s *Server) handleRepUpdate(src wire.Addr, reqID uint64, m *wire.LoRepUpdate) {
+	start := time.Now()
+	var checkDur, fsyncDur time.Duration
+	defer func() {
+		s.noteRep(int(m.SrcDC))
+		total := time.Since(start)
+		s.ops.Rep.Record(total)
+		s.slow.Record(metrics.SlowOp{
+			Start: start.UnixNano(), Op: "rep", KeyHash: metrics.KeyHash(m.Key),
+			Total: total, Queue: checkDur, Fsync: fsyncDur,
+		})
+	}()
 	// 1. Dependency check: every dependency must be installed in this DC.
 	// A failed or shutdown-aborted check withholds the install AND the ack
 	// — installing an unverified dependent would be durably wrong, while
@@ -703,6 +761,7 @@ func (s *Server) handleRepUpdate(src wire.Addr, reqID uint64, m *wire.LoRepUpdat
 
 	// 2. Readers check in this DC, merged with the origin's old readers.
 	collected, maxT, err := s.readersCheck(m.Deps, true)
+	checkDur = time.Since(start)
 	if err != nil {
 		transport.RespondError(s.node, src, reqID, 500, "cclo: readers check: "+err.Error())
 		return
@@ -723,7 +782,10 @@ func (s *Server) handleRepUpdate(src wire.Addr, reqID uint64, m *wire.LoRepUpdat
 		recs := installRecords(wal.Record{
 			Key: m.Key, Value: m.Value, TS: m.TS, SrcDC: m.SrcDC,
 		}, collected)
-		if err := wal.AppendAndSync(s.cfg.Durable, recs); err != nil {
+		fs := time.Now()
+		err := wal.AppendAndSync(s.cfg.Durable, recs)
+		fsyncDur = time.Since(fs)
+		if err != nil {
 			transport.RespondError(s.node, src, reqID, 500, "cclo: wal: "+err.Error())
 			return
 		}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/cclo"
 	"repro/internal/cops"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/mvstore"
 	"repro/internal/ring"
 	"repro/internal/store"
@@ -135,6 +136,11 @@ type Config struct {
 	// default). Checker tests crank it up together with a tiny budget to
 	// stress batch-boundary reordering.
 	MaxBatchBytes int
+
+	// Slow, when non-nil, is handed to every partition server: handler
+	// invocations exceeding the ring's threshold are captured in it (see
+	// metrics.SlowRing). Nil disables capture.
+	Slow *metrics.SlowRing
 }
 
 // NoLatency is a latency model for correctness tests: messages still pay
@@ -288,6 +294,7 @@ func (c *Cluster) startServer(dc, p int) error {
 			MaxVersions: c.cfg.MaxVersions,
 			StoreShards: c.cfg.StoreShards,
 			Durable:     durable,
+			Slow:        c.cfg.Slow,
 		}, c.net)
 		if err != nil {
 			closeLog(log)
@@ -301,6 +308,7 @@ func (c *Cluster) startServer(dc, p int) error {
 			MaxVersions: c.cfg.MaxVersions,
 			StoreShards: c.cfg.StoreShards,
 			Durable:     durable,
+			Slow:        c.cfg.Slow,
 		}, c.net)
 		if err != nil {
 			closeLog(log)
@@ -324,6 +332,7 @@ func (c *Cluster) startServer(dc, p int) error {
 			MaxVersions:    c.cfg.MaxVersions,
 			StoreShards:    c.cfg.StoreShards,
 			Durable:        durable,
+			Slow:           c.cfg.Slow,
 		}, c.net)
 		if err != nil {
 			closeLog(log)

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"strconv"
+
+	"repro/internal/metrics"
+)
+
+// slug is the Protocol's metric-label value: the figure name flattened to
+// the Prometheus label-value conventions (no spaces to quote in queries).
+func (p Protocol) slug() string {
+	switch p {
+	case Contrarian:
+		return "contrarian"
+	case ContrarianTwoRound:
+		return "contrarian2r"
+	case Cure:
+		return "cure"
+	case CCLO:
+		return "cclo"
+	case COPS:
+		return "cops"
+	default:
+		return "unknown"
+	}
+}
+
+// RegisterMetrics exposes the whole simulated cluster under one registry:
+// the shared transport, every partition server's per-op histograms,
+// replication-lag gauges and store occupancy, every WAL, and (for CC-LO)
+// the aggregate client fence-retry counter. Series are labeled by family,
+// dc, and partition.
+//
+// Call it at most once per cluster, after Start. Partition servers
+// restarted afterwards (crash tests) allocate fresh stats structs and
+// detach from the registered series; the benchmark and serving paths never
+// restart partitions, so scrapes there stay live.
+func (c *Cluster) RegisterMetrics(r *metrics.Registry) {
+	c.net.Stats().Register(r)
+	fam := metrics.Label{Name: "family", Value: c.cfg.Protocol.slug()}
+	for dc := 0; dc < c.cfg.DCs; dc++ {
+		for p := 0; p < c.cfg.Partitions; p++ {
+			idx := dc*c.cfg.Partitions + p
+			labels := []metrics.Label{
+				fam,
+				{Name: "dc", Value: strconv.Itoa(dc)},
+				{Name: "partition", Value: strconv.Itoa(p)},
+			}
+			switch {
+			case c.coreServers != nil && c.coreServers[idx] != nil:
+				c.coreServers[idx].RegisterMetrics(r, labels...)
+			case c.ccloServers != nil && c.ccloServers[idx] != nil:
+				c.ccloServers[idx].RegisterMetrics(r, labels...)
+			case c.copsServers != nil && c.copsServers[idx] != nil:
+				c.copsServers[idx].RegisterMetrics(r, labels...)
+			}
+			if l := c.logs[idx]; l != nil {
+				l.Stats().Register(r, labels...)
+			}
+		}
+	}
+	if c.cfg.Protocol == CCLO {
+		r.CounterFunc("kv_cclo_fence_retries_total",
+			"Client-side epoch-fence ROT retries, summed over all sessions.",
+			func() float64 {
+				var sum uint64
+				c.ccloClientMu.Lock()
+				for _, cli := range c.ccloClients {
+					sum += cli.FenceRetries()
+				}
+				c.ccloClientMu.Unlock()
+				return float64(sum)
+			}, fam)
+	}
+}

@@ -21,9 +21,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/hlc"
+	"repro/internal/metrics"
 	"repro/internal/ring"
 	storeeng "repro/internal/store"
 	"repro/internal/transport"
@@ -54,6 +56,11 @@ type Config struct {
 	// list, which COPS needs to recompute causal cuts — durable before it
 	// is acknowledged (see wal.Durability).
 	Durable wal.Durability
+
+	// Slow, when non-nil, receives a trace record for every handler
+	// invocation that exceeds the ring's threshold (shared process-wide;
+	// see metrics.SlowRing). Nil disables capture at zero cost.
+	Slow *metrics.SlowRing
 }
 
 func (c Config) withDefaults() Config {
@@ -186,6 +193,14 @@ type Server struct {
 	installMu   sync.Mutex
 	installCond *sync.Cond
 
+	// Observability (obs.go): per-op latency histograms, the process-wide
+	// slow-op trace ring (nil-safe), per-peer last-replication receipt
+	// stamps, and the server's start time as their pre-first-update floor.
+	ops     metrics.OpHists
+	slow    *metrics.SlowRing
+	lastRep []atomic.Int64 // unix nanos, indexed by source DC
+	started int64          // unix nanos at construction
+
 	repl *replicator
 	stop chan struct{}
 }
@@ -200,6 +215,9 @@ func NewServer(cfg Config, net transport.Network) (*Server, error) {
 		ring:  ring.New(cfg.NumParts),
 		stop:  make(chan struct{}),
 	}
+	s.slow = cfg.Slow
+	s.lastRep = make([]atomic.Int64, cfg.NumDCs)
+	s.started = time.Now().UnixNano()
 	s.installCond = sync.NewCond(&s.installMu)
 	var recovered []*wire.LoRepUpdate
 	if cfg.Durable != nil {
@@ -344,6 +362,22 @@ func (s *Server) Handle(n transport.Node, src wire.Addr, reqID uint64, m wire.Me
 // handleRot serves the first ROT round: latest versions with their
 // dependency lists (the metadata COPS reads pay for).
 func (s *Server) handleRot(src wire.Addr, reqID uint64, m *wire.CopsRotReq) {
+	start := time.Now()
+	defer func() {
+		total := time.Since(start)
+		s.ops.ReadHist(len(m.Keys)).Record(total)
+		var kh uint64
+		if len(m.Keys) > 0 {
+			kh = metrics.KeyHash(m.Keys[0])
+		}
+		op := "rot"
+		if len(m.Keys) == 1 {
+			op = "get"
+		}
+		s.slow.Record(metrics.SlowOp{
+			Start: start.UnixNano(), Op: op, KeyHash: kh, Total: total,
+		})
+	}()
 	vals := make([]wire.DepKV, len(m.Keys))
 	for i, k := range m.Keys {
 		if v, ok := s.store.latest(k); ok {
@@ -360,6 +394,8 @@ func (s *Server) handleRot(src wire.Addr, reqID uint64, m *wire.CopsRotReq) {
 
 // handleVer serves the second ROT round: a specific version.
 func (s *Server) handleVer(src wire.Addr, reqID uint64, m *wire.CopsVerReq) {
+	start := time.Now()
+	defer func() { s.ops.Get.Record(time.Since(start)) }()
 	if v, ok := s.store.at(m.Key, m.TS, m.Src); ok {
 		_ = s.node.Respond(src, reqID, &wire.CopsVerResp{Val: wire.KV{Key: m.Key, Value: v.value, TS: v.ts, Src: v.srcDC}})
 		return
@@ -371,6 +407,16 @@ func (s *Server) handleVer(src wire.Addr, reqID uint64, m *wire.CopsVerReq) {
 // COPS writes are one round trip with no server-to-server communication in
 // the local DC — the cheap-writes end of the paper's design space.
 func (s *Server) handlePut(src wire.Addr, reqID uint64, m *wire.LoPutReq) {
+	start := time.Now()
+	var fsyncDur time.Duration
+	defer func() {
+		total := time.Since(start)
+		s.ops.Put.Record(total)
+		s.slow.Record(metrics.SlowOp{
+			Start: start.UnixNano(), Op: "put", KeyHash: metrics.KeyHash(m.Key),
+			Total: total, Fsync: fsyncDur,
+		})
+	}()
 	high := uint64(0)
 	for _, d := range m.Deps {
 		high = max(high, d.TS)
@@ -387,9 +433,12 @@ func (s *Server) handlePut(src wire.Addr, reqID uint64, m *wire.LoPutReq) {
 	// what the origin could lose), and same-partition dependencies keep
 	// launching no later than their dependents.
 	if s.cfg.Durable != nil {
-		if err := wal.AppendAndSync(s.cfg.Durable, []wal.Record{{
+		fs := time.Now()
+		err := wal.AppendAndSync(s.cfg.Durable, []wal.Record{{
 			Key: m.Key, Value: m.Value, TS: ts, SrcDC: uint8(s.cfg.DC), Deps: m.Deps,
-		}}); err != nil {
+		}})
+		fsyncDur = time.Since(fs)
+		if err != nil {
 			transport.RespondError(s.node, src, reqID, 500, "cops: wal: "+err.Error())
 			return
 		}
@@ -448,6 +497,17 @@ func (s *Server) handleDepCheck(src wire.Addr, reqID uint64, m *wire.DepCheckReq
 // withholds the install and the ack; the origin retries the (idempotent)
 // update.
 func (s *Server) handleRepUpdate(src wire.Addr, reqID uint64, m *wire.LoRepUpdate) {
+	start := time.Now()
+	var depDur, fsyncDur time.Duration
+	defer func() {
+		s.noteRep(int(m.SrcDC))
+		total := time.Since(start)
+		s.ops.Rep.Record(total)
+		s.slow.Record(metrics.SlowOp{
+			Start: start.UnixNano(), Op: "rep", KeyHash: metrics.KeyHash(m.Key),
+			Total: total, Queue: depDur, Fsync: fsyncDur,
+		})
+	}()
 	var wg sync.WaitGroup
 	errCh := make(chan error, len(m.Deps))
 	for _, d := range m.Deps {
@@ -473,6 +533,7 @@ func (s *Server) handleRepUpdate(src wire.Addr, reqID uint64, m *wire.LoRepUpdat
 		}(p, d)
 	}
 	wg.Wait()
+	depDur = time.Since(start)
 	select {
 	case err := <-errCh:
 		transport.RespondError(s.node, src, reqID, 500, "cops: dep check: "+err.Error())
@@ -486,9 +547,12 @@ func (s *Server) handleRepUpdate(src wire.Addr, reqID uint64, m *wire.LoRepUpdat
 	// advances the origin's durable cursor, which must never outrun our
 	// own durability. An unacked update is retried idempotently.
 	if s.cfg.Durable != nil {
-		if err := wal.AppendAndSync(s.cfg.Durable, []wal.Record{{
+		fs := time.Now()
+		err := wal.AppendAndSync(s.cfg.Durable, []wal.Record{{
 			Key: m.Key, Value: m.Value, TS: m.TS, SrcDC: m.SrcDC, Deps: m.Deps,
-		}}); err != nil {
+		}})
+		fsyncDur = time.Since(fs)
+		if err != nil {
 			transport.RespondError(s.node, src, reqID, 500, "cops: wal: "+err.Error())
 			return
 		}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/hlc"
+	"repro/internal/metrics"
 	"repro/internal/wal"
 )
 
@@ -83,6 +84,11 @@ type Config struct {
 	// the log (group-committed) before responding. Nil keeps the server
 	// purely in memory.
 	Durable wal.Durability
+
+	// Slow, when non-nil, receives a trace record for every handler
+	// invocation that exceeds the ring's threshold (shared process-wide;
+	// see metrics.SlowRing). Nil disables capture at zero cost.
+	Slow *metrics.SlowRing
 }
 
 // withDefaults fills zero fields with production defaults.

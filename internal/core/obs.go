@@ -1,0 +1,123 @@
+package core
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/hlc"
+	"repro/internal/metrics"
+)
+
+// Observability surface of a core partition server: per-op latency
+// histograms, the shared slow-op trace ring, and replication-lag gauges.
+//
+// The histograms and the last-receipt timestamps are recorded inline by the
+// handlers (lock-free atomics, nil-safe ring); everything else is computed
+// at scrape time from state the server already maintains, so a partition
+// that is never scraped pays only the histogram Record per op.
+
+// RegisterMetrics exposes the server's per-op histograms, store occupancy,
+// and replication-lag gauges under r. Labels should identify the partition
+// (dc, partition, family); every partition in a process shares r.
+func (s *Server) RegisterMetrics(r *metrics.Registry, labels ...metrics.Label) {
+	s.ops.Register(r, "kv_server_op_seconds",
+		"End-to-end server handler latency by operation.", labels...)
+	s.store.Register(r, labels...)
+	for dc := 0; dc < s.cfg.NumDCs; dc++ {
+		if dc == s.cfg.DC {
+			continue
+		}
+		dc := dc
+		peer := metrics.Label{Name: "peer_dc", Value: strconv.Itoa(dc)}
+		r.GaugeFunc("kv_replication_last_update_age_seconds",
+			"Seconds since the last replication batch was received from the peer DC (server start if none yet).",
+			func() float64 { return s.lastRepAge(dc).Seconds() }, withLabel(labels, peer)...)
+		if s.cfg.Clock != ClockLogical {
+			r.GaugeFunc("kv_replication_lag_seconds",
+				"Clock-derived replication cursor lag behind the peer DC: local clock minus the newest timestamp received from it.",
+				func() float64 { return s.replicationLag(dc) }, withLabel(labels, peer)...)
+		}
+	}
+	if s.cfg.Clock != ClockLogical {
+		r.GaugeFunc("kv_visibility_lag_seconds",
+			"Visibility lag: local clock minus the Global Stable Snapshot's oldest entry — how stale a fresh ROT snapshot is.",
+			func() float64 { return s.visibilityLag() }, labels...)
+	}
+}
+
+// withLabel returns labels plus l in a fresh slice (append would share the
+// backing array across the registration loop).
+func withLabel(labels []metrics.Label, l metrics.Label) []metrics.Label {
+	out := make([]metrics.Label, 0, len(labels)+1)
+	out = append(out, labels...)
+	return append(out, l)
+}
+
+// lastRepAge returns the wall-clock age of the newest replication batch
+// received from dc, falling back to the server's start time before the
+// first batch so the gauge is meaningful (and monotone) from boot.
+func (s *Server) lastRepAge(dc int) time.Duration {
+	if dc < 0 || dc >= len(s.lastRep) {
+		return 0
+	}
+	at := s.lastRep[dc].Load()
+	if at == 0 {
+		at = s.started
+	}
+	return time.Duration(nanotimeSince(at))
+}
+
+// nanotimeSince is time.Since over stored UnixNano values.
+func nanotimeSince(unixNano int64) int64 {
+	return time.Now().UnixNano() - unixNano
+}
+
+// noteRep stamps receipt of a replication batch from dc.
+func (s *Server) noteRep(dc int) {
+	if dc >= 0 && dc < len(s.lastRep) {
+		s.lastRep[dc].Store(time.Now().UnixNano())
+	}
+}
+
+// replicationLag is the clock-derived cursor lag behind dc in seconds:
+// the microsecond component of the local clock minus that of vv[dc].
+// Timestamps pack wall micros in their upper bits (hlc.Pack), so the
+// difference is real time as long as the DCs' clocks are synchronized —
+// the same NTP assumption Cure already makes. Meaningless under Lamport
+// clocks; RegisterMetrics gates on the clock mode.
+func (s *Server) replicationLag(dc int) float64 {
+	s.mu.RLock()
+	var ts uint64
+	if dc >= 0 && dc < len(s.vv) {
+		ts = s.vv[dc]
+	}
+	s.mu.RUnlock()
+	return microsLagSeconds(s.clock.Now(), ts)
+}
+
+// visibilityLag is the local clock minus the GSS's oldest entry, in
+// seconds: an upper bound on how far behind real time a freshly-taken ROT
+// snapshot is.
+func (s *Server) visibilityLag() float64 {
+	g := s.gssSnapshot()
+	if len(g) == 0 {
+		return 0
+	}
+	oldest := g[0]
+	for _, e := range g[1:] {
+		if e < oldest {
+			oldest = e
+		}
+	}
+	return microsLagSeconds(s.clock.Now(), oldest)
+}
+
+// microsLagSeconds converts a timestamp difference to seconds via the
+// packed microsecond components, clamping at zero.
+func microsLagSeconds(now, then uint64) float64 {
+	n, t := hlc.Micros(now), hlc.Micros(then)
+	if t >= n {
+		return 0
+	}
+	return float64(n-t) / 1e6
+}

@@ -4,8 +4,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/hlc"
+	"repro/internal/metrics"
 	"repro/internal/mvstore"
 	"repro/internal/transport"
 	"repro/internal/vclock"
@@ -44,6 +46,14 @@ type Server struct {
 	// install after the fsync — instead the read path waits out the
 	// sub-millisecond gap between install and group commit.
 	durGate *durGate
+
+	// Observability (obs.go): per-op latency histograms, the process-wide
+	// slow-op trace ring (nil-safe), per-peer last-replication receipt
+	// stamps, and the server's start time as their pre-first-batch floor.
+	ops     metrics.OpHists
+	slow    *metrics.SlowRing
+	lastRep []atomic.Int64 // unix nanos, indexed by source DC
+	started int64          // unix nanos at construction
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -141,6 +151,9 @@ func NewServer(cfg Config, net transport.Network) (*Server, error) {
 	for i := range s.nextIn {
 		s.nextIn[i] = 1
 	}
+	s.slow = cfg.Slow
+	s.lastRep = make([]atomic.Int64, cfg.NumDCs)
+	s.started = time.Now().UnixNano()
 	var recovered []wire.Update
 	if cfg.Durable != nil {
 		s.durGate = newDurGate()
@@ -339,6 +352,16 @@ func (s *Server) vvSnapshot() vclock.Vec {
 
 // handlePut installs a new local version (Section 4, PUT path).
 func (s *Server) handlePut(src wire.Addr, reqID uint64, m *wire.PutReq) {
+	start := time.Now()
+	var fsyncDur time.Duration
+	defer func() {
+		total := time.Since(start)
+		s.ops.Put.Record(total)
+		s.slow.Record(metrics.SlowOp{
+			Start: start.UnixNano(), Op: "put", KeyHash: metrics.KeyHash(m.Key),
+			Total: total, Fsync: fsyncDur,
+		})
+	}()
 	deps := m.Deps
 	if len(deps) != s.cfg.NumDCs {
 		d := vclock.New(s.cfg.NumDCs)
@@ -374,7 +397,10 @@ func (s *Server) handlePut(src wire.Addr, reqID uint64, m *wire.PutReq) {
 	// — a version the origin could still lose must never be durably
 	// applied at a remote DC.
 	if s.cfg.Durable != nil {
-		if err := s.logInstall(m.Key, m.Value, ts, dv, durable); err != nil {
+		fs := time.Now()
+		err := s.logInstall(m.Key, m.Value, ts, dv, durable)
+		fsyncDur = time.Since(fs)
+		if err != nil {
 			transport.RespondError(s.node, src, reqID, 500, "core: wal: "+err.Error())
 			return
 		}
@@ -394,9 +420,11 @@ func (s *Server) makeSV(seenLocal uint64, seenGSS vclock.Vec) vclock.Vec {
 
 // handleRotCoord runs the coordinator role (Figure 3).
 func (s *Server) handleRotCoord(src wire.Addr, reqID uint64, m *wire.RotCoordReq) {
+	start := time.Now()
 	sv := s.makeSV(m.SeenLocal, m.SeenGSS)
 	if m.Mode == uint8(TwoRounds) {
 		_ = s.node.Respond(src, reqID, &wire.RotCoordResp{RotID: m.RotID, SV: sv})
+		s.ops.ROT.Record(time.Since(start))
 		return
 	}
 	// 1 1/2 rounds: forward reads; partitions answer the client directly.
@@ -413,20 +441,47 @@ func (s *Server) handleRotCoord(src wire.Addr, reqID uint64, m *wire.RotCoordReq
 			Keys:   g.Keys,
 		})
 	}
-	vals := s.readAt(sv, own)
+	vals, wait := s.readAt(sv, own)
 	_ = s.node.Send(src, &wire.RotSnap{RotID: m.RotID, SV: sv, Vals: vals})
+	s.recordRead(start, wait, "rot", own)
 }
 
 // handleRotFwd serves the coordinator-forwarded leg of a 1 1/2-round ROT.
 func (s *Server) handleRotFwd(m *wire.RotFwd) {
-	vals := s.readAt(m.SV, m.Keys)
+	start := time.Now()
+	vals, wait := s.readAt(m.SV, m.Keys)
 	_ = s.node.Send(m.Client, &wire.RotVals{RotID: m.RotID, Vals: vals})
+	s.recordRead(start, wait, "rot", m.Keys)
 }
 
 // handleRotRead serves the second round of a 2-round ROT.
 func (s *Server) handleRotRead(src wire.Addr, reqID uint64, m *wire.RotReadReq) {
-	vals := s.readAt(m.SV, m.Keys)
+	start := time.Now()
+	vals, wait := s.readAt(m.SV, m.Keys)
 	_ = s.node.Respond(src, reqID, &wire.RotReadResp{Vals: vals})
+	op := "rot"
+	if len(m.Keys) == 1 {
+		op = "get"
+	}
+	s.recordRead(start, wait, op, m.Keys)
+}
+
+// recordRead feeds the read-side observability: per-op histogram plus a
+// slow-op trace whose queue phase is the durability-gate wait.
+func (s *Server) recordRead(start time.Time, gateWait time.Duration, op string, keys []string) {
+	total := time.Since(start)
+	if op == "get" {
+		s.ops.Get.Record(total)
+	} else {
+		s.ops.ROT.Record(total)
+	}
+	var kh uint64
+	if len(keys) > 0 {
+		kh = metrics.KeyHash(keys[0])
+	}
+	s.slow.Record(metrics.SlowOp{
+		Start: start.UnixNano(), Op: op, KeyHash: kh, Total: total, Queue: gateWait,
+	})
 }
 
 // readAt returns the freshest version of each key within snapshot sv.
@@ -435,10 +490,13 @@ func (s *Server) handleRotRead(src wire.Addr, reqID uint64, m *wire.RotReadReq) 
 // no later PUT can be assigned a timestamp inside the snapshot. Clocks that
 // can jump (HLC, Lamport) make this instantaneous — nonblocking ROTs; a
 // physical clock sleeps out the difference — Cure's read-side blocking.
-func (s *Server) readAt(sv vclock.Vec, keys []string) []wire.KV {
+// It also returns how long the read waited on the durability gate (the
+// slow-op trace's queue phase).
+func (s *Server) readAt(sv vclock.Vec, keys []string) ([]wire.KV, time.Duration) {
 	if len(keys) == 0 {
-		return nil
+		return nil, 0
 	}
+	var gateWait time.Duration
 	local := uint64(0)
 	if s.cfg.DC < len(sv) {
 		local = sv[s.cfg.DC]
@@ -463,6 +521,7 @@ func (s *Server) readAt(sv vclock.Vec, keys []string) []wire.KV {
 	// fence will be timestamped above SV[local]; waiting for the fence
 	// flushes the ones already inside it.
 	if s.durGate != nil {
+		gs := time.Now()
 		for {
 			s.durGate.waitClear(local)
 			s.putMu.RLock()
@@ -471,6 +530,7 @@ func (s *Server) readAt(sv vclock.Vec, keys []string) []wire.KV {
 			}
 			s.putMu.RUnlock()
 		}
+		gateWait = time.Since(gs)
 	} else {
 		s.putMu.RLock()
 	}
@@ -484,7 +544,7 @@ func (s *Server) readAt(sv vclock.Vec, keys []string) []wire.KV {
 			vals[i] = wire.KV{Key: k}
 		}
 	}
-	return vals
+	return vals, gateWait
 }
 
 // handleRepBatch applies a replication batch from a sibling replica.
@@ -505,6 +565,20 @@ func (s *Server) handleRepBatch(src wire.Addr, reqID uint64, m *wire.RepBatch) {
 		transport.RespondError(s.node, src, reqID, 400, "core: bad replication source")
 		return
 	}
+	start := time.Now()
+	var fsyncDur time.Duration
+	defer func() {
+		s.noteRep(srcDC)
+		total := time.Since(start)
+		s.ops.Rep.Record(total)
+		var kh uint64
+		if len(m.Ups) > 0 {
+			kh = metrics.KeyHash(m.Ups[0].Key)
+		}
+		s.slow.Record(metrics.SlowOp{
+			Start: start.UnixNano(), Op: "rep", KeyHash: kh, Total: total, Fsync: fsyncDur,
+		})
+	}()
 	s.mu.Lock()
 	if m.Seq < s.nextIn[srcDC] && m.HighTS <= s.vv[srcDC] {
 		// Provable duplicate (lost or delayed ack); already applied.
@@ -532,7 +606,10 @@ func (s *Server) handleRepBatch(src wire.Addr, reqID uint64, m *wire.RepBatch) {
 			u := &m.Ups[i]
 			recs[i] = wal.Record{Key: u.Key, Value: u.Value, TS: u.TS, SrcDC: m.SrcDC, DV: u.DV}
 		}
-		if err := wal.AppendAndSync(s.cfg.Durable, recs); err != nil {
+		fs := time.Now()
+		err := wal.AppendAndSync(s.cfg.Durable, recs)
+		fsyncDur = time.Since(fs)
+		if err != nil {
 			// Withholding the ack makes the sender retry; roll the dedup
 			// cursor back (unless a later batch already advanced it) so the
 			// retry is not mistaken for an applied duplicate and the

@@ -45,7 +45,11 @@ func bucketMid(i int) uint64 {
 	exp := uint(i/subBuckets) + subBucketBits - 1
 	sub := uint64(i % subBuckets)
 	lo := (1 << exp) | (sub << (exp - subBucketBits))
-	return lo + (1 << (exp - subBucketBits) / 2)
+	// Half the bucket width. The shift must be parenthesized: without it,
+	// `1 << (exp-subBucketBits) / 2` parses as `1 << ((exp-subBucketBits)/2)`,
+	// which collapsed large-bucket midpoints toward the lower edge and
+	// biased reported P50/P99 low (see TestBucketMidRoundTrip).
+	return lo + (1<<(exp-subBucketBits))/2
 }
 
 // percentile walks a bucket array for the p-th percentile of n

@@ -1,0 +1,292 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExpositionGolden pins the hand-rolled Prometheus text encoder byte
+// for byte: HELP/TYPE lines, label rendering and ordering, counter/gauge
+// value formats, histogram bucket bounds in seconds, cumulative bucket
+// counts, and the +Inf == _count identity. A format drift here breaks real
+// scrapers, so the expectation is exact.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	c.Add(42)
+	r.Counter("test_events_total", "Events seen.", &c, Label{"dc", "0"}, Label{"partition", "1"})
+	var g Gauge
+	g.Add(7)
+	g.Add(-3)
+	r.Gauge("test_queue_depth", "Frames queued.", &g)
+	r.GaugeFunc("test_lag_seconds", "Computed lag.", func() float64 { return 1.5 }, Label{"peer_dc", "1"})
+	var h StaticHist
+	h.Record(2 * time.Microsecond)   // < 2^12 ns: first bucket at le=4.096e-06 counts it
+	h.Record(100 * time.Microsecond) // 1e5 ns < 2^17
+	h.Record(100 * time.Microsecond) //
+	h.Record(50 * time.Millisecond)  // 5e7 ns < 2^26
+	r.Histogram("test_op_seconds", "Op latency.", &h, Label{"op", "put"})
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_events_total Events seen.
+# TYPE test_events_total counter
+test_events_total{dc="0",partition="1"} 42
+# HELP test_queue_depth Frames queued.
+# TYPE test_queue_depth gauge
+test_queue_depth 4
+# HELP test_lag_seconds Computed lag.
+# TYPE test_lag_seconds gauge
+test_lag_seconds{peer_dc="1"} 1.5
+# HELP test_op_seconds Op latency.
+# TYPE test_op_seconds histogram
+test_op_seconds_bucket{op="put",le="1.024e-06"} 0
+test_op_seconds_bucket{op="put",le="2.048e-06"} 1
+test_op_seconds_bucket{op="put",le="4.096e-06"} 1
+test_op_seconds_bucket{op="put",le="8.192e-06"} 1
+test_op_seconds_bucket{op="put",le="1.6384e-05"} 1
+test_op_seconds_bucket{op="put",le="3.2768e-05"} 1
+test_op_seconds_bucket{op="put",le="6.5536e-05"} 1
+test_op_seconds_bucket{op="put",le="0.000131072"} 3
+test_op_seconds_bucket{op="put",le="0.000262144"} 3
+test_op_seconds_bucket{op="put",le="0.000524288"} 3
+test_op_seconds_bucket{op="put",le="0.001048576"} 3
+test_op_seconds_bucket{op="put",le="0.002097152"} 3
+test_op_seconds_bucket{op="put",le="0.004194304"} 3
+test_op_seconds_bucket{op="put",le="0.008388608"} 3
+test_op_seconds_bucket{op="put",le="0.016777216"} 3
+test_op_seconds_bucket{op="put",le="0.033554432"} 3
+test_op_seconds_bucket{op="put",le="0.067108864"} 4
+test_op_seconds_bucket{op="put",le="0.134217728"} 4
+test_op_seconds_bucket{op="put",le="0.268435456"} 4
+test_op_seconds_bucket{op="put",le="0.536870912"} 4
+test_op_seconds_bucket{op="put",le="1.073741824"} 4
+test_op_seconds_bucket{op="put",le="2.147483648"} 4
+test_op_seconds_bucket{op="put",le="4.294967296"} 4
+test_op_seconds_bucket{op="put",le="8.589934592"} 4
+test_op_seconds_bucket{op="put",le="17.179869184"} 4
+test_op_seconds_bucket{op="put",le="+Inf"} 4
+test_op_seconds_sum{op="put"} 0.050202
+test_op_seconds_count{op="put"} 4
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestExpositionParseable runs a minimal v0.0.4 parser over a registry
+// holding one of everything: every sample line must be `name{labels} value`
+// with a parseable value, every family must carry HELP and TYPE before its
+// first sample, histogram buckets must be cumulative (non-decreasing in le
+// order) and end with +Inf == _count.
+func TestExpositionParseable(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	c.Add(3)
+	r.Counter("p_total", "c", &c)
+	var h StaticHist
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		h.Record(time.Duration(rng.Intn(int(3 * time.Second))))
+	}
+	r.Histogram("p_seconds", "h", &h, Label{"family", "core"})
+	var g Gauge
+	g.Add(-5)
+	r.Gauge("p_depth", "g", &g)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	sawHelp := map[string]bool{}
+	sawType := map[string]bool{}
+	var lastLe float64
+	var lastBucket uint64
+	bucketsOpen := false
+	var infCount uint64
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			t.Fatal("blank line in exposition")
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			sawHelp[strings.Fields(line)[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if !sawHelp[f[2]] {
+				t.Fatalf("TYPE before HELP: %s", line)
+			}
+			sawType[f[2]] = true
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("sample without value: %q", line)
+		}
+		name, value := line[:sp], line[sp+1:]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Fatalf("unterminated label set: %q", line)
+			}
+			name = name[:i]
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suf) {
+				base = strings.TrimSuffix(name, suf)
+			}
+		}
+		if !sawType[name] && !sawType[base] {
+			t.Fatalf("sample before TYPE: %q", line)
+		}
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		if strings.HasSuffix(name, "_bucket") {
+			le := line[strings.Index(line, `le="`)+4:]
+			le = le[:strings.IndexByte(le, '"')]
+			var leV float64
+			if le == "+Inf" {
+				leV = 1e308
+				infCount = uint64(v)
+			} else if leV, err = strconv.ParseFloat(le, 64); err != nil {
+				t.Fatalf("bad le in %q: %v", line, err)
+			}
+			if bucketsOpen {
+				if leV <= lastLe {
+					t.Fatalf("le bounds not increasing at %q", line)
+				}
+				if uint64(v) < lastBucket {
+					t.Fatalf("bucket counts not cumulative at %q", line)
+				}
+			}
+			bucketsOpen, lastLe, lastBucket = true, leV, uint64(v)
+		} else {
+			bucketsOpen = false
+		}
+		if strings.HasSuffix(name, "_count") && uint64(v) != infCount {
+			t.Fatalf("_count %v != +Inf bucket %d", v, infCount)
+		}
+	}
+	if !sawType["p_total"] || !sawType["p_seconds"] || !sawType["p_depth"] {
+		t.Fatal("missing families")
+	}
+}
+
+// TestRegistryPanicsOnConflicts: the registry is configured at boot by
+// programmers, so misuse fails loudly.
+func TestRegistryPanicsOnConflicts(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	var c Counter
+	var g Gauge
+	r := NewRegistry()
+	r.Counter("dup_total", "h", &c)
+	expectPanic("duplicate series", func() { r.Counter("dup_total", "h", &c) })
+	expectPanic("kind conflict", func() { r.Gauge("dup_total", "h", &g) })
+	expectPanic("help conflict", func() { r.Counter("dup_total", "other", &c, Label{"a", "b"}) })
+	expectPanic("bad name", func() { r.Counter("0bad", "h", &c) })
+	expectPanic("bad label", func() { r.Counter("ok_total", "h", &c, Label{"0bad", "v"}) })
+	// Distinct labels under one name are fine.
+	r.Counter("dup_total", "h", &c, Label{"dc", "1"})
+}
+
+// TestBucketMidRoundTrip is the regression test for the bucketMid operator
+// precedence bug: for random values across the full range, the reported
+// bucket midpoint must itself lie within the value's bucket — i.e.
+// bucketIndex(bucketMid(bucketIndex(v))) == bucketIndex(v) — and must sit
+// at or above the bucket's true midpoint's floor, not collapsed to the
+// lower edge.
+func TestBucketMidRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	check := func(v uint64) {
+		t.Helper()
+		i := bucketIndex(v)
+		mid := bucketMid(i)
+		if gotI := bucketIndex(mid); gotI != i {
+			t.Fatalf("bucketMid(%d)=%d escapes bucket: bucketIndex(v=%d)=%d, bucketIndex(mid)=%d",
+				i, mid, v, i, gotI)
+		}
+		if i >= subBuckets {
+			// Recompute the bucket's bounds independently and require the
+			// midpoint to be centered: lo + width/2.
+			exp := uint(i/subBuckets) + subBucketBits - 1
+			sub := uint64(i % subBuckets)
+			lo := uint64(1)<<exp | sub<<(exp-subBucketBits)
+			width := uint64(1) << (exp - subBucketBits)
+			if want := lo + width/2; mid != want {
+				t.Fatalf("bucketMid(%d) = %d, want centered %d (lo=%d width=%d, v=%d)",
+					i, mid, want, lo, width, v)
+			}
+		}
+	}
+	for i := 0; i < 200000; i++ {
+		// Random magnitudes: uniform exponent, then uniform within it, so
+		// large buckets (where the old bug collapsed midpoints) are hit.
+		exp := uint(rng.Intn(63))
+		v := uint64(1)<<exp | rng.Uint64()&(uint64(1)<<exp-1)
+		check(v)
+	}
+	for _, v := range []uint64{0, 1, 31, 32, 33, subBuckets - 1, subBuckets, 1<<63 - 1, 1 << 63, ^uint64(0)} {
+		check(v)
+	}
+}
+
+// TestPercentileNotBiasedLow pins the user-visible consequence of the
+// bucketMid fix: with every observation at the same large value, the
+// reported percentile (a bucket midpoint) must land within half a bucket
+// width of it. The precedence bug collapsed the midpoint to (nearly) the
+// bucket's lower edge, a full width below values in the upper half of the
+// bucket, which this tolerance rejects.
+func TestPercentileNotBiasedLow(t *testing.T) {
+	var h StaticHist
+	v := 1536 * time.Millisecond // 1.536e9 ns: upper half of its bucket
+	for i := 0; i < 100; i++ {
+		h.Record(v)
+	}
+	// Bucket width for v: exp 30, width 2^25 ns ≈ 33.6ms. Correct midpoint
+	// is ~9.3ms below v; the buggy one was ~26ms below — past width/2.
+	exp := uint(bucketIndex(uint64(v))/subBuckets) + subBucketBits - 1
+	half := time.Duration(1) << (exp - subBucketBits) / 2
+	got := h.Percentile(99)
+	diff := got - v
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > half {
+		t.Fatalf("P99 = %v is %v away from the only recorded value %v (> half bucket width %v: low-bias regression)",
+			got, diff, v, half)
+	}
+}
+
+func ExampleRegistry() {
+	r := NewRegistry()
+	var puts Counter
+	puts.Add(9)
+	r.Counter("kv_puts_total", "Client puts served.", &puts, Label{"dc", "0"})
+	var b strings.Builder
+	_ = r.WritePrometheus(&b)
+	fmt.Print(b.String())
+	// Output:
+	// # HELP kv_puts_total Client puts served.
+	// # TYPE kv_puts_total counter
+	// kv_puts_total{dc="0"} 9
+}

@@ -19,6 +19,7 @@ package mvstore
 import (
 	"sync/atomic"
 
+	"repro/internal/metrics"
 	"repro/internal/store"
 	"repro/internal/vclock"
 )
@@ -71,6 +72,15 @@ func fromEngine(ev *store.Version[vclock.Vec]) Version {
 // ApproxReads returns how many snapshot reads were answered with the oldest
 // retained version because the exact version had been trimmed.
 func (s *Store) ApproxReads() uint64 { return s.approxReads.Load() }
+
+// Register exposes the underlying engine's occupancy gauges plus the
+// approximate-read counter under the given registry.
+func (s *Store) Register(r *metrics.Registry, labels ...metrics.Label) {
+	s.eng.Register(r, labels...)
+	r.CounterFunc("kv_store_approx_reads_total",
+		"Snapshot reads served with the oldest retained version because the exact one was trimmed.",
+		func() float64 { return float64(s.approxReads.Load()) }, labels...)
+}
 
 // Install inserts version v of key, keeping the chain ordered and capped.
 // Duplicate (TS, SrcDC) installs are idempotent. It returns true if v is

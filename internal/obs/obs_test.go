@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func surface(t *testing.T) (*httptest.Server, *metrics.SlowRing) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	var c metrics.Counter
+	c.Add(7)
+	reg.Counter("kv_test_ops_total", "Test counter.", &c)
+	var h metrics.StaticHist
+	h.Record(3 * time.Millisecond)
+	reg.Histogram("kv_test_latency_seconds", "Test histogram.", &h)
+
+	ring := metrics.NewSlowRing(16, time.Millisecond)
+	ring.Record(metrics.SlowOp{
+		Start: time.Now().UnixNano(), Op: "put",
+		KeyHash: metrics.KeyHash("k"), Total: 5 * time.Millisecond,
+		Fsync: 2 * time.Millisecond,
+	})
+
+	s := New(Config{
+		Registry: reg,
+		Slow:     ring,
+		Status: func() Status {
+			return Status{
+				Protocol: "contrarian", DC: 1, Partition: 2,
+				NumDCs: 3, NumParts: 4,
+				StartedAt: time.Now().Add(-time.Minute),
+				Extra:     map[string]string{"wal": "sync"},
+			}
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts, ring
+}
+
+func get(t *testing.T, url string) (string, *http.Response) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d, body %q", url, resp.StatusCode, b)
+	}
+	return string(b), resp
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := surface(t)
+	body, resp := get(t, ts.URL+"/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q lacks the exposition version", ct)
+	}
+	for _, want := range []string{
+		"# TYPE kv_test_ops_total counter",
+		"kv_test_ops_total 7",
+		"# TYPE kv_test_latency_seconds histogram",
+		"kv_test_latency_seconds_count 1",
+		`le="+Inf"`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestStatusz(t *testing.T) {
+	ts, _ := surface(t)
+	body, _ := get(t, ts.URL+"/statusz")
+	var st Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("statusz not JSON: %v\n%s", err, body)
+	}
+	if st.Protocol != "contrarian" || st.DC != 1 || st.Partition != 2 {
+		t.Fatalf("statusz identity wrong: %+v", st)
+	}
+	if st.UptimeSec < 59 {
+		t.Fatalf("uptime not derived from StartedAt: %v", st.UptimeSec)
+	}
+	if st.Extra["wal"] != "sync" {
+		t.Fatalf("extra not carried: %+v", st.Extra)
+	}
+}
+
+func TestSlowOps(t *testing.T) {
+	ts, _ := surface(t)
+	body, _ := get(t, ts.URL+"/debug/slowops")
+	var doc struct {
+		ThresholdSec float64 `json:"threshold_sec"`
+		Captured     uint64  `json:"captured_total"`
+		Ops          []struct {
+			Op      string  `json:"op"`
+			KeyHash string  `json:"key_hash"`
+			Total   float64 `json:"total_sec"`
+			Fsync   float64 `json:"fsync_sec"`
+		} `json:"ops"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("slowops not JSON: %v\n%s", err, body)
+	}
+	if doc.Captured != 1 || len(doc.Ops) != 1 {
+		t.Fatalf("expected one captured op: %s", body)
+	}
+	op := doc.Ops[0]
+	if op.Op != "put" || op.Total < 0.004 || op.Fsync < 0.001 {
+		t.Fatalf("op fields wrong: %+v", op)
+	}
+	if len(op.KeyHash) != 16 {
+		t.Fatalf("key hash not 16 hex chars: %q", op.KeyHash)
+	}
+}
+
+func TestPprofIndex(t *testing.T) {
+	ts, _ := surface(t)
+	body, _ := get(t, ts.URL+"/debug/pprof/")
+	if !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index missing profiles:\n%s", body)
+	}
+}
+
+func TestListenAndClose(t *testing.T) {
+	s := New(Config{Registry: metrics.NewRegistry()})
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	body, _ := get(t, "http://"+s.Addr()+"/metrics")
+	_ = body
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + s.Addr() + "/metrics"); err == nil {
+		t.Fatal("listener still serving after Close")
+	}
+}

@@ -1,5 +1,10 @@
 package store
 
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
 // Bump allocators for version chains and value bytes. Both hand out slices
 // of large chunks and NEVER reuse memory: published chains may be held by
 // lock-free readers for an unbounded time, so freeing or recycling would
@@ -19,10 +24,21 @@ package store
 // chunk.
 const arenaChunk = 64 << 10
 
+// addBytes accumulates reserved bytes into an engine-wide counter. The
+// pointer may be nil (zero-value allocator); the counter is atomic because
+// shards allocate concurrently, but it is bumped only when a CHUNK is
+// reserved — never per install — so the accounting adds no per-op cost.
+func addBytes(c *atomic.Int64, n int64) {
+	if c != nil {
+		c.Add(n)
+	}
+}
+
 // arena is a bump allocator for value bytes. Not safe for concurrent use;
 // callers hold the shard lock.
 type arena struct {
-	buf []byte
+	buf   []byte
+	bytes *atomic.Int64 // engine-wide reserved-bytes counter, may be nil
 }
 
 // copy returns a stable copy of b backed by the arena.
@@ -31,10 +47,12 @@ func (a *arena) copy(b []byte) []byte {
 		return nil
 	}
 	if len(b) > arenaChunk/4 {
+		addBytes(a.bytes, int64(len(b)))
 		return append([]byte(nil), b...)
 	}
 	if len(a.buf)+len(b) > cap(a.buf) {
 		a.buf = make([]byte, 0, arenaChunk)
+		addBytes(a.bytes, arenaChunk)
 	}
 	off := len(a.buf)
 	a.buf = append(a.buf, b...)
@@ -49,8 +67,17 @@ const slabChunk = 512
 // slab is a bump allocator for []T (version slices, chain headers). Not safe
 // for concurrent use; callers hold the shard lock.
 type slab[T any] struct {
-	buf  []T
-	next int
+	buf   []T
+	next  int
+	elem  int64         // unsafe.Sizeof(T), set by init; 0 leaves bytes uncounted
+	bytes *atomic.Int64 // engine-wide reserved-bytes counter, may be nil
+}
+
+// init wires the slab's reserved-bytes accounting to an engine-wide counter.
+func (s *slab[T]) init(bytes *atomic.Int64) {
+	var z T
+	s.elem = int64(unsafe.Sizeof(z))
+	s.bytes = bytes
 }
 
 // alloc returns a zeroed []T of length and capacity n.
@@ -59,11 +86,13 @@ func (s *slab[T]) alloc(n int) []T {
 		return nil
 	}
 	if n > slabChunk/4 {
+		addBytes(s.bytes, int64(n)*s.elem)
 		return make([]T, n)
 	}
 	if s.next+n > len(s.buf) {
 		s.buf = make([]T, slabChunk)
 		s.next = 0
+		addBytes(s.bytes, slabChunk*s.elem)
 	}
 	out := s.buf[s.next : s.next+n : s.next+n]
 	s.next += n
@@ -76,6 +105,7 @@ func (s *slab[T]) one() *T {
 	if s.next >= len(s.buf) {
 		s.buf = make([]T, slabChunk)
 		s.next = 0
+		addBytes(s.bytes, slabChunk*s.elem)
 	}
 	p := &s.buf[s.next]
 	s.next++

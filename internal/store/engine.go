@@ -46,6 +46,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/metrics"
 )
 
 // Version is one immutable version of an item. X is the family-specific
@@ -186,6 +188,10 @@ type Engine[X, A any] struct {
 	mask   uint64
 	max    int // per-key version cap
 	seed   maphash.Seed
+	// Reserved allocator bytes, engine-wide. Bumped only on chunk
+	// reservation (alloc.go), so installs pay nothing for the accounting.
+	arenaBytes atomic.Int64
+	slabBytes  atomic.Int64
 }
 
 // DefaultMaxVersions caps per-key chains. The GSS lags by roughly one
@@ -239,9 +245,36 @@ func New[X, A any](maxVersions, shards int) *Engine[X, A] {
 		seed:   maphash.MakeSeed(),
 	}
 	for i := range e.shards {
-		e.shards[i].tab.Store(newTable[X, A](initialTableSlots))
+		sh := &e.shards[i]
+		sh.tab.Store(newTable[X, A](initialTableSlots))
+		sh.arena.bytes = &e.arenaBytes
+		sh.slab.init(&e.slabBytes)
+		sh.chains.init(&e.slabBytes)
+		sh.entries.init(&e.slabBytes)
 	}
 	return e
+}
+
+// MemBytes returns the engine's reserved allocator bytes: value-arena bytes
+// and slab (version/chain/entry) bytes. Reserved, not live: the GC reclaims
+// a chunk once no published chain references it, which this accounting does
+// not observe — it bounds, rather than measures, retained memory.
+func (e *Engine[X, A]) MemBytes() (arena, slab int64) {
+	return e.arenaBytes.Load(), e.slabBytes.Load()
+}
+
+// Register exposes the engine's occupancy gauges under the given registry
+// with the caller's labels (family, partition). All series are computed at
+// scrape time from atomics the engine already maintains.
+func (e *Engine[X, A]) Register(r *metrics.Registry, labels ...metrics.Label) {
+	r.GaugeFunc("kv_store_keys", "Keys present (including aux-only keys).",
+		func() float64 { return float64(e.keys.Load()) }, labels...)
+	r.GaugeFunc("kv_store_shards", "Shards in use.",
+		func() float64 { return float64(len(e.shards)) }, labels...)
+	r.GaugeFunc("kv_store_arena_bytes", "Value-arena bytes reserved (chunks plus oversized values).",
+		func() float64 { return float64(e.arenaBytes.Load()) }, labels...)
+	r.GaugeFunc("kv_store_slab_bytes", "Slab bytes reserved for version slices, chain headers, and key entries.",
+		func() float64 { return float64(e.slabBytes.Load()) }, labels...)
 }
 
 // find returns key's entry (h is its maphash) or nil, lock-free.

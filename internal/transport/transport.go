@@ -156,6 +156,22 @@ func (s *Stats) View() StatsView {
 	}
 }
 
+// Register exposes every transport counter under the given registry with
+// the caller's labels (typically none: one transport serves the whole
+// process). Registration only hands the registry pointers; the send-path
+// hot code is untouched.
+func (s *Stats) Register(r *metrics.Registry, labels ...metrics.Label) {
+	r.Counter("kv_transport_msgs_sent_total", "Frames sent.", &s.MsgsSent, labels...)
+	r.Counter("kv_transport_bytes_sent_total", "Frame bytes sent (headers included).", &s.BytesSent, labels...)
+	r.Counter("kv_transport_dropped_total", "Frames dropped at a closed or full sink.", &s.Dropped, labels...)
+	r.Counter("kv_transport_flushes_total", "Batches cut by the batching engine.", &s.Flushes, labels...)
+	r.Counter("kv_transport_frames_coalesced_total", "Frames that joined an earlier frame's batch.", &s.FramesCoalesced, labels...)
+	r.Histogram("kv_transport_flush_delay_seconds", "Enqueue-to-flush latency of batched frames.", &s.FlushDelay, labels...)
+	r.Counter("kv_transport_writev_bytes_total", "Frame bytes sent through the scatter-gather path.", &s.WritevBytes, labels...)
+	r.Counter("kv_transport_handler_overflow_total", "Inbound requests spilled past the bounded worker pool.", &s.HandlerOverflow, labels...)
+	r.Gauge("kv_transport_send_queue_frames", "Frames currently sitting in send queues.", &s.SendQueue, labels...)
+}
+
 // respondError is a small helper servers use to answer a Call with an
 // error message.
 func RespondError(n Node, dst wire.Addr, reqID uint64, code uint16, text string) {

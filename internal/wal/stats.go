@@ -9,6 +9,9 @@ type Stats struct {
 	// retired them. Appends/Fsyncs is the group-commit amortization factor.
 	Appends metrics.Counter
 	Fsyncs  metrics.Counter
+	// FsyncDelay is the latency distribution of the fsync calls themselves
+	// (device sync time, not the group-commit queueing ahead of it).
+	FsyncDelay metrics.StaticHist
 	// AppendBytes counts bytes written to segments (headers included).
 	AppendBytes metrics.Counter
 	// Batch pulses by each group commit's record count; its high-water mark
@@ -115,4 +118,28 @@ func (v *StatsView) Merge(o StatsView) {
 	v.CursorAppends += o.CursorAppends
 	v.CursorsRecovered += o.CursorsRecovered
 	v.ReaderRecords += o.ReaderRecords
+}
+
+// Register exposes every WAL counter under the given registry. Callers pass
+// partition/dc labels so one registry can hold every log in a process; the
+// append/commit hot paths are untouched — the registry reads the same
+// atomics at scrape time.
+func (s *Stats) Register(r *metrics.Registry, labels ...metrics.Label) {
+	r.Counter("kv_wal_appends_total", "Records made durable.", &s.Appends, labels...)
+	r.Counter("kv_wal_fsyncs_total", "Fsyncs that retired appends (appends/fsyncs = group-commit factor).", &s.Fsyncs, labels...)
+	r.Histogram("kv_wal_fsync_delay_seconds", "Latency of the fsync calls themselves.", &s.FsyncDelay, labels...)
+	r.Counter("kv_wal_append_bytes_total", "Bytes written to segments, headers included.", &s.AppendBytes, labels...)
+	r.Gauge("kv_wal_batch_records", "Records retired by the most recent group commit.", &s.Batch, labels...)
+	r.Counter("kv_wal_segments_total", "Segment files created.", &s.Segments, labels...)
+	r.Counter("kv_wal_snapshots_total", "Snapshots taken.", &s.Snapshots, labels...)
+	r.Counter("kv_wal_snapshot_records_total", "Records serialized into snapshots.", &s.SnapshotRecords, labels...)
+	r.Counter("kv_wal_snapshot_errors_total", "Failed periodic snapshot attempts.", &s.SnapshotErrors, labels...)
+	r.Counter("kv_wal_truncated_segments_total", "Segment files deleted by snapshot truncation.", &s.Truncated, labels...)
+	r.Counter("kv_wal_recovered_records_total", "Install records replayed at open-time recovery.", &s.RecoveredRecords, labels...)
+	r.Counter("kv_wal_recovery_nanos_total", "Nanoseconds spent replaying at recovery.", &s.RecoveryNanos, labels...)
+	r.Counter("kv_wal_torn_tails_total", "Torn final records recovery tolerated.", &s.TornTails, labels...)
+	r.Counter("kv_wal_torn_segments_total", "Torn-header final segments recovery discarded.", &s.TornSegments, labels...)
+	r.Counter("kv_wal_cursor_appends_total", "Replication-cursor updates persisted.", &s.CursorAppends, labels...)
+	r.Counter("kv_wal_cursors_recovered_total", "Cursor records folded back in at recovery.", &s.CursorsRecovered, labels...)
+	r.Counter("kv_wal_reader_records_total", "CC-LO old-reader records persisted.", &s.ReaderRecords, labels...)
 }

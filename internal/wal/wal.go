@@ -764,10 +764,12 @@ func (l *Log) commit(batch []*commitReq) {
 // fsync flushes the active segment, records the covered size, and fires
 // every pending synced callback in log order.
 func (l *Log) fsync() error {
+	start := time.Now()
 	if err := l.active.Sync(); err != nil {
 		l.firePending(err)
 		return err
 	}
+	l.stats.FsyncDelay.Record(time.Since(start))
 	l.syncedSize = l.activeSize
 	l.stats.Fsyncs.Add(1)
 	l.firePending(nil)
