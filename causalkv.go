@@ -126,7 +126,25 @@ type Options struct {
 	// queue always flushes immediately). 0 applies the default (~200µs);
 	// negative disables the budget, restoring greedy drain-until-idle.
 	FlushBudget time.Duration
+	// AdmitLimit enables client admission control: it caps concurrently
+	// running client handlers per partition server. Excess client requests
+	// are shed with a typed busy response and retried by sessions with
+	// jittered backoff; a session whose retry budget is exhausted surfaces
+	// ErrOverloaded. 0 (the default) disables the gate. Intra-cluster
+	// traffic (replication, stabilization, readers checks) is never gated.
+	AdmitLimit int
+	// ShedQueueFrames sheds client load early once the transport send
+	// queue reaches this depth (0 = signal unused).
+	ShedQueueFrames int64
+	// ShedFsyncP99 sheds client load early once the WAL p99 fsync delay
+	// reaches this (0 = signal unused).
+	ShedFsyncP99 time.Duration
 }
+
+// ErrOverloaded is returned by session operations once the Busy-retry
+// budget against a shedding server is exhausted. Callers should back off
+// at the application level; errors.Is(err, ErrOverloaded) detects it.
+var ErrOverloaded = transport.ErrOverloaded
 
 func (o Options) withDefaults() Options {
 	if o.DataCenters <= 0 {
@@ -187,6 +205,9 @@ func StartCluster(opts Options) (*Cluster, error) {
 		WALSync:          mode,
 		WALFsyncEvery:    opts.WALFsyncEvery,
 		FlushBudget:      opts.FlushBudget,
+		AdmitLimit:       opts.AdmitLimit,
+		ShedQueueFrames:  opts.ShedQueueFrames,
+		ShedFsyncP99:     opts.ShedFsyncP99,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("causalkv: %w", err)

@@ -15,7 +15,8 @@
 //	benchfig -fig wal          # durability: WAL off vs sync vs async
 //	benchfig -fig transport    # batching engine: greedy vs adaptive flush
 //	benchfig -fig store        # storage engine vs pre-refactor baseline (10M keys)
-//	benchfig -fig all          # everything except -fig store
+//	benchfig -fig overload     # admission control: ungated vs gated past saturation
+//	benchfig -fig all          # everything except -fig store and -fig overload
 //
 // Scale knobs: -partitions, -keys, -clients, -duration, -warmup, -paper.
 // With -json FILE, the measured series of the run are additionally written
@@ -37,7 +38,7 @@ import (
 
 func main() {
 	var (
-		fig        = flag.String("fig", "all", "figure to reproduce: 4,5,6,7a,7b,8,9,values,compare,ablation,table2,wal,transport,all")
+		fig        = flag.String("fig", "all", "figure to reproduce: 4,5,6,7a,7b,8,9,values,compare,ablation,table2,wal,transport,store,overload,all")
 		partitions = flag.Int("partitions", 8, "partitions per DC")
 		keys       = flag.Int("keys", 20000, "keys per partition")
 		clientsCSV = flag.String("clients", "4,16,64,192", "comma-separated clients/DC sweep")
@@ -170,6 +171,16 @@ func main() {
 	if *fig == "store" {
 		run("store engine", func() error {
 			series, err := bench.FigureStore(*storeKeys, *storeSh, *storeWk, os.Stdout)
+			collected = append(collected, series...)
+			return err
+		})
+	}
+	// The overload figure is opt-in only (not part of "all"): it
+	// deliberately drives the cluster past saturation, so its points are
+	// shed/goodput measurements, not comparable protocol figures.
+	if *fig == "overload" {
+		run("overload admission", func() error {
+			series, err := bench.FigureOverload(o, 2)
 			collected = append(collected, series...)
 			return err
 		})

@@ -70,6 +70,9 @@ func main() {
 		shards     = flag.Int("store-shards", 0, "storage engine shard count — the write-concurrency grain; reads are lock-free regardless (0 = auto-size from GOMAXPROCS; rounded up to a power of two)")
 		obsAddr    = flag.String("obs-addr", "", "observability HTTP listener: /metrics (Prometheus text), /statusz, /debug/pprof, /debug/slowops (empty = disabled)")
 		slowOp     = flag.Duration("slow-op", 25*time.Millisecond, "slow-op trace threshold: handler executions at or above it are kept in the /debug/slowops ring")
+		admitLimit = flag.Int("admit-limit", 0, "client admission cap: max concurrently running client handlers; excess client requests are shed with a typed busy+retry-after response (0 = unbounded; cluster traffic is never gated)")
+		shedQueue  = flag.Int64("shed-queue-frames", 0, "shed client load early once the transport send queue reaches this many frames (0 = signal unused)")
+		shedFsync  = flag.Duration("shed-fsync-p99", 0, "shed client load early once the WAL p99 fsync delay reaches this (0 = signal unused)")
 	)
 	flag.Parse()
 	if *topoPath == "" {
@@ -137,6 +140,23 @@ func main() {
 			log.Fatal(err)
 		}
 		walLog, durable = l, l
+	}
+
+	// Admission control must be configured before the server attaches: the
+	// gate is created at Attach time. The overload detector probes this
+	// process's send queue and (when durable) its WAL fsync latency.
+	if *admitLimit > 0 && !*stabilizer {
+		fsyncP99 := func() time.Duration { return 0 }
+		if walLog != nil {
+			fsyncP99 = func() time.Duration { return walLog.Stats().FsyncDelay.Percentile(99) }
+		}
+		net.SetAdmission(transport.AdmitConfig{
+			Limit:           *admitLimit,
+			ShedQueueFrames: *shedQueue,
+			ShedFsyncP99:    *shedFsync,
+			QueueDepth:      net.Stats().SendQueue.Load,
+			FsyncP99:        fsyncP99,
+		})
 	}
 
 	// Per-process metric labels: the family plus this server's coordinates.
@@ -218,6 +238,9 @@ func main() {
 	if reg != nil && walLog != nil {
 		walLog.Stats().Register(reg, labels...)
 	}
+	if reg != nil && *admitLimit > 0 && !*stabilizer {
+		net.AdmitStats().Register(reg, labels...)
+	}
 	if *obsAddr != "" {
 		srv := obs.New(obs.Config{
 			Registry: reg,
@@ -231,7 +254,17 @@ func main() {
 				if *stabilizer {
 					extra["role"] = "stabilizer"
 				}
+				overload := ""
+				if *admitLimit > 0 && !*stabilizer {
+					v := net.AdmitStats().View()
+					if v.Overloaded || v.Depth >= int64(*admitLimit) {
+						overload = "shedding"
+					} else {
+						overload = "admitting"
+					}
+				}
 				return obs.Status{
+					Overload:  overload,
 					Protocol:  *protocol,
 					DC:        *dc,
 					Partition: *partition,

@@ -44,6 +44,15 @@ type System struct {
 	// (0 = default ~200µs, negative = greedy drain) — the measurable
 	// latency/coalescing trade-off of the batching engine.
 	FlushBudget time.Duration
+	// AdmitLimit enables client admission control (0 = disabled, the
+	// default for every paper figure): the per-server cap on concurrently
+	// running client handlers; excess client requests are shed with Busy
+	// and retried by the clients with jittered backoff.
+	AdmitLimit int
+	// ShedQueueFrames/ShedFsyncP99 are the overload detector's early-shed
+	// thresholds (0 = signal unused).
+	ShedQueueFrames int64
+	ShedFsyncP99    time.Duration
 }
 
 // Label names the system as the paper's figure legends do.
@@ -65,6 +74,11 @@ type RunSpec struct {
 	// Slow, when non-nil, is handed to every partition server as its
 	// slow-op trace ring.
 	Slow *metrics.SlowRing
+	// AllowOverloadErrors skips the run's error-budget check. Overload
+	// sweeps set it: driving load far past an admission gate makes some
+	// operations exhaust their Busy-retry budget by design, and those
+	// ErrOverloaded results are the measurement, not a broken run.
+	AllowOverloadErrors bool
 }
 
 // LoCheckStats summarizes readers-check overhead per check (Figure 6 and
@@ -156,6 +170,24 @@ func walDelta(a, b wal.StatsView, mode string) WALStats {
 	return w
 }
 
+// AdmissionStats summarizes admission-control activity over the
+// measurement window (counter deltas; DepthPeak is whole-run).
+type AdmissionStats struct {
+	Admitted      uint64 // client requests admitted past the gate
+	Shed          uint64 // client requests answered with Busy
+	ClientRetries uint64 // client-side retries those Busies triggered
+	DepthPeak     int64  // high-water mark of concurrently admitted requests
+}
+
+func admissionDelta(a, b cluster.AdmissionView) AdmissionStats {
+	return AdmissionStats{
+		Admitted:      b.Admitted - a.Admitted,
+		Shed:          b.Shed - a.Shed,
+		ClientRetries: b.ClientRetries - a.ClientRetries,
+		DepthPeak:     b.DepthPeak,
+	}
+}
+
 // Point is one measured load point.
 type Point struct {
 	System       string
@@ -172,21 +204,27 @@ type Point struct {
 	// Store is set only by FigureStore (the storage-engine figure); nil
 	// for the load-point figures.
 	Store *StoreStats `json:",omitempty"`
+	// Admission is set only when the run had an admission gate
+	// (System.AdmitLimit > 0); nil otherwise.
+	Admission *AdmissionStats `json:",omitempty"`
 }
 
 // Run measures one load point.
 func Run(sys System, spec RunSpec) (Point, error) {
 	cfg := cluster.Config{
-		Protocol:    sys.Protocol,
-		DCs:         sys.DCs,
-		Partitions:  sys.Partitions,
-		Latency:     sys.Latency,
-		MaxSkew:     sys.MaxSkew,
-		Seed:        1,
-		DataDir:     sys.DataDir,
-		WALSync:     sys.WALSync,
-		FlushBudget: sys.FlushBudget,
-		Slow:        spec.Slow,
+		Protocol:        sys.Protocol,
+		DCs:             sys.DCs,
+		Partitions:      sys.Partitions,
+		Latency:         sys.Latency,
+		MaxSkew:         sys.MaxSkew,
+		Seed:            1,
+		DataDir:         sys.DataDir,
+		WALSync:         sys.WALSync,
+		FlushBudget:     sys.FlushBudget,
+		Slow:            spec.Slow,
+		AdmitLimit:      sys.AdmitLimit,
+		ShedQueueFrames: sys.ShedQueueFrames,
+		ShedFsyncP99:    sys.ShedFsyncP99,
 	}
 	c, err := cluster.Start(cfg)
 	if err != nil {
@@ -266,6 +304,7 @@ func Run(sys System, spec RunSpec) (Point, error) {
 	loStart := c.CCLOStats()
 	view0 := c.Net().Stats().View()
 	wal0 := c.WALView()
+	adm0 := c.Admission()
 	rotHist.Reset()
 	putHist.Reset()
 	measuring.Store(true)
@@ -276,6 +315,7 @@ func Run(sys System, spec RunSpec) (Point, error) {
 	loEnd := c.CCLOStats()
 	view1 := c.Net().Stats().View()
 	wal1 := c.WALView()
+	adm1 := c.Admission()
 	stop.Store(true)
 	wg.Wait()
 
@@ -296,7 +336,11 @@ func Run(sys System, spec RunSpec) (Point, error) {
 	if sys.DataDir != "" {
 		p.WAL = walDelta(wal0, wal1, sys.WALSync.String())
 	}
-	if p.Errors > (rot.Count+put.Count)/100+10 {
+	if sys.AdmitLimit > 0 {
+		adm := admissionDelta(adm0, adm1)
+		p.Admission = &adm
+	}
+	if !spec.AllowOverloadErrors && p.Errors > (rot.Count+put.Count)/100+10 {
 		return p, fmt.Errorf("bench: %d operation errors in window (tput %.0f)", p.Errors, p.Throughput)
 	}
 	return p, nil

@@ -29,6 +29,10 @@ type Client struct {
 	// paid only when a ROT actually straddles a crash recovery).
 	fenceRetries atomic.Uint64
 
+	// busyRetries counts operations re-sent after the server shed them
+	// with wire.Busy (admission control); benchmarks report the sum.
+	busyRetries atomic.Uint64
+
 	// legGate, when non-nil, runs before each ROT leg is sent (tests use it
 	// to hold one leg while a partition is crashed and restarted, making
 	// the straddle deterministic).
@@ -73,7 +77,7 @@ func (c *Client) Addr() wire.Addr { return c.node.Addr() }
 // Ping checks liveness of one partition and warms connection-oriented
 // transports.
 func (c *Client) Ping(ctx context.Context, part int) error {
-	resp, err := c.node.Call(ctx, wire.ServerAddr(c.dc, part), &wire.Ping{Nonce: uint64(part)})
+	resp, err := transport.CallRetry(ctx, c.node, wire.ServerAddr(c.dc, part), &wire.Ping{Nonce: uint64(part)}, c.countRetry)
 	if err != nil {
 		return err
 	}
@@ -116,7 +120,7 @@ func (c *Client) depList() []wire.LoDep {
 func (c *Client) Put(ctx context.Context, key string, value []byte) (uint64, error) {
 	deps := c.depList()
 	owner := wire.ServerAddr(c.dc, c.ring.Owner(key))
-	resp, err := c.node.Call(ctx, owner, &wire.LoPutReq{Key: key, Value: value, Deps: deps})
+	resp, err := transport.CallRetry(ctx, c.node, owner, &wire.LoPutReq{Key: key, Value: value, Deps: deps}, c.countRetry)
 	if err != nil {
 		return 0, fmt.Errorf("cclo: put %q: %w", key, err)
 	}
@@ -144,6 +148,12 @@ func (c *Client) Get(ctx context.Context, key string) ([]byte, error) {
 // FenceRetries returns how many whole-ROT retries the restart-epoch fence
 // has forced on this session.
 func (c *Client) FenceRetries() uint64 { return c.fenceRetries.Load() }
+
+// BusyRetries returns how many times this client's operations were shed
+// with Busy and retried.
+func (c *Client) BusyRetries() uint64 { return c.busyRetries.Load() }
+
+func (c *Client) countRetry() { c.busyRetries.Add(1) }
 
 // maxFenceRetries bounds epoch-fence retries per ROT: each retry means a
 // partition finished a crash recovery while the ROT was in flight, so more
@@ -226,7 +236,7 @@ func (c *Client) rotOnce(ctx context.Context, groups map[int][]string, nkeys int
 			if c.legGate != nil {
 				c.legGate(p)
 			}
-			resp, err := c.node.Call(ctx, wire.ServerAddr(c.dc, p), &wire.LoRotReq{RotID: rotID, SeenTS: seen, Epochs: known, Keys: ks})
+			resp, err := transport.CallRetry(ctx, c.node, wire.ServerAddr(c.dc, p), &wire.LoRotReq{RotID: rotID, SeenTS: seen, Epochs: known, Keys: ks}, c.countRetry)
 			if err != nil {
 				ch <- result{part: p, err: err}
 				return

@@ -141,6 +141,18 @@ type Config struct {
 	// invocations exceeding the ring's threshold are captured in it (see
 	// metrics.SlowRing). Nil disables capture.
 	Slow *metrics.SlowRing
+
+	// AdmitLimit enables client admission control: it caps concurrently
+	// running client handlers per partition server; excess client requests
+	// are shed with wire.Busy and a retry-after hint. 0 (the default)
+	// disables the gate — intra-cluster traffic is never gated either way.
+	AdmitLimit int
+	// ShedQueueFrames sheds client load early when the transport send
+	// queue reaches this depth (0 = signal unused).
+	ShedQueueFrames int64
+	// ShedFsyncP99 sheds client load early when the WAL p99 fsync delay
+	// reaches this (0 = signal unused).
+	ShedFsyncP99 time.Duration
 }
 
 // NoLatency is a latency model for correctness tests: messages still pay
@@ -182,6 +194,15 @@ type Cluster struct {
 	// (closed sessions keep their counts readable).
 	ccloClientMu sync.Mutex
 	ccloClients  []*cclo.Client
+
+	// retriers tracks every session handed out by NewClient so
+	// AdmissionView can aggregate client-side Busy-retry counters.
+	retrierMu sync.Mutex
+	retriers  []interface{ BusyRetries() uint64 }
+
+	// logMu guards the c.logs slots against the admission gate's fsync
+	// probe (a transport goroutine) racing partition restarts.
+	logMu sync.RWMutex
 }
 
 // Start builds and starts a cluster.
@@ -213,6 +234,15 @@ func Start(cfg Config) (*Cluster, error) {
 		logs:      make([]*wal.Log, n),
 		skews:     make([]time.Duration, n),
 		clientSeq: make([]atomic.Int64, cfg.DCs),
+	}
+	if cfg.AdmitLimit > 0 {
+		c.net.SetAdmission(transport.AdmitConfig{
+			Limit:           cfg.AdmitLimit,
+			ShedQueueFrames: cfg.ShedQueueFrames,
+			ShedFsyncP99:    cfg.ShedFsyncP99,
+			QueueDepth:      c.net.Stats().SendQueue.Load,
+			FsyncP99:        c.fsyncP99,
+		})
 	}
 	switch cfg.Protocol {
 	case COPS:
@@ -340,8 +370,27 @@ func (c *Cluster) startServer(dc, p int) error {
 		}
 		c.coreServers[idx] = s
 	}
+	c.logMu.Lock()
 	c.logs[idx] = log
+	c.logMu.Unlock()
 	return nil
+}
+
+// fsyncP99 is the admission gate's durability overload signal: the worst
+// p99 fsync delay across every partition WAL (0 when durability is off).
+func (c *Cluster) fsyncP99() time.Duration {
+	var worst time.Duration
+	c.logMu.RLock()
+	for _, l := range c.logs {
+		if l == nil {
+			continue
+		}
+		if p := l.Stats().FsyncDelay.Percentile(99); p > worst {
+			worst = p
+		}
+	}
+	c.logMu.RUnlock()
+	return worst
 }
 
 func closeLog(l *wal.Log) {
@@ -364,8 +413,11 @@ func (c *Cluster) stopServer(idx int) {
 		c.copsServers[idx].Close()
 		c.copsServers[idx] = nil
 	}
-	closeLog(c.logs[idx])
+	c.logMu.Lock()
+	log := c.logs[idx]
 	c.logs[idx] = nil
+	c.logMu.Unlock()
+	closeLog(log)
 }
 
 // RestartPartition stops the (dc,p) partition server — flushed or not,
@@ -513,18 +565,65 @@ func (c *Cluster) NewClient(dc int) (Client, error) {
 		c.ccloClientMu.Lock()
 		c.ccloClients = append(c.ccloClients, cli)
 		c.ccloClientMu.Unlock()
+		c.trackRetrier(cli)
 		return cli, nil
 	}
 	if c.cfg.Protocol == COPS {
-		return cops.NewClient(cops.ClientConfig{DC: dc, ID: id, Ring: c.ring}, c.net)
+		cli, err := cops.NewClient(cops.ClientConfig{DC: dc, ID: id, Ring: c.ring}, c.net)
+		if err != nil {
+			return nil, err
+		}
+		c.trackRetrier(cli)
+		return cli, nil
 	}
 	mode := core.OneAndHalfRounds
 	if c.cfg.Protocol == ContrarianTwoRound || c.cfg.Protocol == Cure {
 		mode = core.TwoRounds
 	}
-	return core.NewClient(core.ClientConfig{
+	cli, err := core.NewClient(core.ClientConfig{
 		DC: dc, ID: id, NumDCs: c.cfg.DCs, Ring: c.ring, Mode: mode,
 	}, c.net)
+	if err != nil {
+		return nil, err
+	}
+	c.trackRetrier(cli)
+	return cli, nil
+}
+
+// trackRetrier records a session for AdmissionView's retry aggregation
+// (closed sessions keep their counts readable).
+func (c *Cluster) trackRetrier(cli interface{ BusyRetries() uint64 }) {
+	c.retrierMu.Lock()
+	c.retriers = append(c.retriers, cli)
+	c.retrierMu.Unlock()
+}
+
+// ClientBusyRetries sums the Busy-retry counters of every session this
+// cluster created.
+func (c *Cluster) ClientBusyRetries() uint64 {
+	var sum uint64
+	c.retrierMu.Lock()
+	for _, cli := range c.retriers {
+		sum += cli.BusyRetries()
+	}
+	c.retrierMu.Unlock()
+	return sum
+}
+
+// AdmissionView is a frozen copy of the cluster's admission-control
+// counters plus the client-side retry total (all zero while admission is
+// disabled).
+type AdmissionView struct {
+	transport.AdmitStatsView
+	ClientRetries uint64
+}
+
+// Admission returns the current admission-control counters.
+func (c *Cluster) Admission() AdmissionView {
+	return AdmissionView{
+		AdmitStatsView: c.net.AdmitStats().View(),
+		ClientRetries:  c.ClientBusyRetries(),
+	}
 }
 
 // CCLOStats sums readers-check counters over every CC-LO server, plus the

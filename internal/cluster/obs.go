@@ -38,6 +38,12 @@ func (p Protocol) slug() string {
 func (c *Cluster) RegisterMetrics(r *metrics.Registry) {
 	c.net.Stats().Register(r)
 	fam := metrics.Label{Name: "family", Value: c.cfg.Protocol.slug()}
+	if c.cfg.AdmitLimit > 0 {
+		c.net.AdmitStats().Register(r, fam)
+		r.CounterFunc("kv_admission_client_retries_total",
+			"Client-side Busy retries, summed over all sessions.",
+			func() float64 { return float64(c.ClientBusyRetries()) }, fam)
+	}
 	for dc := 0; dc < c.cfg.DCs; dc++ {
 		for p := 0; p < c.cfg.Partitions; p++ {
 			idx := dc*c.cfg.Partitions + p

@@ -572,6 +572,10 @@ type Client struct {
 	ring ring.Ring
 	node transport.Node
 
+	// busyRetries counts operations re-sent after the server shed them
+	// with wire.Busy (admission control); benchmarks report the sum.
+	busyRetries atomic.Uint64
+
 	mu   sync.Mutex
 	deps map[string]wire.LoDep
 }
@@ -597,6 +601,12 @@ func NewClient(cfg ClientConfig, net transport.Network) (*Client, error) {
 
 // Close detaches the client.
 func (c *Client) Close() error { return c.node.Close() }
+
+// BusyRetries returns how many times this client's operations were shed
+// with Busy and retried.
+func (c *Client) BusyRetries() uint64 { return c.busyRetries.Load() }
+
+func (c *Client) countRetry() { c.busyRetries.Add(1) }
 
 // DepCount returns the size of the session's dependency set (tests; this
 // is the metadata COPS-GT cannot prune).
@@ -627,7 +637,7 @@ func (c *Client) observe(key string, ts uint64, src uint8) {
 // Put installs a new version of key carrying the session's dependencies.
 func (c *Client) Put(ctx context.Context, key string, value []byte) (uint64, error) {
 	owner := wire.ServerAddr(c.dc, c.ring.Owner(key))
-	resp, err := c.node.Call(ctx, owner, &wire.LoPutReq{Key: key, Value: value, Deps: c.depList()})
+	resp, err := transport.CallRetry(ctx, c.node, owner, &wire.LoPutReq{Key: key, Value: value, Deps: c.depList()}, c.countRetry)
 	if err != nil {
 		return 0, fmt.Errorf("cops: put %q: %w", key, err)
 	}
@@ -670,7 +680,7 @@ func (c *Client) ROT(ctx context.Context, keys []string) ([]wire.KV, error) {
 	ch := make(chan r1, len(groups))
 	for p, ks := range groups {
 		go func(p int, ks []string) {
-			resp, err := c.node.Call(ctx, wire.ServerAddr(c.dc, p), &wire.CopsRotReq{Keys: ks})
+			resp, err := transport.CallRetry(ctx, c.node, wire.ServerAddr(c.dc, p), &wire.CopsRotReq{Keys: ks}, c.countRetry)
 			if err != nil {
 				ch <- r1{err: err}
 				return
@@ -736,7 +746,7 @@ func (c *Client) ROT(ctx context.Context, keys []string) ([]wire.KV, error) {
 		for k, d := range cut {
 			go func(k string, d wire.LoDep) {
 				dst := wire.ServerAddr(c.dc, c.ring.Owner(k))
-				resp, err := c.node.Call(ctx, dst, &wire.CopsVerReq{Key: k, TS: d.TS, Src: d.Src})
+				resp, err := transport.CallRetry(ctx, c.node, dst, &wire.CopsVerReq{Key: k, TS: d.TS, Src: d.Src}, c.countRetry)
 				if err != nil {
 					ch2 <- r2{err: err}
 					return

@@ -32,6 +32,10 @@ type Client struct {
 
 	rotSeq atomic.Uint64
 	rots   sync.Map // rotID -> chan wire.Message
+
+	// busyRetries counts operations re-sent after the server shed them
+	// with wire.Busy (admission control); benchmarks report the sum.
+	busyRetries atomic.Uint64
 }
 
 // ClientConfig parameterizes a client session.
@@ -73,7 +77,7 @@ func (c *Client) Addr() wire.Addr { return c.node.Addr() }
 // transports it also warms the connection, letting the partition answer
 // this client directly (the 1 1/2-round ROT's partition-to-client leg).
 func (c *Client) Ping(ctx context.Context, part int) error {
-	resp, err := c.node.Call(ctx, wire.ServerAddr(c.dc, part), &wire.Ping{Nonce: uint64(part)})
+	resp, err := transport.CallRetry(ctx, c.node, wire.ServerAddr(c.dc, part), &wire.Ping{Nonce: uint64(part)}, c.countRetry)
 	if err != nil {
 		return err
 	}
@@ -95,6 +99,12 @@ func (c *Client) Warm(ctx context.Context) error {
 	return nil
 }
 
+// BusyRetries returns how many times this client's operations were shed
+// with Busy and retried.
+func (c *Client) BusyRetries() uint64 { return c.busyRetries.Load() }
+
+func (c *Client) countRetry() { c.busyRetries.Add(1) }
+
 // Seen returns a copy of the client's causal context (for tests).
 func (c *Client) Seen() vclock.Vec {
 	c.mu.Lock()
@@ -103,6 +113,9 @@ func (c *Client) Seen() vclock.Vec {
 }
 
 // handle routes direct server-to-client ROT messages (1 1/2-round mode).
+// A shed coordinator request comes back as a one-way Busy whose Echo
+// carries the RotID (the request was un-awaited, so there is no reqID to
+// answer); it is routed to the same waiter, which retries the whole ROT.
 func (c *Client) handle(_ transport.Node, _ wire.Addr, _ uint64, m wire.Message) {
 	var rotID uint64
 	switch msg := m.(type) {
@@ -110,6 +123,8 @@ func (c *Client) handle(_ transport.Node, _ wire.Addr, _ uint64, m wire.Message)
 		rotID = msg.RotID
 	case *wire.RotVals:
 		rotID = msg.RotID
+	case *wire.Busy:
+		rotID = msg.Echo
 	default:
 		return
 	}
@@ -133,7 +148,7 @@ func (c *Client) Put(ctx context.Context, key string, value []byte) (uint64, err
 	deps := c.seen.Clone()
 	c.mu.Unlock()
 	owner := wire.ServerAddr(c.dc, c.ring.Owner(key))
-	resp, err := c.node.Call(ctx, owner, &wire.PutReq{Key: key, Value: value, Deps: deps})
+	resp, err := transport.CallRetry(ctx, c.node, owner, &wire.PutReq{Key: key, Value: value, Deps: deps}, c.countRetry)
 	if err != nil {
 		return 0, fmt.Errorf("core: put %q: %w", key, err)
 	}
@@ -209,7 +224,28 @@ func (c *Client) groups(keys []string) []wire.ReadGroup {
 	return groups
 }
 
+// rotOneAndHalf runs the 1 1/2-round ROT, retrying the whole transaction
+// when the coordinator sheds it: the coordinator request is a one-way Send
+// (the responses come straight from the partitions), so the gate's Busy
+// arrives as a one-way message routed back by Echo==RotID rather than as a
+// Call error. Each retry uses a fresh RotID after a jittered backoff.
 func (c *Client) rotOneAndHalf(ctx context.Context, keys []string, groups []wire.ReadGroup) (map[string]wire.KV, error) {
+	for attempt := 0; ; attempt++ {
+		vals, busy, err := c.rotOneAndHalfOnce(ctx, keys, groups)
+		if err != nil || busy == nil {
+			return vals, err
+		}
+		if attempt >= transport.DefaultBusyRetries {
+			return nil, fmt.Errorf("core: rot: %w: coordinator still shedding after %d retries", transport.ErrOverloaded, attempt)
+		}
+		c.busyRetries.Add(1)
+		if err := transport.AwaitRetry(ctx, attempt, busy.RetryAfter()); err != nil {
+			return nil, fmt.Errorf("core: rot: %w", err)
+		}
+	}
+}
+
+func (c *Client) rotOneAndHalfOnce(ctx context.Context, keys []string, groups []wire.ReadGroup) (map[string]wire.KV, *wire.Busy, error) {
 	rotID := c.rotSeq.Add(1)
 	ch := make(chan wire.Message, len(groups))
 	c.rots.Store(rotID, ch)
@@ -229,7 +265,7 @@ func (c *Client) rotOneAndHalf(ctx context.Context, keys []string, groups []wire
 		Groups:    groups,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("core: rot: %w", err)
+		return nil, nil, fmt.Errorf("core: rot: %w", err)
 	}
 
 	vals := make(map[string]wire.KV, len(keys))
@@ -247,15 +283,17 @@ func (c *Client) rotOneAndHalf(ctx context.Context, keys []string, groups []wire
 				for _, kv := range msg.Vals {
 					vals[kv.Key] = kv
 				}
+			case *wire.Busy:
+				return nil, msg, nil
 			}
 		case <-ctx.Done():
-			return nil, fmt.Errorf("core: rot: %w", ctx.Err())
+			return nil, nil, fmt.Errorf("core: rot: %w", ctx.Err())
 		}
 	}
 	if sv != nil {
 		c.observe(sv)
 	}
-	return vals, nil
+	return vals, nil, nil
 }
 
 func (c *Client) rotTwoRounds(ctx context.Context, keys []string, groups []wire.ReadGroup) (map[string]wire.KV, error) {
@@ -266,12 +304,12 @@ func (c *Client) rotTwoRounds(ctx context.Context, keys []string, groups []wire.
 	c.mu.Unlock()
 
 	coord := wire.ServerAddr(c.dc, int(groups[0].Part))
-	resp, err := c.node.Call(ctx, coord, &wire.RotCoordReq{
+	resp, err := transport.CallRetry(ctx, c.node, coord, &wire.RotCoordReq{
 		RotID:     rotID,
 		Mode:      uint8(TwoRounds),
 		SeenLocal: seenLocal,
 		SeenGSS:   seenGSS,
-	})
+	}, c.countRetry)
 	if err != nil {
 		return nil, fmt.Errorf("core: rot coord: %w", err)
 	}
@@ -289,7 +327,7 @@ func (c *Client) rotTwoRounds(ctx context.Context, keys []string, groups []wire.
 	for _, g := range groups {
 		go func(g wire.ReadGroup) {
 			dst := wire.ServerAddr(c.dc, int(g.Part))
-			resp, err := c.node.Call(ctx, dst, &wire.RotReadReq{SV: sv, Keys: g.Keys})
+			resp, err := transport.CallRetry(ctx, c.node, dst, &wire.RotReadReq{SV: sv, Keys: g.Keys}, c.countRetry)
 			if err != nil {
 				ch <- result{err: err}
 				return

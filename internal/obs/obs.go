@@ -32,7 +32,11 @@ type Status struct {
 	NumParts  int               `json:"num_partitions"`
 	StartedAt time.Time         `json:"started_at"`
 	UptimeSec float64           `json:"uptime_sec"`
-	Extra     map[string]string `json:"extra,omitempty"`
+	// Overload is the admission-control verdict: "" when admission is
+	// disabled, "admitting" while client load fits the gate, "shedding"
+	// while the gate is refusing client requests.
+	Overload string            `json:"overload,omitempty"`
+	Extra    map[string]string `json:"extra,omitempty"`
 }
 
 // Server serves the observability surface.

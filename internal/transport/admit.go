@@ -1,0 +1,275 @@
+// Admission control for client-facing traffic.
+//
+// The dispatch spill lane is deliberately unbounded for intra-cluster
+// traffic — handlers may park on cluster state, and capping them recreates
+// the deadlock the lane exists to prevent — but that design is wrong for
+// clients: under client overload it grows goroutines without limit and
+// silently queues work the server cannot retire. The AdmitGate closes that
+// hole for requests whose source carries the Addr client flag: a token
+// semaphore caps concurrently running client handlers, an overload detector
+// keyed on the send-queue depth and WAL fsync-delay signals sheds earlier
+// when the server is already falling behind, and shed requests are answered
+// with a typed wire.Busy carrying a retry-after hint instead of being
+// queued or dropped. Cluster-sourced traffic never touches the gate.
+
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+// ErrOverloaded is surfaced by clients once an operation's Busy-retry
+// budget is exhausted: the server kept shedding for the whole backoff
+// schedule, so the caller should treat the cluster as overloaded rather
+// than retry harder.
+var ErrOverloaded = errors.New("transport: server overloaded")
+
+// DefaultRetryAfter is the Busy hint when AdmitConfig.RetryAfter is unset.
+const DefaultRetryAfter = 2 * time.Millisecond
+
+// admitProbeEvery rate-limits the overload detector's signal probes: the
+// admit hot path pays two atomic loads, and at most one goroutine per
+// interval pays the probe functions.
+const admitProbeEvery = time.Millisecond
+
+// AdmitConfig parameterizes client admission control on a network. Limit
+// is the cap on concurrently admitted client requests per attached server
+// node; zero disables the gate entirely (the default, so existing
+// deployments and every no-overload benchmark are untouched).
+type AdmitConfig struct {
+	// Limit caps concurrently running client handlers per server node.
+	Limit int
+	// ShedQueueFrames trips the overload detector when the transport's
+	// send-queue depth reaches it (0 = signal unused).
+	ShedQueueFrames int64
+	// ShedFsyncP99 trips the overload detector when the WAL's p99 fsync
+	// delay reaches it (0 = signal unused).
+	ShedFsyncP99 time.Duration
+	// QueueDepth probes the current send-queue depth (nil = signal unused).
+	QueueDepth func() int64
+	// FsyncP99 probes the current p99 fsync delay (nil = signal unused).
+	FsyncP99 func() time.Duration
+	// RetryAfter is the backoff hint carried in Busy responses
+	// (0 = DefaultRetryAfter).
+	RetryAfter time.Duration
+}
+
+// Enabled reports whether the config creates gates at Attach.
+func (c AdmitConfig) Enabled() bool { return c.Limit > 0 }
+
+// AdmitStats counts admission-control outcomes. One struct serves a whole
+// network (all gated nodes share it), mirroring how Stats is per-network.
+type AdmitStats struct {
+	// Admitted counts client requests that took a token and ran.
+	Admitted metrics.Counter
+	// Shed counts client requests answered with Busy.
+	Shed metrics.Counter
+	// Depth tracks currently admitted client requests (level + high water).
+	Depth metrics.Gauge
+	// Overloaded is 1 while the queue/fsync overload detector is tripped.
+	Overloaded metrics.Gauge
+}
+
+// View is a frozen copy of the admission counters.
+type AdmitStatsView struct {
+	Admitted   uint64
+	Shed       uint64
+	Depth      int64
+	DepthPeak  int64
+	Overloaded bool
+}
+
+// View returns a frozen copy of all counters.
+func (s *AdmitStats) View() AdmitStatsView {
+	return AdmitStatsView{
+		Admitted:   s.Admitted.Load(),
+		Shed:       s.Shed.Load(),
+		Depth:      s.Depth.Load(),
+		DepthPeak:  s.Depth.HighWater(),
+		Overloaded: s.Overloaded.Load() > 0,
+	}
+}
+
+// Register exposes the admission series under the given registry.
+func (s *AdmitStats) Register(r *metrics.Registry, labels ...metrics.Label) {
+	r.Counter("kv_admission_admitted_total", "Client requests admitted past the gate.", &s.Admitted, labels...)
+	r.Counter("kv_admission_shed_total", "Client requests shed with a Busy retry-after response.", &s.Shed, labels...)
+	r.Gauge("kv_admission_depth", "Client requests currently admitted (running handlers).", &s.Depth, labels...)
+	r.Gauge("kv_admission_overloaded", "1 while the queue-depth/fsync-delay overload detector is tripped.", &s.Overloaded, labels...)
+}
+
+// AdmitGate is one server node's client admission gate: a token semaphore
+// plus a hysteretic overload detector. Admit/Release are safe for
+// concurrent use and allocation-free.
+type AdmitGate struct {
+	cfg    AdmitConfig
+	stats  *AdmitStats
+	tokens chan struct{}
+
+	// lastProbe (unix nanos) rate-limits detector probes; overloaded holds
+	// the detector's current verdict between probes.
+	lastProbe  atomic.Int64
+	overloaded atomic.Bool
+}
+
+// NewAdmitGate builds a gate, or returns nil when cfg leaves admission
+// disabled. stats must be non-nil for an enabled config.
+func NewAdmitGate(cfg AdmitConfig, stats *AdmitStats) *AdmitGate {
+	if !cfg.Enabled() {
+		return nil
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
+	g := &AdmitGate{cfg: cfg, stats: stats, tokens: make(chan struct{}, cfg.Limit)}
+	for i := 0; i < cfg.Limit; i++ {
+		g.tokens <- struct{}{}
+	}
+	return g
+}
+
+// Admit decides one client request: true means run it (the caller must
+// call Release exactly once when the handler returns), false means shed it
+// with Busy. It never blocks — admission is a gate, not a queue; queueing
+// behind a saturated server is exactly what shedding replaces.
+func (g *AdmitGate) Admit() bool {
+	if g.overloadedNow() {
+		g.stats.Shed.Add(1)
+		return false
+	}
+	select {
+	case <-g.tokens:
+		g.stats.Admitted.Add(1)
+		g.stats.Depth.Add(1)
+		return true
+	default:
+		g.stats.Shed.Add(1)
+		return false
+	}
+}
+
+// Release returns an admitted request's token.
+func (g *AdmitGate) Release() {
+	g.stats.Depth.Add(-1)
+	g.tokens <- struct{}{}
+}
+
+// RetryAfter is the hint carried in this gate's Busy responses.
+func (g *AdmitGate) RetryAfter() time.Duration { return g.cfg.RetryAfter }
+
+// overloadedNow evaluates the queue-depth/fsync-delay detector with
+// hysteresis: it trips at a threshold and clears only once every used
+// signal has fallen below half of its threshold, so admission does not
+// flap at the boundary. At most one caller per admitProbeEvery pays the
+// probe functions; everyone else reuses the cached verdict.
+func (g *AdmitGate) overloadedNow() bool {
+	now := time.Now().UnixNano()
+	last := g.lastProbe.Load()
+	if now-last < int64(admitProbeEvery) || !g.lastProbe.CompareAndSwap(last, now) {
+		return g.overloaded.Load()
+	}
+	trip, clear := false, true
+	if g.cfg.ShedQueueFrames > 0 && g.cfg.QueueDepth != nil {
+		d := g.cfg.QueueDepth()
+		if d >= g.cfg.ShedQueueFrames {
+			trip = true
+		}
+		if d > g.cfg.ShedQueueFrames/2 {
+			clear = false
+		}
+	}
+	if g.cfg.ShedFsyncP99 > 0 && g.cfg.FsyncP99 != nil {
+		p := g.cfg.FsyncP99()
+		if p >= g.cfg.ShedFsyncP99 {
+			trip = true
+		}
+		if p > g.cfg.ShedFsyncP99/2 {
+			clear = false
+		}
+	}
+	switch {
+	case trip && !g.overloaded.Load():
+		g.overloaded.Store(true)
+		g.stats.Overloaded.Add(1)
+	case clear && g.overloaded.Load():
+		g.overloaded.Store(false)
+		g.stats.Overloaded.Add(-1)
+	}
+	return g.overloaded.Load()
+}
+
+// busyHintMicros renders a gate's retry-after hint for the wire.
+func busyHintMicros(g *AdmitGate) uint32 {
+	return uint32(g.RetryAfter() / time.Microsecond)
+}
+
+// Client-side overload handling.
+
+// DefaultBusyRetries bounds Busy retries per client operation; exhausting
+// it surfaces ErrOverloaded to the caller.
+const DefaultBusyRetries = 10
+
+// maxBusyBackoff caps the exponential backoff between Busy retries.
+const maxBusyBackoff = 50 * time.Millisecond
+
+// BusyBackoff returns the jittered exponential backoff before retry
+// attempt (0-based) of an operation shed with the given hint: the hint
+// doubled per attempt, capped, with uniform jitter in [1/2, 1] of that so
+// synchronized clients do not re-collide.
+func BusyBackoff(attempt int, hint time.Duration) time.Duration {
+	if hint <= 0 {
+		hint = DefaultRetryAfter
+	}
+	d := hint
+	for i := 0; i < attempt && d < maxBusyBackoff; i++ {
+		d *= 2
+	}
+	if d > maxBusyBackoff {
+		d = maxBusyBackoff
+	}
+	return d/2 + time.Duration(rand.Int64N(int64(d/2)+1))
+}
+
+// AwaitRetry sleeps the attempt's jittered backoff, honoring ctx.
+func AwaitRetry(ctx context.Context, attempt int, hint time.Duration) error {
+	t := time.NewTimer(BusyBackoff(attempt, hint))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// CallRetry is Call plus overload handling: a Busy response triggers a
+// jittered exponential backoff honoring the server's retry-after hint, up
+// to DefaultBusyRetries attempts; exhaustion returns ErrOverloaded.
+// onRetry (may be nil) runs before each backoff, so clients can count
+// retries.
+func CallRetry(ctx context.Context, n Node, dst wire.Addr, m wire.Message, onRetry func()) (wire.Message, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := n.Call(ctx, dst, m)
+		var busy *wire.Busy
+		if !errors.As(err, &busy) {
+			return resp, err
+		}
+		if attempt >= DefaultBusyRetries {
+			return nil, fmt.Errorf("%w: %v still shedding after %d retries", ErrOverloaded, dst, attempt)
+		}
+		if onRetry != nil {
+			onRetry()
+		}
+		if err := AwaitRetry(ctx, attempt, busy.RetryAfter()); err != nil {
+			return nil, err
+		}
+	}
+}

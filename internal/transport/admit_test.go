@@ -1,0 +1,446 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// probeMsg is a pooled test-only message type whose Reset counts into a
+// package atomic, so tests can observe that a transport actually recycled
+// a response nobody claimed (the late-response regression).
+const probeType = 200
+
+var probeResets atomic.Uint64
+
+type probeMsg struct{ N uint64 }
+
+func (*probeMsg) Type() uint16            { return probeType }
+func (m *probeMsg) Encode(b *wire.Buffer) { b.U64(m.N) }
+func (m *probeMsg) Decode(r *wire.Reader) { m.N = r.U64() }
+func (m *probeMsg) Reset()                { m.N = 0; probeResets.Add(1) }
+
+func init() {
+	wire.Register(probeType, func() wire.Message { return new(probeMsg) })
+	wire.Pool(probeType)
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestNewAdmitGateDisabled(t *testing.T) {
+	if g := NewAdmitGate(AdmitConfig{}, nil); g != nil {
+		t.Fatalf("Limit 0 must disable the gate, got %v", g)
+	}
+}
+
+func TestAdmitGateTokens(t *testing.T) {
+	var stats AdmitStats
+	g := NewAdmitGate(AdmitConfig{Limit: 2}, &stats)
+	if g == nil {
+		t.Fatal("enabled config returned nil gate")
+	}
+	if !g.Admit() || !g.Admit() {
+		t.Fatal("gate refused requests within the limit")
+	}
+	if g.Admit() {
+		t.Fatal("gate admitted past the token limit")
+	}
+	v := stats.View()
+	if v.Admitted != 2 || v.Shed != 1 || v.Depth != 2 || v.DepthPeak != 2 {
+		t.Fatalf("stats = %+v, want admitted=2 shed=1 depth=2 peak=2", v)
+	}
+	g.Release()
+	if !g.Admit() {
+		t.Fatal("gate refused after a token was released")
+	}
+	g.Release()
+	g.Release()
+	if d := stats.Depth.Load(); d != 0 {
+		t.Fatalf("depth after all releases = %d, want 0", d)
+	}
+	if g.RetryAfter() != DefaultRetryAfter {
+		t.Fatalf("RetryAfter = %v, want default %v", g.RetryAfter(), DefaultRetryAfter)
+	}
+}
+
+// TestAdmitGateOverloadHysteresis drives the queue-depth detector through
+// trip, hold, and clear: it must trip at the threshold, KEEP shedding while
+// the signal sits between half and full threshold, and clear only at or
+// below half. lastProbe is reset before each evaluation to defeat the
+// probe rate limit deterministically.
+func TestAdmitGateOverloadHysteresis(t *testing.T) {
+	var depth atomic.Int64
+	var stats AdmitStats
+	g := NewAdmitGate(AdmitConfig{Limit: 4, ShedQueueFrames: 100, QueueDepth: depth.Load}, &stats)
+	probe := func() bool {
+		g.lastProbe.Store(0)
+		return g.overloadedNow()
+	}
+	if probe() {
+		t.Fatal("detector tripped with an empty queue")
+	}
+	depth.Store(100)
+	if !probe() {
+		t.Fatal("detector did not trip at the threshold")
+	}
+	if stats.Overloaded.Load() != 1 {
+		t.Fatalf("overloaded gauge = %d, want 1", stats.Overloaded.Load())
+	}
+	g.lastProbe.Store(0)
+	if g.Admit() {
+		t.Fatal("gate admitted while the detector is tripped, despite free tokens")
+	}
+	if stats.Shed.Load() == 0 {
+		t.Fatal("overload shed not counted")
+	}
+	depth.Store(60) // below trip, above half: hysteresis must hold
+	if !probe() {
+		t.Fatal("detector cleared above half the threshold (flapping)")
+	}
+	depth.Store(50) // at half: clears
+	if probe() {
+		t.Fatal("detector did not clear at half the threshold")
+	}
+	if stats.Overloaded.Load() != 0 {
+		t.Fatalf("overloaded gauge = %d after clear, want 0", stats.Overloaded.Load())
+	}
+	g.lastProbe.Store(0)
+	if !g.Admit() {
+		t.Fatal("gate still shedding after the detector cleared")
+	}
+	g.Release()
+}
+
+func TestAdmitGateFsyncSignal(t *testing.T) {
+	var p99 atomic.Int64
+	var stats AdmitStats
+	g := NewAdmitGate(AdmitConfig{
+		Limit:        4,
+		ShedFsyncP99: 10 * time.Millisecond,
+		FsyncP99:     func() time.Duration { return time.Duration(p99.Load()) },
+	}, &stats)
+	probe := func() bool {
+		g.lastProbe.Store(0)
+		return g.overloadedNow()
+	}
+	if probe() {
+		t.Fatal("detector tripped with zero fsync delay")
+	}
+	p99.Store(int64(10 * time.Millisecond))
+	if !probe() {
+		t.Fatal("detector did not trip at the fsync threshold")
+	}
+	p99.Store(int64(4 * time.Millisecond))
+	if probe() {
+		t.Fatal("detector did not clear below half the fsync threshold")
+	}
+}
+
+func TestBusyBackoffBounds(t *testing.T) {
+	hint := 100 * time.Microsecond
+	for attempt := 0; attempt < 12; attempt++ {
+		want := hint
+		for i := 0; i < attempt && want < maxBusyBackoff; i++ {
+			want *= 2
+		}
+		if want > maxBusyBackoff {
+			want = maxBusyBackoff
+		}
+		for i := 0; i < 32; i++ {
+			got := BusyBackoff(attempt, hint)
+			if got < want/2 || got > want {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, got, want/2, want)
+			}
+		}
+	}
+	// A zero hint falls back to the default.
+	if got := BusyBackoff(0, 0); got < DefaultRetryAfter/2 || got > DefaultRetryAfter {
+		t.Fatalf("zero-hint backoff %v outside [%v, %v]", got, DefaultRetryAfter/2, DefaultRetryAfter)
+	}
+}
+
+// busyHandler responds Busy to the first busyN requests, then serves
+// normally.
+type busyHandler struct {
+	busyN int64
+	calls atomic.Int64
+}
+
+func (h *busyHandler) Handle(n Node, src wire.Addr, reqID uint64, m wire.Message) {
+	if reqID == 0 {
+		return
+	}
+	if h.calls.Add(1) <= h.busyN {
+		n.Respond(src, reqID, &wire.Busy{RetryAfterMicros: 50})
+		return
+	}
+	if p, ok := m.(*wire.Ping); ok {
+		n.Respond(src, reqID, &wire.Pong{Nonce: p.Nonce})
+	}
+}
+
+func TestCallRetryExhaustsToErrOverloaded(t *testing.T) {
+	net := NewLocal(LatencyModel{})
+	defer net.Close()
+	srv := wire.ServerAddr(0, 0)
+	if _, err := net.Attach(srv, &busyHandler{busyN: 1 << 30}); err != nil {
+		t.Fatal(err)
+	}
+	cli, err := net.Attach(wire.ClientAddr(0, 1), &echoHandler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var retries int
+	_, err = CallRetry(ctx, cli, srv, &wire.Ping{}, func() { retries++ })
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if retries != DefaultBusyRetries {
+		t.Fatalf("onRetry ran %d times, want %d", retries, DefaultBusyRetries)
+	}
+}
+
+func TestCallRetryRecoversAfterBusy(t *testing.T) {
+	net := NewLocal(LatencyModel{})
+	defer net.Close()
+	srv := wire.ServerAddr(0, 0)
+	if _, err := net.Attach(srv, &busyHandler{busyN: 3}); err != nil {
+		t.Fatal(err)
+	}
+	cli, err := net.Attach(wire.ClientAddr(0, 1), &echoHandler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var retries int
+	resp, err := CallRetry(ctx, cli, srv, &wire.Ping{Nonce: 9}, func() { retries++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pong, ok := resp.(*wire.Pong); !ok || pong.Nonce != 9 {
+		t.Fatalf("resp = %#v, want Pong{9}", resp)
+	}
+	if retries != 3 {
+		t.Fatalf("onRetry ran %d times, want 3", retries)
+	}
+}
+
+// gatedParkHandler parks client-sourced Pings until release closes;
+// server-sourced Pings are answered immediately. It models client handlers
+// occupying every admission token while cluster traffic must stay live.
+type gatedParkHandler struct {
+	release chan struct{}
+	parked  atomic.Int64
+}
+
+func (p *gatedParkHandler) Handle(n Node, src wire.Addr, reqID uint64, m wire.Message) {
+	ping, ok := m.(*wire.Ping)
+	if !ok || reqID == 0 {
+		return
+	}
+	if src.IsClient() {
+		p.parked.Add(1)
+		<-p.release
+	}
+	n.Respond(src, reqID, &wire.Pong{Nonce: ping.Nonce})
+}
+
+// testAdmissionLiveness is the gate's liveness invariant, shared by both
+// transports: with every admission token held by parked client handlers,
+// (a) further client requests are shed with a typed Busy, and (b)
+// cluster-sourced requests still dispatch and complete — the gate must
+// never apply to them.
+func testAdmissionLiveness(t *testing.T, net Network, stats *AdmitStats, done func()) {
+	t.Helper()
+	defer done()
+	srv := wire.ServerAddr(0, 0)
+	peer := wire.ServerAddr(0, 1)
+	h := &gatedParkHandler{release: make(chan struct{})}
+	if _, err := net.Attach(srv, h); err != nil {
+		t.Fatal(err)
+	}
+	pn, err := net.Attach(peer, &echoHandler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// Two clients park inside the handler, holding both tokens.
+	parked := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		cli, err := net.Attach(wire.ClientAddr(0, i+1), &echoHandler{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			_, err := cli.Call(ctx, srv, &wire.Ping{Nonce: 1})
+			parked <- err
+		}()
+	}
+	waitUntil(t, "both clients parked", func() bool { return h.parked.Load() == 2 })
+
+	// A third client must be shed with Busy, not queued behind the parked
+	// handlers.
+	c3, err := net.Attach(wire.ClientAddr(0, 3), &echoHandler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c3.Call(ctx, srv, &wire.Ping{Nonce: 2})
+	var busy *wire.Busy
+	if !errors.As(err, &busy) {
+		t.Fatalf("third client err = %v, want *wire.Busy", err)
+	}
+	if busy.RetryAfter() <= 0 {
+		t.Fatalf("Busy carried no retry-after hint: %+v", busy)
+	}
+
+	// Cluster traffic must still flow while every token is held.
+	resp, err := pn.Call(ctx, srv, &wire.Ping{Nonce: 7})
+	if err != nil {
+		t.Fatalf("server→server call under full gate: %v", err)
+	}
+	if pong, ok := resp.(*wire.Pong); !ok || pong.Nonce != 7 {
+		t.Fatalf("server→server resp = %#v, want Pong{7}", resp)
+	}
+
+	close(h.release)
+	for i := 0; i < 2; i++ {
+		if err := <-parked; err != nil {
+			t.Fatalf("parked client call failed after release: %v", err)
+		}
+	}
+	v := stats.View()
+	if v.Admitted != 2 || v.Shed < 1 {
+		t.Fatalf("stats = %+v, want admitted=2 shed>=1", v)
+	}
+	waitUntil(t, "admission depth to drain", func() bool { return stats.Depth.Load() == 0 })
+}
+
+func TestTCPAdmissionGateLiveness(t *testing.T) {
+	dir := map[wire.Addr]string{
+		wire.ServerAddr(0, 0): freeAddr(t),
+		wire.ServerAddr(0, 1): freeAddr(t),
+	}
+	net := NewTCP(dir)
+	net.SetAdmission(AdmitConfig{Limit: 2})
+	testAdmissionLiveness(t, net, net.AdmitStats(), func() { net.Close() })
+}
+
+func TestLocalAdmissionGateLiveness(t *testing.T) {
+	net := NewLocal(LatencyModel{})
+	net.SetAdmission(AdmitConfig{Limit: 2})
+	testAdmissionLiveness(t, net, net.AdmitStats(), func() { net.Close() })
+}
+
+// lateRespHandler holds the response until the test releases it, after the
+// caller's ctx is already cancelled — manufacturing a response nobody
+// claims.
+type lateRespHandler struct {
+	got     chan struct{}
+	proceed chan struct{}
+}
+
+func (h *lateRespHandler) Handle(n Node, src wire.Addr, reqID uint64, m wire.Message) {
+	if reqID == 0 {
+		return
+	}
+	h.got <- struct{}{}
+	<-h.proceed
+	n.Respond(src, reqID, &probeMsg{N: 9})
+}
+
+// testLateResponse is the regression for the silent late-response leak:
+// a response arriving after its Call gave up must be counted as dropped
+// AND recycled back to the message pool (observed via probeMsg's counting
+// Reset), on both transports.
+func testLateResponse(t *testing.T, net Network, stats *Stats, done func()) {
+	t.Helper()
+	defer done()
+	srv := wire.ServerAddr(0, 0)
+	h := &lateRespHandler{got: make(chan struct{}), proceed: make(chan struct{})}
+	if _, err := net.Attach(srv, h); err != nil {
+		t.Fatal(err)
+	}
+	cli, err := net.Attach(wire.ClientAddr(0, 1), &echoHandler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := cli.Call(ctx, srv, &wire.Ping{})
+		errCh <- err
+	}()
+	<-h.got
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled call returned %v, want context.Canceled", err)
+	}
+	// The Call has returned, so its pending entry is gone. Release the
+	// response and require both the drop accounting and the pool return.
+	drop0 := stats.Dropped.Load()
+	resets0 := probeResets.Load()
+	close(h.proceed)
+	waitUntil(t, "late response dropped with accounting", func() bool {
+		return stats.Dropped.Load() > drop0
+	})
+	waitUntil(t, "late response recycled to the pool", func() bool {
+		return probeResets.Load() > resets0
+	})
+}
+
+func TestTCPLateResponseRecycledAndCounted(t *testing.T) {
+	dir := map[wire.Addr]string{wire.ServerAddr(0, 0): freeAddr(t)}
+	net := NewTCP(dir)
+	testLateResponse(t, net, net.Stats(), func() { net.Close() })
+}
+
+func TestLocalLateResponseRecycledAndCounted(t *testing.T) {
+	net := NewLocal(LatencyModel{})
+	testLateResponse(t, net, net.Stats(), func() { net.Close() })
+}
+
+// TestTCPWorkQueueCoversWorkers is the regression for the spurious
+// HandlerOverflow on large machines: with GOMAXPROCS above the fixed queue
+// length, dispatch could reserve an idle worker and still find the queue
+// full, spilling despite the reservation. Attach must size the queue to
+// cover the worker pool.
+func TestTCPWorkQueueCoversWorkers(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	runtime.GOMAXPROCS(handlerQueueLen + 64)
+	defer runtime.GOMAXPROCS(old)
+
+	net := NewTCP(map[wire.Addr]string{})
+	defer net.Close()
+	n, err := net.Attach(wire.ServerAddr(0, 0), &echoHandler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := n.(*tcpNode)
+	workers := handlerWorkers()
+	if workers <= handlerQueueLen {
+		t.Fatalf("test setup: worker count %d does not exceed queue length %d", workers, handlerQueueLen)
+	}
+	if cap(node.workq) < workers {
+		t.Fatalf("workq cap %d < worker count %d: reserved dispatches can spuriously overflow", cap(node.workq), workers)
+	}
+}

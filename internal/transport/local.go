@@ -71,10 +71,12 @@ func (l LatencyModel) Delay(src, dst wire.Addr) time.Duration {
 // channel while idle and spin only when the next delivery is imminent,
 // giving microsecond-accurate injection (see DESIGN.md).
 type Local struct {
-	latency LatencyModel
-	pol     BatchPolicy
-	stats   Stats
-	wheels  []*wheel
+	latency    LatencyModel
+	pol        BatchPolicy
+	stats      Stats
+	admit      AdmitConfig
+	admitStats AdmitStats
+	wheels     []*wheel
 
 	// lossBits holds the current cross-DC loss fraction (float64 bits),
 	// runtime-adjustable so fault tests can sever and heal the WAN
@@ -185,6 +187,20 @@ func (s *localSink) WriteBatch(frames []*wire.FrameBuf) error {
 // Stats exposes the network's traffic counters.
 func (l *Local) Stats() *Stats { return &l.stats }
 
+// AdmitStats exposes the admission-control counters (all zero while
+// admission is disabled).
+func (l *Local) AdmitStats() *AdmitStats { return &l.admitStats }
+
+// SetAdmission configures client admission control for nodes attached
+// AFTER the call, exactly as on the TCP transport: each server-address
+// node gets its own gate, applied only to requests whose source carries
+// the client flag. Call it before attaching servers.
+func (l *Local) SetAdmission(cfg AdmitConfig) {
+	l.mu.Lock()
+	l.admit = cfg
+	l.mu.Unlock()
+}
+
 // SetInterDCLoss changes the cross-DC loss fraction at runtime. Fault
 // tests use 1.0 to sever the WAN (isolating a DC while it keeps serving
 // locally) and 0 to heal it.
@@ -210,6 +226,9 @@ func (l *Local) Attach(addr wire.Addr, h Handler) (Node, error) {
 		return nil, ErrAttached
 	}
 	n := &localNode{net: l, addr: addr, h: h, stop: make(chan struct{})}
+	if addr.IsServer() && l.admit.Enabled() {
+		n.gate = NewAdmitGate(l.admit, &l.admitStats)
+	}
 	l.nodes[addr] = n
 	return n, nil
 }
@@ -280,8 +299,43 @@ func (l *Local) dispatch(f *wire.FrameBuf) {
 		dst.deliverResponse(env)
 		return
 	}
+	// Client admission control, mirroring tcpNode.dispatch: shed excess
+	// client load with a typed Busy; cluster-sourced traffic is never
+	// gated (handlers may park on cluster state, and the message that
+	// unblocks them must always dispatch). Shedding here runs on this
+	// dispatch goroutine — Local already pays one goroutine per frame, so
+	// there is no read path to protect.
+	if dst.gate != nil && env.Src.IsClient() {
+		if !dst.gate.Admit() {
+			l.shed(dst, env)
+			return
+		}
+		defer dst.gate.Release()
+	}
 	dst.h.Handle(dst, env.Src, env.ReqID, env.Msg)
 	wire.Recycle(env.Msg)
+}
+
+// shed answers one declined client request with Busy (or drops it with
+// accounting when it is neither awaited nor correlated).
+func (l *Local) shed(dst *localNode, env *wire.Envelope) {
+	reqID, echo := env.ReqID, uint64(0)
+	if reqID == 0 {
+		corr, ok := env.Msg.(wire.Correlated)
+		if !ok {
+			wire.Recycle(env.Msg)
+			l.stats.Dropped.Add(1)
+			return
+		}
+		echo = corr.CorrelationID()
+	}
+	wire.Recycle(env.Msg)
+	hint := busyHintMicros(dst.gate)
+	if reqID != 0 {
+		_ = dst.Respond(env.Src, reqID, &wire.Busy{RetryAfterMicros: hint})
+	} else {
+		_ = dst.Send(env.Src, &wire.Busy{Echo: echo, RetryAfterMicros: hint})
+	}
 }
 
 // delivery is one in-flight coalesced batch.
@@ -374,6 +428,7 @@ type localNode struct {
 	net    *Local
 	addr   wire.Addr
 	h      Handler
+	gate   *AdmitGate // client admission gate; nil unless SetAdmission enabled it
 	closed atomic.Bool
 
 	// stop fires when the node (or its network) closes, so Calls waiting
@@ -466,13 +521,21 @@ func (n *localNode) Call(ctx context.Context, dst wire.Addr, m wire.Message) (wi
 	}
 }
 
+// deliverResponse hands a response to its waiting Call. A response nobody
+// is waiting for — the Call's ctx expired and deleted the pending entry,
+// or a duplicate already filled the channel — must still be accounted and
+// its pooled message recycled; silently discarding it leaked pool capacity
+// and hid the drop from the stats.
 func (n *localNode) deliverResponse(env *wire.Envelope) {
 	if ch, ok := n.pending.Load(env.ReqID); ok {
 		select {
 		case ch.(chan *wire.Envelope) <- env:
-		default: // duplicate response; drop
+			return
+		default: // duplicate response
 		}
 	}
+	n.net.stats.Dropped.Add(1)
+	wire.Recycle(env.Msg)
 }
 
 // Close detaches the node from the network.

@@ -23,8 +23,15 @@ const (
 	// handlerQueueLen bounds the per-node inbound request queue feeding
 	// the worker pool. It is a hand-off buffer, not a backlog: dispatch
 	// only queues a request after reserving an idle worker, so nothing
-	// ever waits in it behind a blocked handler.
+	// ever waits in it behind a blocked handler. Attach widens it to the
+	// worker count when that is larger — a reserved dispatch must always
+	// find queue room, or reservations spuriously spill (HandlerOverflow).
 	handlerQueueLen = 256
+
+	// shedQueueLen bounds the per-node queue feeding the Busy responder.
+	// Shedding must never block the read path, so a full queue drops the
+	// shed notice instead (the client's deadline is the backstop).
+	shedQueueLen = 256
 )
 
 // handlerWorkers is the size of the per-node inbound worker pool.
@@ -39,8 +46,10 @@ func handlerWorkers() int {
 // directory; clients need not listen — peers respond over the connection a
 // request arrived on.
 type TCP struct {
-	stats Stats
-	pol   BatchPolicy
+	stats      Stats
+	pol        BatchPolicy
+	admit      AdmitConfig
+	admitStats AdmitStats
 
 	mu     sync.Mutex
 	dir    map[wire.Addr]string
@@ -67,6 +76,21 @@ func NewTCPOpts(directory map[wire.Addr]string, pol BatchPolicy) *TCP {
 // Stats exposes traffic counters.
 func (t *TCP) Stats() *Stats { return &t.stats }
 
+// AdmitStats exposes the admission-control counters (all zero while
+// admission is disabled).
+func (t *TCP) AdmitStats() *AdmitStats { return &t.admitStats }
+
+// SetAdmission configures client admission control for nodes attached
+// AFTER the call: each server-address node gets its own gate (token cap +
+// overload detector) applied only to requests whose source carries the
+// client flag. Call it before Attach; already-attached nodes are
+// unaffected.
+func (t *TCP) SetAdmission(cfg AdmitConfig) {
+	t.mu.Lock()
+	t.admit = cfg
+	t.mu.Unlock()
+}
+
 // Attach registers addr. If addr is in the directory the node listens on
 // its directory endpoint; otherwise it is a client-only node that can dial
 // out but not accept.
@@ -79,25 +103,37 @@ func (t *TCP) Attach(addr wire.Addr, h Handler) (Node, error) {
 	if _, dup := t.nodes[addr]; dup {
 		return nil, ErrAttached
 	}
+	// The queue must hold at least one entry per worker: dispatch reserves
+	// an idle worker before queueing, and a reservation finding the queue
+	// full would spill despite the idle worker.
+	workers := handlerWorkers()
 	n := &tcpNode{
 		t:     t,
 		addr:  addr,
 		h:     h,
 		conns: make(map[wire.Addr]*tcpConn),
 		all:   make(map[*tcpConn]struct{}),
-		workq: make(chan inbound, handlerQueueLen),
+		workq: make(chan inbound, max(handlerQueueLen, workers)),
 		stop:  make(chan struct{}),
+	}
+	if addr.IsServer() && t.admit.Enabled() {
+		n.gate = NewAdmitGate(t.admit, &t.admitStats)
+		n.shedq = make(chan shedNote, shedQueueLen)
+		n.wg.Add(1)
+		go n.shedResponder()
 	}
 	if hp, ok := t.dir[addr]; ok {
 		ln, err := net.Listen("tcp", hp)
 		if err != nil {
+			close(n.stop)
+			n.wg.Wait()
 			return nil, fmt.Errorf("transport: listen %s: %w", hp, err)
 		}
 		n.ln = ln
 		n.wg.Add(1)
 		go n.acceptLoop()
 	}
-	for i := 0; i < handlerWorkers(); i++ {
+	for i := 0; i < workers; i++ {
 		n.wg.Add(1)
 		go n.worker()
 	}
@@ -214,11 +250,22 @@ func (s *tcpSink) WriteBatch(frames []*wire.FrameBuf) error {
 	return err
 }
 
-// inbound is one request waiting for a handler worker.
+// inbound is one request waiting for a handler worker. gate, when non-nil,
+// holds the admission token the request was admitted under; whoever runs
+// the handler releases it after Handle returns.
 type inbound struct {
 	src   wire.Addr
 	reqID uint64
 	msg   wire.Message
+	gate  *AdmitGate
+}
+
+// shedNote queues one shed client request for the Busy responder: either a
+// reqID to respond to, or (one-way correlated requests) an echo id.
+type shedNote struct {
+	src   wire.Addr
+	reqID uint64
+	echo  uint64
 }
 
 type tcpNode struct {
@@ -226,6 +273,11 @@ type tcpNode struct {
 	addr wire.Addr
 	h    Handler
 	ln   net.Listener
+
+	// gate, when non-nil, admission-controls client-sourced requests;
+	// shedq feeds the Busy responder goroutine.
+	gate  *AdmitGate
+	shedq chan shedNote
 
 	mu    sync.Mutex
 	conns map[wire.Addr]*tcpConn // routable by learned/dialed peer
@@ -366,8 +418,22 @@ func (n *tcpNode) readLoop(tc *tcpConn) {
 // any cap on concurrently running handlers recreates that deadlock for the
 // requests beyond the cap, so under saturation this degrades to the (safe)
 // goroutine-per-request design and HandlerOverflow records how often.
+//
+// Client-sourced requests are the exception: they first pass the admission
+// gate (when configured), and excess client load is shed with a typed Busy
+// instead of growing the spill lane. The deadlock argument does not apply
+// to them — no cluster-state transition waits on a client request — so
+// capping client handlers is safe, and it is what keeps a client stampede
+// from starving the intra-cluster traffic that must stay unbounded.
 func (n *tcpNode) dispatch(env *wire.Envelope) {
 	in := inbound{src: env.Src, reqID: env.ReqID, msg: env.Msg}
+	if n.gate != nil && env.Src.IsClient() {
+		if !n.gate.Admit() {
+			n.shed(env)
+			return
+		}
+		in.gate = n.gate
+	}
 	if n.idle.Add(-1) >= 0 {
 		// Reserved one worker receive; exactly one worker iteration will
 		// consume what we queue, so this request cannot strand.
@@ -390,7 +456,52 @@ func (n *tcpNode) dispatch(env *wire.Envelope) {
 		defer n.wg.Done()
 		n.h.Handle(n, in.src, in.reqID, in.msg)
 		wire.Recycle(in.msg)
+		if in.gate != nil {
+			in.gate.Release()
+		}
 	}()
+}
+
+// shed answers one declined client request with Busy, off the read path:
+// the note goes to a bounded queue served by the shed responder, so a
+// congested send path can never park the readLoop behind a Busy write. A
+// request that is neither awaited (reqID) nor correlated has no address to
+// send Busy to and is dropped with accounting.
+func (n *tcpNode) shed(env *wire.Envelope) {
+	note := shedNote{src: env.Src, reqID: env.ReqID}
+	if note.reqID == 0 {
+		corr, ok := env.Msg.(wire.Correlated)
+		if !ok {
+			wire.Recycle(env.Msg)
+			n.t.stats.Dropped.Add(1)
+			return
+		}
+		note.echo = corr.CorrelationID()
+	}
+	wire.Recycle(env.Msg)
+	select {
+	case n.shedq <- note:
+	default:
+		n.t.stats.Dropped.Add(1)
+	}
+}
+
+// shedResponder turns queued shed notes into Busy responses.
+func (n *tcpNode) shedResponder() {
+	defer n.wg.Done()
+	for {
+		select {
+		case note := <-n.shedq:
+			hint := busyHintMicros(n.gate)
+			if note.reqID != 0 {
+				_ = n.Respond(note.src, note.reqID, &wire.Busy{RetryAfterMicros: hint})
+			} else {
+				_ = n.Send(note.src, &wire.Busy{Echo: note.echo, RetryAfterMicros: hint})
+			}
+		case <-n.stop:
+			return
+		}
+	}
 }
 
 // worker is one member of the node's inbound handler pool. Each loop
@@ -404,6 +515,9 @@ func (n *tcpNode) worker() {
 		case in := <-n.workq:
 			n.h.Handle(n, in.src, in.reqID, in.msg)
 			wire.Recycle(in.msg)
+			if in.gate != nil {
+				in.gate.Release()
+			}
 		case <-n.stop:
 			return
 		}
@@ -449,7 +563,10 @@ func (n *tcpNode) getConn(ctx context.Context, dst wire.Addr) (*tcpConn, error) 
 	n.mu.Lock()
 	if prev, dup := n.conns[dst]; dup {
 		n.mu.Unlock()
-		c.Close()
+		// Tear the whole loser endpoint down, not just its socket: close()
+		// also stops the Batcher, so a frame enqueued on the loser before
+		// registration could never strand in a writerless queue.
+		tc.close()
 		return prev, nil
 	}
 	n.conns[dst] = tc
@@ -524,13 +641,21 @@ func (n *tcpNode) Call(ctx context.Context, dst wire.Addr, m wire.Message) (wire
 	}
 }
 
+// deliverResponse matches one response to its waiting Call. A response
+// nobody claims — the Call's context expired and deleted the pending entry,
+// or a duplicate already filled the channel — is dropped WITH accounting:
+// no waiter will ever retain the message, so pooled decodes go back to the
+// pool and stats.Dropped records the loss.
 func (n *tcpNode) deliverResponse(env *wire.Envelope) {
 	if ch, ok := n.pending.Load(env.ReqID); ok {
 		select {
 		case ch.(chan *wire.Envelope) <- env:
+			return
 		default:
 		}
 	}
+	n.t.stats.Dropped.Add(1)
+	wire.Recycle(env.Msg)
 }
 
 // Close shuts the node down: listener, handler workers, and every live

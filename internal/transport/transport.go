@@ -179,9 +179,13 @@ func RespondError(n Node, dst wire.Addr, reqID uint64, code uint16, text string)
 }
 
 // unwrapResp converts a response envelope into Call's return values,
-// surfacing *wire.ErrorResp as the error.
+// surfacing *wire.ErrorResp and the admission gate's *wire.Busy as the
+// error (both implement error), so every Call path sees shedding uniformly.
 func unwrapResp(env *wire.Envelope) (wire.Message, error) {
-	if e, ok := env.Msg.(*wire.ErrorResp); ok {
+	switch e := env.Msg.(type) {
+	case *wire.ErrorResp:
+		return nil, e
+	case *wire.Busy:
 		return nil, e
 	}
 	return env.Msg, nil

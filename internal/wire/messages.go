@@ -1,6 +1,10 @@
 package wire
 
-import "repro/internal/vclock"
+import (
+	"time"
+
+	"repro/internal/vclock"
+)
 
 // Message type identifiers. The 1–19 range belongs to the timestamp-based
 // engine (Contrarian/Cure), 20–39 to CC-LO (COPS-SNOW), 40+ to generic
@@ -34,6 +38,7 @@ const (
 	TErrorResp = 40
 	TPing      = 41
 	TPong      = 42
+	TBusy      = 43
 
 	TCopsRotReq  = 50
 	TCopsRotResp = 51
@@ -75,6 +80,7 @@ func init() {
 	Register(TErrorResp, func() Message { return new(ErrorResp) })
 	Register(TPing, func() Message { return new(Ping) })
 	Register(TPong, func() Message { return new(Pong) })
+	Register(TBusy, func() Message { return new(Busy) })
 
 	// Hot request-path messages are pooled on decode the way encode buffers
 	// already are (see Pool/Recycle in codec.go). Only messages consumed by
@@ -840,6 +846,52 @@ type Pong struct{ Nonce uint64 }
 func (*Pong) Type() uint16       { return TPong }
 func (m *Pong) Encode(b *Buffer) { b.U64(m.Nonce) }
 func (m *Pong) Decode(r *Reader) { m.Nonce = r.U64() }
+
+// Busy is the typed shed response of the transport's admission gate: the
+// server declined to run a client request and the client should retry after
+// roughly the carried hint (with its own jitter). For Call-style requests it
+// travels as the response envelope; for one-way correlated requests (the
+// 1 1/2-round ROT's coordinator leg) it travels as a one-way message whose
+// Echo carries the request's correlation id. It is deliberately NOT pooled:
+// Call waiters and client ROT state retain it past the handler's return.
+type Busy struct {
+	// Echo is the shed request's correlation id (Correlated.CorrelationID)
+	// when the request was one-way; 0 for reqID-matched responses.
+	Echo uint64
+	// RetryAfterMicros is the server's backoff hint in microseconds.
+	RetryAfterMicros uint32
+}
+
+func (*Busy) Type() uint16 { return TBusy }
+func (m *Busy) Encode(b *Buffer) {
+	b.U64(m.Echo)
+	b.U32(m.RetryAfterMicros)
+}
+func (m *Busy) Decode(r *Reader) {
+	m.Echo = r.U64()
+	m.RetryAfterMicros = r.U32()
+}
+
+// Error makes Busy returnable as a Call error (transport.unwrapResp).
+func (m *Busy) Error() string { return "server busy, retry later" }
+
+// RetryAfter returns the backoff hint as a duration.
+func (m *Busy) RetryAfter() time.Duration {
+	return time.Duration(m.RetryAfterMicros) * time.Microsecond
+}
+
+// Correlated is implemented by one-way request messages that carry their
+// own correlation id. The admission gate uses it to shed such requests with
+// an addressable Busy: there is no reqID to respond to, so the Busy's Echo
+// carries this id and the client routes it like the direct server-to-client
+// messages the request would have produced.
+type Correlated interface {
+	CorrelationID() uint64
+}
+
+// CorrelationID makes the 1 1/2-round ROT's one-way coordinator request
+// sheddable (the Busy's Echo routes to the client's waiting ROT by RotID).
+func (m *RotCoordReq) CorrelationID() uint64 { return m.RotID }
 
 //
 // COPS (two-round, two-version ROTs; §3 of the paper).

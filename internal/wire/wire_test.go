@@ -156,6 +156,7 @@ func sampleMessages(r *rand.Rand) []Message {
 		&ErrorResp{Code: 2, Text: "boom"},
 		&Ping{Nonce: 1},
 		&Pong{Nonce: 1},
+		&Busy{Echo: 1 << 50, RetryAfterMicros: 2500},
 	}
 }
 
