@@ -139,6 +139,12 @@ type Options struct {
 	// ShedFsyncP99 sheds client load early once the WAL p99 fsync delay
 	// reaches this (0 = signal unused).
 	ShedFsyncP99 time.Duration
+	// SocketPool caps connections per destination for tenant sessions
+	// (NewTenantSession), which share one multiplexed endpoint per DC
+	// instead of attaching an address each (0 = 1 shared connection). The
+	// in-process transport has no sockets; the knob exists so the same
+	// Options shape describes TCP deployments.
+	SocketPool int
 }
 
 // ErrOverloaded is returned by session operations once the Busy-retry
@@ -208,6 +214,7 @@ func StartCluster(opts Options) (*Cluster, error) {
 		AdmitLimit:       opts.AdmitLimit,
 		ShedQueueFrames:  opts.ShedQueueFrames,
 		ShedFsyncP99:     opts.ShedFsyncP99,
+		SocketPool:       opts.SocketPool,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("causalkv: %w", err)
@@ -226,6 +233,20 @@ func (c *Cluster) Options() Options { return c.opts }
 // increasing causally consistent snapshots, including its own writes.
 func (c *Cluster) NewSession(dc int) (*Session, error) {
 	cli, err := c.inner.NewClient(dc)
+	if err != nil {
+		return nil, fmt.Errorf("causalkv: %w", err)
+	}
+	return &Session{cli: cli, dc: dc}, nil
+}
+
+// NewTenantSession opens a client session homed in dc as a logical
+// session of the given tenant, multiplexed with every other tenant session
+// of that DC over one shared endpoint (and, over TCP, a small fixed
+// connection pool) instead of one endpoint per session. Under admission
+// control the server sheds and queues per tenant, so a saturating tenant
+// cannot starve a trickle tenant.
+func (c *Cluster) NewTenantSession(dc int, tenant uint16) (*Session, error) {
+	cli, err := c.inner.NewSessionClient(dc, tenant)
 	if err != nil {
 		return nil, fmt.Errorf("causalkv: %w", err)
 	}

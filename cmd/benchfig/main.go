@@ -16,6 +16,7 @@
 //	benchfig -fig transport    # batching engine: greedy vs adaptive flush
 //	benchfig -fig store        # storage engine vs pre-refactor baseline (10M keys)
 //	benchfig -fig overload     # admission control: ungated vs gated past saturation
+//	benchfig -fig sessions     # session mux: per-client endpoints vs multiplexed sessions
 //	benchfig -fig all          # everything except -fig store and -fig overload
 //
 // Scale knobs: -partitions, -keys, -clients, -duration, -warmup, -paper.
@@ -38,7 +39,7 @@ import (
 
 func main() {
 	var (
-		fig        = flag.String("fig", "all", "figure to reproduce: 4,5,6,7a,7b,8,9,values,compare,ablation,table2,wal,transport,store,overload,all")
+		fig        = flag.String("fig", "all", "figure to reproduce: 4,5,6,7a,7b,8,9,values,compare,ablation,table2,wal,transport,store,overload,sessions,all")
 		partitions = flag.Int("partitions", 8, "partitions per DC")
 		keys       = flag.Int("keys", 20000, "keys per partition")
 		clientsCSV = flag.String("clients", "4,16,64,192", "comma-separated clients/DC sweep")
@@ -188,6 +189,13 @@ func main() {
 	if want("transport") {
 		run("transport flush policies", func() error {
 			series, err := bench.FigureTransport(o, 1)
+			collected = append(collected, series...)
+			return err
+		})
+	}
+	if want("sessions") {
+		run("session multiplexing", func() error {
+			series, err := bench.FigureSessions(o, 1)
 			collected = append(collected, series...)
 			return err
 		})

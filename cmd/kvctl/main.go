@@ -4,6 +4,12 @@
 //	kvctl -topology topo.txt get mykey
 //	kvctl -topology topo.txt rot key1 key2 key3
 //	kvctl -topology topo.txt bench -n 1000
+//
+// With -sessions-per-conn the bench command drives many logical client
+// sessions multiplexed over one endpoint's small socket pool instead of
+// one TCP client per session:
+//
+//	kvctl -topology topo.txt -tenants 4 -sessions-per-conn 250 -socket-pool 8 bench 20000
 package main
 
 import (
@@ -14,6 +20,8 @@ import (
 	"math/rand"
 	"os"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cclo"
@@ -32,6 +40,9 @@ func main() {
 		dc       = flag.Int("dc", 0, "home data center")
 		timeout  = flag.Duration("timeout", 5*time.Second, "operation timeout")
 		seed     = flag.Int64("seed", 0, "RNG seed for client id and bench key picks; 0 draws a time-based seed, any other value makes runs reproducible")
+		tenants  = flag.Int("tenants", 1, "bench: spread sessions round-robin over this many admission tenants")
+		sessions = flag.Int("sessions-per-conn", 0, "bench: run this many logical sessions per tenant, all multiplexed over one endpoint's socket pool (0 = one plain client)")
+		sockPool = flag.Int("socket-pool", 4, "bench: connections per server the multiplexed endpoint may open")
 	)
 	flag.Parse()
 	if *seed == 0 {
@@ -152,7 +163,11 @@ func main() {
 		if len(args) == 2 {
 			fmt.Sscanf(args[1], "%d", &n)
 		}
-		benchLoop(cli, n, rng)
+		if *sessions > 0 {
+			benchSessions(net, *protocol, *dc, topo, n, *tenants, *sessions, *sockPool, rng)
+		} else {
+			benchLoop(cli, n, rng)
+		}
 	default:
 		log.Fatalf("unknown command %q", args[0])
 	}
@@ -169,7 +184,7 @@ func straddle(net transport.Network, dc, parts, id int, gap time.Duration, k1, k
 		log.Fatalf("straddle: %q and %q are both on partition %d; pick keys on distinct partitions", k1, k2, p1)
 	}
 	node, err := net.Attach(wire.ClientAddr(dc, id), transport.HandlerFunc(
-		func(transport.Node, wire.Addr, uint64, wire.Message) {}))
+		func(transport.Node, wire.From, uint64, wire.Message) {}))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -244,6 +259,105 @@ func newClient(protocol string, dc int, topo *cluster.Topology, net transport.Ne
 	return core.NewClient(core.ClientConfig{
 		DC: dc, ID: id, NumDCs: topo.DCs, Ring: r, Mode: mode,
 	}, net)
+}
+
+// benchSessions is the connection-scale bench: tenants x perConn logical
+// sessions share one multiplexed endpoint whose socket pool is capped at
+// pool connections per server, and hammer the cluster concurrently. The
+// summary line reports aggregate goodput plus the endpoint's socket
+// high-water mark — the number the connection-scale smoke bounds.
+func benchSessions(net *transport.TCP, protocol string, dc int, topo *cluster.Topology, n, tenants, perConn, pool int, rng *rand.Rand) {
+	if tenants < 1 {
+		tenants = 1
+	}
+	r := ring.New(topo.Partitions)
+	baseID := int(rng.Int31n(20000)) + 1000
+	mux, err := net.AttachMux(wire.ClientAddr(dc, baseID), pool)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mux.Close()
+
+	total := tenants * perConn
+	clis := make([]cluster.Client, total)
+	for i := range clis {
+		id := baseID + 1 + i
+		sess := wire.MakeSession(uint16(i%tenants), uint16(id))
+		cli, err := newSessionClient(protocol, dc, id, topo, r, mux, sess)
+		if err != nil {
+			log.Fatalf("session %d: %v", i, err)
+		}
+		clis[i] = cli
+	}
+	defer func() {
+		for _, cli := range clis {
+			cli.Close()
+		}
+	}()
+
+	ctx := context.Background()
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("bench-%02d", i)
+		if _, err := clis[0].Put(ctx, keys[i], []byte("seed")); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	perSession := max(n/total, 1)
+	var ops, fails atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, cli := range clis {
+		wg.Add(1)
+		go func(i int, cli cluster.Client) {
+			defer wg.Done()
+			// Per-session generator: the shared one is not goroutine-safe.
+			rng := rand.New(rand.NewSource(int64(i)*7919 + 1))
+			if err := warm(ctx, cli, topo.Partitions); err != nil {
+				fails.Add(int64(perSession))
+				return
+			}
+			for j := 0; j < perSession; j++ {
+				var err error
+				if j%5 == 0 {
+					_, err = cli.Put(ctx, keys[rng.Intn(len(keys))], []byte("v"))
+				} else {
+					_, err = cli.ROT(ctx, []string{keys[rng.Intn(len(keys))], keys[rng.Intn(len(keys))]})
+				}
+				if err != nil {
+					fails.Add(1)
+					continue
+				}
+				ops.Add(1)
+			}
+		}(i, cli)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	v := net.Stats().View()
+	fmt.Printf("%d sessions (%d tenants) over <=%d sockets/server: %d ops in %v (%.0f op/s), %d failed; sockets peak=%d sessions peak=%d\n",
+		total, tenants, pool, ops.Load(), elapsed.Round(time.Millisecond),
+		float64(ops.Load())/elapsed.Seconds(), fails.Load(), v.OpenConnsPeak, v.SessionsPeak)
+}
+
+// newSessionClient builds the protocol client for one logical session on
+// mux. id must stay unique per DC across the process's sessions (CC-LO rot
+// identity).
+func newSessionClient(protocol string, dc, id int, topo *cluster.Topology, r ring.Ring, mux transport.Mux, sess wire.SessionID) (cluster.Client, error) {
+	if protocol == "cclo" {
+		return cclo.NewSessionClient(cclo.ClientConfig{DC: dc, ID: id, Ring: r}, mux, sess)
+	}
+	if protocol == "cops" {
+		return cops.NewSessionClient(cops.ClientConfig{DC: dc, ID: id, Ring: r}, mux, sess)
+	}
+	mode := core.OneAndHalfRounds
+	if protocol == "cure" {
+		mode = core.TwoRounds
+	}
+	return core.NewSessionClient(core.ClientConfig{
+		DC: dc, ID: id, NumDCs: topo.DCs, Ring: r, Mode: mode,
+	}, mux, sess)
 }
 
 func benchLoop(cli cluster.Client, n int, rng *rand.Rand) {

@@ -254,6 +254,9 @@ func main() {
 				if *stabilizer {
 					extra["role"] = "stabilizer"
 				}
+				tv := net.Stats().View()
+				extra["open_conns"] = strconv.FormatInt(tv.OpenConns, 10)
+				extra["sessions"] = strconv.FormatInt(tv.Sessions, 10)
 				overload := ""
 				if *admitLimit > 0 && !*stabilizer {
 					v := net.AdmitStats().View()

@@ -53,6 +53,11 @@ type System struct {
 	// thresholds (0 = signal unused).
 	ShedQueueFrames int64
 	ShedFsyncP99    time.Duration
+	// Tenants, when positive, runs the closed-loop clients as logical
+	// sessions multiplexed over one shared endpoint per DC — client i as
+	// tenant i mod Tenants — instead of one attached endpoint per client.
+	// 0 (the default for every paper figure) keeps the legacy model.
+	Tenants int
 }
 
 // Label names the system as the paper's figure legends do.
@@ -110,6 +115,8 @@ type TransportStats struct {
 	HandlerSpills  uint64        // inbound requests that overflowed the worker pool
 	SendQueuePeak  int64         // high-water mark of queued frames (whole run)
 	SendQueueDepth int64         // queued frames at window end
+	OpenConnsPeak  int64         // high-water mark of live sockets (whole run; 0 on Local)
+	SessionsPeak   int64         // high-water mark of registered sessions (whole run)
 }
 
 // SpillFrac is the fraction of dispatches that overflowed the handler
@@ -132,6 +139,8 @@ func transportDelta(a, b transport.StatsView) TransportStats {
 		HandlerSpills:  b.HandlerOverflow - a.HandlerOverflow,
 		SendQueuePeak:  b.SendQueuePeak,
 		SendQueueDepth: b.SendQueueDepth,
+		OpenConnsPeak:  b.OpenConnsPeak,
+		SessionsPeak:   b.SessionsPeak,
 	}
 	if ts.Msgs > 0 {
 		ts.CoalescedFrac = float64(ts.Coalesced) / float64(ts.Msgs)
@@ -223,6 +232,7 @@ func Run(sys System, spec RunSpec) (Point, error) {
 		FlushBudget:     sys.FlushBudget,
 		Slow:            spec.Slow,
 		AdmitLimit:      sys.AdmitLimit,
+		SocketPool:      8,
 		ShedQueueFrames: sys.ShedQueueFrames,
 		ShedFsyncP99:    sys.ShedFsyncP99,
 	}
@@ -254,10 +264,17 @@ func Run(sys System, spec RunSpec) (Point, error) {
 	)
 
 	total := sys.DCs * spec.ClientsPerDC
+	wl.Tenants = sys.Tenants
 	clients := make([]cluster.Client, 0, total)
 	for dc := 0; dc < sys.DCs; dc++ {
 		for i := 0; i < spec.ClientsPerDC; i++ {
-			cli, err := c.NewClient(dc)
+			var cli cluster.Client
+			var err error
+			if sys.Tenants > 0 {
+				cli, err = c.NewSessionClient(dc, wl.TenantOf(i))
+			} else {
+				cli, err = c.NewClient(dc)
+			}
 			if err != nil {
 				return Point{}, err
 			}

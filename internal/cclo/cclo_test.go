@@ -66,7 +66,7 @@ type rawReader struct {
 func newRawReader(t *testing.T, d *testDeployment, id int) *rawReader {
 	t.Helper()
 	n, err := d.net.Attach(wire.ClientAddr(0, id), transport.HandlerFunc(
-		func(transport.Node, wire.Addr, uint64, wire.Message) {}))
+		func(transport.Node, wire.From, uint64, wire.Message) {}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,7 +315,7 @@ func TestDepCheckBlocksUntilInstalled(t *testing.T) {
 	owner := wire.ServerAddr(0, d.ring.Owner(x))
 
 	probe, _ := d.net.Attach(wire.ClientAddr(0, 60), transport.HandlerFunc(
-		func(transport.Node, wire.Addr, uint64, wire.Message) {}))
+		func(transport.Node, wire.From, uint64, wire.Message) {}))
 	defer probe.Close()
 
 	done := make(chan error, 1)

@@ -44,23 +44,43 @@ type Client struct {
 	epochs []uint64              // newest known restart epoch per partition
 }
 
-// ClientConfig parameterizes a CC-LO client session.
+// ClientConfig parameterizes a CC-LO client session. ID must be unique
+// among live clients of the same DC regardless of how the client attaches:
+// it seeds the high bits of every rot id, which the readers check records
+// server-side, so two live clients sharing (DC, ID) would conflate their
+// ROTs' reader records.
 type ClientConfig struct {
 	DC   int
 	ID   int
 	Ring ring.Ring
 }
 
-// NewClient attaches a CC-LO client to net.
+// NewClient attaches a CC-LO client to net at its own address.
 func NewClient(cfg ClientConfig, net transport.Network) (*Client, error) {
+	return newClient(cfg, func(h transport.Handler) (transport.Node, error) {
+		return net.Attach(wire.ClientAddr(cfg.DC, cfg.ID), h)
+	})
+}
+
+// NewSessionClient runs the client as logical session id on mux, sharing
+// the mux's connection pool with any number of sibling sessions. cfg.ID
+// must still be unique per DC (rot identity); callers typically allocate
+// it from the same space as plain client addresses.
+func NewSessionClient(cfg ClientConfig, mux transport.Mux, id wire.SessionID) (*Client, error) {
+	return newClient(cfg, func(h transport.Handler) (transport.Node, error) {
+		return mux.Session(id, h)
+	})
+}
+
+func newClient(cfg ClientConfig, attach func(transport.Handler) (transport.Node, error)) (*Client, error) {
 	c := &Client{
 		dc:   cfg.DC,
 		id:   cfg.ID,
 		ring: cfg.Ring,
 		deps: make(map[string]wire.LoDep),
 	}
-	node, err := net.Attach(wire.ClientAddr(cfg.DC, cfg.ID), transport.HandlerFunc(
-		func(transport.Node, wire.Addr, uint64, wire.Message) {}))
+	node, err := attach(transport.HandlerFunc(
+		func(transport.Node, wire.From, uint64, wire.Message) {}))
 	if err != nil {
 		return nil, err
 	}
@@ -218,7 +238,10 @@ func (c *Client) ROT(ctx context.Context, keys []string) ([]wire.KV, error) {
 // merged in even when the attempt will be fenced — the retry runs against
 // the newest epochs.
 func (c *Client) rotOnce(ctx context.Context, groups map[int][]string, nkeys int) (map[string]wire.KV, map[int][]uint64, error) {
-	rotID := uint64(c.Addr())<<32 | (c.rotSeq.Add(1) & 0xFFFFFFFF)
+	// Rot identity comes from (DC, ID), not the attached address: sessions
+	// multiplexed over one endpoint share an address, but each still needs
+	// globally distinct rot ids for its server-side reader records.
+	rotID := uint64(wire.ClientAddr(c.dc, c.id))<<32 | (c.rotSeq.Add(1) & 0xFFFFFFFF)
 	c.mu.Lock()
 	seen := c.seenTS
 	known := append([]uint64(nil), c.epochs...)

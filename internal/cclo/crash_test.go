@@ -146,7 +146,7 @@ func keyOwnedBy(r ring.Ring, part int) string {
 func (r *crashRig) readerNode(id int) (transport.Node, uint64) {
 	r.t.Helper()
 	n, err := r.net.Attach(wire.ClientAddr(0, id), transport.HandlerFunc(
-		func(transport.Node, wire.Addr, uint64, wire.Message) {}))
+		func(transport.Node, wire.From, uint64, wire.Message) {}))
 	if err != nil {
 		r.t.Fatal(err)
 	}

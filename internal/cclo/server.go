@@ -181,7 +181,7 @@ func NewServer(cfg Config, net transport.Network) (*Server, error) {
 	// cannot observe a half-built server.
 	ready := make(chan struct{})
 	node, err := net.Attach(wire.ServerAddr(cfg.DC, cfg.Part), transport.HandlerFunc(
-		func(n transport.Node, src wire.Addr, reqID uint64, m wire.Message) {
+		func(n transport.Node, src wire.From, reqID uint64, m wire.Message) {
 			<-ready
 			s.Handle(n, src, reqID, m)
 		}))
@@ -405,7 +405,7 @@ func (s *Server) Close() error {
 }
 
 // Handle dispatches one incoming message.
-func (s *Server) Handle(n transport.Node, src wire.Addr, reqID uint64, m wire.Message) {
+func (s *Server) Handle(n transport.Node, src wire.From, reqID uint64, m wire.Message) {
 	switch msg := m.(type) {
 	case *wire.LoRotReq:
 		s.handleRot(src, reqID, msg)
@@ -428,7 +428,7 @@ func (s *Server) Handle(n transport.Node, src wire.Addr, reqID uint64, m wire.Me
 
 // handleRot serves CC-LO's one-round read: latest version, or — for a
 // recorded old reader — the newest version older than its recorded time.
-func (s *Server) handleRot(src wire.Addr, reqID uint64, m *wire.LoRotReq) {
+func (s *Server) handleRot(src wire.From, reqID uint64, m *wire.LoRotReq) {
 	start := time.Now()
 	defer func() {
 		total := time.Since(start)
@@ -472,7 +472,7 @@ func (s *Server) handleRot(src wire.Addr, reqID uint64, m *wire.LoRotReq) {
 
 // handlePut runs a client PUT: readers check first, then install, then
 // replicate (Figure 2's write path).
-func (s *Server) handlePut(src wire.Addr, reqID uint64, m *wire.LoPutReq) {
+func (s *Server) handlePut(src wire.From, reqID uint64, m *wire.LoPutReq) {
 	start := time.Now()
 	var checkDur, fsyncDur time.Duration
 	defer func() {
@@ -657,7 +657,7 @@ func (s *Server) readersCheck(deps []wire.LoDep, replicated bool) (map[uint64]or
 
 // handleOldReaders answers a readers check for dependencies on this
 // partition's keys.
-func (s *Server) handleOldReaders(src wire.Addr, reqID uint64, m *wire.OldReadersReq) {
+func (s *Server) handleOldReaders(src wire.From, reqID uint64, m *wire.OldReadersReq) {
 	s.foldEpochs(m.Epochs)
 	now := time.Now()
 	collected := make(map[uint64]orEntry)
@@ -681,7 +681,7 @@ func (s *Server) handleOldReaders(src wire.Addr, reqID uint64, m *wire.OldReader
 // TS, then responds (COPS dependency checking). A shutdown abort answers
 // with an error — never success: the caller would otherwise durably
 // install a dependent whose dependency this partition never had.
-func (s *Server) handleDepCheck(src wire.Addr, reqID uint64, m *wire.DepCheckReq) {
+func (s *Server) handleDepCheck(src wire.From, reqID uint64, m *wire.DepCheckReq) {
 	if !s.waitForVersion(m.Key, m.TS, m.Src) {
 		transport.RespondError(s.node, src, reqID, 503, "cclo: dep check aborted: server stopping")
 		return
@@ -711,7 +711,7 @@ func (s *Server) waitForVersion(key string, ts uint64, src uint8) bool {
 // handleRepUpdate installs a replicated update: dependency check, then a
 // readers check in this DC, then install (§3, "Challenges of
 // geo-replication"; the two checks are the combined protocol).
-func (s *Server) handleRepUpdate(src wire.Addr, reqID uint64, m *wire.LoRepUpdate) {
+func (s *Server) handleRepUpdate(src wire.From, reqID uint64, m *wire.LoRepUpdate) {
 	start := time.Now()
 	var checkDur, fsyncDur time.Duration
 	defer func() {

@@ -71,7 +71,19 @@ func TestRandomizedCausalityAllFamilies(t *testing.T) {
 					go func(dc, ci int) {
 						defer wg.Done()
 						name := fmt.Sprintf("dc%d-c%d", dc, ci)
-						cli, err := c.NewClient(dc)
+						// Odd clients run as multiplexed sessions on the
+						// DC's shared endpoint (two tenants), even clients
+						// attach their own address — the checker then
+						// exercises both construction paths, and the
+						// session mux/demux in particular, under the same
+						// causal workload.
+						var cli cluster.Client
+						var err error
+						if ci%2 == 1 {
+							cli, err = c.NewSessionClient(dc, uint16(ci%2))
+						} else {
+							cli, err = c.NewClient(dc)
+						}
 						if err != nil {
 							fail <- err
 							return

@@ -153,6 +153,12 @@ type Config struct {
 	// ShedFsyncP99 sheds client load early when the WAL p99 fsync delay
 	// reaches this (0 = signal unused).
 	ShedFsyncP99 time.Duration
+
+	// SocketPool caps connections per destination for the session-mux
+	// client endpoints handed out by NewSessionClient (0 = 1 shared
+	// connection). The in-process transport has no sockets and ignores it;
+	// it is plumbed so TCP-backed harnesses can reuse this Config shape.
+	SocketPool int
 }
 
 // NoLatency is a latency model for correctness tests: messages still pay
@@ -187,7 +193,13 @@ type Cluster struct {
 	logs        []*wal.Log
 	skews       []time.Duration
 
-	clientSeq []atomic.Int64 // per DC
+	clientSeq []atomic.Int64 // per DC; shared by plain clients and sessions
+
+	// muxes holds the per-DC session-mux endpoints, created lazily by the
+	// first NewSessionClient in a DC. Each lives at the reserved client
+	// address muxClientID and carries any number of logical sessions.
+	muxMu sync.Mutex
+	muxes []transport.Mux
 
 	// ccloClients tracks CC-LO sessions handed out by NewClient so
 	// CCLOStats can aggregate their client-side epoch-fence retry counters
@@ -234,6 +246,7 @@ func Start(cfg Config) (*Cluster, error) {
 		logs:      make([]*wal.Log, n),
 		skews:     make([]time.Duration, n),
 		clientSeq: make([]atomic.Int64, cfg.DCs),
+		muxes:     make([]transport.Mux, cfg.DCs),
 	}
 	if cfg.AdmitLimit > 0 {
 		c.net.SetAdmission(transport.AdmitConfig{
@@ -542,6 +555,13 @@ func (c *Cluster) Close() {
 	for _, st := range c.stabs {
 		st.Close()
 	}
+	c.muxMu.Lock()
+	for _, m := range c.muxes {
+		if m != nil {
+			m.Close()
+		}
+	}
+	c.muxMu.Unlock()
 	c.net.Close()
 }
 
@@ -588,6 +608,84 @@ func (c *Cluster) NewClient(dc int) (Client, error) {
 	}
 	c.trackRetrier(cli)
 	return cli, nil
+}
+
+// muxClientID is the per-DC client id reserved for the session-mux
+// endpoint. clientSeq allocates ordinary ids upward from 1, so the top of
+// the id space stays free.
+const muxClientID = 0xFFFE
+
+// Mux returns dc's session-mux client endpoint, creating it on first use.
+// All session clients of a DC share it (and, on a real transport, its
+// connection pool).
+func (c *Cluster) Mux(dc int) (transport.Mux, error) {
+	if dc < 0 || dc >= c.cfg.DCs {
+		return nil, fmt.Errorf("cluster: no such DC %d", dc)
+	}
+	c.muxMu.Lock()
+	defer c.muxMu.Unlock()
+	if c.muxes[dc] == nil {
+		m, err := c.net.AttachMux(wire.ClientAddr(dc, muxClientID), c.cfg.SocketPool)
+		if err != nil {
+			return nil, err
+		}
+		c.muxes[dc] = m
+	}
+	return c.muxes[dc], nil
+}
+
+// NewSessionClient opens a client session homed in dc as a logical session
+// of the given tenant on the DC's shared mux endpoint, instead of
+// attaching its own address. The session's local id is allocated from the
+// same per-DC counter as plain client addresses, so rot identities stay
+// unique across both construction paths.
+func (c *Cluster) NewSessionClient(dc int, tenant uint16) (Client, error) {
+	mux, err := c.Mux(dc)
+	if err != nil {
+		return nil, err
+	}
+	id := int(c.clientSeq[dc].Add(1))
+	if id >= muxClientID {
+		return nil, fmt.Errorf("cluster: DC %d exhausted its session id space (%d)", dc, id)
+	}
+	sess := wire.MakeSession(tenant, uint16(id))
+	if c.cfg.Protocol == CCLO {
+		cli, err := cclo.NewSessionClient(cclo.ClientConfig{DC: dc, ID: id, Ring: c.ring}, mux, sess)
+		if err != nil {
+			return nil, err
+		}
+		c.ccloClientMu.Lock()
+		c.ccloClients = append(c.ccloClients, cli)
+		c.ccloClientMu.Unlock()
+		c.trackRetrier(cli)
+		return cli, nil
+	}
+	if c.cfg.Protocol == COPS {
+		cli, err := cops.NewSessionClient(cops.ClientConfig{DC: dc, ID: id, Ring: c.ring}, mux, sess)
+		if err != nil {
+			return nil, err
+		}
+		c.trackRetrier(cli)
+		return cli, nil
+	}
+	mode := core.OneAndHalfRounds
+	if c.cfg.Protocol == ContrarianTwoRound || c.cfg.Protocol == Cure {
+		mode = core.TwoRounds
+	}
+	cli, err := core.NewSessionClient(core.ClientConfig{
+		DC: dc, ID: id, NumDCs: c.cfg.DCs, Ring: c.ring, Mode: mode,
+	}, mux, sess)
+	if err != nil {
+		return nil, err
+	}
+	c.trackRetrier(cli)
+	return cli, nil
+}
+
+// TenantShed returns how many of tenant's requests the admission gate has
+// shed (0 while admission is disabled).
+func (c *Cluster) TenantShed(tenant uint16) uint64 {
+	return c.net.AdmitStats().TenantShed(tenant)
 }
 
 // trackRetrier records a session for AdmissionView's retry aggregation

@@ -234,7 +234,7 @@ func NewServer(cfg Config, net transport.Network) (*Server, error) {
 	// cannot observe a half-built server.
 	ready := make(chan struct{})
 	node, err := net.Attach(wire.ServerAddr(cfg.DC, cfg.Part), transport.HandlerFunc(
-		func(n transport.Node, src wire.Addr, reqID uint64, m wire.Message) {
+		func(n transport.Node, src wire.From, reqID uint64, m wire.Message) {
 			<-ready
 			s.Handle(n, src, reqID, m)
 		}))
@@ -338,7 +338,7 @@ func (s *Server) Latest(key string) (value []byte, ts uint64, deps []wire.LoDep,
 }
 
 // Handle dispatches one incoming message.
-func (s *Server) Handle(n transport.Node, src wire.Addr, reqID uint64, m wire.Message) {
+func (s *Server) Handle(n transport.Node, src wire.From, reqID uint64, m wire.Message) {
 	switch msg := m.(type) {
 	case *wire.CopsRotReq:
 		s.handleRot(src, reqID, msg)
@@ -361,7 +361,7 @@ func (s *Server) Handle(n transport.Node, src wire.Addr, reqID uint64, m wire.Me
 
 // handleRot serves the first ROT round: latest versions with their
 // dependency lists (the metadata COPS reads pay for).
-func (s *Server) handleRot(src wire.Addr, reqID uint64, m *wire.CopsRotReq) {
+func (s *Server) handleRot(src wire.From, reqID uint64, m *wire.CopsRotReq) {
 	start := time.Now()
 	defer func() {
 		total := time.Since(start)
@@ -393,7 +393,7 @@ func (s *Server) handleRot(src wire.Addr, reqID uint64, m *wire.CopsRotReq) {
 }
 
 // handleVer serves the second ROT round: a specific version.
-func (s *Server) handleVer(src wire.Addr, reqID uint64, m *wire.CopsVerReq) {
+func (s *Server) handleVer(src wire.From, reqID uint64, m *wire.CopsVerReq) {
 	start := time.Now()
 	defer func() { s.ops.Get.Record(time.Since(start)) }()
 	if v, ok := s.store.at(m.Key, m.TS, m.Src); ok {
@@ -406,7 +406,7 @@ func (s *Server) handleVer(src wire.Addr, reqID uint64, m *wire.CopsVerReq) {
 // handlePut installs a new version carrying the client's dependency set.
 // COPS writes are one round trip with no server-to-server communication in
 // the local DC — the cheap-writes end of the paper's design space.
-func (s *Server) handlePut(src wire.Addr, reqID uint64, m *wire.LoPutReq) {
+func (s *Server) handlePut(src wire.From, reqID uint64, m *wire.LoPutReq) {
 	start := time.Now()
 	var fsyncDur time.Duration
 	defer func() {
@@ -484,7 +484,7 @@ func (s *Server) waitForVersion(key string, ts uint64, src uint8) bool {
 // handleDepCheck blocks until this partition holds a version of Key with
 // timestamp ≥ TS (COPS dependency checking). A shutdown abort answers with
 // an error — never success.
-func (s *Server) handleDepCheck(src wire.Addr, reqID uint64, m *wire.DepCheckReq) {
+func (s *Server) handleDepCheck(src wire.From, reqID uint64, m *wire.DepCheckReq) {
 	if !s.waitForVersion(m.Key, m.TS, m.Src) {
 		transport.RespondError(s.node, src, reqID, 503, "cops: dep check aborted: server stopping")
 		return
@@ -496,7 +496,7 @@ func (s *Server) handleDepCheck(src wire.Addr, reqID uint64, m *wire.DepCheckReq
 // present in this DC. A failed or shutdown-aborted dependency check
 // withholds the install and the ack; the origin retries the (idempotent)
 // update.
-func (s *Server) handleRepUpdate(src wire.Addr, reqID uint64, m *wire.LoRepUpdate) {
+func (s *Server) handleRepUpdate(src wire.From, reqID uint64, m *wire.LoRepUpdate) {
 	start := time.Now()
 	var depDur, fsyncDur time.Duration
 	defer func() {
@@ -587,11 +587,25 @@ type ClientConfig struct {
 	Ring ring.Ring
 }
 
-// NewClient attaches a COPS client to net.
+// NewClient attaches a COPS client to net at its own address.
 func NewClient(cfg ClientConfig, net transport.Network) (*Client, error) {
+	return newClient(cfg, func(h transport.Handler) (transport.Node, error) {
+		return net.Attach(wire.ClientAddr(cfg.DC, cfg.ID), h)
+	})
+}
+
+// NewSessionClient runs the client as logical session id on mux, sharing
+// the mux's connection pool with any number of sibling sessions.
+func NewSessionClient(cfg ClientConfig, mux transport.Mux, id wire.SessionID) (*Client, error) {
+	return newClient(cfg, func(h transport.Handler) (transport.Node, error) {
+		return mux.Session(id, h)
+	})
+}
+
+func newClient(cfg ClientConfig, attach func(transport.Handler) (transport.Node, error)) (*Client, error) {
 	c := &Client{dc: cfg.DC, ring: cfg.Ring, deps: make(map[string]wire.LoDep)}
-	node, err := net.Attach(wire.ClientAddr(cfg.DC, cfg.ID), transport.HandlerFunc(
-		func(transport.Node, wire.Addr, uint64, wire.Message) {}))
+	node, err := attach(transport.HandlerFunc(
+		func(transport.Node, wire.From, uint64, wire.Message) {}))
 	if err != nil {
 		return nil, err
 	}

@@ -47,8 +47,25 @@ type ClientConfig struct {
 	Mode   ROTMode
 }
 
-// NewClient attaches a client session to net.
+// NewClient attaches a client session to net at its own address (one
+// endpoint — on TCP, one socket set — per client).
 func NewClient(cfg ClientConfig, net transport.Network) (*Client, error) {
+	return newClient(cfg, func(h transport.Handler) (transport.Node, error) {
+		return net.Attach(wire.ClientAddr(cfg.DC, cfg.ID), h)
+	})
+}
+
+// NewSessionClient runs the client as logical session id on mux: every
+// frame it sends carries the session id, and the 1 1/2-round ROT's direct
+// partition-to-client answers are demultiplexed back to this client even
+// though any number of sessions share the mux's connection pool.
+func NewSessionClient(cfg ClientConfig, mux transport.Mux, id wire.SessionID) (*Client, error) {
+	return newClient(cfg, func(h transport.Handler) (transport.Node, error) {
+		return mux.Session(id, h)
+	})
+}
+
+func newClient(cfg ClientConfig, attach func(transport.Handler) (transport.Node, error)) (*Client, error) {
 	if cfg.Mode == 0 {
 		cfg.Mode = OneAndHalfRounds
 	}
@@ -59,7 +76,7 @@ func NewClient(cfg ClientConfig, net transport.Network) (*Client, error) {
 		ring:   cfg.Ring,
 		seen:   vclock.New(max(cfg.NumDCs, 1)),
 	}
-	node, err := net.Attach(wire.ClientAddr(cfg.DC, cfg.ID), transport.HandlerFunc(c.handle))
+	node, err := attach(transport.HandlerFunc(c.handle))
 	if err != nil {
 		return nil, err
 	}
@@ -116,7 +133,7 @@ func (c *Client) Seen() vclock.Vec {
 // A shed coordinator request comes back as a one-way Busy whose Echo
 // carries the RotID (the request was un-awaited, so there is no reqID to
 // answer); it is routed to the same waiter, which retries the whole ROT.
-func (c *Client) handle(_ transport.Node, _ wire.Addr, _ uint64, m wire.Message) {
+func (c *Client) handle(_ transport.Node, _ wire.From, _ uint64, m wire.Message) {
 	var rotID uint64
 	switch msg := m.(type) {
 	case *wire.RotSnap:

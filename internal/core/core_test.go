@@ -171,7 +171,7 @@ func TestStabilizerAggregatesMin(t *testing.T) {
 	// Fake partitions that capture GSS broadcasts.
 	for p := 0; p < 2; p++ {
 		_, err := net.Attach(wire.ServerAddr(0, p), transport.HandlerFunc(
-			func(_ transport.Node, _ wire.Addr, _ uint64, m wire.Message) {
+			func(_ transport.Node, _ wire.From, _ uint64, m wire.Message) {
 				if g, ok := m.(*wire.GSSBcast); ok {
 					select {
 					case gssCh <- g.GSS:
@@ -183,7 +183,7 @@ func TestStabilizerAggregatesMin(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	reporter, _ := net.Attach(wire.ClientAddr(0, 77), transport.HandlerFunc(func(transport.Node, wire.Addr, uint64, wire.Message) {}))
+	reporter, _ := net.Attach(wire.ClientAddr(0, 77), transport.HandlerFunc(func(transport.Node, wire.From, uint64, wire.Message) {}))
 	reporter.Send(wire.StabilizerAddr(0), &wire.VVReport{Part: 0, VV: vclock.Vec{100, 30}})
 	reporter.Send(wire.StabilizerAddr(0), &wire.VVReport{Part: 1, VV: vclock.Vec{80, 50}})
 
@@ -209,7 +209,7 @@ func TestStabilizerWaitsForAllPartitions(t *testing.T) {
 	}
 	defer st.Close()
 	st.Start()
-	reporter, _ := net.Attach(wire.ClientAddr(0, 77), transport.HandlerFunc(func(transport.Node, wire.Addr, uint64, wire.Message) {}))
+	reporter, _ := net.Attach(wire.ClientAddr(0, 77), transport.HandlerFunc(func(transport.Node, wire.From, uint64, wire.Message) {}))
 	reporter.Send(wire.StabilizerAddr(0), &wire.VVReport{Part: 0, VV: vclock.Vec{100, 30}})
 	time.Sleep(50 * time.Millisecond)
 	if g := st.GSS(); g.Max() != 0 {
@@ -220,7 +220,7 @@ func TestStabilizerWaitsForAllPartitions(t *testing.T) {
 func TestReplicationDuplicateBatchIgnored(t *testing.T) {
 	d := deploy(t, 2, 1, ClockHLC)
 	s := d.servers[1] // dc1
-	sender, _ := d.net.Attach(wire.ClientAddr(0, 50), transport.HandlerFunc(func(transport.Node, wire.Addr, uint64, wire.Message) {}))
+	sender, _ := d.net.Attach(wire.ClientAddr(0, 50), transport.HandlerFunc(func(transport.Node, wire.From, uint64, wire.Message) {}))
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 

@@ -170,7 +170,7 @@ func NewServer(cfg Config, net transport.Network) (*Server, error) {
 	// cannot observe a half-built server.
 	ready := make(chan struct{})
 	node, err := net.Attach(wire.ServerAddr(cfg.DC, cfg.Part), transport.HandlerFunc(
-		func(n transport.Node, src wire.Addr, reqID uint64, m wire.Message) {
+		func(n transport.Node, src wire.From, reqID uint64, m wire.Message) {
 			<-ready
 			s.Handle(n, src, reqID, m)
 		}))
@@ -301,7 +301,7 @@ func (s *Server) Close() error {
 
 // Handle dispatches one incoming message. It runs on a fresh goroutine per
 // message (see transport) and may block.
-func (s *Server) Handle(n transport.Node, src wire.Addr, reqID uint64, m wire.Message) {
+func (s *Server) Handle(n transport.Node, src wire.From, reqID uint64, m wire.Message) {
 	switch msg := m.(type) {
 	case *wire.PutReq:
 		s.handlePut(src, reqID, msg)
@@ -351,7 +351,7 @@ func (s *Server) vvSnapshot() vclock.Vec {
 }
 
 // handlePut installs a new local version (Section 4, PUT path).
-func (s *Server) handlePut(src wire.Addr, reqID uint64, m *wire.PutReq) {
+func (s *Server) handlePut(src wire.From, reqID uint64, m *wire.PutReq) {
 	start := time.Now()
 	var fsyncDur time.Duration
 	defer func() {
@@ -419,7 +419,7 @@ func (s *Server) makeSV(seenLocal uint64, seenGSS vclock.Vec) vclock.Vec {
 }
 
 // handleRotCoord runs the coordinator role (Figure 3).
-func (s *Server) handleRotCoord(src wire.Addr, reqID uint64, m *wire.RotCoordReq) {
+func (s *Server) handleRotCoord(src wire.From, reqID uint64, m *wire.RotCoordReq) {
 	start := time.Now()
 	sv := s.makeSV(m.SeenLocal, m.SeenGSS)
 	if m.Mode == uint8(TwoRounds) {
@@ -436,13 +436,14 @@ func (s *Server) handleRotCoord(src wire.Addr, reqID uint64, m *wire.RotCoordReq
 		}
 		_ = s.node.Send(wire.ServerAddr(s.cfg.DC, int(g.Part)), &wire.RotFwd{
 			RotID:  m.RotID,
-			Client: src,
+			Client: src.Addr,
+			Sess:   src.Sess,
 			SV:     sv,
 			Keys:   g.Keys,
 		})
 	}
 	vals, wait := s.readAt(sv, own)
-	_ = s.node.Send(src, &wire.RotSnap{RotID: m.RotID, SV: sv, Vals: vals})
+	_ = s.node.SendTo(src, &wire.RotSnap{RotID: m.RotID, SV: sv, Vals: vals})
 	s.recordRead(start, wait, "rot", own)
 }
 
@@ -450,12 +451,12 @@ func (s *Server) handleRotCoord(src wire.Addr, reqID uint64, m *wire.RotCoordReq
 func (s *Server) handleRotFwd(m *wire.RotFwd) {
 	start := time.Now()
 	vals, wait := s.readAt(m.SV, m.Keys)
-	_ = s.node.Send(m.Client, &wire.RotVals{RotID: m.RotID, Vals: vals})
+	_ = s.node.SendTo(wire.From{Addr: m.Client, Sess: m.Sess}, &wire.RotVals{RotID: m.RotID, Vals: vals})
 	s.recordRead(start, wait, "rot", m.Keys)
 }
 
 // handleRotRead serves the second round of a 2-round ROT.
-func (s *Server) handleRotRead(src wire.Addr, reqID uint64, m *wire.RotReadReq) {
+func (s *Server) handleRotRead(src wire.From, reqID uint64, m *wire.RotReadReq) {
 	start := time.Now()
 	vals, wait := s.readAt(m.SV, m.Keys)
 	_ = s.node.Respond(src, reqID, &wire.RotReadResp{Vals: vals})
@@ -559,7 +560,7 @@ func (s *Server) readAt(sv vclock.Vec, keys []string) ([]wire.KV, time.Duration)
 // which may trail what we acknowledged (the cursor fsync raced the crash),
 // so stale-sequence batches with fresh HighTS carry the re-shipped
 // recovered tail and must be applied (installs are idempotent).
-func (s *Server) handleRepBatch(src wire.Addr, reqID uint64, m *wire.RepBatch) {
+func (s *Server) handleRepBatch(src wire.From, reqID uint64, m *wire.RepBatch) {
 	srcDC := int(m.SrcDC)
 	if srcDC == s.cfg.DC || srcDC >= s.cfg.NumDCs {
 		transport.RespondError(s.node, src, reqID, 400, "core: bad replication source")

@@ -70,7 +70,7 @@ func (st *Stabilizer) GSS() vclock.Vec {
 }
 
 // Handle receives partition VV reports.
-func (st *Stabilizer) Handle(_ transport.Node, _ wire.Addr, _ uint64, m wire.Message) {
+func (st *Stabilizer) Handle(_ transport.Node, _ wire.From, _ uint64, m wire.Message) {
 	if r, ok := m.(*wire.VVReport); ok {
 		st.mu.Lock()
 		st.vvs[r.Part] = r.VV

@@ -11,6 +11,14 @@
 // when the server is already falling behind, and shed requests are answered
 // with a typed wire.Busy carrying a retry-after hint instead of being
 // queued or dropped. Cluster-sourced traffic never touches the gate.
+//
+// With the session mux the gate is also the fairness point between
+// tenants: tokens freed by finishing handlers go to parked waiters in
+// round-robin order over tenants (a deficit round-robin with unit
+// quantum), each tenant holding at most a small bounded park queue. One
+// hot tenant can saturate its own queue and get shed; a trickle tenant's
+// requests wait at worst one round of the rotation, so its goodput and
+// tail latency survive a neighbouring stampede.
 
 package transport
 
@@ -19,6 +27,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -35,6 +45,10 @@ var ErrOverloaded = errors.New("transport: server overloaded")
 // DefaultRetryAfter is the Busy hint when AdmitConfig.RetryAfter is unset.
 const DefaultRetryAfter = 2 * time.Millisecond
 
+// DefaultParkPerTenant bounds each tenant's park queue when
+// AdmitConfig.ParkPerTenant is unset.
+const DefaultParkPerTenant = 32
+
 // admitProbeEvery rate-limits the overload detector's signal probes: the
 // admit hot path pays two atomic loads, and at most one goroutine per
 // interval pays the probe functions.
@@ -47,6 +61,9 @@ const admitProbeEvery = time.Millisecond
 type AdmitConfig struct {
 	// Limit caps concurrently running client handlers per server node.
 	Limit int
+	// ParkPerTenant bounds how many requests of one tenant may wait parked
+	// for a token before further ones are shed (0 = DefaultParkPerTenant).
+	ParkPerTenant int
 	// ShedQueueFrames trips the overload detector when the transport's
 	// send-queue depth reaches it (0 = signal unused).
 	ShedQueueFrames int64
@@ -74,8 +91,19 @@ type AdmitStats struct {
 	Shed metrics.Counter
 	// Depth tracks currently admitted client requests (level + high water).
 	Depth metrics.Gauge
+	// Parked tracks client requests waiting in tenant park queues.
+	Parked metrics.Gauge
 	// Overloaded is 1 while the queue/fsync overload detector is tripped.
 	Overloaded metrics.Gauge
+
+	// Per-tenant shed counters, created on a tenant's first shed and
+	// registered lazily under kv_admission_tenant_shed_total{tenant=...}
+	// once (and if) Register ran. tenantMu serializes creation; lookups on
+	// the shed path are one sync.Map load.
+	tenantShed sync.Map // uint16 -> *metrics.Counter
+	tenantMu   sync.Mutex
+	reg        *metrics.Registry
+	regLabels  []metrics.Label
 }
 
 // View is a frozen copy of the admission counters.
@@ -84,6 +112,8 @@ type AdmitStatsView struct {
 	Shed       uint64
 	Depth      int64
 	DepthPeak  int64
+	Parked     int64
+	ParkedPeak int64
 	Overloaded bool
 }
 
@@ -94,25 +124,104 @@ func (s *AdmitStats) View() AdmitStatsView {
 		Shed:       s.Shed.Load(),
 		Depth:      s.Depth.Load(),
 		DepthPeak:  s.Depth.HighWater(),
+		Parked:     s.Parked.Load(),
+		ParkedPeak: s.Parked.HighWater(),
 		Overloaded: s.Overloaded.Load() > 0,
 	}
 }
 
-// Register exposes the admission series under the given registry.
+// TenantShed returns how many requests of tenant t were shed.
+func (s *AdmitStats) TenantShed(t uint16) uint64 {
+	if c, ok := s.tenantShed.Load(t); ok {
+		return c.(*metrics.Counter).Load()
+	}
+	return 0
+}
+
+// shedTenant counts one shed for tenant t, creating (and, when a registry
+// is attached, registering) the tenant's counter on first use.
+func (s *AdmitStats) shedTenant(t uint16) {
+	s.Shed.Add(1)
+	if c, ok := s.tenantShed.Load(t); ok {
+		c.(*metrics.Counter).Add(1)
+		return
+	}
+	s.tenantMu.Lock()
+	c, ok := s.tenantShed.Load(t)
+	if !ok {
+		cc := new(metrics.Counter)
+		if s.reg != nil {
+			s.registerTenant(t, cc)
+		}
+		s.tenantShed.Store(t, cc)
+		c = cc
+	}
+	s.tenantMu.Unlock()
+	c.(*metrics.Counter).Add(1)
+}
+
+// registerTenant exposes one tenant's shed counter; call with tenantMu held.
+func (s *AdmitStats) registerTenant(t uint16, c *metrics.Counter) {
+	labels := make([]metrics.Label, 0, len(s.regLabels)+1)
+	labels = append(labels, s.regLabels...)
+	labels = append(labels, metrics.Label{Name: "tenant", Value: strconv.Itoa(int(t))})
+	s.reg.Counter("kv_admission_tenant_shed_total", "Client requests shed, by tenant.", c, labels...)
+}
+
+// Register exposes the admission series under the given registry. Tenant
+// shed counters that already exist are registered now; tenants appearing
+// later register on first shed.
 func (s *AdmitStats) Register(r *metrics.Registry, labels ...metrics.Label) {
 	r.Counter("kv_admission_admitted_total", "Client requests admitted past the gate.", &s.Admitted, labels...)
 	r.Counter("kv_admission_shed_total", "Client requests shed with a Busy retry-after response.", &s.Shed, labels...)
 	r.Gauge("kv_admission_depth", "Client requests currently admitted (running handlers).", &s.Depth, labels...)
+	r.Gauge("kv_admission_parked", "Client requests waiting in tenant park queues.", &s.Parked, labels...)
 	r.Gauge("kv_admission_overloaded", "1 while the queue-depth/fsync-delay overload detector is tripped.", &s.Overloaded, labels...)
+	s.tenantMu.Lock()
+	s.reg, s.regLabels = r, labels
+	s.tenantShed.Range(func(t, c any) bool {
+		s.registerTenant(t.(uint16), c.(*metrics.Counter))
+		return true
+	})
+	s.tenantMu.Unlock()
 }
 
-// AdmitGate is one server node's client admission gate: a token semaphore
-// plus a hysteretic overload detector. Admit/Release are safe for
-// concurrent use and allocation-free.
+// AdmitOutcome is Submit's verdict on one client request.
+type AdmitOutcome uint8
+
+const (
+	// AdmitGranted: a token was taken; the caller runs the request and
+	// calls Release exactly once when its handler returns.
+	AdmitGranted AdmitOutcome = iota
+	// AdmitQueued: no token was free; the request parked and its run
+	// closure fires on a fresh goroutine when a token frees up (run must
+	// end in Release). The caller does nothing further.
+	AdmitQueued
+	// AdmitShed: the request was declined; answer it with Busy.
+	AdmitShed
+)
+
+// admitWaiter is one parked request: run fires when a token is granted,
+// drop when the gate closes first.
+type admitWaiter struct {
+	run, drop func()
+}
+
+// AdmitGate is one server node's client admission gate: a token counter, a
+// hysteretic overload detector, and per-tenant park queues granted in
+// round-robin order. Submit never blocks its caller — the TCP read loop
+// sits behind it — and maintains the invariant that a request parks only
+// while no token is free (Release hands freed tokens to parked waiters
+// before banking them).
 type AdmitGate struct {
-	cfg    AdmitConfig
-	stats  *AdmitStats
-	tokens chan struct{}
+	cfg   AdmitConfig
+	stats *AdmitStats
+
+	mu     sync.Mutex
+	free   int
+	parked map[uint16][]admitWaiter
+	rr     []uint16 // rotation of tenants with non-empty park queues
+	closed bool
 
 	// lastProbe (unix nanos) rate-limits detector probes; overloaded holds
 	// the detector's current verdict between probes.
@@ -129,41 +238,126 @@ func NewAdmitGate(cfg AdmitConfig, stats *AdmitStats) *AdmitGate {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = DefaultRetryAfter
 	}
-	g := &AdmitGate{cfg: cfg, stats: stats, tokens: make(chan struct{}, cfg.Limit)}
-	for i := 0; i < cfg.Limit; i++ {
-		g.tokens <- struct{}{}
+	if cfg.ParkPerTenant <= 0 {
+		cfg.ParkPerTenant = DefaultParkPerTenant
 	}
-	return g
+	return &AdmitGate{
+		cfg:    cfg,
+		stats:  stats,
+		free:   cfg.Limit,
+		parked: make(map[uint16][]admitWaiter),
+	}
 }
 
-// Admit decides one client request: true means run it (the caller must
-// call Release exactly once when the handler returns), false means shed it
-// with Busy. It never blocks — admission is a gate, not a queue; queueing
-// behind a saturated server is exactly what shedding replaces.
-func (g *AdmitGate) Admit() bool {
+// Submit decides one client request from the given tenant. Granted: the
+// caller runs it now and Releases after. Queued: the gate runs the run
+// closure later, on its own goroutine, when a token frees (run must end in
+// Release; drop fires instead if the gate closes first). Shed: answer Busy.
+// It never blocks.
+func (g *AdmitGate) Submit(tenant uint16, run, drop func()) AdmitOutcome {
 	if g.overloadedNow() {
-		g.stats.Shed.Add(1)
-		return false
+		g.stats.shedTenant(tenant)
+		return AdmitShed
 	}
-	select {
-	case <-g.tokens:
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		g.stats.shedTenant(tenant)
+		return AdmitShed
+	}
+	if g.free > 0 {
+		g.free--
+		g.mu.Unlock()
 		g.stats.Admitted.Add(1)
 		g.stats.Depth.Add(1)
-		return true
-	default:
-		g.stats.Shed.Add(1)
-		return false
+		return AdmitGranted
+	}
+	q := g.parked[tenant]
+	if len(q) >= g.cfg.ParkPerTenant {
+		g.mu.Unlock()
+		g.stats.shedTenant(tenant)
+		return AdmitShed
+	}
+	if len(q) == 0 {
+		g.rr = append(g.rr, tenant)
+	}
+	g.parked[tenant] = append(q, admitWaiter{run: run, drop: drop})
+	g.mu.Unlock()
+	g.stats.Parked.Add(1)
+	return AdmitQueued
+}
+
+// Release returns an admitted request's token. If waiters are parked, the
+// token passes directly to the next tenant in the rotation (so free > 0
+// and parked waiters never coexist) and its run closure fires on a fresh
+// goroutine; otherwise the token is banked.
+func (g *AdmitGate) Release() {
+	g.stats.Depth.Add(-1)
+	g.mu.Lock()
+	if len(g.rr) == 0 {
+		if g.free < g.cfg.Limit {
+			g.free++
+		}
+		g.mu.Unlock()
+		return
+	}
+	t := g.rr[0]
+	q := g.parked[t]
+	w := q[0]
+	q[0] = admitWaiter{}
+	if len(q) == 1 {
+		delete(g.parked, t)
+		g.rr = g.rr[1:]
+	} else {
+		g.parked[t] = q[1:]
+		// Rotate: the tenant goes to the back, so each freed token serves
+		// a different tenant before any tenant is served twice.
+		g.rr = append(g.rr[1:], t)
+	}
+	g.mu.Unlock()
+	g.stats.Parked.Add(-1)
+	g.stats.Admitted.Add(1)
+	g.stats.Depth.Add(1)
+	go w.run()
+}
+
+// Close drains the park queues, firing each waiter's drop closure. Further
+// Submits shed. Call before waiting out the node's handler goroutines —
+// parked waiters hold shutdown accounting their drop must release.
+func (g *AdmitGate) Close() {
+	g.mu.Lock()
+	g.closed = true
+	var drops []func()
+	for t, q := range g.parked {
+		for _, w := range q {
+			drops = append(drops, w.drop)
+		}
+		delete(g.parked, t)
+	}
+	g.rr = nil
+	g.mu.Unlock()
+	for _, d := range drops {
+		g.stats.Parked.Add(-1)
+		if d != nil {
+			d()
+		}
 	}
 }
 
-// Release returns an admitted request's token.
-func (g *AdmitGate) Release() {
-	g.stats.Depth.Add(-1)
-	g.tokens <- struct{}{}
-}
-
-// RetryAfter is the hint carried in this gate's Busy responses.
+// RetryAfter is the base hint carried in this gate's Busy responses.
 func (g *AdmitGate) RetryAfter() time.Duration { return g.cfg.RetryAfter }
+
+// RetryAfterTenant scales the base hint by the tenant's own queue
+// pressure: a tenant with a deep park queue is told to back off harder,
+// one that was shed only because the detector tripped gets the base hint.
+// Capped at 8× so a full queue cannot push clients to multi-second waits.
+func (g *AdmitGate) RetryAfterTenant(tenant uint16) time.Duration {
+	g.mu.Lock()
+	depth := len(g.parked[tenant])
+	g.mu.Unlock()
+	scale := 1 + time.Duration(depth*7)/time.Duration(g.cfg.ParkPerTenant)
+	return g.cfg.RetryAfter * scale
+}
 
 // overloadedNow evaluates the queue-depth/fsync-delay detector with
 // hysteresis: it trips at a threshold and clears only once every used
@@ -206,9 +400,9 @@ func (g *AdmitGate) overloadedNow() bool {
 	return g.overloaded.Load()
 }
 
-// busyHintMicros renders a gate's retry-after hint for the wire.
-func busyHintMicros(g *AdmitGate) uint32 {
-	return uint32(g.RetryAfter() / time.Microsecond)
+// busyHintMicros renders a gate's per-tenant retry-after hint for the wire.
+func busyHintMicros(g *AdmitGate, tenant uint16) uint32 {
+	return uint32(g.RetryAfterTenant(tenant) / time.Microsecond)
 }
 
 // Client-side overload handling.
@@ -252,9 +446,10 @@ func AwaitRetry(ctx context.Context, attempt int, hint time.Duration) error {
 
 // CallRetry is Call plus overload handling: a Busy response triggers a
 // jittered exponential backoff honoring the server's retry-after hint, up
-// to DefaultBusyRetries attempts; exhaustion returns ErrOverloaded.
-// onRetry (may be nil) runs before each backoff, so clients can count
-// retries.
+// to DefaultBusyRetries attempts; exhaustion returns ErrOverloaded. The
+// backoff state is per invocation, so sessions sharing a socket back off
+// independently. onRetry (may be nil) runs before each backoff, so clients
+// can count retries.
 func CallRetry(ctx context.Context, n Node, dst wire.Addr, m wire.Message, onRetry func()) (wire.Message, error) {
 	for attempt := 0; ; attempt++ {
 		resp, err := n.Call(ctx, dst, m)

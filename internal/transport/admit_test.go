@@ -49,31 +49,111 @@ func TestNewAdmitGateDisabled(t *testing.T) {
 
 func TestAdmitGateTokens(t *testing.T) {
 	var stats AdmitStats
-	g := NewAdmitGate(AdmitConfig{Limit: 2}, &stats)
+	g := NewAdmitGate(AdmitConfig{Limit: 2, ParkPerTenant: 1}, &stats)
 	if g == nil {
 		t.Fatal("enabled config returned nil gate")
 	}
-	if !g.Admit() || !g.Admit() {
+	noop := func() {}
+	if g.Submit(1, noop, noop) != AdmitGranted || g.Submit(1, noop, noop) != AdmitGranted {
 		t.Fatal("gate refused requests within the limit")
 	}
-	if g.Admit() {
-		t.Fatal("gate admitted past the token limit")
+	// Tokens exhausted: the next request parks, the one after (queue full)
+	// is shed and counted against its tenant.
+	ran := make(chan struct{})
+	if got := g.Submit(1, func() { close(ran); g.Release() }, noop); got != AdmitQueued {
+		t.Fatalf("third submit = %v, want AdmitQueued", got)
+	}
+	if got := g.Submit(1, noop, noop); got != AdmitShed {
+		t.Fatalf("fourth submit = %v, want AdmitShed (park queue full)", got)
 	}
 	v := stats.View()
-	if v.Admitted != 2 || v.Shed != 1 || v.Depth != 2 || v.DepthPeak != 2 {
-		t.Fatalf("stats = %+v, want admitted=2 shed=1 depth=2 peak=2", v)
+	if v.Admitted != 2 || v.Shed != 1 || v.Depth != 2 || v.DepthPeak != 2 || v.Parked != 1 {
+		t.Fatalf("stats = %+v, want admitted=2 shed=1 depth=2 peak=2 parked=1", v)
+	}
+	if got := stats.TenantShed(1); got != 1 {
+		t.Fatalf("TenantShed(1) = %d, want 1", got)
+	}
+	// Releasing a token hands it to the parked waiter, not the free pool.
+	g.Release()
+	select {
+	case <-ran:
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked waiter did not run after Release")
 	}
 	g.Release()
-	if !g.Admit() {
-		t.Fatal("gate refused after a token was released")
-	}
-	g.Release()
-	g.Release()
-	if d := stats.Depth.Load(); d != 0 {
-		t.Fatalf("depth after all releases = %d, want 0", d)
-	}
+	waitUntil(t, "depth to drain", func() bool { return stats.Depth.Load() == 0 })
 	if g.RetryAfter() != DefaultRetryAfter {
 		t.Fatalf("RetryAfter = %v, want default %v", g.RetryAfter(), DefaultRetryAfter)
+	}
+}
+
+// TestAdmitGateTenantRoundRobin parks waiters of a hot tenant and a
+// trickle tenant while every token is held, then releases tokens one at a
+// time: grants must alternate between the tenants (deficit round-robin
+// with unit quantum), not drain the hot tenant's queue first.
+func TestAdmitGateTenantRoundRobin(t *testing.T) {
+	var stats AdmitStats
+	g := NewAdmitGate(AdmitConfig{Limit: 1, ParkPerTenant: 8}, &stats)
+	noop := func() {}
+	if g.Submit(1, noop, noop) != AdmitGranted {
+		t.Fatal("first submit not granted")
+	}
+	order := make(chan uint16, 8)
+	park := func(tenant uint16) {
+		if g.Submit(tenant, func() { order <- tenant; g.Release() }, noop) != AdmitQueued {
+			t.Fatalf("tenant %d did not park", tenant)
+		}
+	}
+	// Hot tenant parks 3 requests before the trickle tenant parks 1.
+	park(1)
+	park(1)
+	park(1)
+	park(2)
+	g.Release() // cascade: each parked run releases, granting the next
+	var got []uint16
+	for i := 0; i < 4; i++ {
+		select {
+		case tn := <-order:
+			got = append(got, tn)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d of 4 parked waiters ran: %v", i, got)
+		}
+	}
+	// Round-robin: 1, 2, 1, 1 — the trickle tenant is served second, not
+	// last.
+	want := []uint16{1, 2, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("grant order = %v, want %v", got, want)
+		}
+	}
+	waitUntil(t, "depth to drain", func() bool { return stats.Depth.Load() == 0 })
+}
+
+// TestAdmitGateCloseDrainsParked verifies Close fires every parked
+// waiter's drop closure so shutdown accounting is released.
+func TestAdmitGateCloseDrainsParked(t *testing.T) {
+	var stats AdmitStats
+	g := NewAdmitGate(AdmitConfig{Limit: 1, ParkPerTenant: 4}, &stats)
+	noop := func() {}
+	if g.Submit(1, noop, noop) != AdmitGranted {
+		t.Fatal("first submit not granted")
+	}
+	var dropped atomic.Int64
+	for i := 0; i < 3; i++ {
+		if g.Submit(uint16(i%2), func() { t.Error("parked run fired across Close") }, func() { dropped.Add(1) }) != AdmitQueued {
+			t.Fatalf("submit %d did not park", i)
+		}
+	}
+	g.Close()
+	if dropped.Load() != 3 {
+		t.Fatalf("dropped %d parked waiters, want 3", dropped.Load())
+	}
+	if got := g.Submit(1, noop, noop); got != AdmitShed {
+		t.Fatalf("submit after Close = %v, want AdmitShed", got)
+	}
+	if p := stats.Parked.Load(); p != 0 {
+		t.Fatalf("parked gauge after Close = %d, want 0", p)
 	}
 }
 
@@ -101,7 +181,7 @@ func TestAdmitGateOverloadHysteresis(t *testing.T) {
 		t.Fatalf("overloaded gauge = %d, want 1", stats.Overloaded.Load())
 	}
 	g.lastProbe.Store(0)
-	if g.Admit() {
+	if g.Submit(0, func() {}, func() {}) != AdmitShed {
 		t.Fatal("gate admitted while the detector is tripped, despite free tokens")
 	}
 	if stats.Shed.Load() == 0 {
@@ -119,7 +199,7 @@ func TestAdmitGateOverloadHysteresis(t *testing.T) {
 		t.Fatalf("overloaded gauge = %d after clear, want 0", stats.Overloaded.Load())
 	}
 	g.lastProbe.Store(0)
-	if !g.Admit() {
+	if g.Submit(0, func() {}, func() {}) != AdmitGranted {
 		t.Fatal("gate still shedding after the detector cleared")
 	}
 	g.Release()
@@ -180,7 +260,7 @@ type busyHandler struct {
 	calls atomic.Int64
 }
 
-func (h *busyHandler) Handle(n Node, src wire.Addr, reqID uint64, m wire.Message) {
+func (h *busyHandler) Handle(n Node, src wire.From, reqID uint64, m wire.Message) {
 	if reqID == 0 {
 		return
 	}
@@ -250,12 +330,12 @@ type gatedParkHandler struct {
 	parked  atomic.Int64
 }
 
-func (p *gatedParkHandler) Handle(n Node, src wire.Addr, reqID uint64, m wire.Message) {
+func (p *gatedParkHandler) Handle(n Node, src wire.From, reqID uint64, m wire.Message) {
 	ping, ok := m.(*wire.Ping)
 	if !ok || reqID == 0 {
 		return
 	}
-	if src.IsClient() {
+	if src.Addr.IsClient() {
 		p.parked.Add(1)
 		<-p.release
 	}
@@ -297,16 +377,29 @@ func testAdmissionLiveness(t *testing.T, net Network, stats *AdmitStats, done fu
 	}
 	waitUntil(t, "both clients parked", func() bool { return h.parked.Load() == 2 })
 
-	// A third client must be shed with Busy, not queued behind the parked
-	// handlers.
+	// A third client parks in the gate's per-tenant queue (cap 1 here)
+	// instead of spilling into the handler pool.
 	c3, err := net.Attach(wire.ClientAddr(0, 3), &echoHandler{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = c3.Call(ctx, srv, &wire.Ping{Nonce: 2})
+	queued := make(chan error, 1)
+	go func() {
+		_, err := c3.Call(ctx, srv, &wire.Ping{Nonce: 2})
+		queued <- err
+	}()
+	waitUntil(t, "third client to park in the gate", func() bool { return stats.Parked.Load() == 1 })
+
+	// A fourth client finds the park queue full and must be shed with
+	// Busy, not queued behind the parked handlers.
+	c4, err := net.Attach(wire.ClientAddr(0, 4), &echoHandler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c4.Call(ctx, srv, &wire.Ping{Nonce: 3})
 	var busy *wire.Busy
 	if !errors.As(err, &busy) {
-		t.Fatalf("third client err = %v, want *wire.Busy", err)
+		t.Fatalf("fourth client err = %v, want *wire.Busy", err)
 	}
 	if busy.RetryAfter() <= 0 {
 		t.Fatalf("Busy carried no retry-after hint: %+v", busy)
@@ -327,9 +420,13 @@ func testAdmissionLiveness(t *testing.T, net Network, stats *AdmitStats, done fu
 			t.Fatalf("parked client call failed after release: %v", err)
 		}
 	}
+	// The gate-parked third client is granted a freed token and completes.
+	if err := <-queued; err != nil {
+		t.Fatalf("gate-parked client call failed after release: %v", err)
+	}
 	v := stats.View()
-	if v.Admitted != 2 || v.Shed < 1 {
-		t.Fatalf("stats = %+v, want admitted=2 shed>=1", v)
+	if v.Admitted != 3 || v.Shed < 1 {
+		t.Fatalf("stats = %+v, want admitted=3 shed>=1", v)
 	}
 	waitUntil(t, "admission depth to drain", func() bool { return stats.Depth.Load() == 0 })
 }
@@ -340,13 +437,13 @@ func TestTCPAdmissionGateLiveness(t *testing.T) {
 		wire.ServerAddr(0, 1): freeAddr(t),
 	}
 	net := NewTCP(dir)
-	net.SetAdmission(AdmitConfig{Limit: 2})
+	net.SetAdmission(AdmitConfig{Limit: 2, ParkPerTenant: 1})
 	testAdmissionLiveness(t, net, net.AdmitStats(), func() { net.Close() })
 }
 
 func TestLocalAdmissionGateLiveness(t *testing.T) {
 	net := NewLocal(LatencyModel{})
-	net.SetAdmission(AdmitConfig{Limit: 2})
+	net.SetAdmission(AdmitConfig{Limit: 2, ParkPerTenant: 1})
 	testAdmissionLiveness(t, net, net.AdmitStats(), func() { net.Close() })
 }
 
@@ -358,7 +455,7 @@ type lateRespHandler struct {
 	proceed chan struct{}
 }
 
-func (h *lateRespHandler) Handle(n Node, src wire.Addr, reqID uint64, m wire.Message) {
+func (h *lateRespHandler) Handle(n Node, src wire.From, reqID uint64, m wire.Message) {
 	if reqID == 0 {
 		return
 	}

@@ -3,6 +3,7 @@ package transport
 import (
 	"container/heap"
 	"context"
+	"errors"
 	"math"
 	"math/rand/v2"
 	"runtime"
@@ -217,6 +218,19 @@ func (l *Local) dropMsg(src, dst wire.Addr) bool {
 
 // Attach registers addr with handler h.
 func (l *Local) Attach(addr wire.Addr, h Handler) (Node, error) {
+	return l.attach(addr, h)
+}
+
+// AttachMux registers addr as a multiplexed client endpoint. The simulator
+// has no sockets, so the pool size is ignored, but sessions travel the
+// same envelope fields and demultiplex through the same per-session
+// handler routing as on TCP — internal/check exercises the mux paths on
+// this transport.
+func (l *Local) AttachMux(addr wire.Addr, _ int) (Mux, error) {
+	return l.attach(addr, nil)
+}
+
+func (l *Local) attach(addr wire.Addr, h Handler) (*localNode, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -299,20 +313,50 @@ func (l *Local) dispatch(f *wire.FrameBuf) {
 		dst.deliverResponse(env)
 		return
 	}
+	// Demultiplex direct pushes to a registered session exactly as the TCP
+	// read loop does: the session's handler runs against the session node,
+	// and src carries no session (the id was the frame's destination).
+	node, h, src := Node(dst), dst.h, wire.From{Addr: env.Src, Sess: env.Session}
+	if env.Session != 0 {
+		if s, ok := dst.sessions.Load(uint32(env.Session)); ok {
+			ls := s.(*localSession)
+			node, h, src = ls, ls.h, wire.At(env.Src)
+		}
+	}
+	if h == nil {
+		// Mux endpoint, no live session for the frame: drop with accounting.
+		l.stats.Dropped.Add(1)
+		wire.Recycle(env.Msg)
+		return
+	}
 	// Client admission control, mirroring tcpNode.dispatch: shed excess
 	// client load with a typed Busy; cluster-sourced traffic is never
 	// gated (handlers may park on cluster state, and the message that
 	// unblocks them must always dispatch). Shedding here runs on this
 	// dispatch goroutine — Local already pays one goroutine per frame, so
-	// there is no read path to protect.
+	// there is no read path to protect — while parked requests resume on a
+	// gate-spawned goroutine when a token frees.
 	if dst.gate != nil && env.Src.IsClient() {
-		if !dst.gate.Admit() {
+		exec := func() {
+			h.Handle(node, src, env.ReqID, env.Msg)
+			wire.Recycle(env.Msg)
+			dst.gate.Release()
+		}
+		switch dst.gate.Submit(env.Session.Tenant(), exec, func() {
+			wire.Recycle(env.Msg)
+			l.stats.Dropped.Add(1)
+		}) {
+		case AdmitShed:
 			l.shed(dst, env)
 			return
+		case AdmitQueued:
+			return
+		case AdmitGranted:
 		}
-		defer dst.gate.Release()
+		exec()
+		return
 	}
-	dst.h.Handle(dst, env.Src, env.ReqID, env.Msg)
+	h.Handle(node, src, env.ReqID, env.Msg)
 	wire.Recycle(env.Msg)
 }
 
@@ -330,11 +374,12 @@ func (l *Local) shed(dst *localNode, env *wire.Envelope) {
 		echo = corr.CorrelationID()
 	}
 	wire.Recycle(env.Msg)
-	hint := busyHintMicros(dst.gate)
+	hint := busyHintMicros(dst.gate, env.Session.Tenant())
+	to := wire.From{Addr: env.Src, Sess: env.Session}
 	if reqID != 0 {
-		_ = dst.Respond(env.Src, reqID, &wire.Busy{RetryAfterMicros: hint})
+		_ = dst.Respond(to, reqID, &wire.Busy{RetryAfterMicros: hint})
 	} else {
-		_ = dst.Send(env.Src, &wire.Busy{Echo: echo, RetryAfterMicros: hint})
+		_ = dst.SendTo(to, &wire.Busy{Echo: echo, RetryAfterMicros: hint})
 	}
 }
 
@@ -427,9 +472,13 @@ func (w *wheel) run() {
 type localNode struct {
 	net    *Local
 	addr   wire.Addr
-	h      Handler
+	h      Handler    // nil for mux endpoints
 	gate   *AdmitGate // client admission gate; nil unless SetAdmission enabled it
 	closed atomic.Bool
+
+	// sessions holds the registered logical sessions of a mux endpoint
+	// (uint32(wire.SessionID) → *localSession); empty on plain nodes.
+	sessions sync.Map
 
 	// stop fires when the node (or its network) closes, so Calls waiting
 	// on responses that can never arrive — dispatch drops in-flight
@@ -441,13 +490,42 @@ type localNode struct {
 	pending sync.Map // reqID -> chan *wire.Envelope
 }
 
-// shutdown marks the node closed and releases its waiting Calls.
+// shutdown marks the node closed, drains the admission gate's park queues,
+// and releases its waiting Calls and sessions.
 func (n *localNode) shutdown() {
 	n.closed.Store(true)
 	n.stopOnce.Do(func() { close(n.stop) })
+	if n.gate != nil {
+		n.gate.Close()
+	}
+	n.sessions.Range(func(k, s any) bool {
+		if !s.(*localSession).closed.Swap(true) {
+			n.net.stats.Sessions.Add(-1)
+		}
+		n.sessions.Delete(k)
+		return true
+	})
 }
 
 func (n *localNode) Addr() wire.Addr { return n.addr }
+
+// Session registers a logical session on this endpoint, mirroring the TCP
+// mux: frames the session sends carry its id, and inbound one-way frames
+// carrying the id reach h.
+func (n *localNode) Session(id wire.SessionID, h Handler) (Session, error) {
+	if id == 0 {
+		return nil, errors.New("transport: zero session id")
+	}
+	if n.closed.Load() {
+		return nil, ErrClosed
+	}
+	s := &localSession{n: n, id: id, h: h}
+	if _, dup := n.sessions.LoadOrStore(uint32(id), s); dup {
+		return nil, ErrAttached
+	}
+	n.net.stats.Sessions.Add(1)
+	return s, nil
+}
 
 func (n *localNode) send(ctx context.Context, env *wire.Envelope) error {
 	if n.closed.Load() {
@@ -487,18 +565,31 @@ func (n *localNode) Send(dst wire.Addr, m wire.Message) error {
 	return n.send(context.Background(), &wire.Envelope{Src: n.addr, Dst: dst, Msg: m})
 }
 
-// Respond answers request reqID at dst.
-func (n *localNode) Respond(dst wire.Addr, reqID uint64, m wire.Message) error {
-	return n.send(context.Background(), &wire.Envelope{Src: n.addr, Dst: dst, ReqID: reqID, Resp: true, Msg: m})
+// SendTo delivers a one-way message to a full destination, stamping the
+// target session so a multiplexed client can demultiplex the push.
+func (n *localNode) SendTo(to wire.From, m wire.Message) error {
+	return n.send(context.Background(), &wire.Envelope{Src: n.addr, Dst: to.Addr, Session: to.Sess, Msg: m})
+}
+
+// Respond answers request reqID at the full origin to.
+func (n *localNode) Respond(to wire.From, reqID uint64, m wire.Message) error {
+	return n.send(context.Background(), &wire.Envelope{Src: n.addr, Dst: to.Addr, Session: to.Sess, ReqID: reqID, Resp: true, Msg: m})
 }
 
 // Call sends a request and waits for the matching response.
 func (n *localNode) Call(ctx context.Context, dst wire.Addr, m wire.Message) (wire.Message, error) {
+	return n.call(ctx, dst, m, 0)
+}
+
+// call is the shared Call engine: sessions stamp their id into the request
+// envelope but share the node's request-id space and pending table, so
+// responses demultiplex by reqID alone.
+func (n *localNode) call(ctx context.Context, dst wire.Addr, m wire.Message, sess wire.SessionID) (wire.Message, error) {
 	id := n.reqSeq.Add(1)
 	ch := make(chan *wire.Envelope, 1)
 	n.pending.Store(id, ch)
 	defer n.pending.Delete(id)
-	err := n.send(ctx, &wire.Envelope{Src: n.addr, Dst: dst, ReqID: id, Msg: m})
+	err := n.send(ctx, &wire.Envelope{Src: n.addr, Dst: dst, Session: sess, ReqID: id, Msg: m})
 	if err != nil {
 		return nil, err
 	}
@@ -544,5 +635,69 @@ func (n *localNode) Close() error {
 	n.net.mu.Lock()
 	delete(n.net.nodes, n.addr)
 	n.net.mu.Unlock()
+	return nil
+}
+
+// localSession is one logical session on a mux endpoint, mirroring
+// tcpSession: it shares the endpoint's request-id space and pending table,
+// stamps its id into outbound envelopes, and receives inbound pushes
+// addressed to the id.
+type localSession struct {
+	n      *localNode
+	id     wire.SessionID
+	h      Handler
+	closed atomic.Bool
+}
+
+func (s *localSession) Addr() wire.Addr    { return s.n.addr }
+func (s *localSession) ID() wire.SessionID { return s.id }
+
+// env builds a session-stamped envelope toward to (an explicit session in
+// to wins over the session's own id, as on TCP).
+func (s *localSession) env(to wire.From, reqID uint64, resp bool, m wire.Message) *wire.Envelope {
+	sess := s.id
+	if to.Sess != 0 {
+		sess = to.Sess
+	}
+	return &wire.Envelope{Src: s.n.addr, Dst: to.Addr, Session: sess, ReqID: reqID, Resp: resp, Msg: m}
+}
+
+// Send delivers a one-way message carrying the session id.
+func (s *localSession) Send(dst wire.Addr, m wire.Message) error {
+	return s.SendTo(wire.At(dst), m)
+}
+
+// SendTo delivers a one-way message to a full destination.
+func (s *localSession) SendTo(to wire.From, m wire.Message) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	return s.n.send(context.Background(), s.env(to, 0, false, m))
+}
+
+// Respond answers request reqID at to.
+func (s *localSession) Respond(to wire.From, reqID uint64, m wire.Message) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	return s.n.send(context.Background(), s.env(to, reqID, true, m))
+}
+
+// Call sends a request and waits for the matching response.
+func (s *localSession) Call(ctx context.Context, dst wire.Addr, m wire.Message) (wire.Message, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	return s.n.call(ctx, dst, m, s.id)
+}
+
+// Close deregisters the session; in-flight pushes to it are dropped with
+// accounting (and their pooled messages recycled) by dispatch.
+func (s *localSession) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	s.n.sessions.Delete(uint32(s.id))
+	s.n.net.stats.Sessions.Add(-1)
 	return nil
 }

@@ -32,6 +32,10 @@ const (
 	// Shedding must never block the read path, so a full queue drops the
 	// shed notice instead (the client's deadline is the backstop).
 	shedQueueLen = 256
+
+	// maxConnPool bounds a mux's socket pool per destination (the slot is
+	// one byte of the connection key).
+	maxConnPool = 255
 )
 
 // handlerWorkers is the size of the per-node inbound worker pool.
@@ -95,6 +99,26 @@ func (t *TCP) SetAdmission(cfg AdmitConfig) {
 // its directory endpoint; otherwise it is a client-only node that can dial
 // out but not accept.
 func (t *TCP) Attach(addr wire.Addr, h Handler) (Node, error) {
+	return t.attach(addr, h, 1)
+}
+
+// AttachMux registers addr as a multiplexed client endpoint: any number of
+// logical sessions share a pool of at most pool sockets per destination
+// (one tcpConn/Batcher per socket). Frames a session sends carry its id;
+// inbound frames carrying a registered session id are demultiplexed to
+// that session's handler. The endpoint itself has no base handler — a
+// frame for no live session is dropped with accounting.
+func (t *TCP) AttachMux(addr wire.Addr, pool int) (Mux, error) {
+	if pool < 1 {
+		pool = 1
+	}
+	if pool > maxConnPool {
+		pool = maxConnPool
+	}
+	return t.attach(addr, nil, pool)
+}
+
+func (t *TCP) attach(addr wire.Addr, h Handler, pool int) (*tcpNode, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
@@ -111,8 +135,10 @@ func (t *TCP) Attach(addr wire.Addr, h Handler) (Node, error) {
 		t:     t,
 		addr:  addr,
 		h:     h,
-		conns: make(map[wire.Addr]*tcpConn),
-		all:   make(map[*tcpConn]struct{}),
+		pool:  uint8(pool),
+		conns:   make(map[connKey]*tcpConn),
+		all:     make(map[*tcpConn]struct{}),
+		dialing: make(map[connKey]chan struct{}),
 		workq: make(chan inbound, max(handlerQueueLen, workers)),
 		stop:  make(chan struct{}),
 	}
@@ -160,17 +186,20 @@ func (t *TCP) Close() error {
 // with the Local simulator) whose sink scatter-gathers each coalesced batch
 // into the socket.
 type tcpConn struct {
-	c net.Conn
-	b *Batcher
+	c     net.Conn
+	b     *Batcher
+	stats *Stats
 
 	peer atomic.Uint32 // learned wire.Addr, 0 until known
+	slot uint8         // dial slot within the pool; 0 for accepted conns
 	once sync.Once
 }
 
 func newTCPConn(c net.Conn, pol BatchPolicy, stats *Stats) *tcpConn {
 	pol = pol.withDefaults()
-	tc := &tcpConn{c: c}
+	tc := &tcpConn{c: c, stats: stats}
 	tc.b = NewBatcher(&tcpSink{c: c, stats: stats, writevMin: pol.WritevBytes}, pol, stats)
+	stats.OpenConns.Add(1)
 	return tc
 }
 
@@ -179,6 +208,7 @@ func (tc *tcpConn) close() {
 	tc.once.Do(func() {
 		tc.b.Close()
 		tc.c.Close()
+		tc.stats.OpenConns.Add(-1)
 	})
 }
 
@@ -250,28 +280,44 @@ func (s *tcpSink) WriteBatch(frames []*wire.FrameBuf) error {
 	return err
 }
 
-// inbound is one request waiting for a handler worker. gate, when non-nil,
-// holds the admission token the request was admitted under; whoever runs
-// the handler releases it after Handle returns.
+// inbound is one request waiting for a handler worker: the handler and
+// node to run it against (a session's own when the frame was a direct push
+// to a registered session, the endpoint's otherwise), the full origin, and
+// — when non-nil — the admission gate whose token the request was admitted
+// under; whoever runs the handler releases it after Handle returns.
 type inbound struct {
-	src   wire.Addr
+	node  Node
+	h     Handler
+	src   wire.From
 	reqID uint64
 	msg   wire.Message
 	gate  *AdmitGate
 }
 
 // shedNote queues one shed client request for the Busy responder: either a
-// reqID to respond to, or (one-way correlated requests) an echo id.
+// reqID to respond to, or (one-way correlated requests) an echo id. sess
+// routes the Busy back to the right session and keys the retry-after hint
+// to the tenant's queue pressure.
 type shedNote struct {
 	src   wire.Addr
+	sess  wire.SessionID
 	reqID uint64
 	echo  uint64
+}
+
+// connKey routes outbound frames: the destination endpoint plus the pool
+// slot. Plain nodes and learned (accepted) connections always use slot 0;
+// a mux spreads its sessions over slots [0, pool).
+type connKey struct {
+	addr wire.Addr
+	slot uint8
 }
 
 type tcpNode struct {
 	t    *TCP
 	addr wire.Addr
-	h    Handler
+	h    Handler // nil for mux endpoints
+	pool uint8   // socket pool size per destination (1 for plain nodes)
 	ln   net.Listener
 
 	// gate, when non-nil, admission-controls client-sourced requests;
@@ -279,9 +325,14 @@ type tcpNode struct {
 	gate  *AdmitGate
 	shedq chan shedNote
 
-	mu    sync.Mutex
-	conns map[wire.Addr]*tcpConn // routable by learned/dialed peer
-	all   map[*tcpConn]struct{}  // every live conn, learned or not
+	mu      sync.Mutex
+	conns   map[connKey]*tcpConn     // routable by learned/dialed peer + slot
+	all     map[*tcpConn]struct{}    // every live conn, learned or not
+	dialing map[connKey]chan struct{} // single-flight latches for in-progress dials
+
+	// sessions holds the registered logical sessions of a mux endpoint
+	// (uint32(wire.SessionID) → *tcpSession); empty on plain nodes.
+	sessions sync.Map
 
 	workq chan inbound
 	idle  atomic.Int64 // workers ready to receive minus requests queued for them
@@ -294,6 +345,24 @@ type tcpNode struct {
 }
 
 func (n *tcpNode) Addr() wire.Addr { return n.addr }
+
+// Session registers a logical session on this endpoint. Sessions share the
+// node's sockets, request-id space, and worker pool; frames the session
+// sends carry its id, and inbound one-way frames carrying the id reach h.
+func (n *tcpNode) Session(id wire.SessionID, h Handler) (Session, error) {
+	if id == 0 {
+		return nil, fmt.Errorf("transport: zero session id")
+	}
+	if n.closed.Load() {
+		return nil, ErrClosed
+	}
+	s := &tcpSession{n: n, id: id, h: h}
+	if _, dup := n.sessions.LoadOrStore(uint32(id), s); dup {
+		return nil, ErrAttached
+	}
+	n.t.stats.Sessions.Add(1)
+	return s, nil
+}
 
 func (n *tcpNode) acceptLoop() {
 	defer n.wg.Done()
@@ -341,11 +410,15 @@ func (n *tcpNode) writeLoop(tc *tcpConn) {
 // one) still remembers its peer and is promoted by forget when the
 // registered conn dies, so the peer never becomes unroutable (clients are
 // not in the directory) and the read hot path stays one atomic load.
+// Learned routes always occupy slot 0 — a multiplexed peer may reach us
+// over several sockets, and any one of them suffices for the way back
+// (the mux demultiplexes responses by request id and session, not by
+// socket).
 func (n *tcpNode) learn(peer wire.Addr, tc *tcpConn) {
 	tc.peer.Store(uint32(peer))
 	n.mu.Lock()
-	if _, dup := n.conns[peer]; !dup {
-		n.conns[peer] = tc
+	if _, dup := n.conns[connKey{peer, 0}]; !dup {
+		n.conns[connKey{peer, 0}] = tc
 	}
 	n.mu.Unlock()
 }
@@ -356,12 +429,17 @@ func (n *tcpNode) learn(peer wire.Addr, tc *tcpConn) {
 func (n *tcpNode) forget(tc *tcpConn) {
 	n.mu.Lock()
 	delete(n.all, tc)
-	if peer := wire.Addr(tc.peer.Load()); peer.Valid() && n.conns[peer] == tc {
-		delete(n.conns, peer)
-		for other := range n.all {
-			if wire.Addr(other.peer.Load()) == peer {
-				n.conns[peer] = other
-				break
+	key := connKey{wire.Addr(tc.peer.Load()), tc.slot}
+	if key.addr.Valid() && n.conns[key] == tc {
+		delete(n.conns, key)
+		// Promotion only applies to learned (slot-0) routes: dialed pool
+		// slots are re-dialed on demand through the directory.
+		if tc.slot == 0 {
+			for other := range n.all {
+				if wire.Addr(other.peer.Load()) == key.addr && other.slot == 0 {
+					n.conns[key] = other
+					break
+				}
 			}
 		}
 	}
@@ -421,18 +499,64 @@ func (n *tcpNode) readLoop(tc *tcpConn) {
 //
 // Client-sourced requests are the exception: they first pass the admission
 // gate (when configured), and excess client load is shed with a typed Busy
-// instead of growing the spill lane. The deadlock argument does not apply
-// to them — no cluster-state transition waits on a client request — so
-// capping client handlers is safe, and it is what keeps a client stampede
-// from starving the intra-cluster traffic that must stay unbounded.
+// or parked in the gate's tenant-fair queues instead of growing the spill
+// lane. The deadlock argument does not apply to them — no cluster-state
+// transition waits on a client request — so capping client handlers is
+// safe, and it is what keeps a client stampede from starving the
+// intra-cluster traffic that must stay unbounded.
+//
+// A frame carrying the id of a registered session (a direct server push to
+// one session of this mux) runs that session's handler against the session
+// node; the session id is the frame's destination there, so src carries no
+// session. Everything else runs the endpoint handler with the full origin.
 func (n *tcpNode) dispatch(env *wire.Envelope) {
-	in := inbound{src: env.Src, reqID: env.ReqID, msg: env.Msg}
+	in := inbound{
+		node:  Node(n),
+		h:     n.h,
+		src:   wire.From{Addr: env.Src, Sess: env.Session},
+		reqID: env.ReqID,
+		msg:   env.Msg,
+	}
+	if env.Session != 0 {
+		if s, ok := n.sessions.Load(uint32(env.Session)); ok {
+			sess := s.(*tcpSession)
+			in.node, in.h, in.src = sess, sess.h, wire.At(env.Src)
+		}
+	}
+	if in.h == nil {
+		// A mux endpoint has no base handler: a frame for no live session
+		// (or a push to one registered without a handler) has nowhere to
+		// go and is dropped with accounting.
+		n.t.stats.Dropped.Add(1)
+		wire.Recycle(env.Msg)
+		return
+	}
 	if n.gate != nil && env.Src.IsClient() {
-		if !n.gate.Admit() {
+		in.gate = n.gate
+		// Hold a wg slot across Submit: a parked waiter's run/drop fires
+		// from a Release or gate.Close after this readLoop iteration moved
+		// on, and Close's Wait must cover it.
+		n.wg.Add(1)
+		run := in
+		switch n.gate.Submit(env.Session.Tenant(), func() {
+			defer n.wg.Done()
+			run.h.Handle(run.node, run.src, run.reqID, run.msg)
+			wire.Recycle(run.msg)
+			run.gate.Release()
+		}, func() {
+			wire.Recycle(run.msg)
+			n.t.stats.Dropped.Add(1)
+			n.wg.Done()
+		}) {
+		case AdmitShed:
+			n.wg.Done()
 			n.shed(env)
 			return
+		case AdmitQueued:
+			return
+		case AdmitGranted:
+			n.wg.Done()
 		}
-		in.gate = n.gate
 	}
 	if n.idle.Add(-1) >= 0 {
 		// Reserved one worker receive; exactly one worker iteration will
@@ -454,7 +578,7 @@ func (n *tcpNode) dispatch(env *wire.Envelope) {
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
-		n.h.Handle(n, in.src, in.reqID, in.msg)
+		in.h.Handle(in.node, in.src, in.reqID, in.msg)
 		wire.Recycle(in.msg)
 		if in.gate != nil {
 			in.gate.Release()
@@ -468,7 +592,7 @@ func (n *tcpNode) dispatch(env *wire.Envelope) {
 // request that is neither awaited (reqID) nor correlated has no address to
 // send Busy to and is dropped with accounting.
 func (n *tcpNode) shed(env *wire.Envelope) {
-	note := shedNote{src: env.Src, reqID: env.ReqID}
+	note := shedNote{src: env.Src, sess: env.Session, reqID: env.ReqID}
 	if note.reqID == 0 {
 		corr, ok := env.Msg.(wire.Correlated)
 		if !ok {
@@ -486,17 +610,19 @@ func (n *tcpNode) shed(env *wire.Envelope) {
 	}
 }
 
-// shedResponder turns queued shed notes into Busy responses.
+// shedResponder turns queued shed notes into Busy responses, hinted by the
+// shed tenant's queue pressure and routed back to the shed session.
 func (n *tcpNode) shedResponder() {
 	defer n.wg.Done()
 	for {
 		select {
 		case note := <-n.shedq:
-			hint := busyHintMicros(n.gate)
+			hint := busyHintMicros(n.gate, note.sess.Tenant())
+			to := wire.From{Addr: note.src, Sess: note.sess}
 			if note.reqID != 0 {
-				_ = n.Respond(note.src, note.reqID, &wire.Busy{RetryAfterMicros: hint})
+				_ = n.Respond(to, note.reqID, &wire.Busy{RetryAfterMicros: hint})
 			} else {
-				_ = n.Send(note.src, &wire.Busy{Echo: note.echo, RetryAfterMicros: hint})
+				_ = n.SendTo(to, &wire.Busy{Echo: note.echo, RetryAfterMicros: hint})
 			}
 		case <-n.stop:
 			return
@@ -513,7 +639,7 @@ func (n *tcpNode) worker() {
 		n.idle.Add(1)
 		select {
 		case in := <-n.workq:
-			n.h.Handle(n, in.src, in.reqID, in.msg)
+			in.h.Handle(in.node, in.src, in.reqID, in.msg)
 			wire.Recycle(in.msg)
 			if in.gate != nil {
 				in.gate.Release()
@@ -524,21 +650,60 @@ func (n *tcpNode) worker() {
 	}
 }
 
-// getConn returns the connection to dst, dialing through the directory if
-// none is learned yet. The dial respects ctx, so a Call deadline bounds
-// connection establishment too, not just queueing.
-func (n *tcpNode) getConn(ctx context.Context, dst wire.Addr) (*tcpConn, error) {
+// getConn returns the connection to dst on the given pool slot, dialing
+// through the directory if none is learned yet. The dial respects ctx, so
+// a Call deadline bounds connection establishment too, not just queueing.
+//
+// Dials are single-flighted per (dst, slot): when many sessions' first
+// calls land on the same cold slot at once (a mux starting a thousand
+// sessions), exactly one goroutine dials and the rest wait on its latch —
+// without this, each racer briefly opens its own socket and the "small
+// fixed pool" is a fiction at startup (observed: 258 sockets open at peak
+// for an 8×2 pool before the latch existed).
+func (n *tcpNode) getConn(ctx context.Context, dst wire.Addr, slot uint8) (*tcpConn, error) {
+	key := connKey{dst, slot}
 	n.mu.Lock()
-	if tc, ok := n.conns[dst]; ok {
+	for {
+		if tc, ok := n.conns[key]; ok {
+			n.mu.Unlock()
+			return tc, nil
+		}
+		latch, inflight := n.dialing[key]
+		if !inflight {
+			break
+		}
 		n.mu.Unlock()
-		return tc, nil
+		select {
+		case <-latch:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-n.stop:
+			return nil, ErrClosed
+		}
+		// The winner either registered a conn (found on re-check) or
+		// failed (this caller retries the dial itself).
+		n.mu.Lock()
 	}
+	latch := make(chan struct{})
+	n.dialing[key] = latch
 	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		delete(n.dialing, key)
+		n.mu.Unlock()
+		close(latch)
+	}()
 
 	n.t.mu.Lock()
 	hp, ok := n.t.dir[dst]
 	n.t.mu.Unlock()
 	if !ok {
+		// A session slot with no dialable directory entry falls back to
+		// any learned route to the peer (responses to an accepted client
+		// conn never dial).
+		if slot != 0 {
+			return n.getConn(ctx, dst, 0)
+		}
 		return nil, fmt.Errorf("%w: %v", ErrNoRoute, dst)
 	}
 	// Abort the dial on node shutdown too: Send/Respond dial with a
@@ -560,8 +725,9 @@ func (n *tcpNode) getConn(ctx context.Context, dst wire.Addr) (*tcpConn, error) 
 	}
 	tc := newTCPConn(c, n.t.pol, &n.t.stats)
 	tc.peer.Store(uint32(dst))
+	tc.slot = slot
 	n.mu.Lock()
-	if prev, dup := n.conns[dst]; dup {
+	if prev, dup := n.conns[key]; dup {
 		n.mu.Unlock()
 		// Tear the whole loser endpoint down, not just its socket: close()
 		// also stops the Batcher, so a frame enqueued on the loser before
@@ -569,7 +735,7 @@ func (n *tcpNode) getConn(ctx context.Context, dst wire.Addr) (*tcpConn, error) 
 		tc.close()
 		return prev, nil
 	}
-	n.conns[dst] = tc
+	n.conns[key] = tc
 	n.mu.Unlock()
 	if !n.startConn(tc) {
 		return nil, ErrClosed
@@ -577,11 +743,11 @@ func (n *tcpNode) getConn(ctx context.Context, dst wire.Addr) (*tcpConn, error) 
 	return tc, nil
 }
 
-func (n *tcpNode) send(ctx context.Context, env *wire.Envelope) error {
+func (n *tcpNode) send(ctx context.Context, env *wire.Envelope, slot uint8) error {
 	if n.closed.Load() {
 		return ErrClosed
 	}
-	tc, err := n.getConn(ctx, env.Dst)
+	tc, err := n.getConn(ctx, env.Dst, slot)
 	if err != nil {
 		return err
 	}
@@ -604,21 +770,35 @@ func (n *tcpNode) send(ctx context.Context, env *wire.Envelope) error {
 // Send delivers a one-way message. Backpressure from a stalled peer blocks
 // until the connection or node closes.
 func (n *tcpNode) Send(dst wire.Addr, m wire.Message) error {
-	return n.send(context.Background(), &wire.Envelope{Src: n.addr, Dst: dst, Msg: m})
+	return n.send(context.Background(), &wire.Envelope{Src: n.addr, Dst: dst, Msg: m}, 0)
 }
 
-// Respond answers request reqID at dst.
-func (n *tcpNode) Respond(dst wire.Addr, reqID uint64, m wire.Message) error {
-	return n.send(context.Background(), &wire.Envelope{Src: n.addr, Dst: dst, ReqID: reqID, Resp: true, Msg: m})
+// SendTo delivers a one-way message to a full destination, stamping the
+// target session so a multiplexed client can demultiplex the push.
+func (n *tcpNode) SendTo(to wire.From, m wire.Message) error {
+	return n.send(context.Background(), &wire.Envelope{Src: n.addr, Dst: to.Addr, Session: to.Sess, Msg: m}, 0)
+}
+
+// Respond answers request reqID at the full origin to.
+func (n *tcpNode) Respond(to wire.From, reqID uint64, m wire.Message) error {
+	return n.send(context.Background(), &wire.Envelope{Src: n.addr, Dst: to.Addr, Session: to.Sess, ReqID: reqID, Resp: true, Msg: m}, 0)
 }
 
 // Call sends a request and waits for the matching response.
 func (n *tcpNode) Call(ctx context.Context, dst wire.Addr, m wire.Message) (wire.Message, error) {
+	return n.call(ctx, dst, m, 0, 0)
+}
+
+// call is the shared Call engine: sessions stamp their id into the request
+// envelope and spread over pool slots, but share the node's request-id
+// space and pending table, so responses demultiplex by reqID alone no
+// matter which socket carries them.
+func (n *tcpNode) call(ctx context.Context, dst wire.Addr, m wire.Message, sess wire.SessionID, slot uint8) (wire.Message, error) {
 	id := n.reqSeq.Add(1)
 	ch := make(chan *wire.Envelope, 1)
 	n.pending.Store(id, ch)
 	defer n.pending.Delete(id)
-	if err := n.send(ctx, &wire.Envelope{Src: n.addr, Dst: dst, ReqID: id, Msg: m}); err != nil {
+	if err := n.send(ctx, &wire.Envelope{Src: n.addr, Dst: dst, Session: sess, ReqID: id, Msg: m}, slot); err != nil {
 		return nil, err
 	}
 	select {
@@ -658,9 +838,9 @@ func (n *tcpNode) deliverResponse(env *wire.Envelope) {
 	wire.Recycle(env.Msg)
 }
 
-// Close shuts the node down: listener, handler workers, and every live
-// connection — learned or not — so no readLoop/writeLoop goroutine or file
-// descriptor outlives the node.
+// Close shuts the node down: listener, handler workers, admission gate,
+// sessions, and every live connection — learned or not — so no
+// readLoop/writeLoop goroutine or file descriptor outlives the node.
 func (n *tcpNode) Close() error {
 	if n.closed.Swap(true) {
 		return nil
@@ -669,6 +849,18 @@ func (n *tcpNode) Close() error {
 		n.ln.Close()
 	}
 	close(n.stop)
+	// Drain the gate's park queues before waiting out the goroutines:
+	// parked waiters hold wg slots their drop closures release.
+	if n.gate != nil {
+		n.gate.Close()
+	}
+	n.sessions.Range(func(k, s any) bool {
+		if !s.(*tcpSession).closed.Swap(true) {
+			n.t.stats.Sessions.Add(-1)
+		}
+		n.sessions.Delete(k)
+		return true
+	})
 	n.mu.Lock()
 	conns := make([]*tcpConn, 0, len(n.all))
 	for tc := range n.all {
@@ -682,5 +874,82 @@ func (n *tcpNode) Close() error {
 	delete(n.t.nodes, n.addr)
 	n.t.mu.Unlock()
 	n.wg.Wait()
+	return nil
+}
+
+// tcpSession is one logical session on a mux endpoint. It shares the
+// endpoint's sockets, worker pool, request-id space, and pending table;
+// only the envelopes differ (they carry the session id) and inbound pushes
+// addressed to the id run h.
+type tcpSession struct {
+	n      *tcpNode
+	id     wire.SessionID
+	h      Handler
+	closed atomic.Bool
+}
+
+func (s *tcpSession) Addr() wire.Addr    { return s.n.addr }
+func (s *tcpSession) ID() wire.SessionID { return s.id }
+
+// slot spreads sessions across the endpoint's socket pool with a cheap
+// integer hash, so tenants (high half) and local ids (low half) both
+// contribute to the spread.
+func (s *tcpSession) slot() uint8 {
+	h := uint32(s.id)
+	h ^= h >> 16
+	h *= 0x45d9f3b
+	h ^= h >> 16
+	return uint8(h % uint32(s.n.pool))
+}
+
+// env builds a session-stamped envelope toward to. A destination that
+// already carries a session (a client relaying a server's From — unusual
+// but well-formed) wins over the session's own id.
+func (s *tcpSession) env(to wire.From, reqID uint64, resp bool, m wire.Message) *wire.Envelope {
+	sess := s.id
+	if to.Sess != 0 {
+		sess = to.Sess
+	}
+	return &wire.Envelope{Src: s.n.addr, Dst: to.Addr, Session: sess, ReqID: reqID, Resp: resp, Msg: m}
+}
+
+// Send delivers a one-way message carrying the session id.
+func (s *tcpSession) Send(dst wire.Addr, m wire.Message) error {
+	return s.SendTo(wire.At(dst), m)
+}
+
+// SendTo delivers a one-way message to a full destination.
+func (s *tcpSession) SendTo(to wire.From, m wire.Message) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	return s.n.send(context.Background(), s.env(to, 0, false, m), s.slot())
+}
+
+// Respond answers request reqID at to.
+func (s *tcpSession) Respond(to wire.From, reqID uint64, m wire.Message) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	return s.n.send(context.Background(), s.env(to, reqID, true, m), s.slot())
+}
+
+// Call sends a request and waits for the matching response.
+func (s *tcpSession) Call(ctx context.Context, dst wire.Addr, m wire.Message) (wire.Message, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	return s.n.call(ctx, dst, m, s.id, s.slot())
+}
+
+// Close deregisters the session. The endpoint's sockets stay up — they are
+// shared — and any in-flight push to the session is dropped with
+// accounting (and its pooled message recycled) by dispatch.
+func (s *tcpSession) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	s.n.sessions.Delete(uint32(s.id))
+	s.n.t.stats.Sessions.Add(-1)
 	return nil
 }

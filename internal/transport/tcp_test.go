@@ -26,7 +26,7 @@ func TestTCPClientZeroAddr(t *testing.T) {
 	if _, err := net.Attach(wire.ServerAddr(0, 0), &echoHandler{}); err != nil {
 		t.Fatal(err)
 	}
-	cli, err := net.Attach(wire.ClientAddr(0, 0), HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
+	cli, err := net.Attach(wire.ClientAddr(0, 0), HandlerFunc(func(Node, wire.From, uint64, wire.Message) {}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +45,7 @@ func TestTCPClientZeroAddr(t *testing.T) {
 // when the network shuts down.
 type slowHandler struct{ delay time.Duration }
 
-func (s *slowHandler) Handle(n Node, src wire.Addr, reqID uint64, m wire.Message) {
+func (s *slowHandler) Handle(n Node, src wire.From, reqID uint64, m wire.Message) {
 	if reqID == 0 {
 		return
 	}
@@ -69,7 +69,7 @@ func TestTCPCloseReleasesResources(t *testing.T) {
 	if _, err := tnet.Attach(wire.ServerAddr(0, 0), &slowHandler{delay: 100 * time.Millisecond}); err != nil {
 		t.Fatal(err)
 	}
-	cli, err := tnet.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
+	cli, err := tnet.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.From, uint64, wire.Message) {}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,22 +131,23 @@ func TestTCPCloseReleasesResources(t *testing.T) {
 // once the winner is forgotten. The loser used to stay stranded forever —
 // the peer became unroutable because clients are not in the directory.
 func TestTCPLearnRaceLoserPromoted(t *testing.T) {
-	n := &tcpNode{conns: make(map[wire.Addr]*tcpConn), all: make(map[*tcpConn]struct{})}
+	n := &tcpNode{conns: make(map[connKey]*tcpConn), all: make(map[*tcpConn]struct{})}
 	peer := wire.ClientAddr(0, 7)
+	key := connKey{addr: peer, slot: 0}
 	stale, fresh := &tcpConn{}, &tcpConn{}
 	n.all[stale] = struct{}{}
 	n.all[fresh] = struct{}{}
 	n.learn(peer, stale)
 	n.learn(peer, fresh) // loses the race but remembers its peer
-	if n.conns[peer] != stale {
+	if n.conns[key] != stale {
 		t.Fatal("first learner did not win the routing entry")
 	}
 	n.forget(stale)
-	if n.conns[peer] != fresh {
+	if n.conns[key] != fresh {
 		t.Fatal("surviving conn not promoted after forget; peer unroutable")
 	}
 	n.forget(fresh)
-	if _, ok := n.conns[peer]; ok {
+	if _, ok := n.conns[key]; ok {
 		t.Fatal("routing entry survived its last conn")
 	}
 }
@@ -159,7 +160,7 @@ type parkHandler struct {
 	parked  atomic.Int64
 }
 
-func (p *parkHandler) Handle(n Node, src wire.Addr, reqID uint64, m wire.Message) {
+func (p *parkHandler) Handle(n Node, src wire.From, reqID uint64, m wire.Message) {
 	switch m.(type) {
 	case *wire.Ping:
 		p.parked.Add(1)
@@ -183,7 +184,7 @@ func TestTCPDispatchSpillsWhenWorkersBusy(t *testing.T) {
 	if _, err := tnet.Attach(wire.ServerAddr(0, 0), h); err != nil {
 		t.Fatal(err)
 	}
-	cli, err := tnet.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
+	cli, err := tnet.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.From, uint64, wire.Message) {}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +246,7 @@ func TestTCPCallDeadlineUnderBackpressure(t *testing.T) {
 	dir := map[wire.Addr]string{wire.ServerAddr(0, 0): ln.Addr().String()}
 	tnet := NewTCP(dir)
 	defer tnet.Close()
-	cli, err := tnet.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
+	cli, err := tnet.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.From, uint64, wire.Message) {}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +296,7 @@ func TestTCPCloseAbortsPendingDial(t *testing.T) {
 	// fails fast or is transparently accepted pass trivially.
 	dir := map[wire.Addr]string{wire.ServerAddr(0, 0): "192.0.2.1:9"}
 	tnet := NewTCP(dir)
-	cli, err := tnet.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
+	cli, err := tnet.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.From, uint64, wire.Message) {}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -345,7 +346,7 @@ func TestTCPCoalescingUnderLoad(t *testing.T) {
 	dir := map[wire.Addr]string{wire.ServerAddr(0, 0): ln.Addr().String()}
 	tnet := NewTCP(dir)
 	defer tnet.Close()
-	cli, err := tnet.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
+	cli, err := tnet.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.From, uint64, wire.Message) {}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -458,7 +459,7 @@ func TestTCPScatterGatherInterleaving(t *testing.T) {
 		verified atomic.Uint64
 		bad      atomic.Uint64
 	)
-	srv := HandlerFunc(func(n Node, src wire.Addr, reqID uint64, m wire.Message) {
+	srv := HandlerFunc(func(n Node, src wire.From, reqID uint64, m wire.Message) {
 		pr, ok := m.(*wire.PutReq)
 		if !ok {
 			return
@@ -479,7 +480,7 @@ func TestTCPScatterGatherInterleaving(t *testing.T) {
 	if _, err := tnet.Attach(wire.ServerAddr(0, 0), srv); err != nil {
 		t.Fatal(err)
 	}
-	cli, err := tnet.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
+	cli, err := tnet.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.From, uint64, wire.Message) {}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -522,7 +523,7 @@ func TestTCPReconnectAfterPeerRestart(t *testing.T) {
 	}
 	net2 := NewTCP(dir)
 	defer net2.Close()
-	cli, err := net2.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
+	cli, err := net2.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.From, uint64, wire.Message) {}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -563,7 +564,7 @@ func BenchmarkTCPCall(b *testing.B) {
 	if _, err := tnet.Attach(wire.ServerAddr(0, 0), &echoHandler{}); err != nil {
 		b.Fatal(err)
 	}
-	cli, err := tnet.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
+	cli, err := tnet.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.From, uint64, wire.Message) {}))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -589,7 +590,7 @@ func BenchmarkTCPOneWayPipelined(b *testing.B) {
 	if _, err := tnet.Attach(wire.ServerAddr(0, 0), h); err != nil {
 		b.Fatal(err)
 	}
-	cli, err := tnet.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
+	cli, err := tnet.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.From, uint64, wire.Message) {}))
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -31,8 +31,11 @@ var (
 	ErrAttached = errors.New("transport: address already attached")
 )
 
-// Handler receives messages addressed to a node. reqID is nonzero when the
-// sender awaits a response via Call; the handler must eventually call
+// Handler receives messages addressed to a node. src names the sender:
+// its endpoint address plus, for multiplexed client traffic, the logical
+// session on it — handlers pass src back to Respond/SendTo unchanged and
+// the reply reaches the right session. reqID is nonzero when the sender
+// awaits a response via Call; the handler must eventually call
 // node.Respond(src, reqID, resp) for such messages. Handlers run on
 // dedicated goroutines and may block.
 //
@@ -44,14 +47,14 @@ var (
 // by every decode and safe to retain; each pooled type's Reset documents
 // its policy.
 type Handler interface {
-	Handle(node Node, src wire.Addr, reqID uint64, m wire.Message)
+	Handle(node Node, src wire.From, reqID uint64, m wire.Message)
 }
 
 // HandlerFunc adapts a function to the Handler interface.
-type HandlerFunc func(node Node, src wire.Addr, reqID uint64, m wire.Message)
+type HandlerFunc func(node Node, src wire.From, reqID uint64, m wire.Message)
 
 // Handle calls f.
-func (f HandlerFunc) Handle(node Node, src wire.Addr, reqID uint64, m wire.Message) {
+func (f HandlerFunc) Handle(node Node, src wire.From, reqID uint64, m wire.Message) {
 	f(node, src, reqID, m)
 }
 
@@ -61,13 +64,42 @@ type Node interface {
 	Addr() wire.Addr
 	// Send delivers a one-way message to dst.
 	Send(dst wire.Addr, m wire.Message) error
+	// SendTo delivers a one-way message to a full destination — endpoint
+	// plus session — so servers can push directly to one session of a
+	// multiplexed client (the 1 1/2-round ROT's direct answers, Busy
+	// echoes). SendTo(wire.At(dst), m) is Send(dst, m).
+	SendTo(to wire.From, m wire.Message) error
 	// Call sends a request to dst and waits for the response. If the
 	// responder answered with *wire.ErrorResp, Call returns it as the
 	// error.
 	Call(ctx context.Context, dst wire.Addr, m wire.Message) (wire.Message, error)
-	// Respond answers a request previously delivered with reqID.
-	Respond(dst wire.Addr, reqID uint64, m wire.Message) error
+	// Respond answers a request previously delivered with reqID, routing
+	// by the full origin the handler received.
+	Respond(to wire.From, reqID uint64, m wire.Message) error
 	// Close detaches the node.
+	Close() error
+}
+
+// Session is one logical client session on a multiplexed endpoint. It is a
+// full Node — its Sends and Calls stamp the session id into every frame,
+// and inbound frames carrying the id (direct server pushes) reach its
+// handler — but any number of sessions share the endpoint's sockets.
+type Session interface {
+	Node
+	// ID returns the session's identity (tenant + local id).
+	ID() wire.SessionID
+}
+
+// Mux is a multiplexed client endpoint: one attached address carrying any
+// number of logical sessions over a small fixed pool of connections.
+type Mux interface {
+	// Addr returns the endpoint's address.
+	Addr() wire.Addr
+	// Session registers a logical session with its push handler (h may be
+	// nil when the session never receives direct server pushes). The id
+	// must be nonzero and unused.
+	Session(id wire.SessionID, h Handler) (Session, error)
+	// Close detaches the endpoint and every session on it.
 	Close() error
 }
 
@@ -75,6 +107,11 @@ type Node interface {
 type Network interface {
 	// Attach registers addr with handler h and returns the node.
 	Attach(addr wire.Addr, h Handler) (Node, error)
+	// AttachMux registers addr as a multiplexed client endpoint whose
+	// sessions share a pool of at most pool connections per destination
+	// (pool ≤ 1 means a single shared connection; the Local simulator has
+	// no sockets and ignores it).
+	AttachMux(addr wire.Addr, pool int) (Mux, error)
 	// Close shuts the fabric down.
 	Close() error
 }
@@ -117,6 +154,16 @@ type Stats struct {
 	// SendQueue tracks frames sitting in send queues (current level and
 	// high-water mark).
 	SendQueue metrics.Gauge
+
+	// OpenConns tracks live sockets (TCP only; the Local simulator has
+	// none). With the session mux this stays O(nodes × pool) while
+	// Sessions grows with offered client load — their ratio is the
+	// multiplexing factor the connection-scale smoke asserts on.
+	OpenConns metrics.Gauge
+
+	// Sessions tracks registered logical client sessions across the
+	// network's multiplexed endpoints.
+	Sessions metrics.Gauge
 }
 
 // Snapshot returns a plain copy of the three traffic counters (legacy
@@ -138,6 +185,10 @@ type StatsView struct {
 	HandlerOverflow uint64
 	SendQueueDepth  int64
 	SendQueuePeak   int64
+	OpenConns       int64
+	OpenConnsPeak   int64
+	Sessions        int64
+	SessionsPeak    int64
 }
 
 // View returns a frozen copy of all counters.
@@ -153,6 +204,10 @@ func (s *Stats) View() StatsView {
 		HandlerOverflow: s.HandlerOverflow.Load(),
 		SendQueueDepth:  s.SendQueue.Load(),
 		SendQueuePeak:   s.SendQueue.HighWater(),
+		OpenConns:       s.OpenConns.Load(),
+		OpenConnsPeak:   s.OpenConns.HighWater(),
+		Sessions:        s.Sessions.Load(),
+		SessionsPeak:    s.Sessions.HighWater(),
 	}
 }
 
@@ -170,12 +225,14 @@ func (s *Stats) Register(r *metrics.Registry, labels ...metrics.Label) {
 	r.Counter("kv_transport_writev_bytes_total", "Frame bytes sent through the scatter-gather path.", &s.WritevBytes, labels...)
 	r.Counter("kv_transport_handler_overflow_total", "Inbound requests spilled past the bounded worker pool.", &s.HandlerOverflow, labels...)
 	r.Gauge("kv_transport_send_queue_frames", "Frames currently sitting in send queues.", &s.SendQueue, labels...)
+	r.Gauge("kv_transport_open_conns", "Live sockets (zero on the in-process transport).", &s.OpenConns, labels...)
+	r.Gauge("kv_transport_sessions", "Registered logical client sessions across multiplexed endpoints.", &s.Sessions, labels...)
 }
 
-// respondError is a small helper servers use to answer a Call with an
+// RespondError is a small helper servers use to answer a Call with an
 // error message.
-func RespondError(n Node, dst wire.Addr, reqID uint64, code uint16, text string) {
-	_ = n.Respond(dst, reqID, &wire.ErrorResp{Code: code, Text: text})
+func RespondError(n Node, to wire.From, reqID uint64, code uint16, text string) {
+	_ = n.Respond(to, reqID, &wire.ErrorResp{Code: code, Text: text})
 }
 
 // unwrapResp converts a response envelope into Call's return values,

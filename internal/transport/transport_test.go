@@ -29,7 +29,7 @@ func freeAddr(t testing.TB) string {
 // echoHandler answers Ping with Pong and counts one-way messages.
 type echoHandler struct{ oneways atomic.Uint64 }
 
-func (e *echoHandler) Handle(n Node, src wire.Addr, reqID uint64, m wire.Message) {
+func (e *echoHandler) Handle(n Node, src wire.From, reqID uint64, m wire.Message) {
 	if reqID == 0 {
 		e.oneways.Add(1)
 		return
@@ -53,7 +53,7 @@ func testNetworkBasics(t *testing.T, mk func(t *testing.T) (Network, func())) {
 	if _, err := net.Attach(srvAddr, h); err != nil {
 		t.Fatal(err)
 	}
-	cli, err := net.Attach(cliAddr, HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
+	cli, err := net.Attach(cliAddr, HandlerFunc(func(Node, wire.From, uint64, wire.Message) {}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func TestLocalLatencyInjection(t *testing.T) {
 	if _, err := net.Attach(srv, h); err != nil {
 		t.Fatal(err)
 	}
-	cli, _ := net.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
+	cli, _ := net.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.From, uint64, wire.Message) {}))
 	ctx := context.Background()
 	start := time.Now()
 	if _, err := cli.Call(ctx, srv, &wire.Ping{}); err != nil {
@@ -159,8 +159,8 @@ func TestCallTimeout(t *testing.T) {
 	defer net.Close()
 	// Server that never responds.
 	srv := wire.ServerAddr(0, 0)
-	net.Attach(srv, HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
-	cli, _ := net.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
+	net.Attach(srv, HandlerFunc(func(Node, wire.From, uint64, wire.Message) {}))
+	cli, _ := net.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.From, uint64, wire.Message) {}))
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
 	if _, err := cli.Call(ctx, srv, &wire.Ping{}); err != context.DeadlineExceeded {
@@ -176,8 +176,8 @@ func TestLocalCloseAbortsInFlightCall(t *testing.T) {
 	net := NewLocal(LatencyModel{})
 	srv := wire.ServerAddr(0, 0)
 	// Server that never responds, so the Call is parked when Close runs.
-	net.Attach(srv, HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
-	cli, _ := net.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
+	net.Attach(srv, HandlerFunc(func(Node, wire.From, uint64, wire.Message) {}))
+	cli, _ := net.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.From, uint64, wire.Message) {}))
 
 	callErr := make(chan error, 1)
 	go func() {
@@ -205,8 +205,8 @@ func TestLocalNodeCloseAbortsInFlightCall(t *testing.T) {
 	net := NewLocal(LatencyModel{})
 	defer net.Close()
 	srv := wire.ServerAddr(0, 0)
-	net.Attach(srv, HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
-	cli, _ := net.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
+	net.Attach(srv, HandlerFunc(func(Node, wire.From, uint64, wire.Message) {}))
+	cli, _ := net.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.From, uint64, wire.Message) {}))
 
 	callErr := make(chan error, 1)
 	go func() {
@@ -229,7 +229,7 @@ func TestLocalNodeCloseAbortsInFlightCall(t *testing.T) {
 func TestCallToMissingNodeTimesOut(t *testing.T) {
 	net := NewLocal(LatencyModel{})
 	defer net.Close()
-	cli, _ := net.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
+	cli, _ := net.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.From, uint64, wire.Message) {}))
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
 	if _, err := cli.Call(ctx, wire.ServerAddr(0, 9), &wire.Ping{}); err == nil {
@@ -257,7 +257,7 @@ func TestStatsCounting(t *testing.T) {
 	defer net.Close()
 	srv := wire.ServerAddr(0, 0)
 	net.Attach(srv, &echoHandler{})
-	cli, _ := net.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
+	cli, _ := net.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.From, uint64, wire.Message) {}))
 	cli.Call(context.Background(), srv, &wire.Ping{})
 	msgs, bytes, _ := net.Stats().Snapshot()
 	if msgs != 2 || bytes == 0 {
@@ -268,7 +268,7 @@ func TestStatsCounting(t *testing.T) {
 func TestClosedNodeSendFails(t *testing.T) {
 	net := NewLocal(LatencyModel{})
 	defer net.Close()
-	cli, _ := net.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
+	cli, _ := net.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.From, uint64, wire.Message) {}))
 	cli.Close()
 	if err := cli.Send(wire.ServerAddr(0, 0), &wire.Ping{}); err != ErrClosed {
 		t.Fatalf("err = %v, want ErrClosed", err)
@@ -304,7 +304,7 @@ func TestTCPServerToServer(t *testing.T) {
 func TestTCPNoRoute(t *testing.T) {
 	net := NewTCP(nil)
 	defer net.Close()
-	cli, _ := net.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
+	cli, _ := net.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.From, uint64, wire.Message) {}))
 	if err := cli.Send(wire.ServerAddr(0, 0), &wire.Ping{}); err == nil {
 		t.Fatal("expected no-route error")
 	}
@@ -315,7 +315,7 @@ func BenchmarkLocalCallNoLatency(b *testing.B) {
 	defer net.Close()
 	srv := wire.ServerAddr(0, 0)
 	net.Attach(srv, &echoHandler{})
-	cli, _ := net.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
+	cli, _ := net.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.From, uint64, wire.Message) {}))
 	ctx := context.Background()
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -333,7 +333,7 @@ func BenchmarkLocalCallWithLatency(b *testing.B) {
 	defer net.Close()
 	srv := wire.ServerAddr(0, 0)
 	net.Attach(srv, &echoHandler{})
-	cli, _ := net.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.Addr, uint64, wire.Message) {}))
+	cli, _ := net.Attach(wire.ClientAddr(0, 1), HandlerFunc(func(Node, wire.From, uint64, wire.Message) {}))
 	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

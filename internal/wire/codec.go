@@ -289,7 +289,13 @@ type Envelope struct {
 	Dst   Addr
 	ReqID uint64 // nonzero for request/response pairs
 	Resp  bool   // true when this is a response to ReqID
-	Msg   Message
+	// Session is the client-side session the frame belongs to, whichever
+	// direction it travels: the source session on client→server frames,
+	// the destination session on server→client frames. Zero (intra-cluster
+	// traffic, session-less endpoints) is omitted from the encoding, so
+	// such frames carry no session overhead at all.
+	Session SessionID
+	Msg     Message
 }
 
 // Envelope appends the wire representation of e (header and message body,
@@ -303,9 +309,15 @@ func (b *Buffer) Envelope(e *Envelope) {
 	if e.Resp {
 		flags |= 1
 	}
+	if e.Session != 0 {
+		flags |= 2
+	}
 	b.U8(flags)
 	b.U32(uint32(e.Src))
 	b.U32(uint32(e.Dst))
+	if e.Session != 0 {
+		b.U32(uint32(e.Session))
+	}
 	b.Uvarint(e.ReqID)
 	e.Msg.Encode(b)
 }
@@ -325,6 +337,10 @@ func DecodeEnvelope(p []byte) (*Envelope, error) {
 	flags := r.U8()
 	src := Addr(r.U32())
 	dst := Addr(r.U32())
+	var sess SessionID
+	if flags&2 != 0 {
+		sess = SessionID(r.U32())
+	}
 	reqID := r.Uvarint()
 	if r.Err() != nil {
 		return nil, r.Err()
@@ -338,10 +354,11 @@ func DecodeEnvelope(p []byte) (*Envelope, error) {
 		return nil, fmt.Errorf("decoding type %d: %w", t, r.Err())
 	}
 	return &Envelope{
-		Src:   src,
-		Dst:   dst,
-		ReqID: reqID,
-		Resp:  flags&1 != 0,
-		Msg:   m,
+		Src:     src,
+		Dst:     dst,
+		ReqID:   reqID,
+		Resp:    flags&1 != 0,
+		Session: sess,
+		Msg:     m,
 	}, nil
 }

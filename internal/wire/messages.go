@@ -284,9 +284,12 @@ func (m *RotCoordResp) Decode(r *Reader) {
 }
 
 // RotFwd is the coordinator-to-partition leg of the 1 1/2-round protocol.
+// Client and Sess together name the client session the partition answers
+// directly (Sess is zero for session-less endpoints).
 type RotFwd struct {
 	RotID  uint64
 	Client Addr
+	Sess   SessionID
 	SV     vclock.Vec
 	Keys   []string
 }
@@ -295,12 +298,14 @@ func (*RotFwd) Type() uint16 { return TRotFwd }
 func (m *RotFwd) Encode(b *Buffer) {
 	b.U64(m.RotID)
 	b.U32(uint32(m.Client))
+	b.U32(uint32(m.Sess))
 	b.Vec(m.SV)
 	encodeStrings(b, m.Keys)
 }
 func (m *RotFwd) Decode(r *Reader) {
 	m.RotID = r.U64()
 	m.Client = Addr(r.U32())
+	m.Sess = SessionID(r.U32())
 	m.SV = r.Vec()
 	m.Keys = decodeStringsInto(m.Keys, r)
 }
